@@ -1,0 +1,34 @@
+//! Criterion benches for the machine-room layout pipeline: QAP placement (with the
+//! annealing-budget ablation) and the end-to-end latency sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spectralfly_layout::{latency_profile, place_topology, QapConfig};
+use spectralfly_topology::{LpsGraph, Topology};
+
+fn bench_placement(c: &mut Criterion) {
+    let lps = LpsGraph::new(11, 7).unwrap();
+    let mut group = c.benchmark_group("layout/placement");
+    group.sample_size(10);
+    for iters in [5_000usize, 20_000, 60_000] {
+        group.bench_function(format!("anneal_{iters}"), |b| {
+            let cfg = QapConfig { anneal_iters: iters, ..Default::default() };
+            b.iter(|| place_topology(lps.graph(), &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let lps = LpsGraph::new(11, 7).unwrap();
+    let placement =
+        place_topology(lps.graph(), &QapConfig { anneal_iters: 10_000, ..Default::default() });
+    let mut group = c.benchmark_group("layout/latency");
+    group.sample_size(10);
+    group.bench_function("profile_lps_11_7", |b| {
+        b.iter(|| latency_profile(lps.graph(), &placement, 100.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement, bench_latency);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches for the packet-level simulator: routing algorithms, offered loads, and
+//! the UGAL-threshold / VC-count ablations from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spectralfly_bench::{paper_sim_config, simulation_topologies, Scale};
+use spectralfly_simnet::workload::random_placement;
+use spectralfly_simnet::{RoutingAlgorithm, SimConfig, Simulator, Workload};
+
+fn bench_routing_algorithms(c: &mut Criterion) {
+    let topo = &simulation_topologies(Scale::Small)[0];
+    let net = topo.network();
+    let placement = random_placement(256, net.num_endpoints(), 1);
+    let wl = Workload::synthetic("random", 8, 4, 4096, 2).unwrap().place(&placement);
+    let mut group = c.benchmark_group("simulator/routing");
+    group.sample_size(10);
+    for routing in [RoutingAlgorithm::Minimal, RoutingAlgorithm::Valiant, RoutingAlgorithm::UgalL] {
+        group.bench_function(format!("{routing}"), |b| {
+            let cfg = paper_sim_config(&net, routing, 3);
+            let sim = Simulator::new(&net, &cfg);
+            b.iter(|| sim.run_with_offered_load(&wl, 0.5))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ugal_threshold_ablation(c: &mut Criterion) {
+    let topo = &simulation_topologies(Scale::Small)[0];
+    let net = topo.network();
+    let placement = random_placement(256, net.num_endpoints(), 1);
+    let wl = Workload::synthetic("transpose", 8, 4, 4096, 2).unwrap().place(&placement);
+    let mut group = c.benchmark_group("simulator/ugal_threshold");
+    group.sample_size(10);
+    for threshold in [0.0f64, 1.0, 4.0] {
+        group.bench_function(format!("threshold_{threshold}"), |b| {
+            let mut cfg: SimConfig = paper_sim_config(&net, RoutingAlgorithm::UgalL, 3);
+            cfg.ugal_threshold = threshold;
+            let sim = Simulator::new(&net, &cfg);
+            b.iter(|| sim.run_with_offered_load(&wl, 0.6))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vc_count_ablation(c: &mut Criterion) {
+    let topo = &simulation_topologies(Scale::Small)[0];
+    let net = topo.network();
+    let placement = random_placement(256, net.num_endpoints(), 1);
+    let wl = Workload::synthetic("shuffle", 8, 4, 4096, 2).unwrap().place(&placement);
+    let mut group = c.benchmark_group("simulator/vc_count");
+    group.sample_size(10);
+    for vcs in [4usize, 8, 12] {
+        group.bench_function(format!("vcs_{vcs}"), |b| {
+            let mut cfg: SimConfig = paper_sim_config(&net, RoutingAlgorithm::Minimal, 3);
+            cfg.num_vcs = vcs;
+            let sim = Simulator::new(&net, &cfg);
+            b.iter(|| sim.run_with_offered_load(&wl, 0.5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_routing_algorithms,
+    bench_ugal_threshold_ablation,
+    bench_vc_count_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig. 7: speedup relative to DragonFly with minimal routing on the random micro-benchmark
+//! across offered loads (SpectralFly, BundleFly, SlimFly vs the DragonFly baseline).
+//!
+//! Usage: `cargo run --release -p spectralfly-bench --bin fig7_minimal_random [--full]`
+
+use spectralfly_bench::{fmt, paper_sim_config, print_table, simulation_topologies, Scale, OFFERED_LOADS};
+use spectralfly_simnet::workload::random_placement;
+use spectralfly_simnet::{RoutingAlgorithm, Simulator, Workload};
+
+fn main() {
+    let scale = Scale::from_args();
+    let bits = scale.rank_bits();
+    let msgs = scale.messages_per_rank();
+    let topologies = simulation_topologies(scale);
+
+    let mut results: Vec<Vec<f64>> = Vec::new();
+    for topo in &topologies {
+        let net = topo.network();
+        let cfg = paper_sim_config(&net, RoutingAlgorithm::Minimal, 0xF17);
+        let sim = Simulator::new(&net, &cfg);
+        let ranks = 1usize << bits;
+        let placement = random_placement(ranks, net.num_endpoints(), 0xBEEF);
+        let wl = Workload::synthetic("random", bits, msgs, 4096, 0xABCD)
+            .expect("random pattern")
+            .place(&placement);
+        let mut per_load = Vec::new();
+        for &load in &OFFERED_LOADS {
+            let res = sim.run_with_offered_load(&wl, load);
+            per_load.push(res.completion_time_ps as f64 / 1000.0);
+        }
+        results.push(per_load);
+    }
+    let dragonfly = results.last().expect("DragonFly baseline").clone();
+    let mut rows = Vec::new();
+    for (topo, per_load) in topologies.iter().zip(&results) {
+        let mut row = vec![topo.name.clone()];
+        for (i, &t) in per_load.iter().enumerate() {
+            row.push(fmt(dragonfly[i] / t));
+        }
+        rows.push(row);
+    }
+    let mut header: Vec<String> = vec!["Topology".to_string()];
+    header.extend(OFFERED_LOADS.iter().map(|l| format!("load {l}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Fig. 7: random micro-benchmark, minimal routing, speedup over DragonFly-Min",
+        &header_refs,
+        &rows,
+    );
+}

@@ -1,0 +1,49 @@
+//! Fig. 8: Valiant routing vs minimal routing on the SpectralFly topology for the four
+//! micro-benchmark patterns across offered loads (speedup of Valiant relative to minimal).
+//!
+//! Usage: `cargo run --release -p spectralfly-bench --bin fig8_valiant_vs_minimal [--full]`
+
+use spectralfly_bench::{fmt, paper_sim_config, print_table, simulation_topologies, Scale, OFFERED_LOADS};
+use spectralfly_simnet::workload::random_placement;
+use spectralfly_simnet::{RoutingAlgorithm, Simulator, Workload};
+
+fn main() {
+    let scale = Scale::from_args();
+    let bits = scale.rank_bits();
+    let msgs = scale.messages_per_rank();
+    let spectralfly = &simulation_topologies(scale)[0];
+    let net = spectralfly.network();
+    let ranks = 1usize << bits;
+    let placement = random_placement(ranks, net.num_endpoints(), 0xBEEF);
+
+    let mut rows = Vec::new();
+    for pattern in ["random", "shuffle", "reverse", "transpose"] {
+        let wl = Workload::synthetic(pattern, bits, msgs, 4096, 0xABCD)
+            .expect("known pattern")
+            .place(&placement);
+        let mut row = vec![pattern.to_string()];
+        for &load in &OFFERED_LOADS {
+            let min_cfg = paper_sim_config(&net, RoutingAlgorithm::Minimal, 0xF18);
+            let val_cfg = paper_sim_config(&net, RoutingAlgorithm::Valiant, 0xF18);
+            let t_min = Simulator::new(&net, &min_cfg)
+                .run_with_offered_load(&wl, load)
+                .completion_time_ps as f64;
+            let t_val = Simulator::new(&net, &val_cfg)
+                .run_with_offered_load(&wl, load)
+                .completion_time_ps as f64;
+            row.push(fmt(t_min / t_val));
+        }
+        rows.push(row);
+    }
+    let mut header: Vec<String> = vec!["Pattern".to_string()];
+    header.extend(OFFERED_LOADS.iter().map(|l| format!("load {l}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table(
+        &format!(
+            "Fig. 8: Valiant speedup over minimal routing on {} (>1 means Valiant wins)",
+            spectralfly.name
+        ),
+        &header_refs,
+        &rows,
+    );
+}

@@ -1,0 +1,191 @@
+//! # spectralfly-bench
+//!
+//! The experiment harness: one binary per table / figure of the paper (see DESIGN.md for
+//! the index) plus Criterion benches over the substrate kernels. This library holds the
+//! pieces the binaries share: the simulation topology classes of Section VI, offered-load
+//! sweeps, scaled-down defaults (so every experiment finishes in minutes on a laptop), and
+//! uniform result printing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use spectralfly_graph::CsrGraph;
+use spectralfly_simnet::{RoutingAlgorithm, SimConfig, SimNetwork};
+use spectralfly_topology::{
+    BundleFlyGraph, GeneralizedDragonFly, LpsGraph, SlimFlyGraph, Topology,
+};
+
+/// Experiment scale: `Paper` reproduces the published configuration; `Small` is a reduced
+/// configuration with the same topology families for quick runs and CI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// ~8.7K endpoints on 32-port routers (the paper's Section VI setup).
+    Paper,
+    /// A few hundred endpoints; same families, minutes instead of hours.
+    Small,
+}
+
+impl Scale {
+    /// Parse from CLI args: `--full` selects [`Scale::Paper`], anything else stays small.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--full" || a == "--paper") {
+            Scale::Paper
+        } else {
+            Scale::Small
+        }
+    }
+
+    /// log2 of the number of MPI ranks used by the synthetic micro-benchmarks.
+    pub fn rank_bits(&self) -> u32 {
+        match self {
+            Scale::Paper => 13, // 8192 ranks, as in the paper
+            Scale::Small => 9,  // 512 ranks
+        }
+    }
+
+    /// Messages per rank for the synthetic micro-benchmarks.
+    pub fn messages_per_rank(&self) -> usize {
+        match self {
+            Scale::Paper => 20,
+            Scale::Small => 10,
+        }
+    }
+}
+
+/// A named simulation topology: router graph plus endpoint concentration.
+pub struct SimTopology {
+    /// Display name, e.g. `SpectralFly LPS(23,13) x8`.
+    pub name: String,
+    /// Router graph.
+    pub graph: CsrGraph,
+    /// Endpoints per router.
+    pub concentration: usize,
+}
+
+impl SimTopology {
+    /// Wrap into a simulator network.
+    pub fn network(&self) -> SimNetwork {
+        SimNetwork::new(self.graph.clone(), self.concentration)
+    }
+}
+
+/// The four topology classes compared in the paper's simulations (Section VI-B), at the
+/// requested scale. Order: SpectralFly, SlimFly, BundleFly, DragonFly.
+///
+/// Paper scale: LPS(23,13)×8, SF(27)×8, BF(9,9)×6, DF(a=16,h=8,g=69)×8 — all ≈ 8.7K
+/// endpoints on ≤ 32-port routers. Small scale keeps the same families at ~650 endpoints.
+pub fn simulation_topologies(scale: Scale) -> Vec<SimTopology> {
+    match scale {
+        Scale::Paper => vec![
+            SimTopology {
+                name: "SpectralFly LPS(23,13) x8".to_string(),
+                graph: LpsGraph::new(23, 13).expect("valid LPS parameters").graph().clone(),
+                concentration: 8,
+            },
+            SimTopology {
+                name: "SlimFly SF(27) x8".to_string(),
+                graph: SlimFlyGraph::new(27).expect("valid SlimFly parameter").graph().clone(),
+                concentration: 8,
+            },
+            SimTopology {
+                name: "BundleFly BF(9,9) x6".to_string(),
+                graph: BundleFlyGraph::new(9, 9).expect("valid BundleFly parameters").graph().clone(),
+                concentration: 6,
+            },
+            SimTopology {
+                name: "DragonFly DF(16,8,69) x8".to_string(),
+                graph: GeneralizedDragonFly::new(16, 8, 69)
+                    .expect("valid DragonFly parameters")
+                    .graph()
+                    .clone(),
+                concentration: 8,
+            },
+        ],
+        Scale::Small => vec![
+            SimTopology {
+                name: "SpectralFly LPS(11,7) x4".to_string(),
+                graph: LpsGraph::new(11, 7).expect("valid LPS parameters").graph().clone(),
+                concentration: 4,
+            },
+            SimTopology {
+                name: "SlimFly SF(9) x4".to_string(),
+                graph: SlimFlyGraph::new(9).expect("valid SlimFly parameter").graph().clone(),
+                concentration: 4,
+            },
+            SimTopology {
+                name: "BundleFly BF(13,3) x3".to_string(),
+                graph: BundleFlyGraph::new(13, 3).expect("valid BundleFly parameters").graph().clone(),
+                concentration: 3,
+            },
+            SimTopology {
+                name: "DragonFly DF(8,4,21) x4".to_string(),
+                graph: GeneralizedDragonFly::new(8, 4, 21)
+                    .expect("valid DragonFly parameters")
+                    .graph()
+                    .clone(),
+                concentration: 4,
+            },
+        ],
+    }
+}
+
+/// The offered-load sweep used on the x-axis of Figures 6–8.
+pub const OFFERED_LOADS: [f64; 6] = [0.1, 0.2, 0.3, 0.5, 0.6, 0.7];
+
+/// Build a [`SimConfig`] following the paper: routing algorithm with a VC count derived from
+/// the topology diameter, 4 KB packets, 100 Gb/s links.
+pub fn paper_sim_config(net: &SimNetwork, routing: RoutingAlgorithm, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::default().with_routing(routing, net.diameter() as u32);
+    cfg.seed = seed;
+    cfg
+}
+
+/// The LPS↔SlimFly size pairs of Table II / Fig. 11.
+pub fn table2_pairs() -> Vec<((u64, u64), u64)> {
+    vec![((11, 7), 9), ((19, 7), 13), ((23, 11), 17), ((29, 13), 23)]
+}
+
+/// Print a markdown-style table: a header row and aligned value rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    println!("{}", header.join(" | "));
+    println!("{}", header.iter().map(|h| "-".repeat(h.len())).collect::<Vec<_>>().join("-|-"));
+    for row in rows {
+        println!("{}", row.join(" | "));
+    }
+}
+
+/// Format a float with 3 significant decimals for table output.
+pub fn fmt(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_topologies_build_and_fit_ports() {
+        for t in simulation_topologies(Scale::Small) {
+            let radix = t.graph.max_degree();
+            assert!(radix + t.concentration <= 32, "{}: {} ports", t.name, radix + t.concentration);
+            let net = t.network();
+            assert!(net.num_endpoints() >= 500, "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn paper_config_uses_diameter_based_vcs() {
+        let t = &simulation_topologies(Scale::Small)[0];
+        let net = t.network();
+        let cfg = paper_sim_config(&net, RoutingAlgorithm::Valiant, 1);
+        assert_eq!(cfg.num_vcs, 2 * net.diameter() as usize + 1);
+    }
+
+    #[test]
+    fn offered_loads_match_paper_axis() {
+        assert_eq!(OFFERED_LOADS.len(), 6);
+        assert_eq!(OFFERED_LOADS[0], 0.1);
+        assert_eq!(OFFERED_LOADS[5], 0.7);
+    }
+}

@@ -1,0 +1,164 @@
+//! One-call structural profiling of a topology — the measurements behind Table I, Fig. 4
+//! (lower-right), and the topology-comparison narrative of Section IV.
+
+use spectralfly_graph::csr::CsrGraph;
+use spectralfly_graph::metrics::{girth, structural_metrics};
+use spectralfly_graph::partition::bisection_bandwidth;
+use spectralfly_graph::spectral::{spectral_bisection_lower_bound, spectral_summary};
+
+/// Controls how expensive the profile computation is allowed to be.
+#[derive(Clone, Debug)]
+pub struct ProfileConfig {
+    /// Lanczos iterations for the spectral quantities.
+    pub lanczos_iters: usize,
+    /// Random restarts for the bisection partitioner.
+    pub bisection_restarts: usize,
+    /// Skip the bisection estimate entirely (it dominates cost on large graphs).
+    pub skip_bisection: bool,
+    /// Seed for all randomized components.
+    pub seed: u64,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            lanczos_iters: 100,
+            bisection_restarts: 3,
+            skip_bisection: false,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The full structural profile of a topology.
+#[derive(Clone, Debug)]
+pub struct StructuralProfile {
+    /// Topology display name.
+    pub name: String,
+    /// Number of routers.
+    pub routers: usize,
+    /// Router radix (max degree).
+    pub radix: usize,
+    /// Whether the graph is regular.
+    pub regular: bool,
+    /// Diameter in hops.
+    pub diameter: u32,
+    /// Mean shortest-path length over ordered pairs.
+    pub mean_distance: f64,
+    /// Girth (length of shortest cycle).
+    pub girth: Option<u32>,
+    /// Second-largest adjacency eigenvalue λ₂ (only for regular graphs).
+    pub lambda2: Option<f64>,
+    /// Normalized Laplacian gap µ₁ = (k − λ₂)/k (only for regular graphs).
+    pub mu1: Option<f64>,
+    /// Whether the graph certifies as Ramanujan (only for regular graphs).
+    pub ramanujan: Option<bool>,
+    /// Partitioner upper bound on bisection bandwidth (links crossing the best found cut).
+    pub bisection_upper: Option<u64>,
+    /// Spectral (Fiedler) lower bound µ₁·k·n/4.
+    pub bisection_lower: Option<f64>,
+    /// Normalized bisection bandwidth: upper bound divided by `n·k/2`.
+    pub normalized_bisection: Option<f64>,
+}
+
+/// Profile a connected topology (panics on disconnected input).
+pub fn profile_graph(name: &str, g: &CsrGraph, cfg: &ProfileConfig) -> StructuralProfile {
+    let base = structural_metrics(g).expect("profile_graph requires a connected graph");
+    let (lambda2, mu1, ramanujan) = if g.regular_degree().is_some() {
+        let s = spectral_summary(g, cfg.lanczos_iters, cfg.seed);
+        (Some(s.lambda2), Some(s.mu1), Some(s.ramanujan))
+    } else {
+        (None, None, None)
+    };
+    let (bisection_upper, bisection_lower, normalized_bisection) = if cfg.skip_bisection {
+        (None, None, None)
+    } else {
+        let upper = bisection_bandwidth(g, cfg.bisection_restarts, cfg.seed);
+        let lower = mu1.map(|m| {
+            spectral_bisection_lower_bound(g.num_vertices(), base.radix, m)
+        });
+        let norm = upper as f64 / (g.num_vertices() as f64 * base.radix as f64 / 2.0);
+        (Some(upper), lower, Some(norm))
+    };
+    StructuralProfile {
+        name: name.to_string(),
+        routers: base.routers,
+        radix: base.radix,
+        regular: base.regular,
+        diameter: base.diameter,
+        mean_distance: base.mean_distance,
+        girth: girth(g),
+        lambda2,
+        mu1,
+        ramanujan,
+        bisection_upper,
+        bisection_lower,
+        normalized_bisection,
+    }
+}
+
+impl StructuralProfile {
+    /// Render the profile as a Table-I style row:
+    /// `name routers radix diameter distance girth mu1`.
+    pub fn table1_row(&self) -> String {
+        format!(
+            "{:<14} {:>7} {:>6} {:>6} {:>7.2} {:>6} {:>7}",
+            self.name,
+            self.routers,
+            self.radix,
+            self.diameter,
+            self.mean_distance,
+            self.girth.map_or("-".to_string(), |g| g.to_string()),
+            self.mu1.map_or("-".to_string(), |m| format!("{m:.2}")),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectralfly_topology::lps::LpsGraph;
+    use spectralfly_topology::slimfly::SlimFlyGraph;
+    use spectralfly_topology::Topology;
+
+    #[test]
+    fn lps_11_7_profile_matches_table1_row() {
+        // Table I row: LPS(11,7): 168 routers, radix 12, diam 3, dist 2.39, girth 3, mu1 0.50.
+        let lps = LpsGraph::new(11, 7).unwrap();
+        let prof = profile_graph(&lps.name(), lps.graph(), &ProfileConfig::default());
+        assert_eq!(prof.routers, 168);
+        assert_eq!(prof.radix, 12);
+        assert_eq!(prof.diameter, 3);
+        assert!((prof.mean_distance - 2.39).abs() < 0.02);
+        assert_eq!(prof.girth, Some(3));
+        let mu1 = prof.mu1.unwrap();
+        assert!((mu1 - 0.50).abs() < 0.03, "mu1 = {mu1}");
+        assert_eq!(prof.ramanujan, Some(true));
+        // Bisection bracket is consistent: lower bound <= upper bound.
+        assert!(prof.bisection_lower.unwrap() <= prof.bisection_upper.unwrap() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn sf7_profile_matches_table1_row() {
+        // Table I row: SF(7): 98 routers, radix 11, diam 2, dist 1.89, girth 3, mu1 0.62.
+        let sf = SlimFlyGraph::new(7).unwrap();
+        let prof = profile_graph(&sf.name(), sf.graph(), &ProfileConfig::default());
+        assert_eq!(prof.routers, 98);
+        assert_eq!(prof.radix, 11);
+        assert_eq!(prof.diameter, 2);
+        assert!((prof.mean_distance - 1.89).abs() < 0.02);
+        if let Some(mu1) = prof.mu1 {
+            assert!((mu1 - 0.62).abs() < 0.05, "mu1 = {mu1}");
+        }
+    }
+
+    #[test]
+    fn skip_bisection_flag() {
+        let lps = LpsGraph::new(3, 5).unwrap();
+        let cfg = ProfileConfig { skip_bisection: true, ..Default::default() };
+        let prof = profile_graph("LPS(3,5)", lps.graph(), &cfg);
+        assert!(prof.bisection_upper.is_none());
+        assert!(prof.normalized_bisection.is_none());
+        assert!(!prof.table1_row().is_empty());
+    }
+}

@@ -1,0 +1,522 @@
+//! General finite fields `GF(p^k)`.
+//!
+//! The SlimFly / MMS construction (and the MMS factor inside BundleFly) is defined over
+//! an arbitrary finite field `F_q` with `q = p^k` a prime power, and needs a *primitive
+//! element* `ξ` whose powers partition `F_q*` into the Hafner generator sets. The paper's
+//! Table II instances include `SF(9)` and `SF(27)` and BundleFly uses `MMS(4)`, so prime
+//! fields alone are not enough.
+//!
+//! Elements are represented as integers in `0..q`, where the base-`p` digits of the
+//! integer are the coefficients of the residue polynomial (constant term first). For a
+//! prime field (`k == 1`) this degenerates to ordinary arithmetic mod `p`. Extension
+//! fields are built over an irreducible monic polynomial found by exhaustive search
+//! (the fields used here are tiny) and multiplication is table-driven via discrete
+//! logarithms with respect to a primitive element.
+
+use crate::arith::{mod_inv, mod_pow};
+use crate::primes::{distinct_prime_factors, is_prime, prime_power};
+
+/// A finite field `GF(p^k)` supporting the operations needed by the topology generators.
+///
+/// Elements are plain `u64` handles in `0..q`. `0` is the additive identity and `1` the
+/// multiplicative identity for every field (for extension fields the handle's base-`p`
+/// digits are the polynomial coefficients, so the constants embed naturally).
+#[derive(Clone, Debug)]
+pub struct FiniteField {
+    p: u64,
+    k: u32,
+    q: u64,
+    /// For extension fields: exp[i] = ξ^i as an element handle (length q-1).
+    exp: Vec<u64>,
+    /// For extension fields: log[e] = i such that ξ^i = e (log[0] unused).
+    log: Vec<u64>,
+    /// Primitive element.
+    xi: u64,
+    /// Irreducible modulus polynomial coefficients (constant-first, length k+1), for k > 1.
+    modulus: Vec<u64>,
+}
+
+impl FiniteField {
+    /// Construct the finite field with `q` elements. Returns `None` if `q` is not a prime power.
+    pub fn new(q: u64) -> Option<Self> {
+        let (p, k) = prime_power(q)?;
+        if k == 1 {
+            let xi = primitive_root_prime(p);
+            return Some(FiniteField {
+                p,
+                k,
+                q,
+                exp: Vec::new(),
+                log: Vec::new(),
+                xi,
+                modulus: Vec::new(),
+            });
+        }
+        assert!(
+            q <= 1 << 20,
+            "extension fields are table-driven and limited to q <= 2^20 (got {q})"
+        );
+        let modulus = find_irreducible(p, k);
+        // Find a primitive element by trying successive nonzero handles.
+        let mut field = FiniteField {
+            p,
+            k,
+            q,
+            exp: Vec::new(),
+            log: Vec::new(),
+            xi: 0,
+            modulus,
+        };
+        let factors = distinct_prime_factors(q - 1);
+        let mut xi = 0;
+        'search: for cand in 2..q {
+            for &f in &factors {
+                if field.pow_poly(cand, (q - 1) / f) == 1 {
+                    continue 'search;
+                }
+            }
+            xi = cand;
+            break;
+        }
+        assert!(xi != 0, "primitive element search failed for q={q}");
+        // Build exp/log tables.
+        let mut exp = Vec::with_capacity((q - 1) as usize);
+        let mut log = vec![0u64; q as usize];
+        let mut acc = 1u64;
+        for i in 0..(q - 1) {
+            exp.push(acc);
+            log[acc as usize] = i;
+            acc = field.mul_poly(acc, xi);
+        }
+        debug_assert_eq!(acc, 1, "primitive element order mismatch");
+        field.exp = exp;
+        field.log = log;
+        field.xi = xi;
+        Some(field)
+    }
+
+    /// Field characteristic `p`.
+    pub fn characteristic(&self) -> u64 {
+        self.p
+    }
+
+    /// Extension degree `k`.
+    pub fn degree(&self) -> u32 {
+        self.k
+    }
+
+    /// Field order `q = p^k`.
+    pub fn order(&self) -> u64 {
+        self.q
+    }
+
+    /// The additive identity.
+    pub fn zero(&self) -> u64 {
+        0
+    }
+
+    /// The multiplicative identity.
+    pub fn one(&self) -> u64 {
+        1
+    }
+
+    /// A fixed primitive element (generator of the multiplicative group).
+    pub fn primitive_element(&self) -> u64 {
+        self.xi
+    }
+
+    /// Iterator over all field elements `0..q`.
+    pub fn elements(&self) -> impl Iterator<Item = u64> {
+        0..self.q
+    }
+
+    /// Addition.
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        if self.k == 1 {
+            let s = a + b;
+            if s >= self.p {
+                s - self.p
+            } else {
+                s
+            }
+        } else {
+            // Digit-wise addition mod p.
+            let mut out = 0u64;
+            let (mut a, mut b) = (a, b);
+            let mut place = 1u64;
+            for _ in 0..self.k {
+                let da = a % self.p;
+                let db = b % self.p;
+                let mut d = da + db;
+                if d >= self.p {
+                    d -= self.p;
+                }
+                out += d * place;
+                place *= self.p;
+                a /= self.p;
+                b /= self.p;
+            }
+            out
+        }
+    }
+
+    /// Additive inverse.
+    pub fn neg(&self, a: u64) -> u64 {
+        debug_assert!(a < self.q);
+        if self.k == 1 {
+            if a == 0 {
+                0
+            } else {
+                self.p - a
+            }
+        } else {
+            let mut out = 0u64;
+            let mut a = a;
+            let mut place = 1u64;
+            for _ in 0..self.k {
+                let d = a % self.p;
+                out += if d == 0 { 0 } else { self.p - d } * place;
+                place *= self.p;
+                a /= self.p;
+            }
+            out
+        }
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        self.add(a, self.neg(b))
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        if self.k == 1 {
+            (a as u128 * b as u128 % self.p as u128) as u64
+        } else if a == 0 || b == 0 {
+            0
+        } else {
+            let la = self.log[a as usize];
+            let lb = self.log[b as usize];
+            self.exp[((la + lb) % (self.q - 1)) as usize]
+        }
+    }
+
+    /// Multiplicative inverse (panics on zero).
+    pub fn inv(&self, a: u64) -> u64 {
+        assert!(a != 0, "zero has no multiplicative inverse");
+        if self.k == 1 {
+            mod_inv(a, self.p).expect("nonzero element of a prime field is invertible")
+        } else {
+            let la = self.log[a as usize];
+            self.exp[((self.q - 1 - la) % (self.q - 1)) as usize]
+        }
+    }
+
+    /// Exponentiation `a^e`.
+    pub fn pow(&self, a: u64, e: u64) -> u64 {
+        if self.k == 1 {
+            mod_pow(a, e, self.p)
+        } else if a == 0 {
+            if e == 0 {
+                1
+            } else {
+                0
+            }
+        } else {
+            let la = self.log[a as usize];
+            let le = (la as u128 * e as u128 % (self.q - 1) as u128) as u64;
+            self.exp[le as usize]
+        }
+    }
+
+    /// `ξ^i` for the fixed primitive element ξ.
+    pub fn xi_pow(&self, i: u64) -> u64 {
+        if self.k == 1 {
+            mod_pow(self.xi, i, self.p)
+        } else {
+            self.exp[(i % (self.q - 1)) as usize]
+        }
+    }
+
+    /// Whether `a` is a nonzero square in the field.
+    pub fn is_nonzero_square(&self, a: u64) -> bool {
+        if a == 0 {
+            return false;
+        }
+        if self.q % 2 == 0 {
+            // In characteristic 2 every element is a square.
+            return true;
+        }
+        self.pow(a, (self.q - 1) / 2) == 1
+    }
+
+    // --- slow polynomial arithmetic used only while bootstrapping the tables ---
+
+    fn to_poly(&self, mut a: u64) -> Vec<u64> {
+        let mut v = vec![0u64; self.k as usize];
+        for c in v.iter_mut() {
+            *c = a % self.p;
+            a /= self.p;
+        }
+        v
+    }
+
+    fn from_poly(&self, v: &[u64]) -> u64 {
+        let mut out = 0u64;
+        for &c in v.iter().rev() {
+            out = out * self.p + c;
+        }
+        out
+    }
+
+    fn mul_poly(&self, a: u64, b: u64) -> u64 {
+        let pa = self.to_poly(a);
+        let pb = self.to_poly(b);
+        let k = self.k as usize;
+        let mut prod = vec![0u64; 2 * k - 1];
+        for (i, &ca) in pa.iter().enumerate() {
+            if ca == 0 {
+                continue;
+            }
+            for (j, &cb) in pb.iter().enumerate() {
+                prod[i + j] = (prod[i + j] + ca * cb) % self.p;
+            }
+        }
+        // Reduce modulo the monic irreducible polynomial.
+        for i in (k..prod.len()).rev() {
+            let coef = prod[i];
+            if coef == 0 {
+                continue;
+            }
+            prod[i] = 0;
+            // x^i = x^(i-k) * x^k and x^k = -(lower part of modulus)
+            for j in 0..k {
+                let m = self.modulus[j];
+                if m != 0 {
+                    let sub = coef * m % self.p;
+                    let idx = i - k + j;
+                    prod[idx] = (prod[idx] + self.p - sub) % self.p;
+                }
+            }
+        }
+        self.from_poly(&prod[..k])
+    }
+
+    fn pow_poly(&self, mut a: u64, mut e: u64) -> u64 {
+        let mut acc = 1u64;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul_poly(acc, a);
+            }
+            a = self.mul_poly(a, a);
+            e >>= 1;
+        }
+        acc
+    }
+}
+
+/// Smallest primitive root modulo an odd prime `p` (also works for `p = 2`).
+pub fn primitive_root_prime(p: u64) -> u64 {
+    assert!(is_prime(p), "primitive_root_prime requires a prime");
+    if p == 2 {
+        return 1;
+    }
+    let factors = distinct_prime_factors(p - 1);
+    'outer: for g in 2..p {
+        for &f in &factors {
+            if mod_pow(g, (p - 1) / f, p) == 1 {
+                continue 'outer;
+            }
+        }
+        return g;
+    }
+    unreachable!("every prime has a primitive root")
+}
+
+/// Find a monic irreducible polynomial of degree `k` over `GF(p)`.
+///
+/// Returned as the coefficient vector of the *lower* part: `x^k + c_{k-1} x^{k-1} + ... + c_0`
+/// is represented by `[c_0, ..., c_{k-1}]`. Found by exhaustive search with a
+/// root-free + divisor-free check, which is instantaneous for the tiny fields used here.
+fn find_irreducible(p: u64, k: u32) -> Vec<u64> {
+    let k = k as usize;
+    let total = p.pow(k as u32);
+    for code in 0..total {
+        let mut coeffs = vec![0u64; k];
+        let mut c = code;
+        for slot in coeffs.iter_mut() {
+            *slot = c % p;
+            c /= p;
+        }
+        if is_irreducible(&coeffs, p) {
+            return coeffs;
+        }
+    }
+    unreachable!("an irreducible polynomial of every degree exists over GF(p)")
+}
+
+/// Check irreducibility of `x^k + coeffs` over GF(p) by testing for divisors of degree <= k/2.
+fn is_irreducible(coeffs: &[u64], p: u64) -> bool {
+    let k = coeffs.len();
+    // Full polynomial: coeffs followed by leading 1.
+    let mut poly = coeffs.to_vec();
+    poly.push(1);
+    // Degree-1 factor check: any root in GF(p)?
+    for x in 0..p {
+        let mut acc = 0u64;
+        for &c in poly.iter().rev() {
+            acc = (acc * x + c) % p;
+        }
+        if acc == 0 {
+            return false;
+        }
+    }
+    if k <= 2 {
+        return true;
+    }
+    // For k in {3,4,...}: trial division by monic polynomials of degree 2..=k/2.
+    for d in 2..=(k / 2) {
+        let count = p.pow(d as u32);
+        for code in 0..count {
+            let mut div = vec![0u64; d + 1];
+            let mut c = code;
+            for slot in div.iter_mut().take(d) {
+                *slot = c % p;
+                c /= p;
+            }
+            div[d] = 1;
+            if poly_divides(&div, &poly, p) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Does monic polynomial `d` divide `f` exactly over GF(p)?
+fn poly_divides(d: &[u64], f: &[u64], p: u64) -> bool {
+    let mut rem = f.to_vec();
+    let dd = d.len() - 1;
+    while rem.len() > dd {
+        let lead = *rem.last().unwrap();
+        let shift = rem.len() - 1 - dd;
+        if lead != 0 {
+            for i in 0..=dd {
+                let idx = shift + i;
+                rem[idx] = (rem[idx] + p - lead * d[i] % p) % p;
+            }
+        }
+        rem.pop();
+    }
+    rem.iter().all(|&c| c == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_field_axioms(f: &FiniteField) {
+        let q = f.order();
+        // Sample a subset of triples for big fields; exhaustive for tiny ones.
+        let sample: Vec<u64> = if q <= 32 {
+            (0..q).collect()
+        } else {
+            (0..q).step_by((q / 16) as usize).collect()
+        };
+        for &a in &sample {
+            assert_eq!(f.add(a, f.zero()), a);
+            assert_eq!(f.mul(a, f.one()), a);
+            assert_eq!(f.add(a, f.neg(a)), 0);
+            if a != 0 {
+                assert_eq!(f.mul(a, f.inv(a)), 1, "a={a} q={q}");
+            }
+            for &b in &sample {
+                assert_eq!(f.add(a, b), f.add(b, a));
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                for &c in &sample {
+                    assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prime_fields_satisfy_axioms() {
+        for q in [2u64, 3, 5, 7, 13, 17] {
+            let f = FiniteField::new(q).unwrap();
+            assert_eq!(f.degree(), 1);
+            check_field_axioms(&f);
+        }
+    }
+
+    #[test]
+    fn extension_fields_satisfy_axioms() {
+        for q in [4u64, 8, 9, 16, 25, 27, 49, 81] {
+            let f = FiniteField::new(q).unwrap();
+            assert!(f.degree() > 1);
+            assert_eq!(f.order(), q);
+            check_field_axioms(&f);
+        }
+    }
+
+    #[test]
+    fn non_prime_powers_rejected() {
+        for q in [0u64, 1, 6, 12, 15, 100] {
+            assert!(FiniteField::new(q).is_none(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn primitive_element_has_full_order() {
+        for q in [5u64, 9, 13, 16, 25, 27, 49] {
+            let f = FiniteField::new(q).unwrap();
+            let xi = f.primitive_element();
+            let mut seen = std::collections::HashSet::new();
+            let mut acc = f.one();
+            for _ in 0..(q - 1) {
+                assert!(seen.insert(acc), "powers of xi repeat early in GF({q})");
+                acc = f.mul(acc, xi);
+            }
+            assert_eq!(acc, f.one());
+            assert_eq!(seen.len() as u64, q - 1);
+        }
+    }
+
+    #[test]
+    fn square_detection() {
+        let f13 = FiniteField::new(13).unwrap();
+        let squares: std::collections::HashSet<u64> = (1..13).map(|x| f13.mul(x, x)).collect();
+        for a in 1..13 {
+            assert_eq!(f13.is_nonzero_square(a), squares.contains(&a));
+        }
+        // Characteristic 2: every element is a square.
+        let f16 = FiniteField::new(16).unwrap();
+        for a in 1..16 {
+            assert!(f16.is_nonzero_square(a));
+        }
+    }
+
+    #[test]
+    fn primitive_roots_of_small_primes() {
+        assert_eq!(primitive_root_prime(2), 1);
+        assert_eq!(primitive_root_prime(3), 2);
+        assert_eq!(primitive_root_prime(5), 2);
+        assert_eq!(primitive_root_prime(7), 3);
+        assert_eq!(primitive_root_prime(23), 5);
+    }
+
+    #[test]
+    fn xi_pow_matches_repeated_mul() {
+        for q in [7u64, 9, 27] {
+            let f = FiniteField::new(q).unwrap();
+            let xi = f.primitive_element();
+            let mut acc = f.one();
+            for i in 0..(2 * (q - 1)) {
+                assert_eq!(f.xi_pow(i), acc, "q={q} i={i}");
+                acc = f.mul(acc, xi);
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # spectralfly-ff
+//!
+//! Finite-field arithmetic, elementary number theory, and projective 2×2 matrix
+//! groups — the algebraic substrate required to construct the graph families used
+//! by the SpectralFly paper:
+//!
+//! * **LPS Ramanujan graphs** need arithmetic in the prime field `GF(q)`, solutions
+//!   of `x² + y² + 1 ≡ 0 (mod q)`, enumeration of the four-square representations of
+//!   a prime `p`, Legendre symbols, and the projective groups `PGL(2, F_q)` /
+//!   `PSL(2, F_q)` ([`pgl`]).
+//! * **SlimFly / MMS graphs** (and the MMS factor inside BundleFly) need a general
+//!   finite field `GF(p^k)` with a known primitive element ([`field::FiniteField`]).
+//! * **Paley graphs** need quadratic residues mod `p`.
+//!
+//! Everything here is implemented from scratch on top of `u64` arithmetic; no
+//! external number-theory libraries are used.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use spectralfly_ff::{primes::is_prime, residue::legendre, field::FiniteField};
+//!
+//! assert!(is_prime(23));
+//! // The Legendre symbol decides whether LPS(p, q) lives in PSL or PGL.
+//! assert_eq!(legendre(23, 13), 1);
+//! // A finite field with 9 elements (used by SlimFly SF(9)).
+//! let f9 = FiniteField::new(9).unwrap();
+//! let xi = f9.primitive_element();
+//! assert_eq!(f9.pow(xi, 8), f9.one());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arith;
+pub mod field;
+pub mod pgl;
+pub mod primes;
+pub mod quaternion;
+pub mod residue;
+
+pub use arith::{gcd, mod_inv, mod_mul, mod_pow};
+pub use field::FiniteField;
+pub use pgl::{ProjectiveGroup, ProjectiveKind, ProjMat};
+pub use primes::{factorize, is_prime, primes_below};
+pub use quaternion::{lps_generators_quadruples, FourSquare};
+pub use residue::{jacobi, legendre, sqrt_mod_prime};

@@ -1,0 +1,267 @@
+//! The projective linear groups `PGL(2, F_q)` and `PSL(2, F_q)`.
+//!
+//! LPS(p, q) is a Cayley graph over one of these two groups (selected by the Legendre
+//! symbol `(p/q)`), so we need: a canonical representative per projective class, group
+//! multiplication on canonical forms, membership tests, and full enumeration.
+//!
+//! A projective class (a 2×2 invertible matrix modulo nonzero scalars) is canonicalized by
+//! scaling so that its first nonzero entry, in the order `a, b, c, d` of
+//! `[[a, b], [c, d]]`, equals `1`. Scaling by `λ` multiplies the determinant by `λ²`, so the
+//! *square class* of the determinant is a projective invariant; `PSL(2, F_q)` is exactly the
+//! set of classes whose determinant is a nonzero square. This gives a uniform representation
+//! for both groups.
+
+use crate::arith::{mod_inv, mod_mul};
+use crate::residue::legendre;
+
+/// Which projective group a vertex set ranges over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProjectiveKind {
+    /// `PGL(2, F_q)`: all invertible matrices modulo scalars; order `q³ - q`.
+    Pgl,
+    /// `PSL(2, F_q)` (as a subgroup of PGL): classes with square determinant; order `(q³ - q)/2`.
+    Psl,
+}
+
+/// A canonical representative of a projective class of invertible 2×2 matrices over `F_q`.
+///
+/// Invariants (maintained by [`ProjectiveGroup`]): entries are reduced mod `q`, the first
+/// nonzero entry in order `(a, b, c, d)` is `1`, and the determinant is nonzero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProjMat {
+    /// Entry (0,0).
+    pub a: u64,
+    /// Entry (0,1).
+    pub b: u64,
+    /// Entry (1,0).
+    pub c: u64,
+    /// Entry (1,1).
+    pub d: u64,
+}
+
+/// The group `PGL(2, F_q)` or `PSL(2, F_q)` for an odd prime `q`.
+#[derive(Clone, Debug)]
+pub struct ProjectiveGroup {
+    q: u64,
+    kind: ProjectiveKind,
+}
+
+impl ProjectiveGroup {
+    /// Create the group over `F_q` (odd prime `q ≥ 3`).
+    pub fn new(q: u64, kind: ProjectiveKind) -> Self {
+        assert!(q >= 3 && q % 2 == 1, "projective groups here require an odd prime q");
+        ProjectiveGroup { q, kind }
+    }
+
+    /// The field size `q`.
+    pub fn q(&self) -> u64 {
+        self.q
+    }
+
+    /// Which group this is.
+    pub fn kind(&self) -> ProjectiveKind {
+        self.kind
+    }
+
+    /// Group order: `q³ - q` for PGL, `(q³ - q)/2` for PSL.
+    pub fn order(&self) -> u64 {
+        let n = self.q * self.q * self.q - self.q;
+        match self.kind {
+            ProjectiveKind::Pgl => n,
+            ProjectiveKind::Psl => n / 2,
+        }
+    }
+
+    /// The identity element.
+    pub fn identity(&self) -> ProjMat {
+        ProjMat { a: 1, b: 0, c: 0, d: 1 }
+    }
+
+    /// Determinant of a representative (mod `q`).
+    pub fn det(&self, m: ProjMat) -> u64 {
+        let q = self.q;
+        (mod_mul(m.a, m.d, q) + q - mod_mul(m.b, m.c, q)) % q
+    }
+
+    /// Canonicalize raw entries into the unique projective representative.
+    ///
+    /// Returns `None` if the matrix is singular.
+    pub fn canonicalize(&self, a: u64, b: u64, c: u64, d: u64) -> Option<ProjMat> {
+        let q = self.q;
+        let (a, b, c, d) = (a % q, b % q, c % q, d % q);
+        let det = (mod_mul(a, d, q) + q - mod_mul(b, c, q)) % q;
+        if det == 0 {
+            return None;
+        }
+        let lead = [a, b, c, d].into_iter().find(|&x| x != 0)?;
+        let inv = mod_inv(lead, q).expect("nonzero element mod prime is invertible");
+        Some(ProjMat {
+            a: mod_mul(a, inv, q),
+            b: mod_mul(b, inv, q),
+            c: mod_mul(c, inv, q),
+            d: mod_mul(d, inv, q),
+        })
+    }
+
+    /// Does this canonical class belong to the group (PGL: always; PSL: square determinant)?
+    pub fn contains(&self, m: ProjMat) -> bool {
+        match self.kind {
+            ProjectiveKind::Pgl => true,
+            ProjectiveKind::Psl => legendre(self.det(m), self.q) == 1,
+        }
+    }
+
+    /// Group multiplication `x · y` of canonical classes, producing a canonical class.
+    pub fn mul(&self, x: ProjMat, y: ProjMat) -> ProjMat {
+        let q = self.q;
+        let a = (mod_mul(x.a, y.a, q) + mod_mul(x.b, y.c, q)) % q;
+        let b = (mod_mul(x.a, y.b, q) + mod_mul(x.b, y.d, q)) % q;
+        let c = (mod_mul(x.c, y.a, q) + mod_mul(x.d, y.c, q)) % q;
+        let d = (mod_mul(x.c, y.b, q) + mod_mul(x.d, y.d, q)) % q;
+        self.canonicalize(a, b, c, d)
+            .expect("product of invertible matrices is invertible")
+    }
+
+    /// Inverse of a canonical class.
+    pub fn inverse(&self, m: ProjMat) -> ProjMat {
+        // adj(M) = [[d, -b], [-c, a]] is a scalar multiple of the inverse projectively.
+        let q = self.q;
+        self.canonicalize(m.d, (q - m.b) % q, (q - m.c) % q, m.a)
+            .expect("inverse of an invertible matrix exists")
+    }
+
+    /// Enumerate every canonical class in the group, in a deterministic order.
+    ///
+    /// Enumeration is `O(q³)` and intended for `q` up to a few dozen (the paper's largest
+    /// instance is `q = 19` with 6 840 classes; the simulation instance is `q = 13`).
+    /// For design-space *counting* use [`ProjectiveGroup::order`], which is closed-form.
+    pub fn enumerate(&self) -> Vec<ProjMat> {
+        let q = self.q;
+        let mut out = Vec::with_capacity(self.order() as usize);
+        // Case a = 1: b, c, d free with det = d - bc != 0.
+        for b in 0..q {
+            for c in 0..q {
+                let bc = mod_mul(b, c, q);
+                for d in 0..q {
+                    if d == bc {
+                        continue;
+                    }
+                    let m = ProjMat { a: 1, b, c, d };
+                    if self.contains(m) {
+                        out.push(m);
+                    }
+                }
+            }
+        }
+        // Case a = 0, b = 1: det = -c != 0.
+        for c in 1..q {
+            for d in 0..q {
+                let m = ProjMat { a: 0, b: 1, c, d };
+                if self.contains(m) {
+                    out.push(m);
+                }
+            }
+        }
+        debug_assert_eq!(out.len() as u64, self.order());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_match_formula() {
+        for q in [3u64, 5, 7, 11, 13] {
+            let pgl = ProjectiveGroup::new(q, ProjectiveKind::Pgl);
+            let psl = ProjectiveGroup::new(q, ProjectiveKind::Psl);
+            assert_eq!(pgl.enumerate().len() as u64, q * q * q - q);
+            assert_eq!(psl.enumerate().len() as u64, (q * q * q - q) / 2);
+        }
+    }
+
+    #[test]
+    fn enumeration_has_no_duplicates() {
+        for q in [5u64, 7, 11] {
+            let g = ProjectiveGroup::new(q, ProjectiveKind::Pgl);
+            let elems = g.enumerate();
+            let set: std::collections::HashSet<_> = elems.iter().copied().collect();
+            assert_eq!(set.len(), elems.len());
+        }
+    }
+
+    #[test]
+    fn canonical_forms_are_fixed_points() {
+        let g = ProjectiveGroup::new(11, ProjectiveKind::Pgl);
+        for m in g.enumerate() {
+            assert_eq!(g.canonicalize(m.a, m.b, m.c, m.d), Some(m));
+        }
+    }
+
+    #[test]
+    fn scaling_does_not_change_class() {
+        let g = ProjectiveGroup::new(13, ProjectiveKind::Pgl);
+        let m = g.canonicalize(2, 5, 7, 1).unwrap();
+        for lambda in 1..13u64 {
+            let scaled = g
+                .canonicalize(2 * lambda % 13, 5 * lambda % 13, 7 * lambda % 13, lambda % 13)
+                .unwrap();
+            assert_eq!(scaled, m);
+        }
+    }
+
+    #[test]
+    fn singular_matrices_rejected() {
+        let g = ProjectiveGroup::new(7, ProjectiveKind::Pgl);
+        assert!(g.canonicalize(0, 0, 0, 0).is_none());
+        assert!(g.canonicalize(2, 4, 1, 2).is_none()); // det = 0
+        assert!(g.canonicalize(3, 3, 3, 3).is_none());
+    }
+
+    #[test]
+    fn group_axioms_on_samples() {
+        let g = ProjectiveGroup::new(7, ProjectiveKind::Pgl);
+        let elems = g.enumerate();
+        let id = g.identity();
+        let sample: Vec<ProjMat> = elems.iter().step_by(17).copied().collect();
+        for &x in &sample {
+            assert_eq!(g.mul(x, id), x);
+            assert_eq!(g.mul(id, x), x);
+            assert_eq!(g.mul(x, g.inverse(x)), id);
+            assert_eq!(g.mul(g.inverse(x), x), id);
+            for &y in &sample {
+                let xy = g.mul(x, y);
+                assert!(g.contains(xy));
+                for &z in &sample {
+                    assert_eq!(g.mul(g.mul(x, y), z), g.mul(x, g.mul(y, z)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn psl_is_closed_under_multiplication() {
+        let g = ProjectiveGroup::new(11, ProjectiveKind::Psl);
+        let elems = g.enumerate();
+        let sample: Vec<ProjMat> = elems.iter().step_by(13).copied().collect();
+        for &x in &sample {
+            for &y in &sample {
+                assert!(g.contains(g.mul(x, y)));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_vertex_of_lps_3_5() {
+        // Example 1: the coset {[0 1; 1 2], [0 2; 2 4], [0 3; 3 1], [0 4; 4 3]} is a single
+        // element of PGL(2, F_5); all four representatives canonicalize identically.
+        let g = ProjectiveGroup::new(5, ProjectiveKind::Pgl);
+        let reps = [(0u64, 1u64, 1u64, 2u64), (0, 2, 2, 4), (0, 3, 3, 1), (0, 4, 4, 3)];
+        let canon: std::collections::HashSet<_> = reps
+            .iter()
+            .map(|&(a, b, c, d)| g.canonicalize(a, b, c, d).unwrap())
+            .collect();
+        assert_eq!(canon.len(), 1);
+    }
+}

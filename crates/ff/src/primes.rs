@@ -1,0 +1,180 @@
+//! Primality testing, prime enumeration, and integer factorization.
+//!
+//! LPS graph construction requires iterating over pairs of odd primes `(p, q)`;
+//! SlimFly requires prime powers; the primitive-root search requires factoring
+//! `q - 1`. All inputs in this project are far below `2^64`, so a deterministic
+//! Miller–Rabin witness set suffices.
+
+use crate::arith::{mod_mul, mod_pow};
+
+/// Deterministic Miller–Rabin primality test, valid for all `u64`.
+///
+/// Uses the standard 12-witness set that is known to be deterministic below `2^64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = mod_pow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mod_mul(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// All primes strictly below `limit`, via a simple sieve of Eratosthenes.
+pub fn primes_below(limit: u64) -> Vec<u64> {
+    if limit <= 2 {
+        return Vec::new();
+    }
+    let limit = limit as usize;
+    let mut sieve = vec![true; limit];
+    sieve[0] = false;
+    sieve[1] = false;
+    let mut i = 2usize;
+    while i * i < limit {
+        if sieve[i] {
+            let mut j = i * i;
+            while j < limit {
+                sieve[j] = false;
+                j += i;
+            }
+        }
+        i += 1;
+    }
+    sieve
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &p)| if p { Some(i as u64) } else { None })
+        .collect()
+}
+
+/// Odd primes strictly below `limit` (LPS inputs must be odd primes).
+pub fn odd_primes_below(limit: u64) -> Vec<u64> {
+    primes_below(limit).into_iter().filter(|&p| p != 2).collect()
+}
+
+/// Trial-division factorization returning `(prime, exponent)` pairs in increasing order.
+///
+/// Intended for the moderate inputs used in this project (`n` up to ~10^12); the
+/// primitive-root search only needs the distinct prime factors of `q - 1`.
+pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
+    let mut out = Vec::new();
+    if n < 2 {
+        return out;
+    }
+    let mut d = 2u64;
+    while d * d <= n {
+        if n % d == 0 {
+            let mut e = 0;
+            while n % d == 0 {
+                n /= d;
+                e += 1;
+            }
+            out.push((d, e));
+        }
+        d += if d == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        out.push((n, 1));
+    }
+    out
+}
+
+/// If `n = p^k` for a prime `p` and `k >= 1`, return `(p, k)`.
+pub fn prime_power(n: u64) -> Option<(u64, u32)> {
+    if n < 2 {
+        return None;
+    }
+    let f = factorize(n);
+    if f.len() == 1 {
+        Some(f[0])
+    } else {
+        None
+    }
+}
+
+/// Distinct prime factors of `n`.
+pub fn distinct_prime_factors(n: u64) -> Vec<u64> {
+    factorize(n).into_iter().map(|(p, _)| p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let known = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47];
+        for n in 0..50u64 {
+            assert_eq!(is_prime(n), known.contains(&n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn larger_primes_and_composites() {
+        assert!(is_prime(1_000_003));
+        assert!(is_prime(2_147_483_647)); // Mersenne prime 2^31 - 1
+        assert!(!is_prime(1_000_001)); // 101 * 9901
+        assert!(!is_prime(3_215_031_751)); // strong pseudoprime to bases 2,3,5,7
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest u64 prime
+    }
+
+    #[test]
+    fn sieve_agrees_with_miller_rabin() {
+        let sieved = primes_below(2000);
+        let checked: Vec<u64> = (0..2000).filter(|&n| is_prime(n)).collect();
+        assert_eq!(sieved, checked);
+    }
+
+    #[test]
+    fn odd_primes_exclude_two() {
+        let ps = odd_primes_below(30);
+        assert_eq!(ps, vec![3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn factorization_reconstructs() {
+        for n in [2u64, 12, 97, 360, 1024, 99991, 600_851_475_143] {
+            let f = factorize(n);
+            let prod: u64 = f.iter().map(|&(p, e)| p.pow(e)).product();
+            assert_eq!(prod, n);
+            for &(p, _) in &f {
+                assert!(is_prime(p));
+            }
+        }
+    }
+
+    #[test]
+    fn prime_power_detection() {
+        assert_eq!(prime_power(9), Some((3, 2)));
+        assert_eq!(prime_power(27), Some((3, 3)));
+        assert_eq!(prime_power(4), Some((2, 2)));
+        assert_eq!(prime_power(25), Some((5, 2)));
+        assert_eq!(prime_power(7), Some((7, 1)));
+        assert_eq!(prime_power(12), None);
+        assert_eq!(prime_power(1), None);
+    }
+}

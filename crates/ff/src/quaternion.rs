@@ -1,0 +1,183 @@
+//! Enumeration of the four-square representations of a prime `p` that parameterize the
+//! LPS generator set (Definition 3 of the paper).
+//!
+//! By Jacobi's four-square theorem a prime `p` has exactly `8(p + 1)` integer solutions of
+//! `α₀² + α₁² + α₂² + α₃² = p`. The LPS normalization (depending on `p mod 4`) picks exactly
+//! `p + 1` of them, one per generator, and the resulting generator set is closed under
+//! inversion — which is what makes the Cayley graph undirected and `(p + 1)`-regular.
+
+use crate::arith::isqrt;
+
+/// An integer quadruple `(a0, a1, a2, a3)` with `a0² + a1² + a2² + a3² = p`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FourSquare {
+    /// The component `α₀`.
+    pub a0: i64,
+    /// The component `α₁`.
+    pub a1: i64,
+    /// The component `α₂`.
+    pub a2: i64,
+    /// The component `α₃`.
+    pub a3: i64,
+}
+
+impl FourSquare {
+    /// The quadruple corresponding to the inverse generator (conjugate quaternion up to sign).
+    ///
+    /// For the LPS normalization the inverse of the generator built from
+    /// `(a0, a1, a2, a3)` is the generator built from `(a0, -a1, -a2, -a3)` when `a0 > 0`,
+    /// and from `(0, a1, -a2, -a3)`-style sign flips when `a0 = 0`; rather than encode the
+    /// case split we expose the plain conjugate and let the caller re-normalize.
+    pub fn conjugate(&self) -> FourSquare {
+        FourSquare {
+            a0: self.a0,
+            a1: -self.a1,
+            a2: -self.a2,
+            a3: -self.a3,
+        }
+    }
+
+    /// Sum of squares (should equal `p`).
+    pub fn norm(&self) -> i64 {
+        self.a0 * self.a0 + self.a1 * self.a1 + self.a2 * self.a2 + self.a3 * self.a3
+    }
+}
+
+/// All integer solutions of `a0² + a1² + a2² + a3² = p` (no normalization).
+pub fn all_four_square_solutions(p: u64) -> Vec<FourSquare> {
+    let bound = isqrt(p) as i64;
+    let p = p as i64;
+    let mut out = Vec::new();
+    for a0 in -bound..=bound {
+        let r0 = p - a0 * a0;
+        if r0 < 0 {
+            continue;
+        }
+        let b1 = isqrt(r0 as u64) as i64;
+        for a1 in -b1..=b1 {
+            let r1 = r0 - a1 * a1;
+            if r1 < 0 {
+                continue;
+            }
+            let b2 = isqrt(r1 as u64) as i64;
+            for a2 in -b2..=b2 {
+                let r2 = r1 - a2 * a2;
+                if r2 < 0 {
+                    continue;
+                }
+                let a3 = isqrt(r2 as u64) as i64;
+                if a3 * a3 == r2 {
+                    out.push(FourSquare { a0, a1, a2, a3 });
+                    if a3 != 0 {
+                        out.push(FourSquare { a0, a1, a2, a3: -a3 });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The `p + 1` normalized quadruples that parameterize the LPS(p, q) generator set.
+///
+/// Following Definition 3 of the paper:
+/// * if `p ≡ 1 (mod 4)`: keep solutions with `α₀ > 0` odd;
+/// * if `p ≡ 3 (mod 4)`: keep solutions with `α₀ > 0` even, or `α₀ = 0` and `α₁ > 0`.
+///
+/// # Panics
+/// Panics if `p` is not an odd prime ≥ 3 (checked in debug builds via the count assertion
+/// `|D| == p + 1`, which only holds for primes).
+pub fn lps_generators_quadruples(p: u64) -> Vec<FourSquare> {
+    assert!(p >= 3 && p % 2 == 1, "LPS requires an odd prime p (got {p})");
+    let all = all_four_square_solutions(p);
+    let keep: Vec<FourSquare> = if p % 4 == 1 {
+        all.into_iter()
+            .filter(|s| s.a0 > 0 && s.a0 % 2 != 0)
+            .collect()
+    } else {
+        all.into_iter()
+            .filter(|s| (s.a0 > 0 && s.a0 % 2 == 0) || (s.a0 == 0 && s.a1 > 0))
+            .collect()
+    };
+    assert_eq!(
+        keep.len() as u64,
+        p + 1,
+        "LPS normalization must yield exactly p + 1 generators (is p={p} prime?)"
+    );
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::odd_primes_below;
+
+    #[test]
+    fn total_solution_count_is_8_p_plus_1() {
+        // Jacobi's four-square theorem: r4(p) = 8 * sigma(p) = 8(p + 1) for odd prime p.
+        for &p in &[3u64, 5, 7, 11, 13, 17, 19, 23] {
+            let all = all_four_square_solutions(p);
+            assert_eq!(all.len() as u64, 8 * (p + 1), "p={p}");
+            for s in &all {
+                assert_eq!(s.norm(), p as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_count_is_p_plus_1() {
+        for &p in &odd_primes_below(60) {
+            let gens = lps_generators_quadruples(p);
+            assert_eq!(gens.len() as u64, p + 1);
+            for g in &gens {
+                assert_eq!(g.norm(), p as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_p3_solutions() {
+        // Example 1 of the paper: for p = 3 the kept solutions are
+        // (0,1,1,1), (0,1,-1,-1), (0,1,-1,1), (0,1,1,-1).
+        let mut gens = lps_generators_quadruples(3);
+        gens.sort_by_key(|s| (s.a0, s.a1, s.a2, s.a3));
+        let expected = vec![
+            FourSquare { a0: 0, a1: 1, a2: -1, a3: -1 },
+            FourSquare { a0: 0, a1: 1, a2: -1, a3: 1 },
+            FourSquare { a0: 0, a1: 1, a2: 1, a3: -1 },
+            FourSquare { a0: 0, a1: 1, a2: 1, a3: 1 },
+        ];
+        assert_eq!(gens, expected);
+    }
+
+    #[test]
+    fn p_congruent_1_mod_4_has_odd_leading_component() {
+        for &p in &[5u64, 13, 17, 29, 53, 89] {
+            for g in lps_generators_quadruples(p) {
+                assert!(g.a0 > 0 && g.a0 % 2 == 1, "p={p} g={g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generator_set_closed_under_conjugation_up_to_normalization() {
+        // The multiset of |components| must be preserved by conjugation: for every kept
+        // quadruple, some kept quadruple has the same a0 and negated (a1,a2,a3) up to the
+        // a0 = 0 sign re-normalization.
+        for &p in &[3u64, 5, 7, 11, 13, 23, 29] {
+            let gens = lps_generators_quadruples(p);
+            for g in &gens {
+                let c = g.conjugate();
+                let found = gens.iter().any(|h| {
+                    (h.a0 == c.a0 && h.a1 == c.a1 && h.a2 == c.a2 && h.a3 == c.a3)
+                        || (g.a0 == 0
+                            && h.a0 == 0
+                            && h.a1 == -c.a1
+                            && h.a2 == -c.a2
+                            && h.a3 == -c.a3)
+                });
+                assert!(found, "conjugate of {g:?} missing for p={p}");
+            }
+        }
+    }
+}

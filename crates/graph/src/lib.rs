@@ -1,0 +1,45 @@
+//! # spectralfly-graph
+//!
+//! The graph-analysis substrate of the SpectralFly reproduction: a compact CSR graph
+//! type plus every structural measurement the paper's evaluation needs.
+//!
+//! * [`csr`] — the [`CsrGraph`] container used by every other crate.
+//! * [`metrics`] — BFS sweeps: diameter, mean shortest-path length, girth, connectivity
+//!   (Table I, Fig. 5).
+//! * [`spectral`] — adjacency eigenvalues, the spectral gap, µ₁, and the Ramanujan test
+//!   (Section II, Table I).
+//! * [`partition`] — multilevel balanced bisection, the METIS substitute used to
+//!   upper-bound bisection bandwidth (Fig. 4, Fig. 5, Table II).
+//! * [`failures`] — random link-failure sweeps with the paper's batched
+//!   coefficient-of-variation stopping rule (Fig. 5).
+//! * [`matching`] — near-maximum matchings used to pair routers into cabinets (Section VII).
+//!
+//! ```
+//! use spectralfly_graph::csr::CsrGraph;
+//! use spectralfly_graph::metrics::structural_metrics;
+//!
+//! // A 3-cube: 3-regular, diameter 3.
+//! let edges: Vec<(u32, u32)> = (0..8u32)
+//!     .flat_map(|v| (0..3).map(move |b| (v, v ^ (1 << b))))
+//!     .filter(|&(u, v)| u < v)
+//!     .collect();
+//! let g = CsrGraph::from_edges(8, &edges);
+//! let m = structural_metrics(&g).unwrap();
+//! assert_eq!(m.diameter, 3);
+//! assert_eq!(m.radix, 3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod csr;
+pub mod failures;
+pub mod matching;
+pub mod metrics;
+pub mod partition;
+pub mod spectral;
+
+pub use csr::{CsrGraph, VertexId};
+pub use metrics::{structural_metrics, StructuralMetrics};
+pub use partition::{bisect, bisection_bandwidth, BisectConfig, Bisection};
+pub use spectral::{is_ramanujan, spectral_summary, SpectralSummary};

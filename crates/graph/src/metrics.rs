@@ -1,0 +1,346 @@
+//! Structural path metrics: BFS distance sweeps, diameter, mean shortest-path length,
+//! girth, and connectivity — the quantities reported in Table I and Figure 5 of the paper.
+//!
+//! The all-pairs sweeps run one BFS per source in parallel with rayon. For vertex-transitive
+//! topologies (LPS and canonical DragonFly are Cayley-graph-based and vertex-transitive) a
+//! single-source profile already determines the distance distribution, and callers can use
+//! [`distance_histogram_from`] for that shortcut; the experiment harness uses the exact
+//! sweep for the sizes in the paper and sampling above that.
+
+use crate::csr::{CsrGraph, VertexId};
+use rayon::prelude::*;
+
+/// Distance value for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances.
+pub fn bfs_distances(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = std::collections::VecDeque::with_capacity(n);
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Histogram of distances from `source`: `hist[d]` = number of vertices at distance `d`.
+/// Unreachable vertices are not counted.
+pub fn distance_histogram_from(g: &CsrGraph, source: VertexId) -> Vec<usize> {
+    let dist = bfs_distances(g, source);
+    let mut hist = Vec::new();
+    for &d in &dist {
+        if d == UNREACHABLE {
+            continue;
+        }
+        let d = d as usize;
+        if hist.len() <= d {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Is the graph connected? (Empty graphs count as connected.)
+pub fn is_connected(g: &CsrGraph) -> bool {
+    let n = g.num_vertices();
+    if n == 0 {
+        return true;
+    }
+    let dist = bfs_distances(g, 0);
+    dist.iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Eccentricity of `source` (max finite distance); `None` if some vertex is unreachable.
+pub fn eccentricity(g: &CsrGraph, source: VertexId) -> Option<u32> {
+    let dist = bfs_distances(g, source);
+    let mut max = 0;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        max = max.max(d);
+    }
+    Some(max)
+}
+
+/// Exact diameter and mean shortest-path length via a parallel all-sources BFS sweep.
+///
+/// Returns `None` if the graph is disconnected (both quantities are undefined then, and
+/// the paper's failure experiments stop at the disconnection threshold for the same reason).
+/// The mean is taken over ordered pairs of *distinct* vertices, matching the paper's
+/// "average shortest path length / distance" column.
+pub fn diameter_and_mean_distance(g: &CsrGraph) -> Option<(u32, f64)> {
+    let n = g.num_vertices();
+    if n <= 1 {
+        return Some((0, 0.0));
+    }
+    let per_source: Vec<Option<(u32, u64)>> = (0..n as VertexId)
+        .into_par_iter()
+        .map(|s| {
+            let dist = bfs_distances(g, s);
+            let mut max = 0u32;
+            let mut sum = 0u64;
+            for &d in &dist {
+                if d == UNREACHABLE {
+                    return None;
+                }
+                max = max.max(d);
+                sum += d as u64;
+            }
+            Some((max, sum))
+        })
+        .collect();
+    let mut diameter = 0u32;
+    let mut total = 0u64;
+    for r in per_source {
+        let (max, sum) = r?;
+        diameter = diameter.max(max);
+        total += sum;
+    }
+    let pairs = (n as u64) * (n as u64 - 1);
+    Some((diameter, total as f64 / pairs as f64))
+}
+
+/// Sampled estimate of diameter (lower bound) and mean distance using `samples` BFS sources.
+///
+/// Deterministic given `seed`. Intended for the large design-space sweeps (Fig. 4) where an
+/// exact all-pairs sweep would dominate runtime; the experiment index records where this is
+/// used. Returns `None` if any sampled source cannot reach the whole graph.
+pub fn sampled_diameter_and_mean_distance(
+    g: &CsrGraph,
+    samples: usize,
+    seed: u64,
+) -> Option<(u32, f64)> {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let n = g.num_vertices();
+    if n <= 1 {
+        return Some((0, 0.0));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sources: Vec<VertexId> = (0..samples.min(n))
+        .map(|_| rng.gen_range(0..n) as VertexId)
+        .collect();
+    let per_source: Vec<Option<(u32, u64)>> = sources
+        .par_iter()
+        .map(|&s| {
+            let dist = bfs_distances(g, s);
+            let mut max = 0u32;
+            let mut sum = 0u64;
+            for &d in &dist {
+                if d == UNREACHABLE {
+                    return None;
+                }
+                max = max.max(d);
+                sum += d as u64;
+            }
+            Some((max, sum))
+        })
+        .collect();
+    let mut diameter = 0u32;
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for r in per_source {
+        let (max, sum) = r?;
+        diameter = diameter.max(max);
+        total += sum;
+        count += (n - 1) as u64;
+    }
+    Some((diameter, total as f64 / count as f64))
+}
+
+/// Girth (length of a shortest cycle), or `None` for forests.
+///
+/// BFS from every vertex; a non-tree edge at BFS levels `d(u)`, `d(v)` closes a cycle of
+/// length at most `d(u) + d(v) + 1`, and taking the minimum over all sources is exact.
+/// Early termination prunes sources once the best-known girth cannot be improved.
+pub fn girth(g: &CsrGraph) -> Option<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return None;
+    }
+    let best = (0..n as VertexId)
+        .into_par_iter()
+        .map(|s| shortest_cycle_through(g, s))
+        .min_by_key(|c| c.unwrap_or(u32::MAX));
+    match best {
+        Some(Some(c)) => Some(c),
+        _ => None,
+    }
+}
+
+/// Length of the shortest cycle passing through `source`, if any.
+fn shortest_cycle_through(g: &CsrGraph, source: VertexId) -> Option<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut parent = vec![VertexId::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    let mut best: Option<u32> = None;
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        if let Some(b) = best {
+            // Any cycle found from here on has length >= 2*du + 1 > b.
+            if 2 * du + 1 >= b {
+                break;
+            }
+        }
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                parent[v as usize] = u;
+                queue.push_back(v);
+            } else if parent[u as usize] != v {
+                // Non-tree edge: cycle through the BFS tree of length d(u) + d(v) + 1.
+                let len = du + dist[v as usize] + 1;
+                best = Some(best.map_or(len, |b| b.min(len)));
+            }
+        }
+    }
+    best
+}
+
+/// A bundle of the structural quantities the paper reports per topology (Table I).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StructuralMetrics {
+    /// Number of routers (vertices).
+    pub routers: usize,
+    /// Router radix if regular, otherwise the maximum degree.
+    pub radix: usize,
+    /// Whether the graph is regular.
+    pub regular: bool,
+    /// Diameter (hops).
+    pub diameter: u32,
+    /// Mean shortest-path length over ordered distinct pairs.
+    pub mean_distance: f64,
+    /// Girth, if the graph has a cycle.
+    pub girth: Option<u32>,
+}
+
+/// Compute the Table-I structural metrics for a connected graph.
+///
+/// Returns `None` for disconnected graphs.
+pub fn structural_metrics(g: &CsrGraph) -> Option<StructuralMetrics> {
+    let (diameter, mean_distance) = diameter_and_mean_distance(g)?;
+    Some(StructuralMetrics {
+        routers: g.num_vertices(),
+        radix: g.max_degree(),
+        regular: g.regular_degree().is_some(),
+        diameter,
+        mean_distance,
+        girth: girth(g),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle_graph(n: usize) -> CsrGraph {
+        let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n as u32 - 1, 0));
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    fn complete_graph(n: usize) -> CsrGraph {
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                edges.push((u, v));
+            }
+        }
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    fn petersen() -> CsrGraph {
+        // The Petersen graph: 10 vertices, 3-regular, diameter 2, girth 5.
+        let outer: Vec<(u32, u32)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+        let inner: Vec<(u32, u32)> = (0..5).map(|i| (5 + i, 5 + (i + 2) % 5)).collect();
+        let spokes: Vec<(u32, u32)> = (0..5).map(|i| (i, i + 5)).collect();
+        let edges: Vec<_> = outer.into_iter().chain(inner).chain(spokes).collect();
+        CsrGraph::from_edges(10, &edges)
+    }
+
+    #[test]
+    fn bfs_on_cycle() {
+        let g = cycle_graph(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = cycle_graph(5);
+        assert!(is_connected(&g));
+        let h = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!is_connected(&h));
+        assert_eq!(diameter_and_mean_distance(&h), None);
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        assert_eq!(diameter_and_mean_distance(&complete_graph(7)).unwrap().0, 1);
+        assert_eq!(diameter_and_mean_distance(&cycle_graph(8)).unwrap().0, 4);
+        assert_eq!(diameter_and_mean_distance(&cycle_graph(9)).unwrap().0, 4);
+        assert_eq!(diameter_and_mean_distance(&petersen()).unwrap().0, 2);
+    }
+
+    #[test]
+    fn mean_distance_of_complete_graph_is_one() {
+        let (_, mean) = diameter_and_mean_distance(&complete_graph(10)).unwrap();
+        assert!((mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_distance_of_c4() {
+        // C4 distances from any vertex: 1,1,2 -> mean = 4/3.
+        let (_, mean) = diameter_and_mean_distance(&cycle_graph(4)).unwrap();
+        assert!((mean - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn girth_of_known_graphs() {
+        assert_eq!(girth(&cycle_graph(7)), Some(7));
+        assert_eq!(girth(&complete_graph(4)), Some(3));
+        assert_eq!(girth(&petersen()), Some(5));
+        let tree = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
+        assert_eq!(girth(&tree), None);
+    }
+
+    #[test]
+    fn eccentricity_and_histogram() {
+        let g = cycle_graph(6);
+        assert_eq!(eccentricity(&g, 0), Some(3));
+        assert_eq!(distance_histogram_from(&g, 0), vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn structural_metrics_on_petersen() {
+        let m = structural_metrics(&petersen()).unwrap();
+        assert_eq!(m.routers, 10);
+        assert_eq!(m.radix, 3);
+        assert!(m.regular);
+        assert_eq!(m.diameter, 2);
+        assert_eq!(m.girth, Some(5));
+        // Petersen mean distance: each vertex has 3 at distance 1, 6 at distance 2 -> 15/9.
+        assert!((m.mean_distance - 15.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_metrics_close_to_exact_on_small_graph() {
+        let g = petersen();
+        let (d, mean) = sampled_diameter_and_mean_distance(&g, 10, 1).unwrap();
+        assert_eq!(d, 2);
+        assert!((mean - 15.0 / 9.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,134 @@
+//! The machine room: a rectilinear grid of cabinets, two routers per cabinet.
+//!
+//! Following the paper's methodology (itself following SkyWalk's): intra-cabinet cables are
+//! a flat 2 m; a cable between cabinets at grid coordinates `(x_i, y_i)` and `(x_j, y_j)`
+//! measures `4 + 2|x_i − x_j| + 0.6|y_i − y_j|` metres (2 m of overhead at each end plus
+//! rectilinear runs at 2 m per row and 0.6 m per column). The room is roughly square:
+//! `y = ⌈√(2c/0.6)⌉`, `x = ⌈c/y⌉` for `c` cabinets.
+
+/// Routers hosted by each cabinet (the paper follows Summit: two per cabinet).
+pub const ROUTERS_PER_CABINET: usize = 2;
+
+/// Intra-cabinet cable length in metres.
+pub const INTRA_CABINET_WIRE_M: f64 = 2.0;
+
+/// A rectilinear machine room sized for a given number of routers.
+#[derive(Clone, Debug)]
+pub struct MachineRoom {
+    routers: usize,
+    cabinets: usize,
+    grid_x: usize,
+    grid_y: usize,
+}
+
+impl MachineRoom {
+    /// Size a room for `routers` routers (two per cabinet).
+    pub fn for_routers(routers: usize) -> Self {
+        assert!(routers >= 1);
+        let cabinets = routers.div_ceil(ROUTERS_PER_CABINET);
+        let grid_y = ((2.0 * cabinets as f64 / 0.6).sqrt().ceil() as usize).max(1);
+        let grid_x = cabinets.div_ceil(grid_y).max(1);
+        MachineRoom { routers, cabinets, grid_x, grid_y }
+    }
+
+    /// Number of routers the room was sized for.
+    pub fn routers(&self) -> usize {
+        self.routers
+    }
+
+    /// Number of cabinets.
+    pub fn cabinets(&self) -> usize {
+        self.cabinets
+    }
+
+    /// Grid extent in x (rows of cabinets).
+    pub fn grid_x(&self) -> usize {
+        self.grid_x
+    }
+
+    /// Grid extent in y (columns of cabinets).
+    pub fn grid_y(&self) -> usize {
+        self.grid_y
+    }
+
+    /// Grid coordinates of a cabinet slot index (`0..cabinets`, row-major).
+    pub fn cabinet_coord(&self, cabinet: usize) -> (usize, usize) {
+        debug_assert!(cabinet < self.grid_x * self.grid_y);
+        (cabinet / self.grid_y, cabinet % self.grid_y)
+    }
+
+    /// Wire length in metres between two cabinets (2 m if they are the same cabinet).
+    pub fn cabinet_wire_m(&self, a: usize, b: usize) -> f64 {
+        if a == b {
+            return INTRA_CABINET_WIRE_M;
+        }
+        let (xa, ya) = self.cabinet_coord(a);
+        let (xb, yb) = self.cabinet_coord(b);
+        4.0 + 2.0 * (xa as f64 - xb as f64).abs() + 0.6 * (ya as f64 - yb as f64).abs()
+    }
+
+    /// Approximate physical position of a cabinet in metres (used by the SkyWalk generator).
+    pub fn cabinet_position_m(&self, cabinet: usize) -> (f64, f64) {
+        let (x, y) = self.cabinet_coord(cabinet);
+        (2.0 * x as f64, 0.6 * y as f64)
+    }
+
+    /// Physical positions for every router under a given placement
+    /// (`placement[router] = cabinet`).
+    pub fn router_positions_m(&self, placement: &[usize]) -> Vec<(f64, f64)> {
+        placement.iter().map(|&c| self.cabinet_position_m(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn room_is_roughly_square_in_metres() {
+        // 168 routers -> 84 cabinets; y = ceil(sqrt(280)) = 17, x = ceil(84/17) = 5.
+        let room = MachineRoom::for_routers(168);
+        assert_eq!(room.cabinets(), 84);
+        assert_eq!(room.grid_y(), 17);
+        assert_eq!(room.grid_x(), 5);
+        // Physical extents: x rows are 2 m apart, y columns 0.6 m apart -> roughly square.
+        let width = 2.0 * (room.grid_x() - 1) as f64;
+        let depth = 0.6 * (room.grid_y() - 1) as f64;
+        assert!((width - depth).abs() < 4.0, "width {width} depth {depth}");
+    }
+
+    #[test]
+    fn wire_lengths_follow_the_rectilinear_formula() {
+        let room = MachineRoom::for_routers(40);
+        assert_eq!(room.cabinet_wire_m(3, 3), 2.0);
+        let (xa, ya) = room.cabinet_coord(0);
+        let (xb, yb) = room.cabinet_coord(7);
+        let expected =
+            4.0 + 2.0 * (xa as f64 - xb as f64).abs() + 0.6 * (ya as f64 - yb as f64).abs();
+        assert_eq!(room.cabinet_wire_m(0, 7), expected);
+        // Symmetric.
+        assert_eq!(room.cabinet_wire_m(7, 0), room.cabinet_wire_m(0, 7));
+        // Minimum inter-cabinet length is 4 m + one grid step.
+        assert!(room.cabinet_wire_m(0, 1) >= 4.6);
+    }
+
+    #[test]
+    fn coords_are_unique_and_in_range() {
+        let room = MachineRoom::for_routers(100);
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..room.cabinets() {
+            let (x, y) = room.cabinet_coord(c);
+            assert!(x < room.grid_x() && y < room.grid_y());
+            assert!(seen.insert((x, y)));
+        }
+    }
+
+    #[test]
+    fn positions_scale_with_grid_spacing() {
+        let room = MachineRoom::for_routers(20);
+        let (x0, y0) = room.cabinet_position_m(0);
+        assert_eq!((x0, y0), (0.0, 0.0));
+        let (x1, y1) = room.cabinet_position_m(1);
+        assert_eq!((x1, y1), (0.0, 0.6));
+    }
+}

@@ -1,0 +1,134 @@
+//! Simulation parameters (the hardware knobs the paper's SST/macro runs configure).
+
+/// Routing algorithms evaluated in the paper (Section V).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RoutingAlgorithm {
+    /// Adaptive minimal routing: each hop picks the least-occupied port among all
+    /// shortest-path next hops.
+    Minimal,
+    /// Valiant routing: route minimally to a uniformly random intermediate router, then
+    /// minimally to the destination.
+    Valiant,
+    /// UGAL-L: at the source router, choose between the minimal path and a Valiant path
+    /// using local output-queue occupancy weighted by path length.
+    UgalL,
+}
+
+impl std::fmt::Display for RoutingAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingAlgorithm::Minimal => write!(f, "minimal"),
+            RoutingAlgorithm::Valiant => write!(f, "valiant"),
+            RoutingAlgorithm::UgalL => write!(f, "UGAL-L"),
+        }
+    }
+}
+
+/// Hardware and protocol parameters of a simulation run.
+///
+/// Defaults approximate the paper's setup: 100 Gb/s links, 64 KB router buffers per port
+/// (expressed here as packets per virtual channel), and VC count set from the topology
+/// diameter by [`SimConfig::vcs_for_diameter`].
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Maximum packet payload carried per packet, in bytes. Messages larger than this are
+    /// segmented.
+    pub packet_size_bytes: u64,
+    /// Link bandwidth in Gb/s.
+    pub link_bandwidth_gbps: f64,
+    /// Link propagation latency in nanoseconds.
+    pub link_latency_ns: f64,
+    /// Per-hop router (switch) latency in nanoseconds.
+    pub router_latency_ns: f64,
+    /// Injection (endpoint NIC) bandwidth in Gb/s.
+    pub injection_bandwidth_gbps: f64,
+    /// Buffer capacity per router per virtual channel, in packets.
+    pub buffer_packets_per_vc: usize,
+    /// Number of virtual channels (must exceed the longest routed path in hops).
+    pub num_vcs: usize,
+    /// Routing algorithm.
+    pub routing: RoutingAlgorithm,
+    /// UGAL-L bias: the minimal path is preferred unless the Valiant estimate is smaller by
+    /// more than this many packet-cycles (a small positive bias reduces needless detours).
+    pub ugal_threshold: f64,
+    /// RNG seed (Valiant intermediates, adaptive tie-breaks, Poisson injection).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            packet_size_bytes: 4096,
+            link_bandwidth_gbps: 100.0,
+            link_latency_ns: 30.0,
+            router_latency_ns: 100.0,
+            injection_bandwidth_gbps: 100.0,
+            buffer_packets_per_vc: 16,
+            num_vcs: 8,
+            routing: RoutingAlgorithm::Minimal,
+            ugal_threshold: 1.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Serialization time of `bytes` on a link, in picoseconds.
+    pub fn serialization_ps(&self, bytes: u64) -> u64 {
+        ((bytes as f64 * 8.0) / self.link_bandwidth_gbps * 1000.0).ceil() as u64
+    }
+
+    /// Link latency in picoseconds.
+    pub fn link_latency_ps(&self) -> u64 {
+        (self.link_latency_ns * 1000.0).round() as u64
+    }
+
+    /// Router latency in picoseconds.
+    pub fn router_latency_ps(&self) -> u64 {
+        (self.router_latency_ns * 1000.0).round() as u64
+    }
+
+    /// The VC count the paper prescribes: `d + 1` for minimal/UGAL-minimal paths and
+    /// `2d + 1` for Valiant (Section V-A), where `d` is the topology diameter.
+    pub fn vcs_for_diameter(routing: RoutingAlgorithm, diameter: u32) -> usize {
+        match routing {
+            RoutingAlgorithm::Minimal => diameter as usize + 1,
+            RoutingAlgorithm::Valiant | RoutingAlgorithm::UgalL => 2 * diameter as usize + 1,
+        }
+    }
+
+    /// Builder-style: set the routing algorithm and a VC count suitable for `diameter`.
+    pub fn with_routing(mut self, routing: RoutingAlgorithm, diameter: u32) -> Self {
+        self.routing = routing;
+        self.num_vcs = Self::vcs_for_diameter(routing, diameter);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_scales_with_bytes() {
+        let cfg = SimConfig::default();
+        // 4096 bytes at 100 Gb/s = 327.68 ns = 327680 ps.
+        assert_eq!(cfg.serialization_ps(4096), 327_680);
+        assert_eq!(cfg.serialization_ps(0), 0);
+        assert!(cfg.serialization_ps(8192) > cfg.serialization_ps(4096));
+    }
+
+    #[test]
+    fn vc_rule_matches_paper() {
+        assert_eq!(SimConfig::vcs_for_diameter(RoutingAlgorithm::Minimal, 3), 4);
+        assert_eq!(SimConfig::vcs_for_diameter(RoutingAlgorithm::Valiant, 3), 7);
+        assert_eq!(SimConfig::vcs_for_diameter(RoutingAlgorithm::UgalL, 4), 9);
+    }
+
+    #[test]
+    fn with_routing_updates_vcs() {
+        let cfg = SimConfig::default().with_routing(RoutingAlgorithm::Valiant, 4);
+        assert_eq!(cfg.num_vcs, 9);
+        assert_eq!(cfg.routing, RoutingAlgorithm::Valiant);
+    }
+}

@@ -1,0 +1,551 @@
+//! The discrete-event simulation engine.
+//!
+//! Packets are routed store-and-forward across directed links. Every router owns one
+//! output queue per directed link; per-router, per-virtual-channel buffer occupancy with
+//! fixed capacity provides credit-style backpressure (a packet cannot start crossing a link
+//! until the downstream router has a free slot in the next virtual channel). The virtual
+//! channel index equals the packet's hop count, which makes the channel dependency graph
+//! acyclic and the schedule deadlock-free (Section V-A of the paper).
+
+use crate::config::{RoutingAlgorithm, SimConfig};
+use crate::network::SimNetwork;
+use crate::stats::{SimResults, StatsCollector};
+use crate::workload::Workload;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use spectralfly_graph::csr::VertexId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Internal per-packet state.
+#[derive(Clone, Debug)]
+struct Packet {
+    src_router: VertexId,
+    dst_router: VertexId,
+    bytes: u64,
+    inject_time_ps: u64,
+    hops: u32,
+    /// Valiant intermediate router still to be visited (None once reached / not used).
+    intermediate: Option<VertexId>,
+    /// Index of the owning message (for message-completion accounting).
+    msg: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EventKind {
+    /// Endpoint NIC injects a packet at its source router.
+    Inject { packet: usize },
+    /// Try to transmit the head of a directed link's output queue.
+    TryTransmit { link: usize },
+    /// A packet arrives at a router after crossing a link.
+    Arrive { packet: usize, router: VertexId },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Mutable state of one phase's event loop, grouped to keep borrows manageable.
+struct PhaseState {
+    packets: Vec<Packet>,
+    link_queue: Vec<VecDeque<usize>>,
+    link_free_at: Vec<u64>,
+    /// occupancy[router * num_vcs + vc]
+    occupancy: Vec<u32>,
+    pending_inject: Vec<VecDeque<usize>>,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    msg_packets_left: Vec<u32>,
+    msg_last_delivery: Vec<u64>,
+    phase_end: u64,
+}
+
+impl PhaseState {
+    fn push(&mut self, time: u64, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event { time, seq: self.seq, kind }));
+    }
+}
+
+/// The packet-level simulator.
+pub struct Simulator<'a> {
+    net: &'a SimNetwork,
+    cfg: &'a SimConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create a simulator over a network with a configuration.
+    pub fn new(net: &'a SimNetwork, cfg: &'a SimConfig) -> Self {
+        assert!(cfg.num_vcs >= 1, "need at least one virtual channel");
+        assert!(cfg.buffer_packets_per_vc >= 1, "need at least one buffer slot per VC");
+        Simulator { net, cfg }
+    }
+
+    /// Run the workload with message injections spaced exactly as the workload specifies
+    /// (each source's messages additionally serialized through its NIC).
+    pub fn run(&self, workload: &Workload) -> SimResults {
+        self.run_internal(workload, None)
+    }
+
+    /// Run the workload with Poisson-spaced injections corresponding to an offered load in
+    /// `(0, 1]` — the fraction of endpoint injection bandwidth the sources try to use
+    /// (the x-axis of Figures 6–8 in the paper).
+    pub fn run_with_offered_load(&self, workload: &Workload, offered_load: f64) -> SimResults {
+        assert!(offered_load > 0.0 && offered_load <= 1.0, "offered load must be in (0, 1]");
+        self.run_internal(workload, Some(offered_load))
+    }
+
+    fn run_internal(&self, workload: &Workload, offered_load: Option<f64>) -> SimResults {
+        if let Some(max_ep) = workload.max_endpoint() {
+            assert!(
+                max_ep < self.net.num_endpoints(),
+                "workload references endpoint {max_ep} but the network has only {}",
+                self.net.num_endpoints()
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut stats = StatsCollector::default();
+        let mut phase_start: u64 = 0;
+
+        for phase in &workload.phases {
+            if phase.messages.is_empty() {
+                continue;
+            }
+            let mut st = PhaseState {
+                packets: Vec::new(),
+                link_queue: vec![VecDeque::new(); self.net.num_directed_links()],
+                link_free_at: vec![0; self.net.num_directed_links()],
+                occupancy: vec![0; self.net.num_routers() * self.cfg.num_vcs],
+                pending_inject: vec![VecDeque::new(); self.net.num_routers()],
+                heap: BinaryHeap::new(),
+                seq: 0,
+                msg_packets_left: vec![0; phase.messages.len()],
+                msg_last_delivery: vec![u64::MAX; phase.messages.len()],
+                phase_end: phase_start,
+            };
+            let mut msg_first_inject: Vec<u64> = vec![u64::MAX; phase.messages.len()];
+
+            // --- Packetization and injection schedule. ---
+            let mut nic_free: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+            let mut order: Vec<usize> = (0..phase.messages.len()).collect();
+            order.sort_by_key(|&i| (phase.messages[i].src, phase.messages[i].inject_offset_ps, i));
+            for &mi in &order {
+                let m = &phase.messages[mi];
+                let npkts = m.bytes.div_ceil(self.cfg.packet_size_bytes).max(1);
+                st.msg_packets_left[mi] = npkts as u32;
+                let nic = nic_free.entry(m.src).or_insert(phase_start);
+                let base = match offered_load {
+                    None => phase_start + m.inject_offset_ps,
+                    Some(load) => {
+                        let mean_gap =
+                            self.cfg.serialization_ps(self.cfg.packet_size_bytes) as f64 / load;
+                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        (*nic).max(phase_start) + (-u.ln() * mean_gap) as u64
+                    }
+                };
+                let mut t = base.max(*nic);
+                for k in 0..npkts {
+                    let sent = k * self.cfg.packet_size_bytes;
+                    let bytes = (m.bytes - sent.min(m.bytes)).min(self.cfg.packet_size_bytes).max(1);
+                    let nic_ser = ((bytes as f64 * 8.0) / self.cfg.injection_bandwidth_gbps
+                        * 1000.0)
+                        .ceil() as u64;
+                    let pi = st.packets.len();
+                    st.packets.push(Packet {
+                        src_router: self.net.router_of_endpoint(m.src),
+                        dst_router: self.net.router_of_endpoint(m.dst),
+                        bytes,
+                        inject_time_ps: t,
+                        hops: 0,
+                        intermediate: None,
+                        msg: mi,
+                    });
+                    msg_first_inject[mi] = msg_first_inject[mi].min(t);
+                    st.push(t, EventKind::Inject { packet: pi });
+                    t += nic_ser;
+                }
+                *nic = t;
+            }
+
+            // --- Event loop. ---
+            let cap = self.cfg.buffer_packets_per_vc as u32;
+            let retry_quantum = self.cfg.serialization_ps(self.cfg.packet_size_bytes).max(1);
+            while let Some(Reverse(ev)) = st.heap.pop() {
+                let now = ev.time;
+                match ev.kind {
+                    EventKind::Inject { packet } => {
+                        let router = st.packets[packet].src_router;
+                        let slot = router as usize * self.cfg.num_vcs;
+                        if st.occupancy[slot] < cap {
+                            st.occupancy[slot] += 1;
+                            self.enter_router(packet, router, now, &mut st, &mut rng, &mut stats);
+                            self.admit_pending(router, now, &mut st, cap);
+                        } else {
+                            st.pending_inject[router as usize].push_back(packet);
+                        }
+                    }
+                    EventKind::TryTransmit { link } => {
+                        let Some(&pi) = st.link_queue[link].front() else { continue };
+                        if st.link_free_at[link] > now {
+                            let t = st.link_free_at[link];
+                            st.push(t, EventKind::TryTransmit { link });
+                            continue;
+                        }
+                        let (src_router, port) = self.link_owner(link);
+                        let dst_router = self.net.link_target(src_router, port);
+                        let vc = (st.packets[pi].hops as usize).min(self.cfg.num_vcs - 1);
+                        let next_vc = (st.packets[pi].hops as usize + 1).min(self.cfg.num_vcs - 1);
+                        let down = dst_router as usize * self.cfg.num_vcs + next_vc;
+                        if st.occupancy[down] >= cap {
+                            st.push(now + retry_quantum, EventKind::TryTransmit { link });
+                            continue;
+                        }
+                        st.link_queue[link].pop_front();
+                        let up = src_router as usize * self.cfg.num_vcs + vc;
+                        st.occupancy[up] = st.occupancy[up].saturating_sub(1);
+                        st.occupancy[down] += 1;
+                        if vc == 0 {
+                            self.admit_pending(src_router, now, &mut st, cap);
+                        }
+                        let ser = self.cfg.serialization_ps(st.packets[pi].bytes);
+                        let start = now.max(st.link_free_at[link]);
+                        st.link_free_at[link] = start + ser;
+                        let arrive =
+                            start + ser + self.cfg.link_latency_ps() + self.cfg.router_latency_ps();
+                        st.packets[pi].hops += 1;
+                        st.push(arrive, EventKind::Arrive { packet: pi, router: dst_router });
+                        if !st.link_queue[link].is_empty() {
+                            let t = st.link_free_at[link];
+                            st.push(t, EventKind::TryTransmit { link });
+                        }
+                    }
+                    EventKind::Arrive { packet, router } => {
+                        self.enter_router(packet, router, now, &mut st, &mut rng, &mut stats);
+                        self.admit_pending(router, now, &mut st, cap);
+                    }
+                }
+            }
+
+            // Every packet must have been delivered; anything else is an engine bug.
+            let undelivered: u32 = st.msg_packets_left.iter().sum();
+            if undelivered > 0 {
+                let in_queues: usize = st.link_queue.iter().map(|q| q.len()).sum();
+                let pending: usize = st.pending_inject.iter().map(|q| q.len()).sum();
+                let occ: u32 = st.occupancy.iter().sum();
+                panic!(
+                    "simulation ended with {undelivered} undelivered packets \
+                     (link queues: {in_queues}, pending injections: {pending}, \
+                     occupancy sum: {occ}) — engine invariant violated"
+                );
+            }
+            for (mi, &last) in st.msg_last_delivery.iter().enumerate() {
+                if last != u64::MAX {
+                    stats.record_message(last.saturating_sub(msg_first_inject[mi].min(last)));
+                }
+            }
+            phase_start = st.phase_end.max(phase_start);
+        }
+        stats.finish()
+    }
+
+    /// Re-issue an injection for a waiting packet if the router now has VC-0 space.
+    fn admit_pending(&self, router: VertexId, now: u64, st: &mut PhaseState, cap: u32) {
+        let slot = router as usize * self.cfg.num_vcs;
+        if st.occupancy[slot] < cap {
+            if let Some(wpkt) = st.pending_inject[router as usize].pop_front() {
+                st.push(now, EventKind::Inject { packet: wpkt });
+            }
+        }
+    }
+
+    /// Map a directed-link id back to `(router, port)`.
+    fn link_owner(&self, link: usize) -> (VertexId, usize) {
+        let n = self.net.num_routers();
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.net.link_id(mid as VertexId, 0) <= link {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo as VertexId, link - self.net.link_id(lo as VertexId, 0))
+    }
+
+    /// A packet has just become resident at `router` (injection or arrival): deliver it if
+    /// it is home, otherwise pick an output port and enqueue it.
+    fn enter_router(
+        &self,
+        pi: usize,
+        router: VertexId,
+        now: u64,
+        st: &mut PhaseState,
+        rng: &mut StdRng,
+        stats: &mut StatsCollector,
+    ) {
+        if st.packets[pi].intermediate == Some(router) {
+            st.packets[pi].intermediate = None;
+        }
+        let target = st.packets[pi].intermediate.unwrap_or(st.packets[pi].dst_router);
+        if target == router {
+            let vc = (st.packets[pi].hops as usize).min(self.cfg.num_vcs - 1);
+            let slot = router as usize * self.cfg.num_vcs + vc;
+            st.occupancy[slot] = st.occupancy[slot].saturating_sub(1);
+            let latency = now - st.packets[pi].inject_time_ps;
+            stats.record_packet(latency, st.packets[pi].hops, st.packets[pi].bytes, now);
+            let m = st.packets[pi].msg;
+            st.msg_packets_left[m] -= 1;
+            if st.msg_packets_left[m] == 0 {
+                st.msg_last_delivery[m] = if st.msg_last_delivery[m] == u64::MAX {
+                    now
+                } else {
+                    st.msg_last_delivery[m].max(now)
+                };
+            }
+            st.phase_end = st.phase_end.max(now);
+            return;
+        }
+        let port = self.choose_port(pi, router, st, rng);
+        let link = self.net.link_id(router, port);
+        st.link_queue[link].push_back(pi);
+        st.push(now, EventKind::TryTransmit { link });
+    }
+
+    /// Routing decision for packet `pi` currently at `router`.
+    fn choose_port(
+        &self,
+        pi: usize,
+        router: VertexId,
+        st: &mut PhaseState,
+        rng: &mut StdRng,
+    ) -> usize {
+        let dst = st.packets[pi].dst_router;
+        let intermediate = st.packets[pi].intermediate;
+        let hops = st.packets[pi].hops;
+        let queue_len = |st: &PhaseState, port: usize| st.link_queue[self.net.link_id(router, port)].len();
+        let best_min_port = |st: &PhaseState, target: VertexId, rng: &mut StdRng| -> usize {
+            let ports = self.net.minimal_ports(router, target);
+            debug_assert!(!ports.is_empty(), "no minimal port from {router} to {target}");
+            let min_q = ports.iter().map(|&p| queue_len(st, p)).min().unwrap();
+            let best: Vec<usize> = ports
+                .into_iter()
+                .filter(|&p| queue_len(st, p) == min_q)
+                .collect();
+            best[rng.gen_range(0..best.len())]
+        };
+
+        match self.cfg.routing {
+            RoutingAlgorithm::Minimal => best_min_port(st, intermediate.unwrap_or(dst), rng),
+            RoutingAlgorithm::Valiant => {
+                if hops == 0 && intermediate.is_none() && router != dst {
+                    let n = self.net.num_routers();
+                    let mut inter = rng.gen_range(0..n) as VertexId;
+                    let mut guard = 0;
+                    while (inter == router || inter == dst) && guard < 16 {
+                        inter = rng.gen_range(0..n) as VertexId;
+                        guard += 1;
+                    }
+                    if inter != router && inter != dst {
+                        st.packets[pi].intermediate = Some(inter);
+                    }
+                }
+                let target = st.packets[pi].intermediate.unwrap_or(dst);
+                best_min_port(st, target, rng)
+            }
+            RoutingAlgorithm::UgalL => {
+                if hops == 0 && intermediate.is_none() && router != dst {
+                    let min_port = best_min_port(st, dst, rng);
+                    let d_min = self.net.dist(router, dst) as f64;
+                    let cost_min = (queue_len(st, min_port) as f64 + 1.0) * d_min;
+                    let n = self.net.num_routers();
+                    let mut inter = rng.gen_range(0..n) as VertexId;
+                    let mut guard = 0;
+                    while (inter == router || inter == dst) && guard < 16 {
+                        inter = rng.gen_range(0..n) as VertexId;
+                        guard += 1;
+                    }
+                    if inter != router && inter != dst {
+                        let val_port = best_min_port(st, inter, rng);
+                        let d_val =
+                            self.net.dist(router, inter) as f64 + self.net.dist(inter, dst) as f64;
+                        let cost_val = (queue_len(st, val_port) as f64 + 1.0) * d_val;
+                        if cost_val + self.cfg.ugal_threshold < cost_min {
+                            st.packets[pi].intermediate = Some(inter);
+                            return val_port;
+                        }
+                    }
+                    return min_port;
+                }
+                best_min_port(st, intermediate.unwrap_or(dst), rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Message, Workload};
+    use spectralfly_graph::CsrGraph;
+
+    fn ring(n: usize) -> CsrGraph {
+        let mut e: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        e.push((n as u32 - 1, 0));
+        CsrGraph::from_edges(n, &e)
+    }
+
+    fn complete(n: usize) -> CsrGraph {
+        let mut e = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                e.push((u, v));
+            }
+        }
+        CsrGraph::from_edges(n, &e)
+    }
+
+    #[test]
+    fn single_packet_latency_is_deterministic_and_correct() {
+        // One 4096-byte packet over exactly one hop on a 2-router network.
+        let net = SimNetwork::new(complete(2), 1);
+        let cfg = SimConfig::default();
+        let wl = Workload::single_phase(
+            "one",
+            vec![Message { src: 0, dst: 1, bytes: 4096, inject_offset_ps: 0 }],
+        );
+        let res = Simulator::new(&net, &cfg).run(&wl);
+        assert_eq!(res.delivered_packets, 1);
+        assert_eq!(res.delivered_messages, 1);
+        // Latency = serialization + link latency + router latency.
+        let expected = cfg.serialization_ps(4096) + cfg.link_latency_ps() + cfg.router_latency_ps();
+        assert_eq!(res.max_packet_latency_ps, expected);
+        assert_eq!(res.mean_hops, 1.0);
+    }
+
+    #[test]
+    fn all_packets_delivered_on_every_routing_algorithm() {
+        let net = SimNetwork::new(ring(8), 2);
+        let wl = Workload::uniform_random(net.num_endpoints(), 10, 1024, 7);
+        for routing in [RoutingAlgorithm::Minimal, RoutingAlgorithm::Valiant, RoutingAlgorithm::UgalL] {
+            let cfg = SimConfig::default().with_routing(routing, net.diameter() as u32);
+            let res = Simulator::new(&net, &cfg).run(&wl);
+            assert_eq!(res.delivered_packets, 160, "{routing}");
+            assert_eq!(res.delivered_messages, 160, "{routing}");
+            assert!(res.completion_time_ps > 0);
+        }
+    }
+
+    #[test]
+    fn message_segmentation_into_packets() {
+        let net = SimNetwork::new(complete(3), 1);
+        let cfg = SimConfig::default();
+        // 10 KB message with 4 KB packets -> 3 packets, 1 message.
+        let wl = Workload::single_phase(
+            "big",
+            vec![Message { src: 0, dst: 2, bytes: 10_240, inject_offset_ps: 0 }],
+        );
+        let res = Simulator::new(&net, &cfg).run(&wl);
+        assert_eq!(res.delivered_packets, 3);
+        assert_eq!(res.delivered_messages, 1);
+        assert_eq!(res.delivered_bytes, 10_240);
+    }
+
+    #[test]
+    fn minimal_routing_takes_shortest_paths_when_uncongested() {
+        let net = SimNetwork::new(ring(10), 1);
+        let cfg = SimConfig::default();
+        let wl = Workload::single_phase(
+            "far",
+            vec![Message { src: 0, dst: 5, bytes: 512, inject_offset_ps: 0 }],
+        );
+        let res = Simulator::new(&net, &cfg).run(&wl);
+        assert_eq!(res.max_hops, 5);
+    }
+
+    #[test]
+    fn valiant_routes_are_longer_than_minimal() {
+        let net = SimNetwork::new(ring(12), 1);
+        let wl = Workload::uniform_random(12, 4, 512, 3);
+        let d = net.diameter() as u32;
+        let min_cfg = SimConfig::default().with_routing(RoutingAlgorithm::Minimal, d);
+        let val_cfg = SimConfig::default().with_routing(RoutingAlgorithm::Valiant, d);
+        let rmin = Simulator::new(&net, &min_cfg).run(&wl);
+        let rval = Simulator::new(&net, &val_cfg).run(&wl);
+        assert!(rval.mean_hops > rmin.mean_hops);
+    }
+
+    #[test]
+    fn congestion_increases_latency_with_offered_load() {
+        let net = SimNetwork::new(ring(8), 2);
+        let cfg = SimConfig::default();
+        let wl = Workload::uniform_random(net.num_endpoints(), 30, 4096, 5);
+        let sim = Simulator::new(&net, &cfg);
+        let light = sim.run_with_offered_load(&wl, 0.1);
+        let heavy = sim.run_with_offered_load(&wl, 0.9);
+        assert_eq!(light.delivered_packets, heavy.delivered_packets);
+        assert!(
+            heavy.mean_packet_latency_ps > light.mean_packet_latency_ps,
+            "heavy {} vs light {}",
+            heavy.mean_packet_latency_ps,
+            light.mean_packet_latency_ps
+        );
+    }
+
+    #[test]
+    fn phased_workload_runs_phases_in_order() {
+        let net = SimNetwork::new(complete(4), 1);
+        let cfg = SimConfig::default();
+        let phase = |src: usize, dst: usize| crate::workload::Phase {
+            messages: vec![Message { src, dst, bytes: 2048, inject_offset_ps: 0 }],
+        };
+        let wl = Workload {
+            phases: vec![phase(0, 1), phase(1, 2), phase(2, 3)],
+            name: "phased".to_string(),
+        };
+        let res = Simulator::new(&net, &cfg).run(&wl);
+        assert_eq!(res.delivered_messages, 3);
+        // Three sequential phases take at least 3x the single-hop latency.
+        let single = cfg.serialization_ps(2048) + cfg.link_latency_ps() + cfg.router_latency_ps();
+        assert!(res.completion_time_ps >= 3 * single);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let net = SimNetwork::new(ring(6), 2);
+        let cfg = SimConfig::default().with_routing(RoutingAlgorithm::UgalL, net.diameter() as u32);
+        let wl = Workload::uniform_random(net.num_endpoints(), 8, 1024, 11);
+        let a = Simulator::new(&net, &cfg).run(&wl);
+        let b = Simulator::new(&net, &cfg).run(&wl);
+        assert_eq!(a.completion_time_ps, b.completion_time_ps);
+        assert_eq!(a.max_packet_latency_ps, b.max_packet_latency_ps);
+    }
+
+    #[test]
+    fn self_destination_on_same_router_is_delivered_without_hops() {
+        // Two endpoints on the same router exchange a message: zero network hops.
+        let net = SimNetwork::new(complete(2), 2);
+        let cfg = SimConfig::default();
+        let wl = Workload::single_phase(
+            "local",
+            vec![Message { src: 0, dst: 1, bytes: 256, inject_offset_ps: 0 }],
+        );
+        let res = Simulator::new(&net, &cfg).run(&wl);
+        assert_eq!(res.delivered_packets, 1);
+        assert_eq!(res.max_hops, 0);
+    }
+}

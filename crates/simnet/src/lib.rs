@@ -1,0 +1,49 @@
+//! # spectralfly-simnet
+//!
+//! A coarse-grained, cycle-accurate-enough packet-level interconnect simulator — the
+//! substitute for SST/macro's SNAPPR network model used in Section VI of the paper.
+//!
+//! What is modelled (matching the knobs the paper reports):
+//!
+//! * store-and-forward packet switching with per-link serialization (bandwidth), link
+//!   propagation latency, and per-hop router latency;
+//! * finite per-router, per-virtual-channel buffers with credit-style backpressure;
+//! * deadlock avoidance by incrementing the virtual channel on every hop
+//!   (`diameter + 1` VCs for minimal routing, `2·diameter + 1` for Valiant — Section V-A);
+//! * **minimal** (adaptive among all shortest-path next hops), **Valiant**, and **UGAL-L**
+//!   routing (Section V);
+//! * Poisson packet injection to sweep offered load, plus phased application workloads
+//!   (the Ember motifs) whose phases synchronize like the underlying MPI skeletons.
+//!
+//! What is *not* modelled: flit-level wormhole detail, QoS priority queues, and adaptive
+//! injection throttling. The paper's results are *relative speedups between topologies*,
+//! which this level of detail reproduces; absolute times differ from SST/macro.
+//!
+//! ```
+//! use spectralfly_simnet::{SimConfig, RoutingAlgorithm, SimNetwork, Simulator};
+//! use spectralfly_simnet::workload::Workload;
+//! use spectralfly_graph::CsrGraph;
+//!
+//! // A tiny 4-router ring with 2 endpoints per router.
+//! let ring = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+//! let net = SimNetwork::new(ring, 2);
+//! let wl = Workload::uniform_random(net.num_endpoints(), 20, 256, 1);
+//! let cfg = SimConfig::default();
+//! let res = Simulator::new(&net, &cfg).run(&wl);
+//! assert_eq!(res.delivered_packets, 20 * net.num_endpoints() as u64);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod network;
+pub mod stats;
+pub mod workload;
+
+pub use config::{RoutingAlgorithm, SimConfig};
+pub use engine::Simulator;
+pub use network::SimNetwork;
+pub use stats::SimResults;
+pub use workload::{Message, Phase, Workload};

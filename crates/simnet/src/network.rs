@@ -1,0 +1,168 @@
+//! The simulated network: router graph, endpoint concentration, directed-link indexing,
+//! and shortest-path (distance-matrix) routing state.
+
+use spectralfly_graph::csr::{CsrGraph, VertexId};
+use spectralfly_graph::metrics::bfs_distances;
+
+/// Marker for unreachable router pairs.
+const UNREACHABLE_U16: u16 = u16::MAX;
+
+/// A network instance fed to the simulator: a router graph plus endpoint concentration.
+///
+/// Directed links are indexed contiguously: link `(u, i)` is the `i`-th entry of `u`'s
+/// neighbour list, with a global id `link_offset[u] + i`.
+#[derive(Clone, Debug)]
+pub struct SimNetwork {
+    graph: CsrGraph,
+    concentration: usize,
+    /// Prefix offsets into the directed-link index space.
+    link_offset: Vec<usize>,
+    /// Row-major all-pairs router distances.
+    dist: Vec<u16>,
+    n: usize,
+}
+
+impl SimNetwork {
+    /// Build a network from a router graph and a per-router endpoint count (≥ 1).
+    pub fn new(graph: CsrGraph, concentration: usize) -> Self {
+        assert!(concentration >= 1, "concentration must be at least 1");
+        let n = graph.num_vertices();
+        let mut link_offset = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        link_offset.push(0);
+        for v in 0..n {
+            acc += graph.degree(v as VertexId);
+            link_offset.push(acc);
+        }
+        // Parallel-free BFS sweep here keeps this constructor dependency-light; the graphs
+        // used in simulation have at most a few thousand routers.
+        let mut dist = vec![UNREACHABLE_U16; n * n];
+        for s in 0..n {
+            let d = bfs_distances(&graph, s as VertexId);
+            for (t, &dv) in d.iter().enumerate() {
+                dist[s * n + t] = if dv == u32::MAX { UNREACHABLE_U16 } else { dv as u16 };
+            }
+        }
+        SimNetwork { graph, concentration, link_offset, dist, n }
+    }
+
+    /// The router graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Endpoints per router.
+    pub fn concentration(&self) -> usize {
+        self.concentration
+    }
+
+    /// Number of routers.
+    pub fn num_routers(&self) -> usize {
+        self.n
+    }
+
+    /// Number of endpoints.
+    pub fn num_endpoints(&self) -> usize {
+        self.n * self.concentration
+    }
+
+    /// Number of directed links (twice the undirected edge count).
+    pub fn num_directed_links(&self) -> usize {
+        self.link_offset[self.n]
+    }
+
+    /// Router serving an endpoint.
+    #[inline]
+    pub fn router_of_endpoint(&self, endpoint: usize) -> VertexId {
+        debug_assert!(endpoint < self.num_endpoints());
+        (endpoint / self.concentration) as VertexId
+    }
+
+    /// Router distance in hops (`u16::MAX` if unreachable).
+    #[inline]
+    pub fn dist(&self, a: VertexId, b: VertexId) -> u16 {
+        self.dist[a as usize * self.n + b as usize]
+    }
+
+    /// Topology diameter over routers.
+    pub fn diameter(&self) -> u16 {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE_U16)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Global id of directed link `(router, port)`.
+    #[inline]
+    pub fn link_id(&self, router: VertexId, port: usize) -> usize {
+        self.link_offset[router as usize] + port
+    }
+
+    /// The neighbour reached through `(router, port)`.
+    #[inline]
+    pub fn link_target(&self, router: VertexId, port: usize) -> VertexId {
+        self.graph.neighbors(router)[port]
+    }
+
+    /// Ports of `current` whose neighbour lies on a shortest path to `dst`.
+    pub fn minimal_ports(&self, current: VertexId, dst: VertexId) -> Vec<usize> {
+        if current == dst {
+            return Vec::new();
+        }
+        let d = self.dist(current, dst);
+        self.graph
+            .neighbors(current)
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| self.dist(w, dst).saturating_add(1) == d)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> CsrGraph {
+        let mut e: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        e.push((n as u32 - 1, 0));
+        CsrGraph::from_edges(n, &e)
+    }
+
+    #[test]
+    fn link_indexing_is_contiguous_and_unique() {
+        let net = SimNetwork::new(ring(6), 2);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..6u32 {
+            for p in 0..net.graph().degree(r) {
+                assert!(seen.insert(net.link_id(r, p)));
+            }
+        }
+        assert_eq!(seen.len(), net.num_directed_links());
+        assert_eq!(net.num_directed_links(), 12);
+    }
+
+    #[test]
+    fn endpoints_and_distances() {
+        let net = SimNetwork::new(ring(8), 4);
+        assert_eq!(net.num_endpoints(), 32);
+        assert_eq!(net.router_of_endpoint(0), 0);
+        assert_eq!(net.router_of_endpoint(31), 7);
+        assert_eq!(net.dist(0, 4), 4);
+        assert_eq!(net.diameter(), 4);
+    }
+
+    #[test]
+    fn minimal_ports_point_toward_destination() {
+        let net = SimNetwork::new(ring(8), 1);
+        let ports = net.minimal_ports(0, 2);
+        assert_eq!(ports.len(), 1);
+        assert_eq!(net.link_target(0, ports[0]), 1);
+        // Antipodal destination: both directions are minimal.
+        assert_eq!(net.minimal_ports(0, 4).len(), 2);
+        assert!(net.minimal_ports(3, 3).is_empty());
+    }
+}

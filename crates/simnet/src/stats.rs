@@ -1,0 +1,142 @@
+//! Simulation results and derived metrics.
+
+/// Aggregated results of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimResults {
+    /// Simulated time at which the last packet was delivered (picoseconds).
+    pub completion_time_ps: u64,
+    /// Number of packets delivered.
+    pub delivered_packets: u64,
+    /// Number of messages fully delivered.
+    pub delivered_messages: u64,
+    /// Total payload bytes delivered.
+    pub delivered_bytes: u64,
+    /// Mean packet latency (injection to delivery), picoseconds.
+    pub mean_packet_latency_ps: f64,
+    /// Maximum packet latency, picoseconds.
+    pub max_packet_latency_ps: u64,
+    /// 99th-percentile packet latency, picoseconds.
+    pub p99_packet_latency_ps: u64,
+    /// Maximum message completion latency (injection of first packet to delivery of last).
+    pub max_message_latency_ps: u64,
+    /// Mean hop count over delivered packets.
+    pub mean_hops: f64,
+    /// Maximum hop count over delivered packets.
+    pub max_hops: u32,
+}
+
+impl SimResults {
+    /// Aggregate delivered throughput in Gb/s over the whole run.
+    pub fn throughput_gbps(&self) -> f64 {
+        if self.completion_time_ps == 0 {
+            return 0.0;
+        }
+        // bits / ps * 1000 = Gb/s
+        (self.delivered_bytes as f64 * 8.0) / self.completion_time_ps as f64 * 1000.0
+    }
+
+    /// Completion time in nanoseconds.
+    pub fn completion_time_ns(&self) -> f64 {
+        self.completion_time_ps as f64 / 1000.0
+    }
+
+    /// Speedup of this run relative to a baseline run of the same workload
+    /// (ratio of completion times, >1 means this run is faster).
+    pub fn speedup_over(&self, baseline: &SimResults) -> f64 {
+        if self.completion_time_ps == 0 {
+            return 0.0;
+        }
+        baseline.completion_time_ps as f64 / self.completion_time_ps as f64
+    }
+}
+
+/// Builder that accumulates per-packet and per-message observations during a run.
+#[derive(Clone, Debug, Default)]
+pub struct StatsCollector {
+    latencies_ps: Vec<u64>,
+    hops: Vec<u32>,
+    bytes: u64,
+    messages_done: u64,
+    max_message_latency_ps: u64,
+    last_delivery_ps: u64,
+}
+
+impl StatsCollector {
+    /// Record a delivered packet.
+    pub fn record_packet(&mut self, latency_ps: u64, hops: u32, bytes: u64, delivered_at: u64) {
+        self.latencies_ps.push(latency_ps);
+        self.hops.push(hops);
+        self.bytes += bytes;
+        self.last_delivery_ps = self.last_delivery_ps.max(delivered_at);
+    }
+
+    /// Record a fully delivered message.
+    pub fn record_message(&mut self, latency_ps: u64) {
+        self.messages_done += 1;
+        self.max_message_latency_ps = self.max_message_latency_ps.max(latency_ps);
+    }
+
+    /// Finalize into a [`SimResults`].
+    pub fn finish(mut self) -> SimResults {
+        let n = self.latencies_ps.len();
+        if n == 0 {
+            return SimResults::default();
+        }
+        self.latencies_ps.sort_unstable();
+        let sum: u128 = self.latencies_ps.iter().map(|&x| x as u128).sum();
+        let hop_sum: u64 = self.hops.iter().map(|&h| h as u64).sum();
+        SimResults {
+            completion_time_ps: self.last_delivery_ps,
+            delivered_packets: n as u64,
+            delivered_messages: self.messages_done,
+            delivered_bytes: self.bytes,
+            mean_packet_latency_ps: sum as f64 / n as f64,
+            max_packet_latency_ps: *self.latencies_ps.last().unwrap(),
+            p99_packet_latency_ps: self.latencies_ps[(n * 99 / 100).min(n - 1)],
+            max_message_latency_ps: self.max_message_latency_ps,
+            mean_hops: hop_sum as f64 / n as f64,
+            max_hops: self.hops.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_aggregates_correctly() {
+        let mut c = StatsCollector::default();
+        c.record_packet(100, 2, 64, 1_000);
+        c.record_packet(300, 4, 64, 2_000);
+        c.record_packet(200, 3, 64, 1_500);
+        c.record_message(350);
+        let r = c.finish();
+        assert_eq!(r.delivered_packets, 3);
+        assert_eq!(r.delivered_messages, 1);
+        assert_eq!(r.delivered_bytes, 192);
+        assert_eq!(r.completion_time_ps, 2_000);
+        assert_eq!(r.max_packet_latency_ps, 300);
+        assert!((r.mean_packet_latency_ps - 200.0).abs() < 1e-9);
+        assert!((r.mean_hops - 3.0).abs() < 1e-9);
+        assert_eq!(r.max_hops, 4);
+        assert_eq!(r.max_message_latency_ps, 350);
+    }
+
+    #[test]
+    fn empty_run_is_all_zero() {
+        let r = StatsCollector::default().finish();
+        assert_eq!(r.delivered_packets, 0);
+        assert_eq!(r.throughput_gbps(), 0.0);
+    }
+
+    #[test]
+    fn throughput_and_speedup() {
+        let a = SimResults { completion_time_ps: 1_000_000, delivered_bytes: 125_000, ..Default::default() };
+        // 125 KB in 1 us = 1000 Gb/s.
+        assert!((a.throughput_gbps() - 1000.0).abs() < 1e-9);
+        let b = SimResults { completion_time_ps: 2_000_000, ..Default::default() };
+        assert!((b.speedup_over(&a) - 0.5).abs() < 1e-12);
+        assert!((a.speedup_over(&b) - 2.0).abs() < 1e-12);
+    }
+}

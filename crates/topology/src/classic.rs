@@ -1,0 +1,185 @@
+//! Classical baseline topologies (hypercube, torus, complete graph).
+//!
+//! These are not evaluated in the paper's figures, but they serve three purposes in this
+//! repository: (1) closed-form spectra and distances make them ideal test oracles for the
+//! analysis substrate, (2) they are familiar reference points in the examples, and (3) the
+//! paper's related-work discussion ([10]) contrasts supercomputing topologies of exactly
+//! these kinds against Ramanujan graphs.
+
+use crate::spec::TopologyError;
+use crate::Topology;
+use spectralfly_graph::{CsrGraph, VertexId};
+
+/// A hypercube `Q_d` on `2^d` vertices.
+#[derive(Clone, Debug)]
+pub struct Hypercube {
+    dim: u32,
+    graph: CsrGraph,
+}
+
+impl Hypercube {
+    /// Construct the `dim`-dimensional hypercube.
+    pub fn new(dim: u32) -> Result<Self, TopologyError> {
+        if dim == 0 || dim > 24 {
+            return Err(TopologyError::InvalidParameter(format!(
+                "hypercube dimension must be in 1..=24, got {dim}"
+            )));
+        }
+        let n = 1usize << dim;
+        let mut edges = Vec::with_capacity(n * dim as usize / 2);
+        for v in 0..n as u32 {
+            for b in 0..dim {
+                let w = v ^ (1 << b);
+                if v < w {
+                    edges.push((v, w));
+                }
+            }
+        }
+        Ok(Hypercube { dim, graph: CsrGraph::from_edges(n, &edges) })
+    }
+
+    /// The dimension `d`.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+}
+
+impl Topology for Hypercube {
+    fn name(&self) -> String {
+        format!("Hypercube({})", self.dim)
+    }
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+}
+
+/// A `d`-dimensional torus with per-dimension extents.
+#[derive(Clone, Debug)]
+pub struct Torus {
+    dims: Vec<usize>,
+    graph: CsrGraph,
+}
+
+impl Torus {
+    /// Construct a torus with the given extents (each ≥ 2).
+    pub fn new(dims: &[usize]) -> Result<Self, TopologyError> {
+        if dims.is_empty() || dims.iter().any(|&d| d < 2) {
+            return Err(TopologyError::InvalidParameter(
+                "torus extents must all be >= 2".to_string(),
+            ));
+        }
+        let n: usize = dims.iter().product();
+        let strides: Vec<usize> = dims
+            .iter()
+            .scan(1usize, |acc, &d| {
+                let s = *acc;
+                *acc *= d;
+                Some(s)
+            })
+            .collect();
+        let coord = |v: usize, dim: usize| (v / strides[dim]) % dims[dim];
+        let mut edges = Vec::new();
+        for v in 0..n {
+            for (dim, &extent) in dims.iter().enumerate() {
+                let c = coord(v, dim);
+                let next = (c + 1) % extent;
+                if extent == 2 && next < c {
+                    continue; // avoid doubling the single wrap edge for extent-2 dimensions
+                }
+                let w = v - c * strides[dim] + next * strides[dim];
+                edges.push((v as VertexId, w as VertexId));
+            }
+        }
+        Ok(Torus { dims: dims.to_vec(), graph: CsrGraph::from_edges(n, &edges) })
+    }
+
+    /// Extents per dimension.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+}
+
+impl Topology for Torus {
+    fn name(&self) -> String {
+        format!("Torus({:?})", self.dims)
+    }
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+}
+
+/// The complete graph `K_n`.
+#[derive(Clone, Debug)]
+pub struct Complete {
+    graph: CsrGraph,
+}
+
+impl Complete {
+    /// Construct `K_n` (`n ≥ 2`).
+    pub fn new(n: usize) -> Result<Self, TopologyError> {
+        if n < 2 {
+            return Err(TopologyError::InvalidParameter(format!(
+                "complete graph needs n >= 2, got {n}"
+            )));
+        }
+        let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                edges.push((u, v));
+            }
+        }
+        Ok(Complete { graph: CsrGraph::from_edges(n, &edges) })
+    }
+}
+
+impl Topology for Complete {
+    fn name(&self) -> String {
+        format!("K{}", self.graph.num_vertices())
+    }
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectralfly_graph::metrics::diameter_and_mean_distance;
+
+    #[test]
+    fn hypercube_structure() {
+        let h = Hypercube::new(5).unwrap();
+        assert_eq!(h.graph().num_vertices(), 32);
+        assert_eq!(h.graph().regular_degree(), Some(5));
+        assert_eq!(diameter_and_mean_distance(h.graph()).unwrap().0, 5);
+        assert!(Hypercube::new(0).is_err());
+    }
+
+    #[test]
+    fn torus_structure() {
+        let t = Torus::new(&[4, 4]).unwrap();
+        assert_eq!(t.graph().num_vertices(), 16);
+        assert_eq!(t.graph().regular_degree(), Some(4));
+        assert_eq!(diameter_and_mean_distance(t.graph()).unwrap().0, 4);
+        let t3 = Torus::new(&[3, 3, 3]).unwrap();
+        assert_eq!(t3.graph().num_vertices(), 27);
+        assert_eq!(t3.graph().regular_degree(), Some(6));
+        assert!(Torus::new(&[1, 4]).is_err());
+    }
+
+    #[test]
+    fn torus_with_extent_two_has_no_double_edges() {
+        let t = Torus::new(&[2, 4]).unwrap();
+        assert_eq!(t.graph().num_vertices(), 8);
+        // Degree: 1 (extent-2 dim) + 2 (extent-4 dim) = 3.
+        assert_eq!(t.graph().regular_degree(), Some(3));
+    }
+
+    #[test]
+    fn complete_graph_structure() {
+        let k = Complete::new(9).unwrap();
+        assert_eq!(k.graph().num_edges(), 36);
+        assert_eq!(k.graph().regular_degree(), Some(8));
+        assert!(Complete::new(1).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! JellyFish-style random regular graphs.
+//!
+//! The paper cites JellyFish as a randomized topology with strong but sub-Ramanujan spectral
+//! expansion (by Friedman's theorem random k-regular graphs have λ slightly above `2√(k−1)`),
+//! and excludes it from the main comparison for its unstructuredness. We still provide the
+//! generator: it is the natural "almost-expander" reference point for ablation benches and
+//! tests of the spectral machinery.
+
+use crate::spec::TopologyError;
+use crate::Topology;
+use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
+use spectralfly_graph::{CsrGraph, VertexId};
+use std::collections::HashSet;
+
+/// A random `k`-regular graph (configuration model with edge-swap repair).
+#[derive(Clone, Debug)]
+pub struct JellyFishGraph {
+    n: usize,
+    k: usize,
+    seed: u64,
+    graph: CsrGraph,
+}
+
+impl JellyFishGraph {
+    /// Sample a random `k`-regular graph on `n` vertices (requires `n·k` even and `k < n`).
+    pub fn new(n: usize, k: usize, seed: u64) -> Result<Self, TopologyError> {
+        if k >= n || n * k % 2 != 0 || k == 0 {
+            return Err(TopologyError::InvalidParameter(format!(
+                "random regular graph requires 0 < k < n and n*k even (got n={n}, k={k})"
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Configuration model: pair up stubs, then repair self-loops / multi-edges by swaps.
+        for attempt in 0..64 {
+            if let Some(graph) = Self::sample_once(n, k, &mut rng) {
+                let _ = attempt;
+                return Ok(JellyFishGraph { n, k, seed, graph });
+            }
+        }
+        Err(TopologyError::ConstructionFailed(format!(
+            "failed to sample a simple {k}-regular graph on {n} vertices"
+        )))
+    }
+
+    fn sample_once(n: usize, k: usize, rng: &mut StdRng) -> Option<CsrGraph> {
+        let mut stubs: Vec<VertexId> = (0..n as VertexId)
+            .flat_map(|v| std::iter::repeat(v).take(k))
+            .collect();
+        stubs.shuffle(rng);
+        let mut edges: Vec<(VertexId, VertexId)> = stubs
+            .chunks_exact(2)
+            .map(|c| (c[0].min(c[1]), c[0].max(c[1])))
+            .collect();
+        let mut edge_set: HashSet<(VertexId, VertexId)> = HashSet::new();
+        let mut bad: Vec<usize> = Vec::new();
+        for (i, &e) in edges.iter().enumerate() {
+            if e.0 == e.1 || !edge_set.insert(e) {
+                bad.push(i);
+            }
+        }
+        // Repair: repeatedly swap a bad edge with a random good edge.
+        let mut guard = 0usize;
+        while let Some(&i) = bad.last() {
+            guard += 1;
+            if guard > 200 * n * k {
+                return None;
+            }
+            let j = rng.gen_range(0..edges.len());
+            if j == i {
+                continue;
+            }
+            let (a, b) = edges[i];
+            let (c, d) = edges[j];
+            // Propose rewiring (a,b),(c,d) -> (a,c),(b,d).
+            let e1 = (a.min(c), a.max(c));
+            let e2 = (b.min(d), b.max(d));
+            if a == c || b == d || e1.0 == e1.1 || e2.0 == e2.1 {
+                continue;
+            }
+            if edge_set.contains(&e1) || edge_set.contains(&e2) {
+                continue;
+            }
+            // The old edge j must have been a valid (inserted) edge to remove it cleanly.
+            let old_j_valid = edge_set.remove(&(c.min(d), c.max(d)));
+            if !old_j_valid {
+                continue;
+            }
+            let old_i = (a.min(b), a.max(b));
+            edge_set.remove(&old_i);
+            edge_set.insert(e1);
+            edge_set.insert(e2);
+            edges[i] = e1;
+            edges[j] = e2;
+            bad.pop();
+        }
+        let g = CsrGraph::from_edges(n, &edges);
+        if g.regular_degree() == Some(k) {
+            Some(g)
+        } else {
+            None
+        }
+    }
+
+    /// Number of vertices requested.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+    /// Degree.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+    /// RNG seed used.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Topology for JellyFishGraph {
+    fn name(&self) -> String {
+        format!("JellyFish(n={}, k={})", self.n, self.k)
+    }
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectralfly_graph::metrics::is_connected;
+    use spectralfly_graph::spectral::lambda_nontrivial;
+
+    #[test]
+    fn rejects_impossible_parameters() {
+        assert!(JellyFishGraph::new(10, 10, 1).is_err());
+        assert!(JellyFishGraph::new(5, 3, 1).is_err()); // odd n*k
+        assert!(JellyFishGraph::new(8, 0, 1).is_err());
+    }
+
+    #[test]
+    fn produces_simple_regular_graphs() {
+        for (n, k) in [(20usize, 3usize), (50, 4), (64, 7), (100, 12)] {
+            let g = JellyFishGraph::new(n, k, 7).unwrap();
+            assert_eq!(g.graph().num_vertices(), n);
+            assert_eq!(g.graph().regular_degree(), Some(k));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = JellyFishGraph::new(40, 5, 99).unwrap();
+        let b = JellyFishGraph::new(40, 5, 99).unwrap();
+        assert_eq!(a.graph(), b.graph());
+    }
+
+    #[test]
+    fn random_regular_graphs_are_near_ramanujan_expanders() {
+        // Friedman: lambda <= 2 sqrt(k-1) + eps with high probability. Allow generous slack.
+        let g = JellyFishGraph::new(300, 8, 3).unwrap();
+        assert!(is_connected(g.graph()));
+        let l = lambda_nontrivial(g.graph(), 80, 5).abs();
+        assert!(l < 2.0 * (7.0f64).sqrt() + 1.0, "lambda = {l}");
+    }
+}

@@ -1,0 +1,65 @@
+//! # spectralfly-topology
+//!
+//! Generators for every interconnect topology the SpectralFly paper evaluates:
+//!
+//! * [`lps`] — LPS Ramanujan graphs (the router graph underlying SpectralFly).
+//! * [`slimfly`] — SlimFly / McKay–Miller–Širáň graphs `SF(q)`.
+//! * [`paley`] — Paley graphs (the second factor of BundleFly).
+//! * [`bundlefly`] — BundleFly `BF(p, s)`, a star product of an MMS graph and a Paley graph.
+//! * [`dragonfly`] — canonical `DF(a)` and generalized `DF(a, h, g)` DragonFly router graphs.
+//! * [`skywalk`] — a layout-aware low-latency random topology (SkyWalk substitute).
+//! * [`jellyfish`] — random regular graphs (JellyFish), used as the sub-Ramanujan reference.
+//! * [`classic`] — hypercubes, tori, and complete graphs used in tests and ablations.
+//!
+//! Every generator produces a [`spectralfly_graph::CsrGraph`] on router vertices; endpoint
+//! concentration is layered on top by the `spectralfly` core crate and the simulator.
+//!
+//! ```
+//! use spectralfly_topology::lps::LpsGraph;
+//! use spectralfly_topology::Topology;
+//!
+//! // The smallest LPS graph used in the paper's Table I.
+//! let lps = LpsGraph::new(11, 7).unwrap();
+//! assert_eq!(lps.graph().num_vertices(), 168);
+//! assert_eq!(lps.graph().regular_degree(), Some(12));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bundlefly;
+pub mod classic;
+pub mod dragonfly;
+pub mod jellyfish;
+pub mod lps;
+pub mod paley;
+pub mod skywalk;
+pub mod slimfly;
+pub mod spec;
+
+pub use bundlefly::BundleFlyGraph;
+pub use dragonfly::{CanonicalDragonFly, GeneralizedDragonFly, GlobalArrangement};
+pub use jellyfish::JellyFishGraph;
+pub use lps::LpsGraph;
+pub use paley::PaleyGraph;
+pub use skywalk::SkyWalkGraph;
+pub use slimfly::SlimFlyGraph;
+pub use spec::{TopologyError, TopologySpec};
+
+use spectralfly_graph::CsrGraph;
+
+/// Common interface over the concrete topology types.
+pub trait Topology {
+    /// Human-readable name including parameters, e.g. `"LPS(23, 11)"`.
+    fn name(&self) -> String;
+    /// The router graph.
+    fn graph(&self) -> &CsrGraph;
+    /// The router radix (maximum degree).
+    fn radix(&self) -> usize {
+        self.graph().max_degree()
+    }
+    /// Number of routers.
+    fn num_routers(&self) -> usize {
+        self.graph().num_vertices()
+    }
+}

@@ -1,0 +1,123 @@
+//! Paley graphs — the second factor of the BundleFly construction.
+//!
+//! The Paley graph on `F_p` (prime `p ≡ 1 (mod 4)`) connects `x ~ y` iff `x − y` is a
+//! nonzero quadratic residue. It is `(p−1)/2`-regular, self-complementary, and has
+//! diameter 2; BundleFly uses it as the intra-bundle ("multicore fibre") topology.
+
+use crate::spec::TopologyError;
+use crate::Topology;
+use spectralfly_ff::field::FiniteField;
+use spectralfly_graph::{CsrGraph, VertexId};
+
+/// A Paley graph instance.
+#[derive(Clone, Debug)]
+pub struct PaleyGraph {
+    p: u64,
+    graph: CsrGraph,
+}
+
+impl PaleyGraph {
+    /// Construct the Paley graph on `F_q` (`q` a prime power with `q ≡ 1 (mod 4)`, so that
+    /// `-1` is a square and adjacency is symmetric). The paper's BundleFly simulation
+    /// instance `BF(9, 9)` needs the prime-power case `q = 9`.
+    pub fn new(p: u64) -> Result<Self, TopologyError> {
+        let field = FiniteField::new(p).ok_or_else(|| {
+            TopologyError::InvalidParameter(format!(
+                "Paley graphs require a prime power q ≡ 1 (mod 4), got {p}"
+            ))
+        })?;
+        if p % 4 != 1 {
+            return Err(TopologyError::InvalidParameter(format!(
+                "Paley graphs require q ≡ 1 (mod 4), got {p}"
+            )));
+        }
+        let qr: Vec<u64> = field
+            .elements()
+            .filter(|&e| field.is_nonzero_square(e))
+            .collect();
+        let mut edges = Vec::with_capacity((p as usize * (p as usize - 1)) / 4);
+        for x in 0..p {
+            for &r in &qr {
+                let y = field.add(x, r);
+                if x < y {
+                    edges.push((x as VertexId, y as VertexId));
+                }
+            }
+        }
+        let graph = CsrGraph::from_edges(p as usize, &edges);
+        debug_assert_eq!(graph.regular_degree(), Some(((p - 1) / 2) as usize));
+        Ok(PaleyGraph { p, graph })
+    }
+
+    /// The prime parameter.
+    pub fn p(&self) -> u64 {
+        self.p
+    }
+}
+
+impl Topology for PaleyGraph {
+    fn name(&self) -> String {
+        format!("Paley({})", self.p)
+    }
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectralfly_graph::metrics::{diameter_and_mean_distance, is_connected};
+    use spectralfly_graph::spectral::spectral_summary;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(PaleyGraph::new(7).is_err()); // 7 ≡ 3 (mod 4)
+        assert!(PaleyGraph::new(12).is_err()); // not a prime power
+        assert!(PaleyGraph::new(27).is_err()); // 27 ≡ 3 (mod 4)
+    }
+
+    #[test]
+    fn prime_power_paley_9() {
+        // Paley(9) is the 3x3 rook's graph complement-free classic: 4-regular, diameter 2.
+        let g = PaleyGraph::new(9).unwrap();
+        assert_eq!(g.graph().num_vertices(), 9);
+        assert_eq!(g.graph().regular_degree(), Some(4));
+        let (diam, _) = diameter_and_mean_distance(g.graph()).unwrap();
+        assert_eq!(diam, 2);
+    }
+
+    #[test]
+    fn paley_13_structure() {
+        let g = PaleyGraph::new(13).unwrap();
+        assert_eq!(g.graph().num_vertices(), 13);
+        assert_eq!(g.graph().regular_degree(), Some(6));
+        assert!(is_connected(g.graph()));
+        let (diam, _) = diameter_and_mean_distance(g.graph()).unwrap();
+        assert_eq!(diam, 2);
+    }
+
+    #[test]
+    fn paley_5_is_the_5_cycle() {
+        let g = PaleyGraph::new(5).unwrap();
+        assert_eq!(g.graph().regular_degree(), Some(2));
+        assert_eq!(g.graph().num_edges(), 5);
+    }
+
+    #[test]
+    fn paley_spectrum_is_conference_graph() {
+        // Paley(p) eigenvalues: (p-1)/2 and (-1 ± sqrt(p))/2.
+        let g = PaleyGraph::new(17).unwrap();
+        let s = spectral_summary(g.graph(), 17, 3);
+        let expected = (-1.0 + 17.0_f64.sqrt()) / 2.0;
+        assert!((s.lambda2 - expected).abs() < 1e-6, "lambda2 {}", s.lambda2);
+    }
+
+    #[test]
+    fn table1_paley_factors_build() {
+        for p in [13u64, 37, 97, 137, 157] {
+            let g = PaleyGraph::new(p).unwrap();
+            assert_eq!(g.graph().regular_degree(), Some(((p - 1) / 2) as usize));
+        }
+    }
+}

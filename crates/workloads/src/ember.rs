@@ -1,0 +1,261 @@
+//! Ember-style application communication motifs (Section VI-D of the paper).
+//!
+//! Each generator produces a phased [`Workload`]: messages within a phase inject together,
+//! and a phase begins only when the previous phase has drained, which mirrors the
+//! bulk-synchronous (halo, FFT) or wavefront (Sweep3D) dependency structure of the original
+//! MPI skeletons that SST/macro intercepts.
+
+use crate::grid::Grid3;
+use spectralfly_simnet::workload::{Message, Phase, Workload};
+
+/// Balanced vs unbalanced FFT decomposition (Fig. 9/10 distinguish the two).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FftBalance {
+    /// Near-square X/Y pencil grid: small, equal-sized all-to-all sub-communicators.
+    Balanced,
+    /// Skewed decomposition: one dimension carries much larger all-to-all groups.
+    Unbalanced,
+}
+
+/// Halo3D-26: every rank exchanges a message with each of its ≤ 26 face, edge, and corner
+/// neighbours in a 3-D grid, for `iterations` bulk-synchronous steps.
+///
+/// `face_bytes` is the message size for face neighbours; edge and corner messages are
+/// scaled down (×1/4 and ×1/16) the way a real stencil's halo surface areas shrink.
+pub fn halo3d_26(grid: Grid3, iterations: usize, face_bytes: u64) -> Workload {
+    let mut phases = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let mut messages = Vec::new();
+        for r in 0..grid.ranks() {
+            let (x, y, z) = grid.coord(r);
+            for dx in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    for dz in -1i64..=1 {
+                        if dx == 0 && dy == 0 && dz == 0 {
+                            continue;
+                        }
+                        let Some(dst) = grid.neighbor(x, y, z, dx, dy, dz) else { continue };
+                        let dim = (dx != 0) as u32 + (dy != 0) as u32 + (dz != 0) as u32;
+                        let bytes = match dim {
+                            1 => face_bytes,
+                            2 => (face_bytes / 4).max(1),
+                            _ => (face_bytes / 16).max(1),
+                        };
+                        messages.push(Message { src: r, dst, bytes, inject_offset_ps: 0 });
+                    }
+                }
+            }
+        }
+        phases.push(Phase { messages });
+    }
+    Workload { phases, name: format!("halo3d-26 {}x{}x{}", grid.nx, grid.ny, grid.nz) }
+}
+
+/// Sweep3D: a wavefront over a 2-D process array (the 3-D domain is decomposed over X and Y;
+/// Z is swept in `kba_blocks` blocks). Each corner-origin sweep propagates diagonally: rank
+/// `(i, j)` receives from its upwind neighbours and sends to its downwind neighbours, so the
+/// ranks on anti-diagonal `d` form dependency level `d`. Each anti-diagonal becomes a phase.
+///
+/// `sweeps` full corner sweeps are generated (real Sweep3D does 8 octants; 2 opposing
+/// corners already exercise both diagonal directions and keep workloads manageable).
+pub fn sweep3d(px: usize, py: usize, kba_blocks: usize, bytes: u64, sweeps: usize) -> Workload {
+    assert!(px >= 1 && py >= 1 && kba_blocks >= 1 && sweeps >= 1);
+    let rank = |i: usize, j: usize| i + px * j;
+    let mut phases = Vec::new();
+    for s in 0..sweeps {
+        // Alternate the sweep origin between the (0,0) corner and the (px-1, py-1) corner.
+        let reverse = s % 2 == 1;
+        for _block in 0..kba_blocks {
+            // Anti-diagonal d contains ranks with i + j == d.
+            for d in 0..(px + py - 1) {
+                let mut messages = Vec::new();
+                for i in 0..px {
+                    if d < i {
+                        continue;
+                    }
+                    let j = d - i;
+                    if j >= py {
+                        continue;
+                    }
+                    // Send to downwind neighbours (i+1, j) and (i, j+1) (mirrored when reversed).
+                    let (ci, cj) = if reverse { (px - 1 - i, py - 1 - j) } else { (i, j) };
+                    let targets: [(i64, i64); 2] = if reverse { [(-1, 0), (0, -1)] } else { [(1, 0), (0, 1)] };
+                    for (di, dj) in targets {
+                        let ni = ci as i64 + di;
+                        let nj = cj as i64 + dj;
+                        if ni < 0 || nj < 0 || ni >= px as i64 || nj >= py as i64 {
+                            continue;
+                        }
+                        messages.push(Message {
+                            src: rank(ci, cj),
+                            dst: rank(ni as usize, nj as usize),
+                            bytes,
+                            inject_offset_ps: 0,
+                        });
+                    }
+                }
+                if !messages.is_empty() {
+                    phases.push(Phase { messages });
+                }
+            }
+        }
+    }
+    Workload { phases, name: format!("sweep3d {px}x{py} kba={kba_blocks}") }
+}
+
+/// 3-D FFT: ranks are arranged on an `nx × ny` pencil grid (each owning a Z-pencil of the
+/// domain); the transform requires an all-to-all within every X-row sub-communicator, then
+/// an all-to-all within every Y-column sub-communicator. Each all-to-all round is a phase.
+///
+/// * [`FftBalance::Balanced`]: `nx ≈ ny ≈ √ranks` — many small all-to-alls.
+/// * [`FftBalance::Unbalanced`]: `nx = ranks / unbalanced_rows`, `ny = unbalanced_rows`
+///   with a small `unbalanced_rows` (default 4) — the X all-to-alls become very large.
+pub fn fft3d(ranks: usize, balance: FftBalance, bytes_per_pair: u64, iterations: usize) -> Workload {
+    assert!(ranks >= 4);
+    let (nx, ny) = match balance {
+        FftBalance::Balanced => {
+            let mut nx = (ranks as f64).sqrt().round() as usize;
+            while nx > 1 && ranks % nx != 0 {
+                nx -= 1;
+            }
+            (nx.max(1), ranks / nx.max(1))
+        }
+        FftBalance::Unbalanced => {
+            let mut ny = 4usize.min(ranks / 2);
+            while ny > 1 && ranks % ny != 0 {
+                ny -= 1;
+            }
+            (ranks / ny.max(1), ny.max(1))
+        }
+    };
+    let rank = |x: usize, y: usize| x + nx * y;
+    let mut phases = Vec::new();
+    for _ in 0..iterations {
+        // Phase 1: all-to-all within each row (fixed y, all x exchange).
+        let mut row_msgs = Vec::new();
+        for y in 0..ny {
+            for x1 in 0..nx {
+                for x2 in 0..nx {
+                    if x1 == x2 {
+                        continue;
+                    }
+                    row_msgs.push(Message {
+                        src: rank(x1, y),
+                        dst: rank(x2, y),
+                        bytes: bytes_per_pair,
+                        inject_offset_ps: 0,
+                    });
+                }
+            }
+        }
+        phases.push(Phase { messages: row_msgs });
+        // Phase 2: all-to-all within each column (fixed x, all y exchange).
+        let mut col_msgs = Vec::new();
+        for x in 0..nx {
+            for y1 in 0..ny {
+                for y2 in 0..ny {
+                    if y1 == y2 {
+                        continue;
+                    }
+                    col_msgs.push(Message {
+                        src: rank(x, y1),
+                        dst: rank(x, y2),
+                        bytes: bytes_per_pair,
+                        inject_offset_ps: 0,
+                    });
+                }
+            }
+        }
+        phases.push(Phase { messages: col_msgs });
+    }
+    let tag = match balance {
+        FftBalance::Balanced => "balanced",
+        FftBalance::Unbalanced => "unbalanced",
+    };
+    Workload { phases, name: format!("fft3d-{tag} {nx}x{ny}") }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectralfly_graph::CsrGraph;
+    use spectralfly_simnet::{SimConfig, SimNetwork, Simulator};
+
+    #[test]
+    fn halo_interior_rank_has_26_neighbors() {
+        let g = Grid3::new(4, 4, 4);
+        let wl = halo3d_26(g, 1, 4096);
+        let interior = g.rank(1, 1, 1);
+        let sent = wl.phases[0]
+            .messages
+            .iter()
+            .filter(|m| m.src == interior)
+            .count();
+        assert_eq!(sent, 26);
+        // Corner rank has only 7 neighbours.
+        let corner = g.rank(0, 0, 0);
+        let sent_corner = wl.phases[0].messages.iter().filter(|m| m.src == corner).count();
+        assert_eq!(sent_corner, 7);
+    }
+
+    #[test]
+    fn halo_messages_scale_by_dimensionality() {
+        let g = Grid3::new(3, 3, 3);
+        let wl = halo3d_26(g, 2, 1600);
+        assert_eq!(wl.phases.len(), 2);
+        let sizes: std::collections::HashSet<u64> =
+            wl.phases[0].messages.iter().map(|m| m.bytes).collect();
+        assert!(sizes.contains(&1600) && sizes.contains(&400) && sizes.contains(&100));
+    }
+
+    #[test]
+    fn sweep_phases_follow_antidiagonals() {
+        let wl = sweep3d(4, 4, 1, 2048, 1);
+        // 4x4 array: anti-diagonals 0..6, the last one (corner) sends nothing -> 6 phases.
+        assert_eq!(wl.phases.len(), 6);
+        // First phase: only rank (0,0) sends, to (1,0) and (0,1).
+        let first = &wl.phases[0].messages;
+        assert_eq!(first.len(), 2);
+        assert!(first.iter().all(|m| m.src == 0));
+        // Message count across a full sweep equals the number of directed downwind pairs.
+        let total: usize = wl.phases.iter().map(|p| p.messages.len()).sum();
+        assert_eq!(total, 2 * 4 * 3); // 2 directions * 4 rows/cols * 3 forward links each
+    }
+
+    #[test]
+    fn fft_balanced_vs_unbalanced_group_sizes() {
+        let bal = fft3d(64, FftBalance::Balanced, 1024, 1);
+        let unb = fft3d(64, FftBalance::Unbalanced, 1024, 1);
+        // Balanced: 8x8 grid -> row phase has 8 rows x 8x7 msgs = 448.
+        assert_eq!(bal.phases[0].messages.len(), 8 * 8 * 7);
+        // Unbalanced: 16x4 grid -> row phase has 4 rows x 16x15 = 960 messages (bigger groups).
+        assert_eq!(unb.phases[0].messages.len(), 4 * 16 * 15);
+        assert!(unb.phases[0].messages.len() > bal.phases[0].messages.len());
+        // Both have 2 phases per iteration.
+        assert_eq!(bal.phases.len(), 2);
+    }
+
+    #[test]
+    fn motifs_run_end_to_end_on_a_small_network() {
+        // Smoke test: run each motif through the simulator on a tiny complete graph.
+        let mut edges = Vec::new();
+        for u in 0..8u32 {
+            for v in (u + 1)..8u32 {
+                edges.push((u, v));
+            }
+        }
+        let net = SimNetwork::new(CsrGraph::from_edges(8, &edges), 8); // 64 endpoints
+        let cfg = SimConfig::default();
+        let sim = Simulator::new(&net, &cfg);
+        for wl in [
+            halo3d_26(Grid3::new(4, 4, 4), 1, 1024),
+            sweep3d(8, 8, 1, 1024, 1),
+            fft3d(64, FftBalance::Balanced, 256, 1),
+            fft3d(64, FftBalance::Unbalanced, 256, 1),
+        ] {
+            let res = sim.run(&wl);
+            assert_eq!(res.delivered_messages as usize, wl.num_messages(), "{}", wl.name);
+            assert!(res.completion_time_ps > 0);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Rank grids: mapping MPI-style ranks onto 2-D / 3-D logical process grids.
+
+/// A 3-D logical process grid with X-fastest rank ordering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid3 {
+    /// Extent in X.
+    pub nx: usize,
+    /// Extent in Y.
+    pub ny: usize,
+    /// Extent in Z.
+    pub nz: usize,
+}
+
+impl Grid3 {
+    /// Create a grid; every extent must be at least 1.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx >= 1 && ny >= 1 && nz >= 1, "grid extents must be positive");
+        Grid3 { nx, ny, nz }
+    }
+
+    /// A near-cubic grid factorization of `ranks` (the largest factors first in Z),
+    /// convenient for sizing motifs to a rank count: `nx * ny * nz == ranks`.
+    pub fn near_cubic(ranks: usize) -> Self {
+        assert!(ranks >= 1);
+        let mut best = (1usize, 1usize, ranks);
+        let mut best_score = usize::MAX;
+        let mut d1 = 1usize;
+        while d1 * d1 * d1 <= ranks {
+            if ranks % d1 == 0 {
+                let rem = ranks / d1;
+                let mut d2 = d1;
+                while d2 * d2 <= rem {
+                    if rem % d2 == 0 {
+                        let d3 = rem / d2;
+                        let score = d3 - d1; // spread between extremes
+                        if score < best_score {
+                            best_score = score;
+                            best = (d1, d2, d3);
+                        }
+                    }
+                    d2 += 1;
+                }
+            }
+            d1 += 1;
+        }
+        Grid3::new(best.0, best.1, best.2)
+    }
+
+    /// Total ranks.
+    pub fn ranks(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Rank of grid coordinate `(x, y, z)`.
+    pub fn rank(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        x + self.nx * (y + self.ny * z)
+    }
+
+    /// Grid coordinate of a rank.
+    pub fn coord(&self, rank: usize) -> (usize, usize, usize) {
+        debug_assert!(rank < self.ranks());
+        (rank % self.nx, (rank / self.nx) % self.ny, rank / (self.nx * self.ny))
+    }
+
+    /// The neighbour at offset `(dx, dy, dz)` from `(x, y, z)`, without periodic wrap.
+    pub fn neighbor(
+        &self,
+        x: usize,
+        y: usize,
+        z: usize,
+        dx: i64,
+        dy: i64,
+        dz: i64,
+    ) -> Option<usize> {
+        let nx = x as i64 + dx;
+        let ny_ = y as i64 + dy;
+        let nz_ = z as i64 + dz;
+        if nx < 0
+            || ny_ < 0
+            || nz_ < 0
+            || nx >= self.nx as i64
+            || ny_ >= self.ny as i64
+            || nz_ >= self.nz as i64
+        {
+            None
+        } else {
+            Some(self.rank(nx as usize, ny_ as usize, nz_ as usize))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let g = Grid3::new(4, 3, 5);
+        for r in 0..g.ranks() {
+            let (x, y, z) = g.coord(r);
+            assert_eq!(g.rank(x, y, z), r);
+        }
+    }
+
+    #[test]
+    fn near_cubic_factorizations() {
+        assert_eq!(Grid3::near_cubic(8), Grid3::new(2, 2, 2));
+        assert_eq!(Grid3::near_cubic(64), Grid3::new(4, 4, 4));
+        let g = Grid3::near_cubic(8192);
+        assert_eq!(g.ranks(), 8192);
+        assert!(g.nz <= 4 * g.nx, "factorization too skewed: {g:?}");
+        // Prime rank counts degenerate gracefully.
+        assert_eq!(Grid3::near_cubic(7).ranks(), 7);
+    }
+
+    #[test]
+    fn neighbors_respect_boundaries() {
+        let g = Grid3::new(3, 3, 3);
+        assert_eq!(g.neighbor(0, 0, 0, -1, 0, 0), None);
+        assert_eq!(g.neighbor(0, 0, 0, 1, 0, 0), Some(g.rank(1, 0, 0)));
+        assert_eq!(g.neighbor(2, 2, 2, 1, 0, 0), None);
+        assert_eq!(g.neighbor(1, 1, 1, 1, 1, 1), Some(g.rank(2, 2, 2)));
+    }
+}

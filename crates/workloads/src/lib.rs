@@ -1,0 +1,23 @@
+//! # spectralfly-workloads
+//!
+//! Application communication motifs from the Ember Communication Pattern Library, expressed
+//! as phased message workloads for `spectralfly-simnet` (Section VI-D of the paper):
+//!
+//! * [`ember::halo3d_26`] — 26-point nearest-neighbour (stencil) exchange over a 3-D rank grid;
+//! * [`ember::sweep3d`] — wavefront sweeps over a 2-D process array (particle transport);
+//! * [`ember::fft3d`] — sub-communicator all-to-alls along the X and Y pencils of a 3-D
+//!   domain decomposition, in balanced and unbalanced variants;
+//!
+//! plus the synthetic micro-benchmark patterns re-exported from the simulator crate
+//! (uniform random, bit shuffle, bit reverse, transpose) and the random rank-placement
+//! helper used when a job under-subscribes the machine.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ember;
+pub mod grid;
+
+pub use ember::{fft3d, halo3d_26, sweep3d, FftBalance};
+pub use grid::Grid3;
+pub use spectralfly_simnet::workload::{random_placement, Message, Phase, Workload};

@@ -1,0 +1,37 @@
+//! Random link-failure resilience of SpectralFly vs SlimFly (a miniature of Fig. 5): how do
+//! diameter and mean hop count degrade as links fail?
+//!
+//! Run with: `cargo run --release --example failure_resilience`
+
+use spectralfly_graph::failures::{failure_sweep, FailureMetric, TrialConfig};
+use spectralfly_topology::{LpsGraph, SlimFlyGraph, Topology};
+
+fn main() {
+    let lps = LpsGraph::new(23, 11).unwrap();
+    let sf = SlimFlyGraph::new(17).unwrap();
+    let proportions = [0.0, 0.1, 0.2, 0.3, 0.4];
+    let cfg = TrialConfig { max_trials: 20, ..Default::default() };
+
+    for (metric, label) in [
+        (FailureMetric::Diameter, "diameter"),
+        (FailureMetric::MeanDistance, "mean hop count"),
+    ] {
+        println!("\n{label} under random link failures");
+        print!("{:<12}", "topology");
+        for p in proportions {
+            print!(" {:>7.0}%", p * 100.0);
+        }
+        println!();
+        for (name, graph) in [("LPS(23,11)", lps.graph()), ("SF(17)", sf.graph())] {
+            let sweep = failure_sweep(graph, &proportions, metric, &cfg, 0xFA11);
+            print!("{name:<12}");
+            for point in sweep {
+                print!(" {:>8.2}", point.mean);
+            }
+            println!();
+        }
+    }
+    println!("\nExpected shape (paper, Fig. 5): SlimFly starts with diameter 2 but degrades to ~4");
+    println!("at 10% failures; LPS starts at 3 and degrades more slowly. SlimFly keeps a small");
+    println!("edge in mean hop count throughout.");
+}

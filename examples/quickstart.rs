@@ -1,0 +1,40 @@
+//! Quickstart: build a SpectralFly network, inspect its structural properties, and verify
+//! the Ramanujan property — the 60-second tour of the library.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use spectralfly::network::SpectralFlyNetwork;
+use spectralfly::profile::{profile_graph, ProfileConfig};
+use spectralfly_graph::spectral::spectral_summary;
+
+fn main() {
+    // The paper's smallest Table-I instance: LPS(11, 7) with 4 endpoints per router.
+    let net = SpectralFlyNetwork::new(11, 7, 4).expect("valid LPS parameters");
+    println!("network      : {}", net.name());
+    println!("routers      : {}", net.num_routers());
+    println!("endpoints    : {}", net.num_endpoints());
+    println!("network radix: {}", net.network_radix());
+    println!("router ports : {}", net.router_ports());
+
+    // Structural profile (Table I columns).
+    let profile = profile_graph(&net.name(), net.router_graph(), &ProfileConfig::default());
+    println!("\nstructural profile");
+    println!("  diameter        : {}", profile.diameter);
+    println!("  mean distance   : {:.3}", profile.mean_distance);
+    println!("  girth           : {:?}", profile.girth);
+    println!("  mu1             : {:.3}", profile.mu1.unwrap_or(f64::NAN));
+    println!(
+        "  bisection (links): [{:.0}, {}]",
+        profile.bisection_lower.unwrap_or(0.0),
+        profile.bisection_upper.unwrap_or(0)
+    );
+
+    // The Ramanujan certificate: |lambda(G)| <= 2 sqrt(k - 1).
+    let s = spectral_summary(net.router_graph(), 100, 42);
+    let bound = 2.0 * ((net.network_radix() - 1) as f64).sqrt();
+    println!("\nspectral certificate");
+    println!("  lambda(G)        : {:.4}", s.lambda_nontrivial);
+    println!("  2 sqrt(k-1)      : {:.4}", bound);
+    println!("  Ramanujan        : {}", s.ramanujan);
+    assert!(s.ramanujan, "LPS graphs are Ramanujan by construction");
+}
