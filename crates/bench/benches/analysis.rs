@@ -43,11 +43,19 @@ fn bench_bisection_ablation(c: &mut Criterion) {
         b.iter(|| bisect(lps.graph(), &cfg, 3))
     });
     group.bench_function("flat_fm_only", |b| {
-        let cfg = BisectConfig { multilevel: false, ..Default::default() };
+        let cfg = BisectConfig {
+            multilevel: false,
+            ..Default::default()
+        };
         b.iter(|| bisect(lps.graph(), &cfg, 3))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_metrics, bench_spectral, bench_bisection_ablation);
+criterion_group!(
+    benches,
+    bench_metrics,
+    bench_spectral,
+    bench_bisection_ablation
+);
 criterion_main!(benches);

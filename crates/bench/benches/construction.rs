@@ -9,9 +9,11 @@ fn bench_lps(c: &mut Criterion) {
     let mut group = c.benchmark_group("construction/lps");
     group.sample_size(10);
     for (p, q) in [(11u64, 7u64), (23, 11), (23, 13)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{p}_{q}")), &(p, q), |b, &(p, q)| {
-            b.iter(|| LpsGraph::new(p, q).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{p}_{q}")),
+            &(p, q),
+            |b, &(p, q)| b.iter(|| LpsGraph::new(p, q).unwrap()),
+        );
     }
     group.finish();
 }
@@ -21,11 +23,15 @@ fn bench_other_topologies(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("slimfly_17", |b| b.iter(|| SlimFlyGraph::new(17).unwrap()));
     group.bench_function("slimfly_27", |b| b.iter(|| SlimFlyGraph::new(27).unwrap()));
-    group.bench_function("bundlefly_13_3", |b| b.iter(|| BundleFlyGraph::new(13, 3).unwrap()));
+    group.bench_function("bundlefly_13_3", |b| {
+        b.iter(|| BundleFlyGraph::new(13, 3).unwrap())
+    });
     group.bench_function("dragonfly_24", |b| {
         b.iter(|| CanonicalDragonFly::new(24, GlobalArrangement::Circulant).unwrap())
     });
-    group.bench_function("jellyfish_660_24", |b| b.iter(|| JellyFishGraph::new(660, 24, 7).unwrap()));
+    group.bench_function("jellyfish_660_24", |b| {
+        b.iter(|| JellyFishGraph::new(660, 24, 7).unwrap())
+    });
     group.finish();
 }
 

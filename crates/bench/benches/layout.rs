@@ -11,7 +11,10 @@ fn bench_placement(c: &mut Criterion) {
     group.sample_size(10);
     for iters in [5_000usize, 20_000, 60_000] {
         group.bench_function(format!("anneal_{iters}"), |b| {
-            let cfg = QapConfig { anneal_iters: iters, ..Default::default() };
+            let cfg = QapConfig {
+                anneal_iters: iters,
+                ..Default::default()
+            };
             b.iter(|| place_topology(lps.graph(), &cfg))
         });
     }
@@ -20,8 +23,13 @@ fn bench_placement(c: &mut Criterion) {
 
 fn bench_latency(c: &mut Criterion) {
     let lps = LpsGraph::new(11, 7).unwrap();
-    let placement =
-        place_topology(lps.graph(), &QapConfig { anneal_iters: 10_000, ..Default::default() });
+    let placement = place_topology(
+        lps.graph(),
+        &QapConfig {
+            anneal_iters: 10_000,
+            ..Default::default()
+        },
+    );
     let mut group = c.benchmark_group("layout/latency");
     group.sample_size(10);
     group.bench_function("profile_lps_11_7", |b| {

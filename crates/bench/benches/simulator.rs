@@ -10,10 +10,16 @@ fn bench_routing_algorithms(c: &mut Criterion) {
     let topo = &simulation_topologies(Scale::Small)[0];
     let net = topo.network();
     let placement = random_placement(256, net.num_endpoints(), 1);
-    let wl = Workload::synthetic("random", 8, 4, 4096, 2).unwrap().place(&placement);
+    let wl = Workload::synthetic("random", 8, 4, 4096, 2)
+        .unwrap()
+        .place(&placement);
     let mut group = c.benchmark_group("simulator/routing");
     group.sample_size(10);
-    for routing in [RoutingAlgorithm::Minimal, RoutingAlgorithm::Valiant, RoutingAlgorithm::UgalL] {
+    for routing in [
+        RoutingAlgorithm::Minimal,
+        RoutingAlgorithm::Valiant,
+        RoutingAlgorithm::UgalL,
+    ] {
         group.bench_function(format!("{routing}"), |b| {
             let cfg = paper_sim_config(&net, routing, 3);
             let sim = Simulator::new(&net, &cfg);
@@ -27,7 +33,9 @@ fn bench_ugal_threshold_ablation(c: &mut Criterion) {
     let topo = &simulation_topologies(Scale::Small)[0];
     let net = topo.network();
     let placement = random_placement(256, net.num_endpoints(), 1);
-    let wl = Workload::synthetic("transpose", 8, 4, 4096, 2).unwrap().place(&placement);
+    let wl = Workload::synthetic("transpose", 8, 4, 4096, 2)
+        .unwrap()
+        .place(&placement);
     let mut group = c.benchmark_group("simulator/ugal_threshold");
     group.sample_size(10);
     for threshold in [0.0f64, 1.0, 4.0] {
@@ -45,7 +53,9 @@ fn bench_vc_count_ablation(c: &mut Criterion) {
     let topo = &simulation_topologies(Scale::Small)[0];
     let net = topo.network();
     let placement = random_placement(256, net.num_endpoints(), 1);
-    let wl = Workload::synthetic("shuffle", 8, 4, 4096, 2).unwrap().place(&placement);
+    let wl = Workload::synthetic("shuffle", 8, 4, 4096, 2)
+        .unwrap()
+        .place(&placement);
     let mut group = c.benchmark_group("simulator/vc_count");
     group.sample_size(10);
     for vcs in [4usize, 8, 12] {

@@ -21,19 +21,31 @@ fn arg(name: &str, default: u64) -> u64 {
 fn main() {
     let pairs = arg("--pairs", 2) as usize;
     let switch_latencies: Vec<f64> = vec![0.0, 50.0, 100.0, 150.0, 200.0, 250.0];
-    let qap = QapConfig { anneal_iters: arg("--anneal", 40_000) as usize, ..Default::default() };
+    let qap = QapConfig {
+        anneal_iters: arg("--anneal", 40_000) as usize,
+        ..Default::default()
+    };
 
     let mut avg_rows = Vec::new();
     let mut max_rows = Vec::new();
     for ((p, q), sf_q) in table2_pairs().into_iter().take(pairs) {
         for (name, graph) in [
-            (format!("LPS({p},{q})"), LpsGraph::new(p, q).unwrap().graph().clone()),
-            (format!("SlimFly({sf_q})"), SlimFlyGraph::new(sf_q).unwrap().graph().clone()),
+            (
+                format!("LPS({p},{q})"),
+                LpsGraph::new(p, q).unwrap().graph().clone(),
+            ),
+            (
+                format!("SlimFly({sf_q})"),
+                SlimFlyGraph::new(sf_q).unwrap().graph().clone(),
+            ),
         ] {
             let placement = place_topology(&graph, &qap);
             // SkyWalk baseline in the same room with the same radix.
             let positions = placement.router_positions_m();
-            let sky_cfg = SkyWalkConfig { radix: graph.max_degree(), ..Default::default() };
+            let sky_cfg = SkyWalkConfig {
+                radix: graph.max_degree(),
+                ..Default::default()
+            };
             let sky = SkyWalkGraph::new(&positions, &sky_cfg, 0x5111).expect("SkyWalk builds");
             let sky_placement = place_topology(sky.graph(), &qap);
 

@@ -22,7 +22,10 @@ fn main() {
     for class in table1_size_classes().into_iter().take(classes) {
         for spec in class {
             let graph = spec.build().expect("size-class spec builds");
-            let cfg = ProfileConfig { bisection_restarts: 2, ..Default::default() };
+            let cfg = ProfileConfig {
+                bisection_restarts: 2,
+                ..Default::default()
+            };
             let p = profile_graph(&spec.name(), &graph, &cfg);
             rows.push(vec![
                 p.name.clone(),
@@ -35,7 +38,13 @@ fn main() {
     }
     print_table(
         "Fig. 4 (lower-right): bisection bandwidth comparison (links)",
-        &["Topology", "Routers", "Spectral lower", "Partitioner upper", "Normalized"],
+        &[
+            "Topology",
+            "Routers",
+            "Spectral lower",
+            "Partitioner upper",
+            "Normalized",
+        ],
         &rows,
     );
 }

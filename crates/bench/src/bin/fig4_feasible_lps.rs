@@ -17,7 +17,10 @@ fn main() {
     let ds = DesignSpace::new(limit);
     let mut points = ds.feasible_points();
     points.sort_unstable();
-    println!("# LPS design space for p, q < {limit}: {} feasible instances", points.len());
+    println!(
+        "# LPS design space for p, q < {limit}: {} feasible instances",
+        points.len()
+    );
     println!("# columns: radix  vertices");
     for (radix, n) in &points {
         println!("{radix} {n}");

@@ -29,9 +29,11 @@ fn main() {
         if spec.num_routers() > max_vertices {
             continue;
         }
-        let TopologySpec::Lps { p, q } = spec else { continue };
+        let TopologySpec::Lps { p, q } = spec else {
+            continue;
+        };
         let g = spec.build().expect("valid LPS spec");
-        let nb = normalized_bisection_bandwidth(&g, restarts, 0xF16_4);
+        let nb = normalized_bisection_bandwidth(&g, restarts, 0xF164);
         rows.push(vec![
             format!("LPS({p},{q})"),
             spec.radix().to_string(),
@@ -39,7 +41,11 @@ fn main() {
             fmt(nb),
         ]);
     }
-    rows.sort_by(|a, b| a[1].parse::<u64>().unwrap().cmp(&b[1].parse::<u64>().unwrap()));
+    rows.sort_by(|a, b| {
+        a[1].parse::<u64>()
+            .unwrap()
+            .cmp(&b[1].parse::<u64>().unwrap())
+    });
     print_table(
         "Fig. 4 (upper-right): normalized bisection bandwidth of LPS graphs",
         &["Instance", "Radix", "Vertices", "BW / (nk/2)"],

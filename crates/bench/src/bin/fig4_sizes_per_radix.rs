@@ -24,10 +24,8 @@ fn main() {
     ];
     println!("# Fig. 4 (lower-left): feasible sizes per radix (columns: family radix vertices)");
     for (name, specs) in &families {
-        let mut points: Vec<(u64, u64)> = specs
-            .iter()
-            .map(|s| (s.radix(), s.num_routers()))
-            .collect();
+        let mut points: Vec<(u64, u64)> =
+            specs.iter().map(|s| (s.radix(), s.num_routers())).collect();
         points.sort_unstable();
         points.dedup();
         for (radix, n) in points {

@@ -1,13 +1,19 @@
-//! Fig. 6: speedup relative to DragonFly under UGAL-L routing for the random, bit-shuffle,
+//! Fig. 6: speedup relative to DragonFly under UGAL routing for the random, bit-shuffle,
 //! bit-reverse and transpose micro-benchmarks across offered loads.
 //!
-//! Usage: `cargo run --release -p spectralfly-bench --bin fig6_microbench_ugal [--full]`
-//! (default is the small scale; `--full` uses the paper's ~8.7K-endpoint configuration and
-//! takes much longer).
+//! Usage: `cargo run --release -p spectralfly-bench --bin fig6_microbench_ugal
+//! [--full] [--routing ugal-l,ugal-g|all]`
+//!
+//! Default is the small scale under UGAL-L; `--full` uses the paper's ~8.7K-endpoint
+//! configuration, and `--routing` selects any set of registry algorithms (one table
+//! per algorithm). Load points of a sweep run in parallel, one simulation per core.
 
-use spectralfly_bench::{fmt, paper_sim_config, print_table, simulation_topologies, Scale, OFFERED_LOADS};
-use spectralfly_simnet::{RoutingAlgorithm, Simulator, Workload};
+use spectralfly_bench::{
+    fmt, paper_sim_config, print_table, routing_names_from_args, simulation_topologies,
+    sweep_offered_loads, Scale, OFFERED_LOADS,
+};
 use spectralfly_simnet::workload::random_placement;
+use spectralfly_simnet::Workload;
 
 fn main() {
     let scale = Scale::from_args();
@@ -16,41 +22,44 @@ fn main() {
     let topologies = simulation_topologies(scale);
     let patterns = ["random", "shuffle", "reverse", "transpose"];
 
-    for pattern in patterns {
-        let mut rows = Vec::new();
-        // Baseline completion times: DragonFly (last entry) at each load.
-        let mut results: Vec<Vec<f64>> = Vec::new(); // [topology][load] completion ns
-        for topo in &topologies {
-            let net = topo.network();
-            let cfg = paper_sim_config(&net, RoutingAlgorithm::UgalL, 0xF16);
-            let sim = Simulator::new(&net, &cfg);
-            let ranks = 1usize << bits;
-            let placement = random_placement(ranks, net.num_endpoints(), 0xBEEF);
-            let wl = Workload::synthetic(pattern, bits, msgs, 4096, 0xABCD)
-                .expect("known pattern")
-                .place(&placement);
-            let mut per_load = Vec::new();
-            for &load in &OFFERED_LOADS {
-                let res = sim.run_with_offered_load(&wl, load);
-                per_load.push(res.completion_time_ps as f64 / 1000.0);
+    for routing in routing_names_from_args(&["ugal-l"]) {
+        for pattern in patterns {
+            let mut rows = Vec::new();
+            // Baseline completion times: DragonFly (last entry) at each load.
+            let mut results: Vec<Vec<f64>> = Vec::new(); // [topology][load] completion ns
+            for topo in &topologies {
+                let net = topo.network();
+                let cfg = paper_sim_config(&net, routing.clone(), 0xF16);
+                let ranks = 1usize << bits;
+                let placement = random_placement(ranks, net.num_endpoints(), 0xBEEF);
+                let wl = Workload::synthetic(pattern, bits, msgs, 4096, 0xABCD)
+                    .expect("known pattern")
+                    .place(&placement);
+                let per_load: Vec<f64> = sweep_offered_loads(&net, &cfg, &wl, &OFFERED_LOADS)
+                    .into_iter()
+                    .map(|(_, res)| res.completion_time_ps as f64 / 1000.0)
+                    .collect();
+                results.push(per_load);
             }
-            results.push(per_load);
-        }
-        let dragonfly = results.last().expect("DragonFly is the last topology").clone();
-        for (topo, per_load) in topologies.iter().zip(&results) {
-            let mut row = vec![topo.name.clone()];
-            for (i, &t) in per_load.iter().enumerate() {
-                row.push(fmt(dragonfly[i] / t));
+            let dragonfly = results
+                .last()
+                .expect("DragonFly is the last topology")
+                .clone();
+            for (topo, per_load) in topologies.iter().zip(&results) {
+                let mut row = vec![topo.name.clone()];
+                for (i, &t) in per_load.iter().enumerate() {
+                    row.push(fmt(dragonfly[i] / t));
+                }
+                rows.push(row);
             }
-            rows.push(row);
+            let mut header: Vec<String> = vec!["Topology".to_string()];
+            header.extend(OFFERED_LOADS.iter().map(|l| format!("load {l}")));
+            let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+            print_table(
+                &format!("Fig. 6 ({pattern}): speedup over DragonFly under {routing} routing"),
+                &header_refs,
+                &rows,
+            );
         }
-        let mut header: Vec<String> = vec!["Topology".to_string()];
-        header.extend(OFFERED_LOADS.iter().map(|l| format!("load {l}")));
-        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-        print_table(
-            &format!("Fig. 6 ({pattern}): speedup over DragonFly under UGAL-L routing"),
-            &header_refs,
-            &rows,
-        );
     }
 }

@@ -3,7 +3,9 @@
 //!
 //! Usage: `cargo run --release -p spectralfly-bench --bin fig7_minimal_random [--full]`
 
-use spectralfly_bench::{fmt, paper_sim_config, print_table, simulation_topologies, Scale, OFFERED_LOADS};
+use spectralfly_bench::{
+    fmt, paper_sim_config, print_table, simulation_topologies, Scale, OFFERED_LOADS,
+};
 use spectralfly_simnet::workload::random_placement;
 use spectralfly_simnet::{RoutingAlgorithm, Simulator, Workload};
 

@@ -23,7 +23,10 @@ fn main() {
     for class in table1_size_classes().into_iter().take(classes) {
         for spec in class {
             let graph = spec.build().expect("size-class spec builds");
-            let cfg = ProfileConfig { skip_bisection: true, ..Default::default() };
+            let cfg = ProfileConfig {
+                skip_bisection: true,
+                ..Default::default()
+            };
             let p = profile_graph(&spec.name(), &graph, &cfg);
             rows.push(vec![
                 p.name.clone(),
@@ -38,7 +41,9 @@ fn main() {
     }
     print_table(
         "Table I: basic structural properties",
-        &["Topology", "Routers", "Radix", "Diam.", "Dist.", "Girth", "mu1"],
+        &[
+            "Topology", "Routers", "Radix", "Diam.", "Dist.", "Girth", "mu1",
+        ],
         &rows,
     );
 }

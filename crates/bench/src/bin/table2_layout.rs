@@ -48,7 +48,10 @@ fn analyze(name: &str, graph: &CsrGraph, qap: &QapConfig, skywalk_trials: usize)
     let mut sky_max = 0.0;
     let mut done = 0usize;
     for trial in 0..skywalk_trials {
-        let cfg = SkyWalkConfig { radix, ..Default::default() };
+        let cfg = SkyWalkConfig {
+            radix,
+            ..Default::default()
+        };
         if let Ok(sw) = SkyWalkGraph::new(&positions, &cfg, 0x50FA + trial as u64) {
             let sp = place_topology(sw.graph(), qap);
             let sw_wiring = classify_links(sw.graph(), &sp, DEFAULT_ELECTRICAL_LIMIT_M);
@@ -80,7 +83,10 @@ fn analyze(name: &str, graph: &CsrGraph, qap: &QapConfig, skywalk_trials: usize)
 fn main() {
     let pairs = arg("--pairs", 2) as usize;
     let skywalk_trials = arg("--skywalk-trials", 3) as usize;
-    let qap = QapConfig { anneal_iters: arg("--anneal", 60_000) as usize, ..Default::default() };
+    let qap = QapConfig {
+        anneal_iters: arg("--anneal", 60_000) as usize,
+        ..Default::default()
+    };
 
     let mut rows = Vec::new();
     for ((p, q), sf_q) in table2_pairs().into_iter().take(pairs) {

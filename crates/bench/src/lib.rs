@@ -9,8 +9,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use rayon::prelude::*;
 use spectralfly_graph::CsrGraph;
-use spectralfly_simnet::{RoutingAlgorithm, SimConfig, SimNetwork};
+use spectralfly_simnet::workload::Workload;
+use spectralfly_simnet::{routing, SimConfig, SimNetwork, SimResults, Simulator};
 use spectralfly_topology::{
     BundleFlyGraph, GeneralizedDragonFly, LpsGraph, SlimFlyGraph, Topology,
 };
@@ -79,17 +81,26 @@ pub fn simulation_topologies(scale: Scale) -> Vec<SimTopology> {
         Scale::Paper => vec![
             SimTopology {
                 name: "SpectralFly LPS(23,13) x8".to_string(),
-                graph: LpsGraph::new(23, 13).expect("valid LPS parameters").graph().clone(),
+                graph: LpsGraph::new(23, 13)
+                    .expect("valid LPS parameters")
+                    .graph()
+                    .clone(),
                 concentration: 8,
             },
             SimTopology {
                 name: "SlimFly SF(27) x8".to_string(),
-                graph: SlimFlyGraph::new(27).expect("valid SlimFly parameter").graph().clone(),
+                graph: SlimFlyGraph::new(27)
+                    .expect("valid SlimFly parameter")
+                    .graph()
+                    .clone(),
                 concentration: 8,
             },
             SimTopology {
                 name: "BundleFly BF(9,9) x6".to_string(),
-                graph: BundleFlyGraph::new(9, 9).expect("valid BundleFly parameters").graph().clone(),
+                graph: BundleFlyGraph::new(9, 9)
+                    .expect("valid BundleFly parameters")
+                    .graph()
+                    .clone(),
                 concentration: 6,
             },
             SimTopology {
@@ -104,17 +115,26 @@ pub fn simulation_topologies(scale: Scale) -> Vec<SimTopology> {
         Scale::Small => vec![
             SimTopology {
                 name: "SpectralFly LPS(11,7) x4".to_string(),
-                graph: LpsGraph::new(11, 7).expect("valid LPS parameters").graph().clone(),
+                graph: LpsGraph::new(11, 7)
+                    .expect("valid LPS parameters")
+                    .graph()
+                    .clone(),
                 concentration: 4,
             },
             SimTopology {
                 name: "SlimFly SF(9) x4".to_string(),
-                graph: SlimFlyGraph::new(9).expect("valid SlimFly parameter").graph().clone(),
+                graph: SlimFlyGraph::new(9)
+                    .expect("valid SlimFly parameter")
+                    .graph()
+                    .clone(),
                 concentration: 4,
             },
             SimTopology {
                 name: "BundleFly BF(13,3) x3".to_string(),
-                graph: BundleFlyGraph::new(13, 3).expect("valid BundleFly parameters").graph().clone(),
+                graph: BundleFlyGraph::new(13, 3)
+                    .expect("valid BundleFly parameters")
+                    .graph()
+                    .clone(),
                 concentration: 3,
             },
             SimTopology {
@@ -132,12 +152,80 @@ pub fn simulation_topologies(scale: Scale) -> Vec<SimTopology> {
 /// The offered-load sweep used on the x-axis of Figures 6–8.
 pub const OFFERED_LOADS: [f64; 6] = [0.1, 0.2, 0.3, 0.5, 0.6, 0.7];
 
-/// Build a [`SimConfig`] following the paper: routing algorithm with a VC count derived from
+/// Build a [`SimConfig`] following the paper: routing algorithm (a registry name or
+/// [`spectralfly_simnet::RoutingAlgorithm`] constant) with a VC count derived from
 /// the topology diameter, 4 KB packets, 100 Gb/s links.
-pub fn paper_sim_config(net: &SimNetwork, routing: RoutingAlgorithm, seed: u64) -> SimConfig {
+pub fn paper_sim_config(net: &SimNetwork, routing: impl Into<String>, seed: u64) -> SimConfig {
     let mut cfg = SimConfig::default().with_routing(routing, net.diameter() as u32);
     cfg.seed = seed;
     cfg
+}
+
+/// Routing algorithms selected on the command line: `--routing a,b,c` (registry
+/// names, validated against [`spectralfly_simnet::routing`]) with a fallback when
+/// the flag is absent. `--routing all` selects every registered algorithm.
+///
+/// # Panics
+/// If a requested name is not in the routing registry (the message lists what is).
+pub fn routing_names_from_args(default: &[&str]) -> Vec<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let requested: Vec<String> = match args.iter().position(|a| a == "--routing") {
+        Some(i) => args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--routing requires a comma-separated list of algorithms"))
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect(),
+        None => default.iter().map(|s| s.to_string()).collect(),
+    };
+    assert!(
+        !requested.is_empty(),
+        "--routing requires at least one algorithm; registered: {}",
+        routing::registered_names().join(", ")
+    );
+    if requested.iter().any(|r| r == "all") {
+        return routing::registered_names();
+    }
+    for name in &requested {
+        assert!(
+            routing::is_registered(name),
+            "unknown routing algorithm {name:?}; registered: {}",
+            routing::registered_names().join(", ")
+        );
+    }
+    requested
+}
+
+/// Run one simulation per offered load, in parallel (one simulation per core) —
+/// the sweep behind the x-axis of Figures 6–8.
+///
+/// Results are deterministic and identical to the sequential loop: every simulation
+/// owns its RNG seeded from `cfg.seed`, so parallelism cannot perturb them.
+pub fn sweep_offered_loads(
+    net: &SimNetwork,
+    cfg: &SimConfig,
+    wl: &Workload,
+    loads: &[f64],
+) -> Vec<(f64, SimResults)> {
+    loads
+        .par_iter()
+        .map(|&load| {
+            (
+                load,
+                Simulator::new(net, cfg).run_with_offered_load(wl, load),
+            )
+        })
+        .collect()
+}
+
+/// Run one full-speed (workload-paced) simulation per workload, in parallel — the
+/// sweep behind the Ember figures (9–10), where the x-axis is the motif.
+pub fn sweep_workloads(net: &SimNetwork, cfg: &SimConfig, wls: &[Workload]) -> Vec<SimResults> {
+    wls.par_iter()
+        .map(|wl| Simulator::new(net, cfg).run(wl))
+        .collect()
 }
 
 /// The LPS↔SlimFly size pairs of Table II / Fig. 11.
@@ -149,7 +237,14 @@ pub fn table2_pairs() -> Vec<((u64, u64), u64)> {
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
     println!("{}", header.join(" | "));
-    println!("{}", header.iter().map(|h| "-".repeat(h.len())).collect::<Vec<_>>().join("-|-"));
+    println!(
+        "{}",
+        header
+            .iter()
+            .map(|h| "-".repeat(h.len()))
+            .collect::<Vec<_>>()
+            .join("-|-")
+    );
     for row in rows {
         println!("{}", row.join(" | "));
     }
@@ -168,7 +263,12 @@ mod tests {
     fn small_scale_topologies_build_and_fit_ports() {
         for t in simulation_topologies(Scale::Small) {
             let radix = t.graph.max_degree();
-            assert!(radix + t.concentration <= 32, "{}: {} ports", t.name, radix + t.concentration);
+            assert!(
+                radix + t.concentration <= 32,
+                "{}: {} ports",
+                t.name,
+                radix + t.concentration
+            );
             let net = t.network();
             assert!(net.num_endpoints() >= 500, "{}", t.name);
         }
@@ -178,8 +278,30 @@ mod tests {
     fn paper_config_uses_diameter_based_vcs() {
         let t = &simulation_topologies(Scale::Small)[0];
         let net = t.network();
-        let cfg = paper_sim_config(&net, RoutingAlgorithm::Valiant, 1);
+        let cfg = paper_sim_config(&net, "valiant", 1);
         assert_eq!(cfg.num_vcs, 2 * net.diameter() as usize + 1);
+        assert_eq!(cfg.routing, "valiant");
+    }
+
+    #[test]
+    fn parallel_load_sweep_matches_sequential_runs() {
+        use spectralfly_simnet::Simulator;
+        let ring: Vec<(u32, u32)> = (0..8u32).map(|i| (i, (i + 1) % 8)).collect();
+        let net = SimNetwork::new(CsrGraph::from_edges(8, &ring), 2);
+        let cfg = paper_sim_config(&net, "ugal-g", 42);
+        let wl = Workload::uniform_random(net.num_endpoints(), 6, 2048, 9);
+        let loads = [0.2, 0.5, 0.8];
+        let swept = sweep_offered_loads(&net, &cfg, &wl, &loads);
+        assert_eq!(swept.len(), loads.len());
+        for (i, (load, res)) in swept.iter().enumerate() {
+            assert_eq!(*load, loads[i]);
+            let seq = Simulator::new(&net, &cfg).run_with_offered_load(&wl, *load);
+            assert_eq!(
+                res.completion_time_ps, seq.completion_time_ps,
+                "load {load}"
+            );
+            assert_eq!(res.delivered_packets, seq.delivered_packets, "load {load}");
+        }
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub struct DesignSpace {
 impl DesignSpace {
     /// Enumerate all valid LPS specs with `p, q < limit`.
     pub fn new(limit: u64) -> Self {
-        DesignSpace { specs: enumerate_lps(limit) }
+        DesignSpace {
+            specs: enumerate_lps(limit),
+        }
     }
 
     /// All (radix, router-count) pairs in the space — the scatter of Fig. 4 (upper-left).
@@ -78,10 +80,16 @@ impl DesignSpace {
     ///
     /// Every concentration from 1 to `router_ports − (p + 1)` is considered. Returns `None`
     /// if no spec in the space fits.
-    pub fn pick_for_endpoints(&self, router_ports: usize, min_endpoints: u64) -> Option<DesignPoint> {
+    pub fn pick_for_endpoints(
+        &self,
+        router_ports: usize,
+        min_endpoints: u64,
+    ) -> Option<DesignPoint> {
         let mut best: Option<DesignPoint> = None;
         for spec in &self.specs {
-            let TopologySpec::Lps { p, q } = *spec else { continue };
+            let TopologySpec::Lps { p, q } = *spec else {
+                continue;
+            };
             let radix = (p + 1) as usize;
             if radix >= router_ports {
                 continue;

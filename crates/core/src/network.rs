@@ -27,7 +27,10 @@ impl SpectralFlyNetwork {
                 "concentration must be at least 1".to_string(),
             ));
         }
-        Ok(SpectralFlyNetwork { lps: LpsGraph::new(p, q)?, concentration })
+        Ok(SpectralFlyNetwork {
+            lps: LpsGraph::new(p, q)?,
+            concentration,
+        })
     }
 
     /// Wrap an already constructed LPS graph.
@@ -81,7 +84,10 @@ impl SpectralFlyNetwork {
     /// the LPS vertex enumeration — the "essentially unstructured ordering resulting from
     /// the Elzinga construction" the paper uses for sequential rank allocation.
     pub fn router_of_endpoint(&self, endpoint: usize) -> u32 {
-        assert!(endpoint < self.num_endpoints(), "endpoint {endpoint} out of range");
+        assert!(
+            endpoint < self.num_endpoints(),
+            "endpoint {endpoint} out of range"
+        );
         (endpoint / self.concentration) as u32
     }
 
@@ -98,7 +104,12 @@ impl SpectralFlyNetwork {
 
     /// Human-readable name, e.g. `SpectralFly(23, 13) x8`.
     pub fn name(&self) -> String {
-        format!("SpectralFly({}, {}) x{}", self.lps.p(), self.lps.q(), self.concentration)
+        format!(
+            "SpectralFly({}, {}) x{}",
+            self.lps.p(),
+            self.lps.q(),
+            self.concentration
+        )
     }
 }
 

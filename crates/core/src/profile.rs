@@ -74,9 +74,7 @@ pub fn profile_graph(name: &str, g: &CsrGraph, cfg: &ProfileConfig) -> Structura
         (None, None, None)
     } else {
         let upper = bisection_bandwidth(g, cfg.bisection_restarts, cfg.seed);
-        let lower = mu1.map(|m| {
-            spectral_bisection_lower_bound(g.num_vertices(), base.radix, m)
-        });
+        let lower = mu1.map(|m| spectral_bisection_lower_bound(g.num_vertices(), base.radix, m));
         let norm = upper as f64 / (g.num_vertices() as f64 * base.radix as f64 / 2.0);
         (Some(upper), lower, Some(norm))
     };
@@ -155,7 +153,10 @@ mod tests {
     #[test]
     fn skip_bisection_flag() {
         let lps = LpsGraph::new(3, 5).unwrap();
-        let cfg = ProfileConfig { skip_bisection: true, ..Default::default() };
+        let cfg = ProfileConfig {
+            skip_bisection: true,
+            ..Default::default()
+        };
         let prof = profile_graph("LPS(3,5)", lps.graph(), &cfg);
         assert!(prof.bisection_upper.is_none());
         assert!(prof.normalized_bisection.is_none());

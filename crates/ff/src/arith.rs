@@ -103,7 +103,7 @@ pub fn isqrt(n: u64) -> u64 {
     let mut x = (n as f64).sqrt() as u64;
     // Correct the floating-point estimate in both directions; overflowing squares count as
     // "too big" so the loops terminate even at n = u64::MAX.
-    while x.checked_mul(x).map_or(true, |sq| sq > n) {
+    while x.checked_mul(x).is_none_or(|sq| sq > n) {
         x -= 1;
     }
     while (x + 1).checked_mul(x + 1).is_some_and(|sq| sq <= n) {

@@ -245,7 +245,7 @@ impl FiniteField {
         if a == 0 {
             return false;
         }
-        if self.q % 2 == 0 {
+        if self.q.is_multiple_of(2) {
             // In characteristic 2 every element is a square.
             return true;
         }
@@ -263,7 +263,7 @@ impl FiniteField {
         v
     }
 
-    fn from_poly(&self, v: &[u64]) -> u64 {
+    fn pack_poly(&self, v: &[u64]) -> u64 {
         let mut out = 0u64;
         for &c in v.iter().rev() {
             out = out * self.p + c;
@@ -301,7 +301,7 @@ impl FiniteField {
                 }
             }
         }
-        self.from_poly(&prod[..k])
+        self.pack_poly(&prod[..k])
     }
 
     fn pow_poly(&self, mut a: u64, mut e: u64) -> u64 {
@@ -403,9 +403,9 @@ fn poly_divides(d: &[u64], f: &[u64], p: u64) -> bool {
         let lead = *rem.last().unwrap();
         let shift = rem.len() - 1 - dd;
         if lead != 0 {
-            for i in 0..=dd {
+            for (i, &di) in d.iter().enumerate().take(dd + 1) {
                 let idx = shift + i;
-                rem[idx] = (rem[idx] + p - lead * d[i] % p) % p;
+                rem[idx] = (rem[idx] + p - lead * di % p) % p;
             }
         }
         rem.pop();

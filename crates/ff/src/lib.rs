@@ -41,7 +41,7 @@ pub mod residue;
 
 pub use arith::{gcd, mod_inv, mod_mul, mod_pow};
 pub use field::FiniteField;
-pub use pgl::{ProjectiveGroup, ProjectiveKind, ProjMat};
+pub use pgl::{ProjMat, ProjectiveGroup, ProjectiveKind};
 pub use primes::{factorize, is_prime, primes_below};
 pub use quaternion::{lps_generators_quadruples, FourSquare};
 pub use residue::{jacobi, legendre, sqrt_mod_prime};

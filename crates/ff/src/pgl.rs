@@ -49,7 +49,10 @@ pub struct ProjectiveGroup {
 impl ProjectiveGroup {
     /// Create the group over `F_q` (odd prime `q ≥ 3`).
     pub fn new(q: u64, kind: ProjectiveKind) -> Self {
-        assert!(q >= 3 && q % 2 == 1, "projective groups here require an odd prime q");
+        assert!(
+            q >= 3 && q % 2 == 1,
+            "projective groups here require an odd prime q"
+        );
         ProjectiveGroup { q, kind }
     }
 
@@ -74,7 +77,12 @@ impl ProjectiveGroup {
 
     /// The identity element.
     pub fn identity(&self) -> ProjMat {
-        ProjMat { a: 1, b: 0, c: 0, d: 1 }
+        ProjMat {
+            a: 1,
+            b: 0,
+            c: 0,
+            d: 1,
+        }
     }
 
     /// Determinant of a representative (mod `q`).
@@ -205,7 +213,12 @@ mod tests {
         let m = g.canonicalize(2, 5, 7, 1).unwrap();
         for lambda in 1..13u64 {
             let scaled = g
-                .canonicalize(2 * lambda % 13, 5 * lambda % 13, 7 * lambda % 13, lambda % 13)
+                .canonicalize(
+                    2 * lambda % 13,
+                    5 * lambda % 13,
+                    7 * lambda % 13,
+                    lambda % 13,
+                )
                 .unwrap();
             assert_eq!(scaled, m);
         }
@@ -257,7 +270,12 @@ mod tests {
         // Example 1: the coset {[0 1; 1 2], [0 2; 2 4], [0 3; 3 1], [0 4; 4 3]} is a single
         // element of PGL(2, F_5); all four representatives canonicalize identically.
         let g = ProjectiveGroup::new(5, ProjectiveKind::Pgl);
-        let reps = [(0u64, 1u64, 1u64, 2u64), (0, 2, 2, 4), (0, 3, 3, 1), (0, 4, 4, 3)];
+        let reps = [
+            (0u64, 1u64, 1u64, 2u64),
+            (0, 2, 2, 4),
+            (0, 3, 3, 1),
+            (0, 4, 4, 3),
+        ];
         let canon: std::collections::HashSet<_> = reps
             .iter()
             .map(|&(a, b, c, d)| g.canonicalize(a, b, c, d).unwrap())

@@ -18,13 +18,13 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -73,7 +73,10 @@ pub fn primes_below(limit: u64) -> Vec<u64> {
 
 /// Odd primes strictly below `limit` (LPS inputs must be odd primes).
 pub fn odd_primes_below(limit: u64) -> Vec<u64> {
-    primes_below(limit).into_iter().filter(|&p| p != 2).collect()
+    primes_below(limit)
+        .into_iter()
+        .filter(|&p| p != 2)
+        .collect()
 }
 
 /// Trial-division factorization returning `(prime, exponent)` pairs in increasing order.
@@ -87,9 +90,9 @@ pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
     }
     let mut d = 2u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             let mut e = 0;
-            while n % d == 0 {
+            while n.is_multiple_of(d) {
                 n /= d;
                 e += 1;
             }

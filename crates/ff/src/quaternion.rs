@@ -69,7 +69,12 @@ pub fn all_four_square_solutions(p: u64) -> Vec<FourSquare> {
                 if a3 * a3 == r2 {
                     out.push(FourSquare { a0, a1, a2, a3 });
                     if a3 != 0 {
-                        out.push(FourSquare { a0, a1, a2, a3: -a3 });
+                        out.push(FourSquare {
+                            a0,
+                            a1,
+                            a2,
+                            a3: -a3,
+                        });
                     }
                 }
             }
@@ -88,7 +93,10 @@ pub fn all_four_square_solutions(p: u64) -> Vec<FourSquare> {
 /// Panics if `p` is not an odd prime ≥ 3 (checked in debug builds via the count assertion
 /// `|D| == p + 1`, which only holds for primes).
 pub fn lps_generators_quadruples(p: u64) -> Vec<FourSquare> {
-    assert!(p >= 3 && p % 2 == 1, "LPS requires an odd prime p (got {p})");
+    assert!(
+        p >= 3 && p % 2 == 1,
+        "LPS requires an odd prime p (got {p})"
+    );
     let all = all_four_square_solutions(p);
     let keep: Vec<FourSquare> = if p % 4 == 1 {
         all.into_iter()
@@ -142,10 +150,30 @@ mod tests {
         let mut gens = lps_generators_quadruples(3);
         gens.sort_by_key(|s| (s.a0, s.a1, s.a2, s.a3));
         let expected = vec![
-            FourSquare { a0: 0, a1: 1, a2: -1, a3: -1 },
-            FourSquare { a0: 0, a1: 1, a2: -1, a3: 1 },
-            FourSquare { a0: 0, a1: 1, a2: 1, a3: -1 },
-            FourSquare { a0: 0, a1: 1, a2: 1, a3: 1 },
+            FourSquare {
+                a0: 0,
+                a1: 1,
+                a2: -1,
+                a3: -1,
+            },
+            FourSquare {
+                a0: 0,
+                a1: 1,
+                a2: -1,
+                a3: 1,
+            },
+            FourSquare {
+                a0: 0,
+                a1: 1,
+                a2: 1,
+                a3: -1,
+            },
+            FourSquare {
+                a0: 0,
+                a1: 1,
+                a2: 1,
+                a3: 1,
+            },
         ];
         assert_eq!(gens, expected);
     }

@@ -9,7 +9,10 @@ use crate::primes::is_prime;
 /// Returns `1` if `a` is a nonzero quadratic residue mod `p`, `-1` if it is a
 /// non-residue, and `0` if `p | a`.
 pub fn legendre(a: u64, p: u64) -> i32 {
-    debug_assert!(p > 2 && is_prime(p), "legendre requires an odd prime modulus");
+    debug_assert!(
+        p > 2 && is_prime(p),
+        "legendre requires an odd prime modulus"
+    );
     let a = a % p;
     if a == 0 {
         return 0;
@@ -28,7 +31,7 @@ pub fn jacobi(mut a: u64, mut n: u64) -> i32 {
     a %= n;
     let mut result = 1i32;
     while a != 0 {
-        while a % 2 == 0 {
+        while a.is_multiple_of(2) {
             a /= 2;
             if n % 8 == 3 || n % 8 == 5 {
                 result = -result;
@@ -68,7 +71,7 @@ pub fn sqrt_mod_prime(a: u64, p: u64) -> Option<u64> {
     // Tonelli–Shanks for p ≡ 1 (mod 4).
     let mut q = p - 1;
     let mut s = 0u32;
-    while q % 2 == 0 {
+    while q.is_multiple_of(2) {
         q /= 2;
         s += 1;
     }
@@ -80,7 +83,7 @@ pub fn sqrt_mod_prime(a: u64, p: u64) -> Option<u64> {
     let mut m = s;
     let mut c = mod_pow(z, q, p);
     let mut t = mod_pow(a, q, p);
-    let mut r = mod_pow(a, (q + 1) / 2, p);
+    let mut r = mod_pow(a, q.div_ceil(2), p);
     while t != 1 {
         // Find least i with t^(2^i) == 1.
         let mut i = 0u32;

@@ -52,7 +52,11 @@ impl CsrGraph {
             offsets.push(neighbors.len());
         }
         let num_edges = neighbors.len() / 2;
-        CsrGraph { offsets, neighbors, num_edges }
+        CsrGraph {
+            offsets,
+            neighbors,
+            num_edges,
+        }
     }
 
     /// Build from sorted adjacency lists without checking symmetry (used by generators that
@@ -63,11 +67,18 @@ impl CsrGraph {
         let mut neighbors = Vec::new();
         offsets.push(0);
         for list in &adj {
-            debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "neighbour lists must be strictly sorted");
+            debug_assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "neighbour lists must be strictly sorted"
+            );
             neighbors.extend(list.iter().copied());
             offsets.push(neighbors.len());
         }
-        let g = CsrGraph { offsets, neighbors, num_edges: 0 };
+        let g = CsrGraph {
+            offsets,
+            neighbors,
+            num_edges: 0,
+        };
         #[cfg(debug_assertions)]
         {
             for u in 0..n {
@@ -101,12 +112,18 @@ impl CsrGraph {
 
     /// Maximum degree over all vertices.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices()).map(|v| self.degree(v as VertexId)).max().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.degree(v as VertexId))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree over all vertices.
     pub fn min_degree(&self) -> usize {
-        (0..self.num_vertices()).map(|v| self.degree(v as VertexId)).min().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.degree(v as VertexId))
+            .min()
+            .unwrap_or(0)
     }
 
     /// If the graph is `k`-regular, return `k`.
@@ -179,12 +196,12 @@ impl CsrGraph {
     pub fn adjacency_matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.num_vertices());
         assert_eq!(y.len(), self.num_vertices());
-        for v in 0..self.num_vertices() {
+        for (v, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for &w in self.neighbors(v as VertexId) {
                 acc += x[w as usize];
             }
-            y[v] = acc;
+            *out = acc;
         }
     }
 

@@ -131,7 +131,11 @@ pub fn failure_point(
             let m = batch_means.iter().sum::<f64>() / batch_means.len() as f64;
             let var = batch_means.iter().map(|x| (x - m) * (x - m)).sum::<f64>()
                 / (batch_means.len() - 1) as f64;
-            let cov = if m.abs() > 1e-12 { var.sqrt() / m.abs() } else { 0.0 };
+            let cov = if m.abs() > 1e-12 {
+                var.sqrt() / m.abs()
+            } else {
+                0.0
+            };
             if cov <= cfg.target_cov || total_trials >= cfg.max_trials {
                 break;
             }
@@ -146,7 +150,12 @@ pub fn failure_point(
     } else {
         f64::NAN
     };
-    FailurePoint { proportion, mean, connected_trials, total_trials }
+    FailurePoint {
+        proportion,
+        mean,
+        connected_trials,
+        total_trials,
+    }
 }
 
 /// Sweep a metric across multiple failure proportions (Fig. 5 of the paper).
@@ -244,7 +253,10 @@ mod tests {
     #[test]
     fn failure_point_on_robust_graph() {
         let g = complete_graph(16);
-        let cfg = TrialConfig { max_trials: 40, ..Default::default() };
+        let cfg = TrialConfig {
+            max_trials: 40,
+            ..Default::default()
+        };
         let p = failure_point(&g, 0.1, FailureMetric::Diameter, &cfg, 5);
         assert!(p.connected_trials > 0);
         // K16 with 10% of edges removed still has diameter 1 or 2.
@@ -254,7 +266,10 @@ mod tests {
     #[test]
     fn mean_distance_grows_with_failures() {
         let g = hypercube(6);
-        let cfg = TrialConfig { max_trials: 24, ..Default::default() };
+        let cfg = TrialConfig {
+            max_trials: 24,
+            ..Default::default()
+        };
         let p0 = failure_point(&g, 0.0, FailureMetric::MeanDistance, &cfg, 3);
         let p3 = failure_point(&g, 0.3, FailureMetric::MeanDistance, &cfg, 3);
         assert!(p3.mean > p0.mean);
@@ -263,7 +278,10 @@ mod tests {
     #[test]
     fn bisection_metric_under_failures_decreases() {
         let g = hypercube(6);
-        let cfg = TrialConfig { max_trials: 16, ..Default::default() };
+        let cfg = TrialConfig {
+            max_trials: 16,
+            ..Default::default()
+        };
         let p0 = failure_point(&g, 0.0, FailureMetric::BisectionBandwidth, &cfg, 3);
         let p4 = failure_point(&g, 0.4, FailureMetric::BisectionBandwidth, &cfg, 3);
         assert!(p4.mean < p0.mean);
@@ -272,7 +290,10 @@ mod tests {
     #[test]
     fn sweep_returns_one_point_per_proportion() {
         let g = complete_graph(12);
-        let cfg = TrialConfig { max_trials: 12, ..Default::default() };
+        let cfg = TrialConfig {
+            max_trials: 12,
+            ..Default::default()
+        };
         let pts = failure_sweep(&g, &[0.0, 0.2, 0.4], FailureMetric::Diameter, &cfg, 1);
         assert_eq!(pts.len(), 3);
         assert_eq!(pts[0].proportion, 0.0);

@@ -13,6 +13,8 @@
 //! * [`failures`] — random link-failure sweeps with the paper's batched
 //!   coefficient-of-variation stopping rule (Fig. 5).
 //! * [`matching`] — near-maximum matchings used to pair routers into cabinets (Section VII).
+//! * [`paths`] — the shared distance / next-hop oracle ([`paths::DistanceMatrix`])
+//!   consumed by both the analytical layer and the packet-level simulator.
 //!
 //! ```
 //! use spectralfly_graph::csr::CsrGraph;
@@ -37,9 +39,11 @@ pub mod failures;
 pub mod matching;
 pub mod metrics;
 pub mod partition;
+pub mod paths;
 pub mod spectral;
 
 pub use csr::{CsrGraph, VertexId};
 pub use metrics::{structural_metrics, StructuralMetrics};
 pub use partition::{bisect, bisection_bandwidth, BisectConfig, Bisection};
+pub use paths::DistanceMatrix;
 pub use spectral::{is_ramanujan, spectral_summary, SpectralSummary};

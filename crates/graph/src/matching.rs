@@ -42,7 +42,13 @@ impl Matching {
         self.mate
             .iter()
             .enumerate()
-            .filter_map(|(v, &m)| if m == VertexId::MAX { Some(v as VertexId) } else { None })
+            .filter_map(|(v, &m)| {
+                if m == VertexId::MAX {
+                    Some(v as VertexId)
+                } else {
+                    None
+                }
+            })
             .collect()
     }
 

@@ -64,12 +64,15 @@ impl WGraph {
     fn from_csr(g: &CsrGraph) -> Self {
         let n = g.num_vertices();
         let mut adj = vec![Vec::new(); n];
-        for v in 0..n {
+        for (v, nbrs) in adj.iter_mut().enumerate() {
             for &w in g.neighbors(v as VertexId) {
-                adj[v].push((w, 1u64));
+                nbrs.push((w, 1u64));
             }
         }
-        WGraph { vweight: vec![1; n], adj }
+        WGraph {
+            vweight: vec![1; n],
+            adj,
+        }
     }
 
     fn n(&self) -> usize {
@@ -96,9 +99,7 @@ impl WGraph {
             // Pick unmatched neighbour with maximum edge weight.
             let mut best: Option<(u32, u64)> = None;
             for &(v, w) in &self.adj[u as usize] {
-                if matched[v as usize] == u32::MAX
-                    && best.map_or(true, |(_, bw)| w > bw)
-                {
+                if matched[v as usize] == u32::MAX && best.is_none_or(|(_, bw)| w > bw) {
                     best = Some((v, w));
                 }
             }
@@ -177,7 +178,8 @@ impl WGraph {
         let mut region_weight = 0u64;
         // Priority: vertices with the largest connectivity to the region first.
         let mut gain = vec![0i64; n];
-        let mut frontier: std::collections::BinaryHeap<(i64, u32)> = std::collections::BinaryHeap::new();
+        let mut frontier: std::collections::BinaryHeap<(i64, u32)> =
+            std::collections::BinaryHeap::new();
         frontier.push((0, seed_vertex));
         while region_weight < half {
             let Some((_, u)) = frontier.pop() else { break };
@@ -199,7 +201,7 @@ impl WGraph {
 
     /// One boundary FM pass. Moves vertices greedily by gain while respecting balance,
     /// keeping the best prefix of moves. Returns true if the cut improved.
-    fn fm_pass(&self, side: &mut Vec<u8>, max_side: u64) -> bool {
+    fn fm_pass(&self, side: &mut [u8], max_side: u64) -> bool {
         let n = self.n();
         let mut gain: Vec<i64> = vec![0; n];
         for u in 0..n {
@@ -313,7 +315,7 @@ pub fn bisect(g: &CsrGraph, cfg: &BisectConfig, seed: u64) -> Bisection {
             }
         }
         let cut = current.cut_of(&side);
-        if best_side.as_ref().map_or(true, |(_, c)| cut < *c) {
+        if best_side.as_ref().is_none_or(|(_, c)| cut < *c) {
             best_side = Some((side, cut));
         }
     }
@@ -336,7 +338,11 @@ pub fn bisect(g: &CsrGraph, cfg: &BisectConfig, seed: u64) -> Bisection {
 
     let cut = current.cut_of(&side);
     let part_weight = current.part_weights(&side);
-    Bisection { side, cut, part_weight }
+    Bisection {
+        side,
+        cut,
+        part_weight,
+    }
 }
 
 /// Estimate the bisection bandwidth (minimum balanced cut) as the best of `restarts`
@@ -347,7 +353,14 @@ pub fn bisection_bandwidth(g: &CsrGraph, restarts: usize, seed: u64) -> u64 {
     let cfg = BisectConfig::default();
     (0..restarts.max(1) as u64)
         .into_par_iter()
-        .map(|r| bisect(g, &cfg, seed.wrapping_add(r.wrapping_mul(0x9E3779B97F4A7C15))).cut)
+        .map(|r| {
+            bisect(
+                g,
+                &cfg,
+                seed.wrapping_add(r.wrapping_mul(0x9E3779B97F4A7C15)),
+            )
+            .cut
+        })
         .min()
         .unwrap_or(0)
 }
@@ -443,7 +456,10 @@ mod tests {
 
     #[test]
     fn single_level_config_also_works() {
-        let cfg = BisectConfig { multilevel: false, ..Default::default() };
+        let cfg = BisectConfig {
+            multilevel: false,
+            ..Default::default()
+        };
         let g = cycle_graph(40);
         let b = bisect(&g, &cfg, 11);
         assert!(b.cut >= 2);

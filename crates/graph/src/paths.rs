@@ -1,0 +1,272 @@
+//! The shared distance / next-hop oracle: all-pairs router distances with minimal
+//! next-hop queries.
+//!
+//! Both the analytical layer (`spectralfly::routing` — path diversity, average hop
+//! counts under a placement) and the packet-level simulator
+//! (`spectralfly_simnet::SimNetwork`) need, for an arbitrary (current router,
+//! destination router) pair, the set of neighbours that lie on a shortest path.
+//! Historically each kept its own copy of this machinery; it now lives here, in the
+//! graph substrate both depend on, so there is exactly one implementation to test
+//! and optimize. Storing full next-hop sets is quadratic in routers × radix;
+//! instead we store the dense distance matrix (u16 entries — every topology in the
+//! paper has diameter well below 2¹⁶) and derive next hops by scanning the current
+//! router's neighbour list, which is at most the radix (≤ ~90) long.
+
+use crate::csr::{CsrGraph, VertexId};
+use crate::metrics::bfs_distances;
+use rayon::prelude::*;
+
+/// Marker for unreachable pairs.
+pub const UNREACHABLE_U16: u16 = u16::MAX;
+
+/// Dense all-pairs distance matrix over routers.
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major distances; `u16::MAX` encodes "unreachable".
+    dist: Vec<u16>,
+}
+
+impl DistanceMatrix {
+    /// Compute the matrix with one BFS per source, in parallel.
+    pub fn from_graph(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let rows: Vec<Vec<u16>> = (0..n as VertexId)
+            .into_par_iter()
+            .map(|s| {
+                bfs_distances(g, s)
+                    .into_iter()
+                    .map(|d| {
+                        if d == u32::MAX {
+                            UNREACHABLE_U16
+                        } else {
+                            d as u16
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut dist = Vec::with_capacity(n * n);
+        for row in rows {
+            dist.extend_from_slice(&row);
+        }
+        DistanceMatrix { n, dist }
+    }
+
+    /// Number of routers.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between two routers (`u16::MAX` if unreachable).
+    #[inline]
+    pub fn dist(&self, from: VertexId, to: VertexId) -> u16 {
+        self.dist[from as usize * self.n + to as usize]
+    }
+
+    /// The neighbours of `current` that lie on a shortest path toward `dst`
+    /// (empty when `dst` is `current` itself or unreachable).
+    pub fn min_next_hops(&self, g: &CsrGraph, current: VertexId, dst: VertexId) -> Vec<VertexId> {
+        let d = self.dist(current, dst);
+        if current == dst || d == UNREACHABLE_U16 {
+            return Vec::new();
+        }
+        g.neighbors(current)
+            .iter()
+            .copied()
+            .filter(|&w| self.dist(w, dst).saturating_add(1) == d)
+            .collect()
+    }
+
+    /// Ports of `current` (indices into its neighbour list) whose neighbour lies on a
+    /// shortest path toward `dst` — the port-indexed sibling of [`Self::min_next_hops`],
+    /// used by the simulator where output links are addressed by port. Empty when
+    /// `dst` is `current` itself or unreachable.
+    pub fn min_next_ports(&self, g: &CsrGraph, current: VertexId, dst: VertexId) -> Vec<usize> {
+        let d = self.dist(current, dst);
+        if current == dst || d == UNREACHABLE_U16 {
+            return Vec::new();
+        }
+        g.neighbors(current)
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| self.dist(w, dst).saturating_add(1) == d)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of distinct shortest paths between two routers (path diversity).
+    ///
+    /// Computed by dynamic programming over BFS levels; saturates at `u64::MAX`.
+    pub fn shortest_path_count(&self, g: &CsrGraph, src: VertexId, dst: VertexId) -> u64 {
+        if src == dst {
+            return 1;
+        }
+        let d = self.dist(src, dst);
+        if d == UNREACHABLE_U16 {
+            return 0;
+        }
+        // counts[v] = number of shortest src->v paths, filled in BFS-level order from src.
+        let mut counts = vec![0u64; self.n];
+        counts[src as usize] = 1;
+        let mut order: Vec<VertexId> = (0..self.n as VertexId)
+            .filter(|&v| self.dist(src, v) <= d)
+            .collect();
+        order.sort_by_key(|&v| self.dist(src, v));
+        for &v in &order {
+            if v == src {
+                continue;
+            }
+            let dv = self.dist(src, v);
+            let mut acc: u64 = 0;
+            for &w in g.neighbors(v) {
+                if self.dist(src, w) + 1 == dv {
+                    acc = acc.saturating_add(counts[w as usize]);
+                }
+            }
+            counts[v as usize] = acc;
+        }
+        counts[dst as usize]
+    }
+
+    /// Mean distance over ordered distinct pairs (`None` if the graph is disconnected).
+    pub fn mean_distance(&self) -> Option<f64> {
+        if self.n <= 1 {
+            return Some(0.0);
+        }
+        let mut sum = 0u64;
+        for (i, &d) in self.dist.iter().enumerate() {
+            let (r, c) = (i / self.n, i % self.n);
+            if r == c {
+                continue;
+            }
+            if d == UNREACHABLE_U16 {
+                return None;
+            }
+            sum += d as u64;
+        }
+        Some(sum as f64 / (self.n as f64 * (self.n as f64 - 1.0)))
+    }
+
+    /// Diameter (`None` if disconnected).
+    pub fn diameter(&self) -> Option<u16> {
+        let mut max = 0u16;
+        for (i, &d) in self.dist.iter().enumerate() {
+            let (r, c) = (i / self.n, i % self.n);
+            if r == c {
+                continue;
+            }
+            if d == UNREACHABLE_U16 {
+                return None;
+            }
+            max = max.max(d);
+        }
+        Some(max)
+    }
+
+    /// Largest finite distance, ignoring unreachable pairs (0 for the empty graph).
+    ///
+    /// Unlike [`Self::diameter`] this is total: on a disconnected graph it reports the
+    /// diameter of the reachable pairs, which is what the simulator's VC sizing needs.
+    pub fn max_reachable_distance(&self) -> u16 {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE_U16)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle_graph(n: usize) -> CsrGraph {
+        let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n as u32 - 1, 0));
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    fn hypercube(dim: u32) -> CsrGraph {
+        let n = 1usize << dim;
+        let mut edges = Vec::new();
+        for v in 0..n as u32 {
+            for b in 0..dim {
+                let w = v ^ (1 << b);
+                if v < w {
+                    edges.push((v, w));
+                }
+            }
+        }
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn distances_match_bfs() {
+        let g = hypercube(4);
+        let dm = DistanceMatrix::from_graph(&g);
+        for u in 0..16u32 {
+            for v in 0..16u32 {
+                assert_eq!(dm.dist(u, v) as u32, (u ^ v).count_ones());
+            }
+        }
+        assert_eq!(dm.diameter(), Some(4));
+        assert_eq!(dm.mean_distance().unwrap(), 2.0 * 16.0 / 15.0);
+    }
+
+    #[test]
+    fn min_next_hops_follow_shortest_paths() {
+        let g = cycle_graph(8);
+        let dm = DistanceMatrix::from_graph(&g);
+        // From 0 toward 3 the unique minimal next hop is 1.
+        assert_eq!(dm.min_next_hops(&g, 0, 3), vec![1]);
+        // From 0 toward 4 (antipodal) both neighbours are minimal.
+        let mut hops = dm.min_next_hops(&g, 0, 4);
+        hops.sort_unstable();
+        assert_eq!(hops, vec![1, 7]);
+        assert!(dm.min_next_hops(&g, 5, 5).is_empty());
+    }
+
+    #[test]
+    fn port_and_vertex_views_agree() {
+        let g = cycle_graph(9);
+        let dm = DistanceMatrix::from_graph(&g);
+        for u in 0..9u32 {
+            for v in 0..9u32 {
+                let by_vertex = dm.min_next_hops(&g, u, v);
+                let by_port: Vec<VertexId> = dm
+                    .min_next_ports(&g, u, v)
+                    .into_iter()
+                    .map(|p| g.neighbors(u)[p])
+                    .collect();
+                assert_eq!(by_vertex, by_port, "({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_counts_on_hypercube() {
+        // Number of shortest paths between antipodal vertices of Q_d is d!.
+        let g = hypercube(4);
+        let dm = DistanceMatrix::from_graph(&g);
+        assert_eq!(dm.shortest_path_count(&g, 0, 15), 24);
+        assert_eq!(dm.shortest_path_count(&g, 0, 1), 1);
+        assert_eq!(dm.shortest_path_count(&g, 3, 3), 1);
+    }
+
+    #[test]
+    fn disconnected_graph_reports_none() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let dm = DistanceMatrix::from_graph(&g);
+        assert_eq!(dm.dist(0, 2), UNREACHABLE_U16);
+        assert_eq!(dm.diameter(), None);
+        assert_eq!(dm.mean_distance(), None);
+        assert_eq!(dm.shortest_path_count(&g, 0, 3), 0);
+        assert_eq!(dm.max_reachable_distance(), 1);
+        // Unreachable destinations have no minimal next hops — an unreachable
+        // neighbour must not count as "on a shortest path" (MAX + 1 saturates to MAX).
+        assert!(dm.min_next_hops(&g, 0, 2).is_empty());
+        assert!(dm.min_next_ports(&g, 0, 2).is_empty());
+    }
+}

@@ -44,10 +44,10 @@ pub fn jacobi_eigenvalues(matrix: &[Vec<f64>]) -> Vec<f64> {
     }
     let mut a: Vec<Vec<f64>> = matrix.to_vec();
     // Symmetry check (cheap, catches caller bugs early).
-    for i in 0..n {
-        for j in 0..i {
+    for (i, row) in a.iter().enumerate() {
+        for (j, x) in row.iter().enumerate().take(i) {
             assert!(
-                (a[i][j] - a[j][i]).abs() < 1e-9,
+                (x - a[j][i]).abs() < 1e-9,
                 "jacobi_eigenvalues requires a symmetric matrix"
             );
         }
@@ -55,9 +55,9 @@ pub fn jacobi_eigenvalues(matrix: &[Vec<f64>]) -> Vec<f64> {
     let max_sweeps = 100;
     for _ in 0..max_sweeps {
         let mut off = 0.0;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                off += a[i][j] * a[i][j];
+        for (i, row) in a.iter().enumerate() {
+            for x in row.iter().skip(i + 1) {
+                off += x * x;
             }
         }
         if off.sqrt() < 1e-12 {
@@ -72,17 +72,19 @@ pub fn jacobi_eigenvalues(matrix: &[Vec<f64>]) -> Vec<f64> {
                 let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
                 let c = 1.0 / (t * t + 1.0).sqrt();
                 let s = t * c;
-                for i in 0..n {
-                    let aip = a[i][p];
-                    let aiq = a[i][q];
-                    a[i][p] = c * aip - s * aiq;
-                    a[i][q] = s * aip + c * aiq;
+                for row in a.iter_mut() {
+                    let aip = row[p];
+                    let aiq = row[q];
+                    row[p] = c * aip - s * aiq;
+                    row[q] = s * aip + c * aiq;
                 }
-                for i in 0..n {
-                    let api = a[p][i];
-                    let aqi = a[q][i];
-                    a[p][i] = c * api - s * aqi;
-                    a[q][i] = s * api + c * aqi;
+                // Rotate rows p and q (p < q, so split_at_mut separates them).
+                let (head, tail) = a.split_at_mut(q);
+                let (row_p, row_q) = (&mut head[p], &mut tail[0]);
+                for (api, aqi) in row_p.iter_mut().zip(row_q.iter_mut()) {
+                    let (x, y) = (*api, *aqi);
+                    *api = c * x - s * y;
+                    *aqi = s * x + c * y;
                 }
             }
         }
@@ -130,7 +132,11 @@ pub fn tridiagonal_eigenvalues(alpha: &[f64], beta: &[f64]) -> Vec<f64> {
             count += 1;
         }
         for i in 1..m {
-            let denom = if d.abs() < 1e-300 { 1e-300_f64.copysign(d.signum().max(0.0) * 2.0 - 1.0) } else { d };
+            let denom = if d.abs() < 1e-300 {
+                1e-300_f64.copysign(d.signum().max(0.0) * 2.0 - 1.0)
+            } else {
+                d
+            };
             d = (alpha[i] - x) - beta[i - 1] * beta[i - 1] / denom;
             if d < 0.0 {
                 count += 1;
@@ -404,7 +410,7 @@ mod tests {
     #[test]
     fn jacobi_on_2x2() {
         // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
-        let e = jacobi_eigenvalues(&vec![vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = jacobi_eigenvalues(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
         assert!((e[0] - 1.0).abs() < 1e-9 && (e[1] - 3.0).abs() < 1e-9);
     }
 
@@ -413,8 +419,8 @@ mod tests {
         // K_n has eigenvalues n-1 (once) and -1 (n-1 times).
         let e = dense_adjacency_eigenvalues(&complete_graph(5));
         assert!((e[4] - 4.0).abs() < 1e-8);
-        for i in 0..4 {
-            assert!((e[i] + 1.0).abs() < 1e-8);
+        for x in e.iter().take(4) {
+            assert!((x + 1.0).abs() < 1e-8);
         }
     }
 

@@ -131,7 +131,13 @@ mod tests {
     #[test]
     fn latency_grows_with_switch_latency() {
         let g = ring(20);
-        let p = place_topology(&g, &QapConfig { anneal_iters: 2000, ..Default::default() });
+        let p = place_topology(
+            &g,
+            &QapConfig {
+                anneal_iters: 2000,
+                ..Default::default()
+            },
+        );
         let l0 = latency_profile(&g, &p, 0.0);
         let l100 = latency_profile(&g, &p, 100.0);
         let l250 = latency_profile(&g, &p, 250.0);
@@ -144,14 +150,16 @@ mod tests {
     fn complete_graph_latency_is_single_hop() {
         // In a complete graph every pair is one hop, so max latency = longest wire * 5 + s.
         let g = complete(10);
-        let p = place_topology(&g, &QapConfig { anneal_iters: 2000, ..Default::default() });
+        let p = place_topology(
+            &g,
+            &QapConfig {
+                anneal_iters: 2000,
+                ..Default::default()
+            },
+        );
         let s = 50.0;
         let prof = latency_profile(&g, &p, s);
-        let longest = p
-            .link_lengths_m(&g)
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        let longest = p.link_lengths_m(&g).iter().cloned().fold(0.0f64, f64::max);
         // Multi-hop detours could only be cheaper if switch latency were negative, so the
         // max end-to-end latency never exceeds the single-hop worst case.
         assert!(prof.max_latency_ns <= longest * CABLE_DELAY_NS_PER_M + s + 1e-9);
@@ -161,7 +169,13 @@ mod tests {
     #[test]
     fn sweep_returns_one_profile_per_point() {
         let g = ring(12);
-        let p = place_topology(&g, &QapConfig { anneal_iters: 1000, ..Default::default() });
+        let p = place_topology(
+            &g,
+            &QapConfig {
+                anneal_iters: 1000,
+                ..Default::default()
+            },
+        );
         let sweep = latency_sweep(&g, &p, &[0.0, 50.0, 100.0]);
         assert_eq!(sweep.len(), 3);
         assert_eq!(sweep[1].switch_latency_ns, 50.0);
@@ -170,7 +184,13 @@ mod tests {
     #[test]
     fn zero_switch_latency_still_counts_wire_delay() {
         let g = ring(8);
-        let p = place_topology(&g, &QapConfig { anneal_iters: 500, ..Default::default() });
+        let p = place_topology(
+            &g,
+            &QapConfig {
+                anneal_iters: 500,
+                ..Default::default()
+            },
+        );
         let prof = latency_profile(&g, &p, 0.0);
         // Every pair is at least one 2 m hop away: >= 10 ns.
         assert!(prof.average_latency_ns >= 10.0);

@@ -20,7 +20,11 @@ pub struct PowerModel {
 
 impl Default for PowerModel {
     fn default() -> Self {
-        PowerModel { electrical_port_w: 3.76, optical_port_w: 4.72, link_rate_gbps: 100.0 }
+        PowerModel {
+            electrical_port_w: 3.76,
+            optical_port_w: 4.72,
+            link_rate_gbps: 100.0,
+        }
     }
 }
 

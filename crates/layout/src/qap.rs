@@ -203,7 +203,9 @@ pub fn place_topology(g: &CsrGraph, cfg: &QapConfig) -> Placement {
     }
 
     // --- Step 3: greedy first-improvement swaps over occupied groups. ---
-    let occupied: Vec<usize> = (0..total_slots).filter(|&gi| !st.residents[gi].is_empty()).collect();
+    let occupied: Vec<usize> = (0..total_slots)
+        .filter(|&gi| !st.residents[gi].is_empty())
+        .collect();
     for _ in 0..cfg.greedy_passes {
         let mut improved = false;
         for (i, &ga) in occupied.iter().enumerate() {
@@ -222,9 +224,16 @@ pub fn place_topology(g: &CsrGraph, cfg: &QapConfig) -> Placement {
 
     let cabinet_of: Vec<usize> = (0..n as VertexId).map(|r| st.slot_of_router(r)).collect();
     // Recompute exactly to avoid floating-point drift from the incremental updates.
-    let placement = Placement { cabinet_of, room: st.room.clone(), total_wire_m: 0.0 };
+    let placement = Placement {
+        cabinet_of,
+        room: st.room.clone(),
+        total_wire_m: 0.0,
+    };
     let total = placement.link_lengths_m(g).iter().sum();
-    Placement { total_wire_m: total, ..placement }
+    Placement {
+        total_wire_m: total,
+        ..placement
+    }
 }
 
 #[cfg(test)]
@@ -238,7 +247,12 @@ mod tests {
     }
 
     fn fast_cfg(seed: u64) -> QapConfig {
-        QapConfig { anneal_iters: 20_000, greedy_passes: 1, seed, ..Default::default() }
+        QapConfig {
+            anneal_iters: 20_000,
+            greedy_passes: 1,
+            seed,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -275,7 +289,10 @@ mod tests {
         let random_assign: Vec<usize> = (0..40).map(|r| slots[r / 2]).collect();
         let random_cost: f64 = g
             .edges()
-            .map(|(u, v)| p.room.cabinet_wire_m(random_assign[u as usize], random_assign[v as usize]))
+            .map(|(u, v)| {
+                p.room
+                    .cabinet_wire_m(random_assign[u as usize], random_assign[v as usize])
+            })
             .sum();
         assert!(
             p.total_wire_m < random_cost,
@@ -298,9 +315,24 @@ mod tests {
         // Property check on a small graph: applying a few random swaps and re-deriving the
         // total from scratch agrees with the incremental bookkeeping inside the optimizer.
         let g = ring(12);
-        let p1 = place_topology(&g, &QapConfig { anneal_iters: 500, ..fast_cfg(11) });
-        let p2 = place_topology(&g, &QapConfig { anneal_iters: 500, ..fast_cfg(11) });
-        assert_eq!(p1.cabinet_of, p2.cabinet_of, "placement must be deterministic");
+        let p1 = place_topology(
+            &g,
+            &QapConfig {
+                anneal_iters: 500,
+                ..fast_cfg(11)
+            },
+        );
+        let p2 = place_topology(
+            &g,
+            &QapConfig {
+                anneal_iters: 500,
+                ..fast_cfg(11)
+            },
+        );
+        assert_eq!(
+            p1.cabinet_of, p2.cabinet_of,
+            "placement must be deterministic"
+        );
         assert!((p1.total_wire_m - p2.total_wire_m).abs() < 1e-9);
     }
 }

@@ -28,7 +28,12 @@ impl MachineRoom {
         let cabinets = routers.div_ceil(ROUTERS_PER_CABINET);
         let grid_y = ((2.0 * cabinets as f64 / 0.6).sqrt().ceil() as usize).max(1);
         let grid_x = cabinets.div_ceil(grid_y).max(1);
-        MachineRoom { routers, cabinets, grid_x, grid_y }
+        MachineRoom {
+            routers,
+            cabinets,
+            grid_x,
+            grid_y,
+        }
     }
 
     /// Number of routers the room was sized for.
@@ -76,7 +81,10 @@ impl MachineRoom {
     /// Physical positions for every router under a given placement
     /// (`placement[router] = cabinet`).
     pub fn router_positions_m(&self, placement: &[usize]) -> Vec<(f64, f64)> {
-        placement.iter().map(|&c| self.cabinet_position_m(c)).collect()
+        placement
+            .iter()
+            .map(|&c| self.cabinet_position_m(c))
+            .collect()
     }
 }
 

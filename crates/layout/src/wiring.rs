@@ -66,7 +66,13 @@ mod tests {
     #[test]
     fn stats_are_consistent() {
         let g = ring(32);
-        let p = place_topology(&g, &QapConfig { anneal_iters: 5000, ..Default::default() });
+        let p = place_topology(
+            &g,
+            &QapConfig {
+                anneal_iters: 5000,
+                ..Default::default()
+            },
+        );
         let s = classify_links(&g, &p, DEFAULT_ELECTRICAL_LIMIT_M);
         assert_eq!(s.links, 32);
         assert_eq!(s.electrical_links + s.optical_links, s.links);
@@ -78,7 +84,13 @@ mod tests {
     #[test]
     fn tight_limit_forces_all_optical() {
         let g = ring(20);
-        let p = place_topology(&g, &QapConfig { anneal_iters: 2000, ..Default::default() });
+        let p = place_topology(
+            &g,
+            &QapConfig {
+                anneal_iters: 2000,
+                ..Default::default()
+            },
+        );
         let s = classify_links(&g, &p, 0.1);
         assert_eq!(s.electrical_links, 0);
         assert_eq!(s.optical_links, 20);
@@ -90,7 +102,13 @@ mod tests {
     #[test]
     fn intra_cabinet_links_count_as_electrical() {
         let g = ring(16);
-        let p = place_topology(&g, &QapConfig { anneal_iters: 5000, ..Default::default() });
+        let p = place_topology(
+            &g,
+            &QapConfig {
+                anneal_iters: 5000,
+                ..Default::default()
+            },
+        );
         let s = classify_links(&g, &p, DEFAULT_ELECTRICAL_LIMIT_M);
         // The perfect-matching pairs give at least 8 two-metre links.
         assert!(s.electrical_links >= 8);

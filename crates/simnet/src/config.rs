@@ -1,6 +1,14 @@
 //! Simulation parameters (the hardware knobs the paper's SST/macro runs configure).
 
-/// Routing algorithms evaluated in the paper (Section V).
+use crate::routing;
+
+/// Convenience constants for the paper's routing algorithms (Section V).
+///
+/// The simulator selects algorithms **by name** through the routing registry
+/// ([`crate::routing`]); this enum merely spells the built-in names in a typed way
+/// for call sites that want compiler-checked selection. `RoutingAlgorithm::UgalL`
+/// and the string `"ugal-l"` are interchangeable everywhere a routing name is
+/// accepted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum RoutingAlgorithm {
     /// Adaptive minimal routing: each hop picks the least-occupied port among all
@@ -12,6 +20,27 @@ pub enum RoutingAlgorithm {
     /// UGAL-L: at the source router, choose between the minimal path and a Valiant path
     /// using local output-queue occupancy weighted by path length.
     UgalL,
+    /// UGAL-G: UGAL with global queue state — the congestion estimate adds the
+    /// candidate next-hop routers' buffer occupancy.
+    UgalG,
+}
+
+impl RoutingAlgorithm {
+    /// The algorithm's canonical registry name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingAlgorithm::Minimal => "minimal",
+            RoutingAlgorithm::Valiant => "valiant",
+            RoutingAlgorithm::UgalL => "ugal-l",
+            RoutingAlgorithm::UgalG => "ugal-g",
+        }
+    }
+}
+
+impl From<RoutingAlgorithm> for String {
+    fn from(algo: RoutingAlgorithm) -> String {
+        algo.name().to_string()
+    }
 }
 
 impl std::fmt::Display for RoutingAlgorithm {
@@ -20,6 +49,7 @@ impl std::fmt::Display for RoutingAlgorithm {
             RoutingAlgorithm::Minimal => write!(f, "minimal"),
             RoutingAlgorithm::Valiant => write!(f, "valiant"),
             RoutingAlgorithm::UgalL => write!(f, "UGAL-L"),
+            RoutingAlgorithm::UgalG => write!(f, "UGAL-G"),
         }
     }
 }
@@ -46,9 +76,10 @@ pub struct SimConfig {
     pub buffer_packets_per_vc: usize,
     /// Number of virtual channels (must exceed the longest routed path in hops).
     pub num_vcs: usize,
-    /// Routing algorithm.
-    pub routing: RoutingAlgorithm,
-    /// UGAL-L bias: the minimal path is preferred unless the Valiant estimate is smaller by
+    /// Routing algorithm, as a name resolved through the routing registry
+    /// ([`crate::routing`]); built-ins are `minimal`, `valiant`, `ugal-l`, `ugal-g`.
+    pub routing: String,
+    /// UGAL bias: the minimal path is preferred unless the Valiant estimate is smaller by
     /// more than this many packet-cycles (a small positive bias reduces needless detours).
     pub ugal_threshold: f64,
     /// RNG seed (Valiant intermediates, adaptive tie-breaks, Poisson injection).
@@ -65,7 +96,7 @@ impl Default for SimConfig {
             injection_bandwidth_gbps: 100.0,
             buffer_packets_per_vc: 16,
             num_vcs: 8,
-            routing: RoutingAlgorithm::Minimal,
+            routing: "minimal".to_string(),
             ugal_threshold: 1.0,
             seed: 0x5EED,
         }
@@ -88,19 +119,33 @@ impl SimConfig {
         (self.router_latency_ns * 1000.0).round() as u64
     }
 
-    /// The VC count the paper prescribes: `d + 1` for minimal/UGAL-minimal paths and
-    /// `2d + 1` for Valiant (Section V-A), where `d` is the topology diameter.
-    pub fn vcs_for_diameter(routing: RoutingAlgorithm, diameter: u32) -> usize {
-        match routing {
-            RoutingAlgorithm::Minimal => diameter as usize + 1,
-            RoutingAlgorithm::Valiant | RoutingAlgorithm::UgalL => 2 * diameter as usize + 1,
-        }
+    /// The VC count the paper prescribes for `routing` on a diameter-`diameter`
+    /// topology: `d + 1` for minimal paths and `2d + 1` for detour-based algorithms
+    /// (Section V-A), as reported by the algorithm itself
+    /// ([`crate::routing::Router::vcs_for_diameter`]).
+    ///
+    /// # Panics
+    /// If `routing` is not in the routing registry.
+    pub fn vcs_for_diameter(routing: impl Into<String>, diameter: u32) -> usize {
+        let name = routing.into();
+        let router = routing::create(&name).unwrap_or_else(|| {
+            panic!(
+                "unknown routing algorithm {name:?}; registered: {}",
+                routing::registered_names().join(", ")
+            )
+        });
+        router.vcs_for_diameter(diameter)
     }
 
-    /// Builder-style: set the routing algorithm and a VC count suitable for `diameter`.
-    pub fn with_routing(mut self, routing: RoutingAlgorithm, diameter: u32) -> Self {
-        self.routing = routing;
-        self.num_vcs = Self::vcs_for_diameter(routing, diameter);
+    /// Builder-style: set the routing algorithm (by registry name or
+    /// [`RoutingAlgorithm`] constant) and a VC count suitable for `diameter`.
+    ///
+    /// # Panics
+    /// If `routing` is not in the routing registry.
+    pub fn with_routing(mut self, routing: impl Into<String>, diameter: u32) -> Self {
+        let name = routing.into();
+        self.num_vcs = Self::vcs_for_diameter(name.clone(), diameter);
+        self.routing = name;
         self
     }
 }
@@ -123,12 +168,34 @@ mod tests {
         assert_eq!(SimConfig::vcs_for_diameter(RoutingAlgorithm::Minimal, 3), 4);
         assert_eq!(SimConfig::vcs_for_diameter(RoutingAlgorithm::Valiant, 3), 7);
         assert_eq!(SimConfig::vcs_for_diameter(RoutingAlgorithm::UgalL, 4), 9);
+        assert_eq!(SimConfig::vcs_for_diameter("ugal-g", 4), 9);
     }
 
     #[test]
     fn with_routing_updates_vcs() {
         let cfg = SimConfig::default().with_routing(RoutingAlgorithm::Valiant, 4);
         assert_eq!(cfg.num_vcs, 9);
-        assert_eq!(cfg.routing, RoutingAlgorithm::Valiant);
+        assert_eq!(cfg.routing, "valiant");
+        // Registry names work directly, in any spelling the registry normalizes.
+        let cfg = SimConfig::default().with_routing("UGAL_L", 3);
+        assert_eq!(cfg.num_vcs, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown routing algorithm")]
+    fn unknown_routing_name_panics_with_candidates() {
+        let _ = SimConfig::default().with_routing("wormhole-9000", 3);
+    }
+
+    #[test]
+    fn enum_names_resolve_in_registry() {
+        for algo in [
+            RoutingAlgorithm::Minimal,
+            RoutingAlgorithm::Valiant,
+            RoutingAlgorithm::UgalL,
+            RoutingAlgorithm::UgalG,
+        ] {
+            assert!(crate::routing::is_registered(algo.name()), "{algo}");
+        }
     }
 }

@@ -7,8 +7,9 @@
 //! channel index equals the packet's hop count, which makes the channel dependency graph
 //! acyclic and the schedule deadlock-free (Section V-A of the paper).
 
-use crate::config::{RoutingAlgorithm, SimConfig};
+use crate::config::SimConfig;
 use crate::network::SimNetwork;
+use crate::routing::{self, Router, RoutingCtx, RoutingState};
 use crate::stats::{SimResults, StatsCollector};
 use crate::workload::Workload;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -24,8 +25,8 @@ struct Packet {
     bytes: u64,
     inject_time_ps: u64,
     hops: u32,
-    /// Valiant intermediate router still to be visited (None once reached / not used).
-    intermediate: Option<VertexId>,
+    /// Algorithm-owned routing state (e.g. a Valiant intermediate still to be visited).
+    routing: RoutingState,
     /// Index of the owning message (for message-completion accounting).
     msg: usize,
 }
@@ -76,7 +77,11 @@ struct PhaseState {
 impl PhaseState {
     fn push(&mut self, time: u64, kind: EventKind) {
         self.seq += 1;
-        self.heap.push(Reverse(Event { time, seq: self.seq, kind }));
+        self.heap.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
     }
 }
 
@@ -84,14 +89,30 @@ impl PhaseState {
 pub struct Simulator<'a> {
     net: &'a SimNetwork,
     cfg: &'a SimConfig,
+    /// The routing algorithm, resolved once from the registry at construction.
+    router: Box<dyn Router>,
 }
 
 impl<'a> Simulator<'a> {
     /// Create a simulator over a network with a configuration.
+    ///
+    /// # Panics
+    /// If `cfg.routing` does not name a registered routing algorithm
+    /// (see [`crate::routing`]).
     pub fn new(net: &'a SimNetwork, cfg: &'a SimConfig) -> Self {
         assert!(cfg.num_vcs >= 1, "need at least one virtual channel");
-        assert!(cfg.buffer_packets_per_vc >= 1, "need at least one buffer slot per VC");
-        Simulator { net, cfg }
+        assert!(
+            cfg.buffer_packets_per_vc >= 1,
+            "need at least one buffer slot per VC"
+        );
+        let router = routing::create(&cfg.routing).unwrap_or_else(|| {
+            panic!(
+                "unknown routing algorithm {:?}; registered: {}",
+                cfg.routing,
+                routing::registered_names().join(", ")
+            )
+        });
+        Simulator { net, cfg, router }
     }
 
     /// Run the workload with message injections spaced exactly as the workload specifies
@@ -104,7 +125,10 @@ impl<'a> Simulator<'a> {
     /// `(0, 1]` — the fraction of endpoint injection bandwidth the sources try to use
     /// (the x-axis of Figures 6–8 in the paper).
     pub fn run_with_offered_load(&self, workload: &Workload, offered_load: f64) -> SimResults {
-        assert!(offered_load > 0.0 && offered_load <= 1.0, "offered load must be in (0, 1]");
+        assert!(
+            offered_load > 0.0 && offered_load <= 1.0,
+            "offered load must be in (0, 1]"
+        );
         self.run_internal(workload, Some(offered_load))
     }
 
@@ -139,7 +163,8 @@ impl<'a> Simulator<'a> {
             let mut msg_first_inject: Vec<u64> = vec![u64::MAX; phase.messages.len()];
 
             // --- Packetization and injection schedule. ---
-            let mut nic_free: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+            let mut nic_free: std::collections::HashMap<usize, u64> =
+                std::collections::HashMap::new();
             let mut order: Vec<usize> = (0..phase.messages.len()).collect();
             order.sort_by_key(|&i| (phase.messages[i].src, phase.messages[i].inject_offset_ps, i));
             for &mi in &order {
@@ -159,7 +184,9 @@ impl<'a> Simulator<'a> {
                 let mut t = base.max(*nic);
                 for k in 0..npkts {
                     let sent = k * self.cfg.packet_size_bytes;
-                    let bytes = (m.bytes - sent.min(m.bytes)).min(self.cfg.packet_size_bytes).max(1);
+                    let bytes = (m.bytes - sent.min(m.bytes))
+                        .min(self.cfg.packet_size_bytes)
+                        .max(1);
                     let nic_ser = ((bytes as f64 * 8.0) / self.cfg.injection_bandwidth_gbps
                         * 1000.0)
                         .ceil() as u64;
@@ -170,7 +197,7 @@ impl<'a> Simulator<'a> {
                         bytes,
                         inject_time_ps: t,
                         hops: 0,
-                        intermediate: None,
+                        routing: RoutingState::default(),
                         msg: mi,
                     });
                     msg_first_inject[mi] = msg_first_inject[mi].min(t);
@@ -198,7 +225,9 @@ impl<'a> Simulator<'a> {
                         }
                     }
                     EventKind::TryTransmit { link } => {
-                        let Some(&pi) = st.link_queue[link].front() else { continue };
+                        let Some(&pi) = st.link_queue[link].front() else {
+                            continue;
+                        };
                         if st.link_free_at[link] > now {
                             let t = st.link_free_at[link];
                             st.push(t, EventKind::TryTransmit { link });
@@ -226,7 +255,13 @@ impl<'a> Simulator<'a> {
                         let arrive =
                             start + ser + self.cfg.link_latency_ps() + self.cfg.router_latency_ps();
                         st.packets[pi].hops += 1;
-                        st.push(arrive, EventKind::Arrive { packet: pi, router: dst_router });
+                        st.push(
+                            arrive,
+                            EventKind::Arrive {
+                                packet: pi,
+                                router: dst_router,
+                            },
+                        );
                         if !st.link_queue[link].is_empty() {
                             let t = st.link_free_at[link];
                             st.push(t, EventKind::TryTransmit { link });
@@ -298,10 +333,10 @@ impl<'a> Simulator<'a> {
         rng: &mut StdRng,
         stats: &mut StatsCollector,
     ) {
-        if st.packets[pi].intermediate == Some(router) {
-            st.packets[pi].intermediate = None;
-        }
-        let target = st.packets[pi].intermediate.unwrap_or(st.packets[pi].dst_router);
+        st.packets[pi].routing.note_arrival(router);
+        let target = st.packets[pi]
+            .routing
+            .current_target(st.packets[pi].dst_router);
         if target == router {
             let vc = (st.packets[pi].hops as usize).min(self.cfg.num_vcs - 1);
             let slot = router as usize * self.cfg.num_vcs + vc;
@@ -326,7 +361,8 @@ impl<'a> Simulator<'a> {
         st.push(now, EventKind::TryTransmit { link });
     }
 
-    /// Routing decision for packet `pi` currently at `router`.
+    /// Routing decision for packet `pi` currently at `router`: delegate to the
+    /// configured [`Router`] behind a [`RoutingCtx`] snapshot of the engine state.
     fn choose_port(
         &self,
         pi: usize,
@@ -334,66 +370,31 @@ impl<'a> Simulator<'a> {
         st: &mut PhaseState,
         rng: &mut StdRng,
     ) -> usize {
-        let dst = st.packets[pi].dst_router;
-        let intermediate = st.packets[pi].intermediate;
-        let hops = st.packets[pi].hops;
-        let queue_len = |st: &PhaseState, port: usize| st.link_queue[self.net.link_id(router, port)].len();
-        let best_min_port = |st: &PhaseState, target: VertexId, rng: &mut StdRng| -> usize {
-            let ports = self.net.minimal_ports(router, target);
-            debug_assert!(!ports.is_empty(), "no minimal port from {router} to {target}");
-            let min_q = ports.iter().map(|&p| queue_len(st, p)).min().unwrap();
-            let best: Vec<usize> = ports
-                .into_iter()
-                .filter(|&p| queue_len(st, p) == min_q)
-                .collect();
-            best[rng.gen_range(0..best.len())]
-        };
-
-        match self.cfg.routing {
-            RoutingAlgorithm::Minimal => best_min_port(st, intermediate.unwrap_or(dst), rng),
-            RoutingAlgorithm::Valiant => {
-                if hops == 0 && intermediate.is_none() && router != dst {
-                    let n = self.net.num_routers();
-                    let mut inter = rng.gen_range(0..n) as VertexId;
-                    let mut guard = 0;
-                    while (inter == router || inter == dst) && guard < 16 {
-                        inter = rng.gen_range(0..n) as VertexId;
-                        guard += 1;
-                    }
-                    if inter != router && inter != dst {
-                        st.packets[pi].intermediate = Some(inter);
-                    }
-                }
-                let target = st.packets[pi].intermediate.unwrap_or(dst);
-                best_min_port(st, target, rng)
-            }
-            RoutingAlgorithm::UgalL => {
-                if hops == 0 && intermediate.is_none() && router != dst {
-                    let min_port = best_min_port(st, dst, rng);
-                    let d_min = self.net.dist(router, dst) as f64;
-                    let cost_min = (queue_len(st, min_port) as f64 + 1.0) * d_min;
-                    let n = self.net.num_routers();
-                    let mut inter = rng.gen_range(0..n) as VertexId;
-                    let mut guard = 0;
-                    while (inter == router || inter == dst) && guard < 16 {
-                        inter = rng.gen_range(0..n) as VertexId;
-                        guard += 1;
-                    }
-                    if inter != router && inter != dst {
-                        let val_port = best_min_port(st, inter, rng);
-                        let d_val =
-                            self.net.dist(router, inter) as f64 + self.net.dist(inter, dst) as f64;
-                        let cost_val = (queue_len(st, val_port) as f64 + 1.0) * d_val;
-                        if cost_val + self.cfg.ugal_threshold < cost_min {
-                            st.packets[pi].intermediate = Some(inter);
-                            return val_port;
-                        }
-                    }
-                    return min_port;
-                }
-                best_min_port(st, intermediate.unwrap_or(dst), rng)
-            }
-        }
+        // Detach the packet's routing state so the context can borrow the rest of the
+        // phase state immutably while the algorithm mutates its own state.
+        let mut state = std::mem::take(&mut st.packets[pi].routing);
+        let mut ctx = RoutingCtx::new(
+            self.net,
+            &st.link_queue,
+            &st.occupancy,
+            self.cfg.num_vcs,
+            self.cfg.ugal_threshold,
+            router,
+            st.packets[pi].dst_router,
+            st.packets[pi].hops,
+            rng,
+        );
+        let port = self.router.route(&mut ctx, &mut state);
+        // Hard assert (not debug_assert): Router is a third-party extension point, and
+        // an out-of-range port would otherwise silently index into the next router's
+        // link range and corrupt the run far from the buggy decision.
+        assert!(
+            port < self.net.graph().degree(router),
+            "router {} returned out-of-range port {port} at router {router}",
+            self.router.name()
+        );
+        st.packets[pi].routing = state;
+        port
     }
 }
 
@@ -426,7 +427,12 @@ mod tests {
         let cfg = SimConfig::default();
         let wl = Workload::single_phase(
             "one",
-            vec![Message { src: 0, dst: 1, bytes: 4096, inject_offset_ps: 0 }],
+            vec![Message {
+                src: 0,
+                dst: 1,
+                bytes: 4096,
+                inject_offset_ps: 0,
+            }],
         );
         let res = Simulator::new(&net, &cfg).run(&wl);
         assert_eq!(res.delivered_packets, 1);
@@ -438,15 +444,30 @@ mod tests {
     }
 
     #[test]
-    fn all_packets_delivered_on_every_routing_algorithm() {
+    fn all_packets_delivered_on_every_registered_routing_algorithm() {
+        // Registry-driven conformance: every built-in algorithm must deliver every
+        // packet and respect the VC/diameter hop bound implied by its own VC rule.
+        // Iterates a freshly-built registry (not the process-global one) so the test
+        // set cannot depend on what other tests registered concurrently.
         let net = SimNetwork::new(ring(8), 2);
         let wl = Workload::uniform_random(net.num_endpoints(), 10, 1024, 7);
-        for routing in [RoutingAlgorithm::Minimal, RoutingAlgorithm::Valiant, RoutingAlgorithm::UgalL] {
-            let cfg = SimConfig::default().with_routing(routing, net.diameter() as u32);
+        let names = routing::RouterRegistry::with_builtins().names();
+        assert!(
+            names.len() >= 4,
+            "expected at least 4 built-ins, got {names:?}"
+        );
+        for name in names {
+            let cfg = SimConfig::default().with_routing(name.clone(), net.diameter() as u32);
             let res = Simulator::new(&net, &cfg).run(&wl);
-            assert_eq!(res.delivered_packets, 160, "{routing}");
-            assert_eq!(res.delivered_messages, 160, "{routing}");
-            assert!(res.completion_time_ps > 0);
+            assert_eq!(res.delivered_packets, 160, "{name}");
+            assert_eq!(res.delivered_messages, 160, "{name}");
+            assert!(res.completion_time_ps > 0, "{name}");
+            assert!(
+                (res.max_hops as usize) < cfg.num_vcs,
+                "{name}: {} hops exceeds the VC bound {}",
+                res.max_hops,
+                cfg.num_vcs
+            );
         }
     }
 
@@ -457,7 +478,12 @@ mod tests {
         // 10 KB message with 4 KB packets -> 3 packets, 1 message.
         let wl = Workload::single_phase(
             "big",
-            vec![Message { src: 0, dst: 2, bytes: 10_240, inject_offset_ps: 0 }],
+            vec![Message {
+                src: 0,
+                dst: 2,
+                bytes: 10_240,
+                inject_offset_ps: 0,
+            }],
         );
         let res = Simulator::new(&net, &cfg).run(&wl);
         assert_eq!(res.delivered_packets, 3);
@@ -471,7 +497,12 @@ mod tests {
         let cfg = SimConfig::default();
         let wl = Workload::single_phase(
             "far",
-            vec![Message { src: 0, dst: 5, bytes: 512, inject_offset_ps: 0 }],
+            vec![Message {
+                src: 0,
+                dst: 5,
+                bytes: 512,
+                inject_offset_ps: 0,
+            }],
         );
         let res = Simulator::new(&net, &cfg).run(&wl);
         assert_eq!(res.max_hops, 5);
@@ -482,8 +513,8 @@ mod tests {
         let net = SimNetwork::new(ring(12), 1);
         let wl = Workload::uniform_random(12, 4, 512, 3);
         let d = net.diameter() as u32;
-        let min_cfg = SimConfig::default().with_routing(RoutingAlgorithm::Minimal, d);
-        let val_cfg = SimConfig::default().with_routing(RoutingAlgorithm::Valiant, d);
+        let min_cfg = SimConfig::default().with_routing("minimal", d);
+        let val_cfg = SimConfig::default().with_routing("valiant", d);
         let rmin = Simulator::new(&net, &min_cfg).run(&wl);
         let rval = Simulator::new(&net, &val_cfg).run(&wl);
         assert!(rval.mean_hops > rmin.mean_hops);
@@ -511,7 +542,12 @@ mod tests {
         let net = SimNetwork::new(complete(4), 1);
         let cfg = SimConfig::default();
         let phase = |src: usize, dst: usize| crate::workload::Phase {
-            messages: vec![Message { src, dst, bytes: 2048, inject_offset_ps: 0 }],
+            messages: vec![Message {
+                src,
+                dst,
+                bytes: 2048,
+                inject_offset_ps: 0,
+            }],
         };
         let wl = Workload {
             phases: vec![phase(0, 1), phase(1, 2), phase(2, 3)],
@@ -527,7 +563,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let net = SimNetwork::new(ring(6), 2);
-        let cfg = SimConfig::default().with_routing(RoutingAlgorithm::UgalL, net.diameter() as u32);
+        let cfg = SimConfig::default().with_routing("ugal-l", net.diameter() as u32);
         let wl = Workload::uniform_random(net.num_endpoints(), 8, 1024, 11);
         let a = Simulator::new(&net, &cfg).run(&wl);
         let b = Simulator::new(&net, &cfg).run(&wl);
@@ -542,7 +578,12 @@ mod tests {
         let cfg = SimConfig::default();
         let wl = Workload::single_phase(
             "local",
-            vec![Message { src: 0, dst: 1, bytes: 256, inject_offset_ps: 0 }],
+            vec![Message {
+                src: 0,
+                dst: 1,
+                bytes: 256,
+                inject_offset_ps: 0,
+            }],
         );
         let res = Simulator::new(&net, &cfg).run(&wl);
         assert_eq!(res.delivered_packets, 1);

@@ -10,17 +10,23 @@
 //! * finite per-router, per-virtual-channel buffers with credit-style backpressure;
 //! * deadlock avoidance by incrementing the virtual channel on every hop
 //!   (`diameter + 1` VCs for minimal routing, `2·diameter + 1` for Valiant — Section V-A);
-//! * **minimal** (adaptive among all shortest-path next hops), **Valiant**, and **UGAL-L**
-//!   routing (Section V);
+//! * a **pluggable routing subsystem** ([`routing`]): algorithms implement the
+//!   [`routing::Router`] trait and are selected by name through a string-keyed
+//!   registry. Built-ins: **minimal** (adaptive among all shortest-path next hops),
+//!   **Valiant**, **UGAL-L**, and **UGAL-G** (Section V, plus the global-queue
+//!   variant the paper discusses as UGAL's idealized form);
 //! * Poisson packet injection to sweep offered load, plus phased application workloads
 //!   (the Ember motifs) whose phases synchronize like the underlying MPI skeletons.
+//!
+//! Path state (distances, minimal next hops) comes from the shared oracle in
+//! [`spectralfly_graph::paths`], the same one the analytical layer uses.
 //!
 //! What is *not* modelled: flit-level wormhole detail, QoS priority queues, and adaptive
 //! injection throttling. The paper's results are *relative speedups between topologies*,
 //! which this level of detail reproduces; absolute times differ from SST/macro.
 //!
 //! ```
-//! use spectralfly_simnet::{SimConfig, RoutingAlgorithm, SimNetwork, Simulator};
+//! use spectralfly_simnet::{SimConfig, SimNetwork, Simulator};
 //! use spectralfly_simnet::workload::Workload;
 //! use spectralfly_graph::CsrGraph;
 //!
@@ -28,7 +34,8 @@
 //! let ring = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
 //! let net = SimNetwork::new(ring, 2);
 //! let wl = Workload::uniform_random(net.num_endpoints(), 20, 256, 1);
-//! let cfg = SimConfig::default();
+//! // Algorithms are picked by registry name ("minimal", "valiant", "ugal-l", "ugal-g").
+//! let cfg = SimConfig::default().with_routing("ugal-g", net.diameter() as u32);
 //! let res = Simulator::new(&net, &cfg).run(&wl);
 //! assert_eq!(res.delivered_packets, 20 * net.num_endpoints() as u64);
 //! ```
@@ -39,11 +46,13 @@
 pub mod config;
 pub mod engine;
 pub mod network;
+pub mod routing;
 pub mod stats;
 pub mod workload;
 
 pub use config::{RoutingAlgorithm, SimConfig};
 pub use engine::Simulator;
 pub use network::SimNetwork;
+pub use routing::{Router, RouterRegistry, RoutingCtx, RoutingState};
 pub use stats::SimResults;
 pub use workload::{Message, Phase, Workload};

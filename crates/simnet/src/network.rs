@@ -1,11 +1,10 @@
 //! The simulated network: router graph, endpoint concentration, directed-link indexing,
-//! and shortest-path (distance-matrix) routing state.
+//! and shortest-path routing state backed by the shared distance oracle
+//! ([`spectralfly_graph::paths::DistanceMatrix`] — the same oracle the analytical
+//! layer uses, so the simulator and the analysis can never disagree about paths).
 
 use spectralfly_graph::csr::{CsrGraph, VertexId};
-use spectralfly_graph::metrics::bfs_distances;
-
-/// Marker for unreachable router pairs.
-const UNREACHABLE_U16: u16 = u16::MAX;
+use spectralfly_graph::paths::DistanceMatrix;
 
 /// A network instance fed to the simulator: a router graph plus endpoint concentration.
 ///
@@ -17,8 +16,8 @@ pub struct SimNetwork {
     concentration: usize,
     /// Prefix offsets into the directed-link index space.
     link_offset: Vec<usize>,
-    /// Row-major all-pairs router distances.
-    dist: Vec<u16>,
+    /// Shared all-pairs distance / next-hop oracle.
+    dist: DistanceMatrix,
     n: usize,
 }
 
@@ -34,21 +33,24 @@ impl SimNetwork {
             acc += graph.degree(v as VertexId);
             link_offset.push(acc);
         }
-        // Parallel-free BFS sweep here keeps this constructor dependency-light; the graphs
-        // used in simulation have at most a few thousand routers.
-        let mut dist = vec![UNREACHABLE_U16; n * n];
-        for s in 0..n {
-            let d = bfs_distances(&graph, s as VertexId);
-            for (t, &dv) in d.iter().enumerate() {
-                dist[s * n + t] = if dv == u32::MAX { UNREACHABLE_U16 } else { dv as u16 };
-            }
+        let dist = DistanceMatrix::from_graph(&graph);
+        SimNetwork {
+            graph,
+            concentration,
+            link_offset,
+            dist,
+            n,
         }
-        SimNetwork { graph, concentration, link_offset, dist, n }
     }
 
     /// The router graph.
     pub fn graph(&self) -> &CsrGraph {
         &self.graph
+    }
+
+    /// The shared distance / next-hop oracle over routers.
+    pub fn distances(&self) -> &DistanceMatrix {
+        &self.dist
     }
 
     /// Endpoints per router.
@@ -81,17 +83,12 @@ impl SimNetwork {
     /// Router distance in hops (`u16::MAX` if unreachable).
     #[inline]
     pub fn dist(&self, a: VertexId, b: VertexId) -> u16 {
-        self.dist[a as usize * self.n + b as usize]
+        self.dist.dist(a, b)
     }
 
-    /// Topology diameter over routers.
+    /// Topology diameter over routers (ignoring unreachable pairs).
     pub fn diameter(&self) -> u16 {
-        self.dist
-            .iter()
-            .copied()
-            .filter(|&d| d != UNREACHABLE_U16)
-            .max()
-            .unwrap_or(0)
+        self.dist.max_reachable_distance()
     }
 
     /// Global id of directed link `(router, port)`.
@@ -108,17 +105,7 @@ impl SimNetwork {
 
     /// Ports of `current` whose neighbour lies on a shortest path to `dst`.
     pub fn minimal_ports(&self, current: VertexId, dst: VertexId) -> Vec<usize> {
-        if current == dst {
-            return Vec::new();
-        }
-        let d = self.dist(current, dst);
-        self.graph
-            .neighbors(current)
-            .iter()
-            .enumerate()
-            .filter(|&(_, &w)| self.dist(w, dst).saturating_add(1) == d)
-            .map(|(i, _)| i)
-            .collect()
+        self.dist.min_next_ports(&self.graph, current, dst)
     }
 }
 
@@ -164,5 +151,24 @@ mod tests {
         // Antipodal destination: both directions are minimal.
         assert_eq!(net.minimal_ports(0, 4).len(), 2);
         assert!(net.minimal_ports(3, 3).is_empty());
+    }
+
+    #[test]
+    fn simulator_and_analysis_share_one_oracle() {
+        // The network's distance view must be the analytical DistanceMatrix itself.
+        let g = ring(9);
+        let net = SimNetwork::new(g.clone(), 1);
+        let dm = DistanceMatrix::from_graph(&g);
+        for a in 0..9u32 {
+            for b in 0..9u32 {
+                assert_eq!(net.dist(a, b), dm.dist(a, b));
+                let ports: Vec<VertexId> = net
+                    .minimal_ports(a, b)
+                    .into_iter()
+                    .map(|p| net.link_target(a, p))
+                    .collect();
+                assert_eq!(ports, dm.min_next_hops(&g, a, b));
+            }
+        }
     }
 }

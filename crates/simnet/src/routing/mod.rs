@@ -1,0 +1,481 @@
+//! The pluggable routing subsystem.
+//!
+//! Routing decisions are made by implementations of the [`Router`] trait, selected
+//! by name through a string-keyed [`RouterRegistry`]. The engine is algorithm-
+//! agnostic: for every packet that needs an output port it builds a [`RoutingCtx`]
+//! (neighbour ports, queue occupancies, the shared distance oracle, and the run's
+//! RNG), hands it to the configured router together with the packet's opaque
+//! [`RoutingState`], and enqueues the packet on whatever port comes back.
+//!
+//! Built-in algorithms (Section V of the paper):
+//!
+//! | registry name | algorithm | VCs for diameter `d` |
+//! |---------------|-----------|----------------------|
+//! | `minimal`     | adaptive minimal ([`minimal::Minimal`]) | `d + 1` |
+//! | `valiant`     | Valiant randomized ([`valiant::Valiant`]) | `2d + 1` |
+//! | `ugal-l`      | UGAL with local queue state ([`ugal::UgalL`]) | `2d + 1` |
+//! | `ugal-g`      | UGAL with global queue state ([`ugal::UgalG`]) | `2d + 1` |
+//!
+//! # Registering a custom algorithm
+//!
+//! ```
+//! use spectralfly_simnet::routing::{self, Router, RoutingCtx, RoutingState};
+//!
+//! /// Always takes the first minimal port — non-adaptive minimal routing.
+//! struct FirstMinimal;
+//!
+//! impl Router for FirstMinimal {
+//!     fn name(&self) -> &str {
+//!         "first-minimal"
+//!     }
+//!     fn route(&self, ctx: &mut RoutingCtx<'_>, state: &mut RoutingState) -> usize {
+//!         let target = state.current_target(ctx.dst());
+//!         ctx.minimal_ports(target)[0]
+//!     }
+//! }
+//!
+//! routing::register("first-minimal", || Box::new(FirstMinimal));
+//! assert!(routing::registered_names().contains(&"first-minimal".to_string()));
+//!
+//! // The new algorithm is now selectable by name everywhere a SimConfig is built:
+//! let cfg = spectralfly_simnet::SimConfig::default().with_routing("first-minimal", 3);
+//! assert_eq!(cfg.num_vcs, 4);
+//! ```
+
+pub mod minimal;
+pub mod ugal;
+pub mod valiant;
+
+use crate::network::SimNetwork;
+use rand::rngs::StdRng;
+use rand::Rng;
+use spectralfly_graph::csr::VertexId;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, OnceLock, RwLock};
+
+pub use minimal::Minimal;
+pub use ugal::{UgalG, UgalL};
+pub use valiant::Valiant;
+
+/// Per-packet routing state, threaded through the engine without inspection beyond
+/// the two methods below.
+///
+/// The one field has engine-defined **detour semantics**: a stored router id means
+/// "steer minimally toward this router before the destination" — the engine routes
+/// toward it ([`RoutingState::current_target`]) and clears it on arrival
+/// ([`RoutingState::note_arrival`]). Valiant and UGAL store their detour router in
+/// it; single-detour custom algorithms can do the same. Algorithms needing richer
+/// per-packet state (multi-leg detours, visited-set history) would need this struct
+/// extended — by design it stays minimal, because it is cloned per packet.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoutingState {
+    /// Intermediate router still to be visited (`None` once reached / not used).
+    pub intermediate: Option<VertexId>,
+}
+
+impl RoutingState {
+    /// Clear the intermediate target once the packet reaches it.
+    #[inline]
+    pub fn note_arrival(&mut self, router: VertexId) {
+        if self.intermediate == Some(router) {
+            self.intermediate = None;
+        }
+    }
+
+    /// The router the packet is currently steering toward: the intermediate if one is
+    /// pending, the destination otherwise.
+    #[inline]
+    pub fn current_target(&self, dst: VertexId) -> VertexId {
+        self.intermediate.unwrap_or(dst)
+    }
+}
+
+/// Everything a routing decision may consult, snapshotted at decision time.
+///
+/// Wraps the network (neighbour ports and the shared distance oracle), the engine's
+/// queue and buffer state, the configured UGAL bias, and the run's RNG.
+pub struct RoutingCtx<'a> {
+    net: &'a SimNetwork,
+    link_queues: &'a [VecDeque<usize>],
+    occupancy: &'a [u32],
+    num_vcs: usize,
+    ugal_threshold: f64,
+    router: VertexId,
+    dst: VertexId,
+    hops: u32,
+    rng: &'a mut StdRng,
+}
+
+impl<'a> RoutingCtx<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        net: &'a SimNetwork,
+        link_queues: &'a [VecDeque<usize>],
+        occupancy: &'a [u32],
+        num_vcs: usize,
+        ugal_threshold: f64,
+        router: VertexId,
+        dst: VertexId,
+        hops: u32,
+        rng: &'a mut StdRng,
+    ) -> Self {
+        RoutingCtx {
+            net,
+            link_queues,
+            occupancy,
+            num_vcs,
+            ugal_threshold,
+            router,
+            dst,
+            hops,
+            rng,
+        }
+    }
+
+    /// The router the packet currently resides at.
+    #[inline]
+    pub fn router(&self) -> VertexId {
+        self.router
+    }
+
+    /// The packet's final destination router.
+    #[inline]
+    pub fn dst(&self) -> VertexId {
+        self.dst
+    }
+
+    /// Hops the packet has taken so far (0 at the source router).
+    #[inline]
+    pub fn hops(&self) -> u32 {
+        self.hops
+    }
+
+    /// Number of routers in the network.
+    #[inline]
+    pub fn num_routers(&self) -> usize {
+        self.net.num_routers()
+    }
+
+    /// Router distance in hops from the shared distance oracle.
+    #[inline]
+    pub fn dist(&self, a: VertexId, b: VertexId) -> u16 {
+        self.net.dist(a, b)
+    }
+
+    /// The UGAL bias configured on the simulation ([`crate::SimConfig::ugal_threshold`]).
+    #[inline]
+    pub fn ugal_threshold(&self) -> f64 {
+        self.ugal_threshold
+    }
+
+    /// Output ports of the current router whose neighbour lies on a shortest path to
+    /// `target`.
+    pub fn minimal_ports(&self, target: VertexId) -> Vec<usize> {
+        self.net.minimal_ports(self.router, target)
+    }
+
+    /// The neighbour reached through `port` of the current router.
+    #[inline]
+    pub fn port_target(&self, port: usize) -> VertexId {
+        self.net.link_target(self.router, port)
+    }
+
+    /// Occupancy of the current router's output queue on `port`, in packets.
+    #[inline]
+    pub fn queue_len(&self, port: usize) -> usize {
+        self.link_queues[self.net.link_id(self.router, port)].len()
+    }
+
+    /// Total buffered packets (all virtual channels) at an arbitrary router — the
+    /// "global" congestion signal available to UGAL-G style algorithms.
+    pub fn router_occupancy(&self, router: VertexId) -> u32 {
+        let base = router as usize * self.num_vcs;
+        self.occupancy[base..base + self.num_vcs].iter().sum()
+    }
+
+    /// The run's RNG (deterministic given [`crate::SimConfig::seed`]).
+    #[inline]
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// The least-occupied minimal port toward `target`, breaking ties uniformly at
+    /// random — the adaptive-minimal primitive every built-in algorithm shares.
+    pub fn best_minimal_port(&mut self, target: VertexId) -> usize {
+        let ports = self.net.minimal_ports(self.router, target);
+        // Hard assert: an empty port set means the target is unreachable (or equals the
+        // current router, which the engine rules out) — fail with the routing facts
+        // instead of an opaque unwrap panic deeper in.
+        assert!(
+            !ports.is_empty(),
+            "no minimal port from router {} toward {target} (unreachable destination?)",
+            self.router
+        );
+        let min_q = ports.iter().map(|&p| self.queue_len(p)).min().unwrap();
+        let best: Vec<usize> = ports
+            .into_iter()
+            .filter(|&p| self.queue_len(p) == min_q)
+            .collect();
+        best[self.rng.gen_range(0..best.len())]
+    }
+
+    /// A uniformly random intermediate router excluding the current router and the
+    /// destination, or `None` if no such router exists.
+    ///
+    /// Exact by construction (index remapping around the excluded ids), replacing the
+    /// engine's former bounded rejection loop, which could silently give up on small
+    /// networks and degrade Valiant to minimal routing.
+    pub fn sample_intermediate(&mut self) -> Option<VertexId> {
+        sample_excluding(self.rng, self.net.num_routers(), self.router, self.dst)
+    }
+}
+
+/// Uniform sample from `0..n` excluding `a` and `b` (which may coincide).
+fn sample_excluding(rng: &mut StdRng, n: usize, a: VertexId, b: VertexId) -> Option<VertexId> {
+    let excluded = if a == b { 1 } else { 2 };
+    if n <= excluded {
+        return None;
+    }
+    let mut x = rng.gen_range(0..n - excluded) as VertexId;
+    let (lo, hi) = (a.min(b), a.max(b));
+    if x >= lo {
+        x += 1;
+    }
+    if a != b && x >= hi {
+        x += 1;
+    }
+    Some(x)
+}
+
+/// A routing algorithm: a stateless decision procedure over per-packet state.
+///
+/// Implementations must be `Send + Sync` — offered-load sweeps run one simulation
+/// per core, and each simulation owns one boxed router instance.
+pub trait Router: Send + Sync {
+    /// Canonical registry name (lowercase, dash-separated).
+    fn name(&self) -> &str;
+
+    /// Virtual channels required on a topology of diameter `diameter` so that the
+    /// hop-indexed VC schedule stays deadlock-free (Section V-A of the paper).
+    ///
+    /// The default covers algorithms whose paths are minimal; detour-based
+    /// algorithms (Valiant, UGAL) override this with `2d + 1`.
+    fn vcs_for_diameter(&self, diameter: u32) -> usize {
+        diameter as usize + 1
+    }
+
+    /// Pick the output port for a packet resident at `ctx.router()`.
+    ///
+    /// Called only when the packet is not yet at its current target, so a minimal
+    /// port toward `state.current_target(ctx.dst())` always exists on a connected
+    /// topology.
+    fn route(&self, ctx: &mut RoutingCtx<'_>, state: &mut RoutingState) -> usize;
+}
+
+/// Factory producing a fresh router instance.
+pub type RouterFactory = Arc<dyn Fn() -> Box<dyn Router> + Send + Sync>;
+
+/// String-keyed registry of routing algorithms.
+///
+/// Names are normalized (lowercased, `_` and spaces mapped to `-`), so `UGAL-L`,
+/// `ugal_l`, and `ugal-l` all resolve to the same entry.
+#[derive(Clone, Default)]
+pub struct RouterRegistry {
+    /// normalized key → (canonical algorithm name, factory). The canonical name is
+    /// captured once at registration so listing never needs to instantiate routers.
+    entries: BTreeMap<String, (String, RouterFactory)>,
+}
+
+fn normalize(name: &str) -> String {
+    name.trim()
+        .chars()
+        .map(|c| match c {
+            '_' | ' ' => '-',
+            c => c.to_ascii_lowercase(),
+        })
+        .collect()
+}
+
+impl RouterRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        RouterRegistry::default()
+    }
+
+    /// A registry pre-populated with the paper's algorithms plus UGAL-G.
+    pub fn with_builtins() -> Self {
+        let mut r = RouterRegistry::empty();
+        r.register("minimal", || Box::new(Minimal));
+        r.register("valiant", || Box::new(Valiant));
+        r.register("ugal-l", || Box::new(UgalL));
+        r.register("ugal-g", || Box::new(UgalG));
+        // Convenience alias: the paper says "UGAL" for the local variant.
+        r.register("ugal", || Box::new(UgalL));
+        r
+    }
+
+    /// Register (or replace) an algorithm under `name`.
+    pub fn register<F>(&mut self, name: &str, factory: F)
+    where
+        F: Fn() -> Box<dyn Router> + Send + Sync + 'static,
+    {
+        let canonical = normalize(factory().name());
+        self.entries
+            .insert(normalize(name), (canonical, Arc::new(factory)));
+    }
+
+    /// Instantiate the algorithm registered under `name`, if any.
+    pub fn create(&self, name: &str) -> Option<Box<dyn Router>> {
+        self.entries.get(&normalize(name)).map(|(_, f)| f())
+    }
+
+    /// Whether `name` resolves to a registered algorithm.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(&normalize(name))
+    }
+
+    /// Canonical names of the distinct registered algorithms (aliases that resolve to
+    /// an algorithm already listed under its canonical name are skipped).
+    pub fn names(&self) -> Vec<String> {
+        let mut seen = std::collections::BTreeSet::new();
+        self.entries
+            .iter()
+            .filter(|(key, (canonical, _))| {
+                // List an entry if it is the canonical spelling, or if its target's
+                // canonical spelling is not separately registered.
+                (**key == *canonical || !self.entries.contains_key(canonical))
+                    && seen.insert(canonical.clone())
+            })
+            .map(|(key, _)| key.clone())
+            .collect()
+    }
+}
+
+fn global_registry() -> &'static RwLock<RouterRegistry> {
+    static GLOBAL: OnceLock<RwLock<RouterRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(RouterRegistry::with_builtins()))
+}
+
+/// Instantiate an algorithm by name from the global registry.
+pub fn create(name: &str) -> Option<Box<dyn Router>> {
+    global_registry()
+        .read()
+        .expect("routing registry poisoned")
+        .create(name)
+}
+
+/// Whether `name` is selectable through the global registry.
+pub fn is_registered(name: &str) -> bool {
+    global_registry()
+        .read()
+        .expect("routing registry poisoned")
+        .contains(name)
+}
+
+/// Register a custom algorithm in the global registry (see the module docs for an
+/// end-to-end example).
+pub fn register<F>(name: &str, factory: F)
+where
+    F: Fn() -> Box<dyn Router> + Send + Sync + 'static,
+{
+    global_registry()
+        .write()
+        .expect("routing registry poisoned")
+        .register(name, factory);
+}
+
+/// Canonical names of the distinct algorithms in the global registry.
+pub fn registered_names() -> Vec<String> {
+    global_registry()
+        .read()
+        .expect("routing registry poisoned")
+        .names()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builtin_names_are_canonical_and_complete() {
+        let names = RouterRegistry::with_builtins().names();
+        assert_eq!(names, vec!["minimal", "ugal-g", "ugal-l", "valiant"]);
+    }
+
+    #[test]
+    fn lookup_normalizes_spelling() {
+        let r = RouterRegistry::with_builtins();
+        for spelling in ["UGAL-L", "ugal_l", " Ugal-L ", "ugal"] {
+            assert_eq!(r.create(spelling).unwrap().name(), "ugal-l", "{spelling}");
+        }
+        assert!(r.create("no-such-algorithm").is_none());
+    }
+
+    #[test]
+    fn vc_rules_match_paper() {
+        let r = RouterRegistry::with_builtins();
+        assert_eq!(r.create("minimal").unwrap().vcs_for_diameter(3), 4);
+        assert_eq!(r.create("valiant").unwrap().vcs_for_diameter(3), 7);
+        assert_eq!(r.create("ugal-l").unwrap().vcs_for_diameter(4), 9);
+        assert_eq!(r.create("ugal-g").unwrap().vcs_for_diameter(4), 9);
+    }
+
+    #[test]
+    fn sample_excluding_is_exact_and_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Impossible cases.
+        assert_eq!(sample_excluding(&mut rng, 2, 0, 1), None);
+        assert_eq!(sample_excluding(&mut rng, 1, 0, 0), None);
+        // n = 3 with two excluded: the single remaining router, every time.
+        for _ in 0..50 {
+            assert_eq!(sample_excluding(&mut rng, 3, 0, 2), Some(1));
+        }
+        // Larger case: never the excluded ids, all others hit.
+        let mut counts = [0usize; 10];
+        for _ in 0..8000 {
+            let x = sample_excluding(&mut rng, 10, 3, 7).unwrap();
+            assert!(x != 3 && x != 7);
+            counts[x as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            if i == 3 || i == 7 {
+                assert_eq!(c, 0);
+            } else {
+                assert!((700..1300).contains(&c), "router {i} drawn {c} times");
+            }
+        }
+    }
+
+    #[test]
+    fn custom_registration_extends_the_global_registry() {
+        struct Fixed;
+        impl Router for Fixed {
+            fn name(&self) -> &str {
+                "fixed-test-router"
+            }
+            fn route(&self, ctx: &mut RoutingCtx<'_>, state: &mut RoutingState) -> usize {
+                let target = state.current_target(ctx.dst());
+                ctx.minimal_ports(target)[0]
+            }
+        }
+        register("fixed-test-router", || Box::new(Fixed));
+        assert!(is_registered("fixed-test-router"));
+        assert_eq!(
+            create("Fixed-Test-Router").unwrap().name(),
+            "fixed-test-router"
+        );
+    }
+
+    #[test]
+    fn routing_state_tracks_intermediate() {
+        let mut st = RoutingState::default();
+        assert_eq!(st.current_target(9), 9);
+        st.intermediate = Some(4);
+        assert_eq!(st.current_target(9), 4);
+        st.note_arrival(3);
+        assert_eq!(st.intermediate, Some(4));
+        st.note_arrival(4);
+        assert_eq!(st.current_target(9), 9);
+    }
+}

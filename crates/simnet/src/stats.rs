@@ -132,10 +132,17 @@ mod tests {
 
     #[test]
     fn throughput_and_speedup() {
-        let a = SimResults { completion_time_ps: 1_000_000, delivered_bytes: 125_000, ..Default::default() };
+        let a = SimResults {
+            completion_time_ps: 1_000_000,
+            delivered_bytes: 125_000,
+            ..Default::default()
+        };
         // 125 KB in 1 us = 1000 Gb/s.
         assert!((a.throughput_gbps() - 1000.0).abs() < 1e-9);
-        let b = SimResults { completion_time_ps: 2_000_000, ..Default::default() };
+        let b = SimResults {
+            completion_time_ps: 2_000_000,
+            ..Default::default()
+        };
         assert!((b.speedup_over(&a) - 0.5).abs() < 1e-12);
         assert!((a.speedup_over(&b) - 2.0).abs() < 1e-12);
     }

@@ -35,7 +35,10 @@ impl Hypercube {
                 }
             }
         }
-        Ok(Hypercube { dim, graph: CsrGraph::from_edges(n, &edges) })
+        Ok(Hypercube {
+            dim,
+            graph: CsrGraph::from_edges(n, &edges),
+        })
     }
 
     /// The dimension `d`.
@@ -90,7 +93,10 @@ impl Torus {
                 edges.push((v as VertexId, w as VertexId));
             }
         }
-        Ok(Torus { dims: dims.to_vec(), graph: CsrGraph::from_edges(n, &edges) })
+        Ok(Torus {
+            dims: dims.to_vec(),
+            graph: CsrGraph::from_edges(n, &edges),
+        })
     }
 
     /// Extents per dimension.
@@ -128,7 +134,9 @@ impl Complete {
                 edges.push((u, v));
             }
         }
-        Ok(Complete { graph: CsrGraph::from_edges(n, &edges) })
+        Ok(Complete {
+            graph: CsrGraph::from_edges(n, &edges),
+        })
     }
 }
 

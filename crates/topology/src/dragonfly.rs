@@ -94,7 +94,11 @@ impl CanonicalDragonFly {
                 graph.max_degree()
             )));
         }
-        Ok(CanonicalDragonFly { a, arrangement, graph })
+        Ok(CanonicalDragonFly {
+            a,
+            arrangement,
+            graph,
+        })
     }
 
     /// Group size (and radix) `a`.

@@ -24,7 +24,7 @@ pub struct JellyFishGraph {
 impl JellyFishGraph {
     /// Sample a random `k`-regular graph on `n` vertices (requires `n·k` even and `k < n`).
     pub fn new(n: usize, k: usize, seed: u64) -> Result<Self, TopologyError> {
-        if k >= n || n * k % 2 != 0 || k == 0 {
+        if k >= n || !(n * k).is_multiple_of(2) || k == 0 {
             return Err(TopologyError::InvalidParameter(format!(
                 "random regular graph requires 0 < k < n and n*k even (got n={n}, k={k})"
             )));
@@ -44,7 +44,7 @@ impl JellyFishGraph {
 
     fn sample_once(n: usize, k: usize, rng: &mut StdRng) -> Option<CsrGraph> {
         let mut stubs: Vec<VertexId> = (0..n as VertexId)
-            .flat_map(|v| std::iter::repeat(v).take(k))
+            .flat_map(|v| std::iter::repeat_n(v, k))
             .collect();
         stubs.shuffle(rng);
         let mut edges: Vec<(VertexId, VertexId)> = stubs

@@ -8,10 +8,10 @@
 
 use crate::spec::TopologyError;
 use crate::Topology;
-use spectralfly_ff::pgl::{ProjMat, ProjectiveGroup, ProjectiveKind};
-use spectralfly_ff::quaternion::lps_generators_quadruples;
 use spectralfly_ff::arith::mod_reduce_signed;
+use spectralfly_ff::pgl::{ProjMat, ProjectiveGroup, ProjectiveKind};
 use spectralfly_ff::primes::is_prime;
+use spectralfly_ff::quaternion::lps_generators_quadruples;
 use spectralfly_ff::residue::{legendre, sum_of_two_squares_plus_one};
 use spectralfly_graph::{CsrGraph, VertexId};
 use std::collections::HashMap;
@@ -35,12 +35,12 @@ impl LpsGraph {
     /// Requirements (checked): `p`, `q` distinct odd primes and `q > 2√p` (the condition
     /// under which the construction is guaranteed to be a `(p+1)`-regular Ramanujan graph).
     pub fn new(p: u64, q: u64) -> Result<Self, TopologyError> {
-        if p < 3 || p % 2 == 0 || !is_prime(p) {
+        if p < 3 || p.is_multiple_of(2) || !is_prime(p) {
             return Err(TopologyError::InvalidParameter(format!(
                 "LPS requires p to be an odd prime, got {p}"
             )));
         }
-        if q < 3 || q % 2 == 0 || !is_prime(q) {
+        if q < 3 || q.is_multiple_of(2) || !is_prime(q) {
             return Err(TopologyError::InvalidParameter(format!(
                 "LPS requires q to be an odd prime, got {q}"
             )));
@@ -87,7 +87,8 @@ impl LpsGraph {
             .enumerate()
             .map(|(i, &m)| (m, i as VertexId))
             .collect();
-        let mut adj: Vec<Vec<VertexId>> = vec![Vec::with_capacity(generators.len()); vertices.len()];
+        let mut adj: Vec<Vec<VertexId>> =
+            vec![Vec::with_capacity(generators.len()); vertices.len()];
         for (i, &v) in vertices.iter().enumerate() {
             for &s in &generators {
                 let w = group.mul(v, s);
@@ -107,7 +108,14 @@ impl LpsGraph {
             }
         }
         let graph = CsrGraph::from_sorted_adjacency(adj);
-        Ok(LpsGraph { p, q, kind, graph, vertices, generators })
+        Ok(LpsGraph {
+            p,
+            q,
+            kind,
+            graph,
+            vertices,
+            generators,
+        })
     }
 
     /// The prime `p` (radix = p + 1).

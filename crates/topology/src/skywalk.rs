@@ -33,7 +33,11 @@ pub struct SkyWalkConfig {
 
 impl Default for SkyWalkConfig {
     fn default() -> Self {
-        SkyWalkConfig { radix: 16, alpha: 2.0, epsilon: 2.0 }
+        SkyWalkConfig {
+            radix: 16,
+            alpha: 2.0,
+            epsilon: 2.0,
+        }
     }
 }
 
@@ -73,9 +77,9 @@ impl SkyWalkGraph {
         let mut degree = vec![0usize; n];
         let mut edge_set: HashSet<(VertexId, VertexId)> = HashSet::new();
         let add = |edge_set: &mut HashSet<(VertexId, VertexId)>,
-                       degree: &mut Vec<usize>,
-                       u: usize,
-                       v: usize|
+                   degree: &mut Vec<usize>,
+                   u: usize,
+                   v: usize|
          -> bool {
             if u == v {
                 return false;
@@ -141,7 +145,10 @@ impl SkyWalkGraph {
         }
         let edges: Vec<(VertexId, VertexId)> = edge_set.into_iter().collect();
         let graph = CsrGraph::from_edges(n, &edges);
-        Ok(SkyWalkGraph { graph, radix: cfg.radix })
+        Ok(SkyWalkGraph {
+            graph,
+            radix: cfg.radix,
+        })
     }
 
     /// The requested radix (achieved degree may be one lower for a few routers).
@@ -175,14 +182,20 @@ mod tests {
     fn rejects_bad_parameters() {
         let pos = grid_positions(10);
         assert!(SkyWalkGraph::new(&pos[..1], &SkyWalkConfig::default(), 1).is_err());
-        let cfg = SkyWalkConfig { radix: 10, ..Default::default() };
+        let cfg = SkyWalkConfig {
+            radix: 10,
+            ..Default::default()
+        };
         assert!(SkyWalkGraph::new(&pos, &cfg, 1).is_err());
     }
 
     #[test]
     fn connected_and_degree_bounded() {
         let pos = grid_positions(64);
-        let cfg = SkyWalkConfig { radix: 8, ..Default::default() };
+        let cfg = SkyWalkConfig {
+            radix: 8,
+            ..Default::default()
+        };
         let g = SkyWalkGraph::new(&pos, &cfg, 11).unwrap();
         assert!(is_connected(g.graph()));
         assert!(g.graph().max_degree() <= 8);
@@ -194,7 +207,10 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let pos = grid_positions(32);
-        let cfg = SkyWalkConfig { radix: 6, ..Default::default() };
+        let cfg = SkyWalkConfig {
+            radix: 6,
+            ..Default::default()
+        };
         let a = SkyWalkGraph::new(&pos, &cfg, 3).unwrap();
         let b = SkyWalkGraph::new(&pos, &cfg, 3).unwrap();
         assert_eq!(a.graph(), b.graph());
@@ -205,15 +221,19 @@ mod tests {
         // With a strong bias the mean link length should be well below the mean pairwise
         // distance of the room.
         let pos = grid_positions(100);
-        let cfg = SkyWalkConfig { radix: 6, alpha: 3.0, epsilon: 1.0 };
+        let cfg = SkyWalkConfig {
+            radix: 6,
+            alpha: 3.0,
+            epsilon: 1.0,
+        };
         let g = SkyWalkGraph::new(&pos, &cfg, 5).unwrap();
         let d = |a: u32, b: u32| {
             let (xa, ya) = pos[a as usize];
             let (xb, yb) = pos[b as usize];
             ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt()
         };
-        let link_mean: f64 = g.graph().edges().map(|(u, v)| d(u, v)).sum::<f64>()
-            / g.graph().num_edges() as f64;
+        let link_mean: f64 =
+            g.graph().edges().map(|(u, v)| d(u, v)).sum::<f64>() / g.graph().num_edges() as f64;
         let mut all = 0.0;
         let mut count = 0usize;
         for u in 0..100u32 {
@@ -223,6 +243,9 @@ mod tests {
             }
         }
         let all_mean = all / count as f64;
-        assert!(link_mean < 0.8 * all_mean, "link {link_mean} vs room {all_mean}");
+        assert!(
+            link_mean < 0.8 * all_mean,
+            "link {link_mean} vs room {all_mean}"
+        );
     }
 }

@@ -49,7 +49,12 @@ impl SlimFlyGraph {
         }
         let (x_set, xp_set) = generator_sets(&field);
         let graph = build_mms(&field, &x_set, &xp_set)?;
-        Ok(SlimFlyGraph { q, graph, x_set, xp_set })
+        Ok(SlimFlyGraph {
+            q,
+            graph,
+            x_set,
+            xp_set,
+        })
     }
 
     /// The field-size parameter `q`.
@@ -242,7 +247,10 @@ mod tests {
             assert!(is_connected(g.graph()), "q={q}");
             let (diam, _) = diameter_and_mean_distance(g.graph()).unwrap();
             assert_eq!(diam, 2, "q={q}");
-            assert_eq!(g.graph().max_degree() as u64, SlimFlyGraph::expected_radix(q));
+            assert_eq!(
+                g.graph().max_degree() as u64,
+                SlimFlyGraph::expected_radix(q)
+            );
         }
     }
 

@@ -2,9 +2,7 @@
 //! design-space figures (Fig. 4), and the size-class parameter search used to build fair
 //! comparisons (Table I's five size classes).
 
-use crate::{
-    BundleFlyGraph, CanonicalDragonFly, LpsGraph, SlimFlyGraph, Topology,
-};
+use crate::{BundleFlyGraph, CanonicalDragonFly, LpsGraph, SlimFlyGraph, Topology};
 use spectralfly_ff::primes::{is_prime, odd_primes_below, prime_power};
 use spectralfly_ff::residue::legendre;
 use spectralfly_graph::CsrGraph;
@@ -77,7 +75,9 @@ impl TopologySpec {
         match *self {
             TopologySpec::Lps { p, .. } => p + 1,
             TopologySpec::SlimFly { q } => ((3 * q as i64 - delta(q)) / 2) as u64,
-            TopologySpec::BundleFly { p, s } => (p - 1) / 2 + ((3 * s as i64 - delta(s)) / 2) as u64,
+            TopologySpec::BundleFly { p, s } => {
+                (p - 1) / 2 + ((3 * s as i64 - delta(s)) / 2) as u64
+            }
             TopologySpec::DragonFly { a } => a,
         }
     }
@@ -96,7 +96,14 @@ impl TopologySpec {
     pub fn is_valid(&self) -> bool {
         match *self {
             TopologySpec::Lps { p, q } => {
-                p >= 3 && q >= 3 && p != q && p % 2 == 1 && q % 2 == 1 && is_prime(p) && is_prime(q) && q * q > 4 * p
+                p >= 3
+                    && q >= 3
+                    && p != q
+                    && p % 2 == 1
+                    && q % 2 == 1
+                    && is_prime(p)
+                    && is_prime(q)
+                    && q * q > 4 * p
             }
             TopologySpec::SlimFly { q } => q >= 3 && prime_power(q).is_some(),
             TopologySpec::BundleFly { p, s } => {
@@ -112,11 +119,12 @@ impl TopologySpec {
             TopologySpec::Lps { p, q } => Ok(LpsGraph::new(p, q)?.graph().clone()),
             TopologySpec::SlimFly { q } => Ok(SlimFlyGraph::new(q)?.graph().clone()),
             TopologySpec::BundleFly { p, s } => Ok(BundleFlyGraph::new(p, s)?.graph().clone()),
-            TopologySpec::DragonFly { a } => {
-                Ok(CanonicalDragonFly::new(a, crate::GlobalArrangement::Circulant)?
-                    .graph()
-                    .clone())
-            }
+            TopologySpec::DragonFly { a } => Ok(CanonicalDragonFly::new(
+                a,
+                crate::GlobalArrangement::Circulant,
+            )?
+            .graph()
+            .clone()),
         }
     }
 }

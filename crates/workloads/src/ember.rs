@@ -34,21 +34,31 @@ pub fn halo3d_26(grid: Grid3, iterations: usize, face_bytes: u64) -> Workload {
                         if dx == 0 && dy == 0 && dz == 0 {
                             continue;
                         }
-                        let Some(dst) = grid.neighbor(x, y, z, dx, dy, dz) else { continue };
+                        let Some(dst) = grid.neighbor(x, y, z, dx, dy, dz) else {
+                            continue;
+                        };
                         let dim = (dx != 0) as u32 + (dy != 0) as u32 + (dz != 0) as u32;
                         let bytes = match dim {
                             1 => face_bytes,
                             2 => (face_bytes / 4).max(1),
                             _ => (face_bytes / 16).max(1),
                         };
-                        messages.push(Message { src: r, dst, bytes, inject_offset_ps: 0 });
+                        messages.push(Message {
+                            src: r,
+                            dst,
+                            bytes,
+                            inject_offset_ps: 0,
+                        });
                     }
                 }
             }
         }
         phases.push(Phase { messages });
     }
-    Workload { phases, name: format!("halo3d-26 {}x{}x{}", grid.nx, grid.ny, grid.nz) }
+    Workload {
+        phases,
+        name: format!("halo3d-26 {}x{}x{}", grid.nx, grid.ny, grid.nz),
+    }
 }
 
 /// Sweep3D: a wavefront over a 2-D process array (the 3-D domain is decomposed over X and Y;
@@ -78,8 +88,16 @@ pub fn sweep3d(px: usize, py: usize, kba_blocks: usize, bytes: u64, sweeps: usiz
                         continue;
                     }
                     // Send to downwind neighbours (i+1, j) and (i, j+1) (mirrored when reversed).
-                    let (ci, cj) = if reverse { (px - 1 - i, py - 1 - j) } else { (i, j) };
-                    let targets: [(i64, i64); 2] = if reverse { [(-1, 0), (0, -1)] } else { [(1, 0), (0, 1)] };
+                    let (ci, cj) = if reverse {
+                        (px - 1 - i, py - 1 - j)
+                    } else {
+                        (i, j)
+                    };
+                    let targets: [(i64, i64); 2] = if reverse {
+                        [(-1, 0), (0, -1)]
+                    } else {
+                        [(1, 0), (0, 1)]
+                    };
                     for (di, dj) in targets {
                         let ni = ci as i64 + di;
                         let nj = cj as i64 + dj;
@@ -100,7 +118,10 @@ pub fn sweep3d(px: usize, py: usize, kba_blocks: usize, bytes: u64, sweeps: usiz
             }
         }
     }
-    Workload { phases, name: format!("sweep3d {px}x{py} kba={kba_blocks}") }
+    Workload {
+        phases,
+        name: format!("sweep3d {px}x{py} kba={kba_blocks}"),
+    }
 }
 
 /// 3-D FFT: ranks are arranged on an `nx × ny` pencil grid (each owning a Z-pencil of the
@@ -110,19 +131,24 @@ pub fn sweep3d(px: usize, py: usize, kba_blocks: usize, bytes: u64, sweeps: usiz
 /// * [`FftBalance::Balanced`]: `nx ≈ ny ≈ √ranks` — many small all-to-alls.
 /// * [`FftBalance::Unbalanced`]: `nx = ranks / unbalanced_rows`, `ny = unbalanced_rows`
 ///   with a small `unbalanced_rows` (default 4) — the X all-to-alls become very large.
-pub fn fft3d(ranks: usize, balance: FftBalance, bytes_per_pair: u64, iterations: usize) -> Workload {
+pub fn fft3d(
+    ranks: usize,
+    balance: FftBalance,
+    bytes_per_pair: u64,
+    iterations: usize,
+) -> Workload {
     assert!(ranks >= 4);
     let (nx, ny) = match balance {
         FftBalance::Balanced => {
             let mut nx = (ranks as f64).sqrt().round() as usize;
-            while nx > 1 && ranks % nx != 0 {
+            while nx > 1 && !ranks.is_multiple_of(nx) {
                 nx -= 1;
             }
             (nx.max(1), ranks / nx.max(1))
         }
         FftBalance::Unbalanced => {
             let mut ny = 4usize.min(ranks / 2);
-            while ny > 1 && ranks % ny != 0 {
+            while ny > 1 && !ranks.is_multiple_of(ny) {
                 ny -= 1;
             }
             (ranks / ny.max(1), ny.max(1))
@@ -172,7 +198,10 @@ pub fn fft3d(ranks: usize, balance: FftBalance, bytes_per_pair: u64, iterations:
         FftBalance::Balanced => "balanced",
         FftBalance::Unbalanced => "unbalanced",
     };
-    Workload { phases, name: format!("fft3d-{tag} {nx}x{ny}") }
+    Workload {
+        phases,
+        name: format!("fft3d-{tag} {nx}x{ny}"),
+    }
 }
 
 #[cfg(test)]
@@ -194,7 +223,11 @@ mod tests {
         assert_eq!(sent, 26);
         // Corner rank has only 7 neighbours.
         let corner = g.rank(0, 0, 0);
-        let sent_corner = wl.phases[0].messages.iter().filter(|m| m.src == corner).count();
+        let sent_corner = wl.phases[0]
+            .messages
+            .iter()
+            .filter(|m| m.src == corner)
+            .count();
         assert_eq!(sent_corner, 7);
     }
 
@@ -254,7 +287,12 @@ mod tests {
             fft3d(64, FftBalance::Unbalanced, 256, 1),
         ] {
             let res = sim.run(&wl);
-            assert_eq!(res.delivered_messages as usize, wl.num_messages(), "{}", wl.name);
+            assert_eq!(
+                res.delivered_messages as usize,
+                wl.num_messages(),
+                "{}",
+                wl.name
+            );
             assert!(res.completion_time_ps > 0);
         }
     }

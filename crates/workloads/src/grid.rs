@@ -14,7 +14,10 @@ pub struct Grid3 {
 impl Grid3 {
     /// Create a grid; every extent must be at least 1.
     pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
-        assert!(nx >= 1 && ny >= 1 && nz >= 1, "grid extents must be positive");
+        assert!(
+            nx >= 1 && ny >= 1 && nz >= 1,
+            "grid extents must be positive"
+        );
         Grid3 { nx, ny, nz }
     }
 
@@ -26,11 +29,11 @@ impl Grid3 {
         let mut best_score = usize::MAX;
         let mut d1 = 1usize;
         while d1 * d1 * d1 <= ranks {
-            if ranks % d1 == 0 {
+            if ranks.is_multiple_of(d1) {
                 let rem = ranks / d1;
                 let mut d2 = d1;
                 while d2 * d2 <= rem {
-                    if rem % d2 == 0 {
+                    if rem.is_multiple_of(d2) {
                         let d3 = rem / d2;
                         let score = d3 - d1; // spread between extremes
                         if score < best_score {
@@ -60,7 +63,11 @@ impl Grid3 {
     /// Grid coordinate of a rank.
     pub fn coord(&self, rank: usize) -> (usize, usize, usize) {
         debug_assert!(rank < self.ranks());
-        (rank % self.nx, (rank / self.nx) % self.ny, rank / (self.nx * self.ny))
+        (
+            rank % self.nx,
+            (rank / self.nx) % self.ny,
+            rank / (self.nx * self.ny),
+        )
     }
 
     /// The neighbour at offset `(dx, dy, dz)` from `(x, y, z)`, without periodic wrap.

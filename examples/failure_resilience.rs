@@ -10,7 +10,10 @@ fn main() {
     let lps = LpsGraph::new(23, 11).unwrap();
     let sf = SlimFlyGraph::new(17).unwrap();
     let proportions = [0.0, 0.1, 0.2, 0.3, 0.4];
-    let cfg = TrialConfig { max_trials: 20, ..Default::default() };
+    let cfg = TrialConfig {
+        max_trials: 20,
+        ..Default::default()
+    };
 
     for (metric, label) in [
         (FailureMetric::Diameter, "diameter"),

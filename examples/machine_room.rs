@@ -4,17 +4,27 @@
 //!
 //! Run with: `cargo run --release --example machine_room`
 
+use spectralfly_graph::partition::bisection_bandwidth;
 use spectralfly_layout::wiring::DEFAULT_ELECTRICAL_LIMIT_M;
 use spectralfly_layout::{classify_links, latency_profile, place_topology, PowerModel, QapConfig};
-use spectralfly_graph::partition::bisection_bandwidth;
 use spectralfly_topology::{LpsGraph, SlimFlyGraph, Topology};
 
 fn main() {
-    let qap = QapConfig { anneal_iters: 40_000, ..Default::default() };
+    let qap = QapConfig {
+        anneal_iters: 40_000,
+        ..Default::default()
+    };
     let power_model = PowerModel::default();
     println!(
         "{:<12} {:>8} {:>12} {:>12} {:>8} {:>8} {:>10} {:>12}",
-        "topology", "routers", "avg wire m", "max wire m", "elec", "optical", "power W", "avg lat ns"
+        "topology",
+        "routers",
+        "avg wire m",
+        "max wire m",
+        "elec",
+        "optical",
+        "power W",
+        "avg lat ns"
     );
     for (name, graph) in [
         ("LPS(11,7)", LpsGraph::new(11, 7).unwrap().graph().clone()),
@@ -37,7 +47,11 @@ fn main() {
             latency.average_latency_ns,
         );
     }
-    println!("\nExpected shape (paper, Table II): the two topologies are within ~10% of each other");
-    println!("on wire length, with SpectralFly slightly ahead on the smaller instances and needing");
+    println!(
+        "\nExpected shape (paper, Table II): the two topologies are within ~10% of each other"
+    );
+    println!(
+        "on wire length, with SpectralFly slightly ahead on the smaller instances and needing"
+    );
     println!("fewer links for comparable bisection bandwidth.");
 }

@@ -10,8 +10,10 @@ use spectralfly_topology::{GeneralizedDragonFly, LpsGraph, Topology};
 fn main() {
     // Small configurations: ~650 endpoints each, 15-port routers with 4 endpoints per router.
     let spectralfly = SimNetwork::new(LpsGraph::new(11, 7).unwrap().graph().clone(), 4);
-    let dragonfly =
-        SimNetwork::new(GeneralizedDragonFly::new(8, 4, 21).unwrap().graph().clone(), 4);
+    let dragonfly = SimNetwork::new(
+        GeneralizedDragonFly::new(8, 4, 21).unwrap().graph().clone(),
+        4,
+    );
 
     let bits = 9; // 512 MPI ranks
     let ranks = 1usize << bits;

@@ -39,8 +39,7 @@ fn table1_first_size_class_reproduces_paper_shape() {
     assert!(sf.mean_distance < lps.mean_distance);
     assert!(lps.mean_distance < df.mean_distance);
     // Spectral gap ordering: LPS and SF well above DF (paper: 0.50, 0.62 vs 0.08).
-    let (lps_mu1, sf_mu1, df_mu1) =
-        (lps.mu1.unwrap(), sf.mu1.unwrap(), df.mu1.unwrap());
+    let (lps_mu1, sf_mu1, df_mu1) = (lps.mu1.unwrap(), sf.mu1.unwrap(), df.mu1.unwrap());
     assert!(lps_mu1 > 5.0 * df_mu1, "{lps_mu1} vs {df_mu1}");
     assert!(sf_mu1 > 5.0 * df_mu1);
     // Only the LPS instance must certify as Ramanujan.
@@ -78,15 +77,21 @@ fn lps_bisection_beats_slimfly_at_comparable_size() {
 #[test]
 fn spectralfly_beats_dragonfly_on_congested_random_traffic() {
     let lps_net = SimNetwork::new(LpsGraph::new(11, 7).unwrap().graph().clone(), 4);
-    let df_net = SimNetwork::new(GeneralizedDragonFly::new(8, 4, 21).unwrap().graph().clone(), 4);
+    let df_net = SimNetwork::new(
+        GeneralizedDragonFly::new(8, 4, 21).unwrap().graph().clone(),
+        4,
+    );
     let bits = 9;
     let ranks = 1usize << bits;
     let mut times = Vec::new();
     for net in [&lps_net, &df_net] {
-        let mut cfg = SimConfig::default().with_routing(RoutingAlgorithm::UgalL, net.diameter() as u32);
+        let mut cfg =
+            SimConfig::default().with_routing(RoutingAlgorithm::UgalL, net.diameter() as u32);
         cfg.seed = 5;
         let placement = random_placement(ranks, net.num_endpoints(), 11);
-        let wl = Workload::synthetic("random", bits, 8, 4096, 3).unwrap().place(&placement);
+        let wl = Workload::synthetic("random", bits, 8, 4096, 3)
+            .unwrap()
+            .place(&placement);
         let res = Simulator::new(net, &cfg).run_with_offered_load(&wl, 0.6);
         assert_eq!(res.delivered_messages as usize, wl.num_messages());
         times.push(res.completion_time_ps as f64);
@@ -112,7 +117,12 @@ fn ember_motifs_run_on_spectralfly() {
     ] {
         let placed = wl.place(&placement);
         let res = sim.run(&placed);
-        assert_eq!(res.delivered_messages as usize, placed.num_messages(), "{}", wl.name);
+        assert_eq!(
+            res.delivered_messages as usize,
+            placed.num_messages(),
+            "{}",
+            wl.name
+        );
     }
 }
 
@@ -120,7 +130,10 @@ fn ember_motifs_run_on_spectralfly() {
 /// LPS/SlimFly pair (Table II shape: comparable wire lengths).
 #[test]
 fn layout_pipeline_is_consistent_for_table2_pair() {
-    let qap = QapConfig { anneal_iters: 15_000, ..Default::default() };
+    let qap = QapConfig {
+        anneal_iters: 15_000,
+        ..Default::default()
+    };
     let lps = LpsGraph::new(11, 7).unwrap();
     let sf = SlimFlyGraph::new(9).unwrap();
     let mut means = Vec::new();
@@ -144,7 +157,10 @@ fn layout_pipeline_is_consistent_for_table2_pair() {
 fn lps_diameter_degrades_gracefully_under_failures() {
     use spectralfly_graph::failures::{delete_random_edges, FailureMetric, TrialConfig};
     let lps = LpsGraph::new(11, 7).unwrap();
-    let cfg = TrialConfig { max_trials: 10, ..Default::default() };
+    let cfg = TrialConfig {
+        max_trials: 10,
+        ..Default::default()
+    };
     let point = spectralfly_graph::failures::failure_point(
         lps.graph(),
         0.2,
@@ -152,7 +168,11 @@ fn lps_diameter_degrades_gracefully_under_failures() {
         &cfg,
         9,
     );
-    assert!(point.mean >= 3.0 && point.mean <= 6.0, "diameter {}", point.mean);
+    assert!(
+        point.mean >= 3.0 && point.mean <= 6.0,
+        "diameter {}",
+        point.mean
+    );
     // Sanity on the deletion primitive itself.
     let damaged = delete_random_edges(lps.graph(), 0.2, 3);
     assert_eq!(damaged.num_edges(), lps.graph().num_edges() * 8 / 10);
@@ -163,7 +183,9 @@ fn lps_diameter_degrades_gracefully_under_failures() {
 fn valiant_paths_are_longer_but_still_deliver() {
     let net = SimNetwork::new(LpsGraph::new(11, 7).unwrap().graph().clone(), 2);
     let placement = random_placement(128, net.num_endpoints(), 3);
-    let wl = Workload::synthetic("shuffle", 7, 4, 2048, 5).unwrap().place(&placement);
+    let wl = Workload::synthetic("shuffle", 7, 4, 2048, 5)
+        .unwrap()
+        .place(&placement);
     let d = net.diameter() as u32;
     let min_res = {
         let cfg = SimConfig::default().with_routing(RoutingAlgorithm::Minimal, d);
@@ -177,6 +199,93 @@ fn valiant_paths_are_longer_but_still_deliver() {
     assert!(val_res.mean_hops > min_res.mean_hops);
     assert!(min_res.max_hops <= d);
     assert!(val_res.max_hops <= 2 * d);
+}
+
+/// Registry-driven conformance on a real SpectralFly instance: every built-in
+/// algorithm delivers a placed synthetic workload and stays within its own VC hop
+/// bound. Iterates a freshly-built registry so the test set is independent of
+/// custom routers other tests register into the process-global one concurrently.
+#[test]
+fn every_registered_algorithm_delivers_on_spectralfly() {
+    let net = SimNetwork::new(LpsGraph::new(11, 7).unwrap().graph().clone(), 2);
+    let placement = random_placement(128, net.num_endpoints(), 3);
+    let wl = Workload::synthetic("shuffle", 7, 2, 2048, 5)
+        .unwrap()
+        .place(&placement);
+    let names = spectralfly_simnet::RouterRegistry::with_builtins().names();
+    for expected in ["minimal", "valiant", "ugal-l", "ugal-g"] {
+        assert!(
+            names.contains(&expected.to_string()),
+            "{expected} missing from {names:?}"
+        );
+    }
+    for name in names {
+        let cfg = SimConfig::default().with_routing(name.clone(), net.diameter() as u32);
+        let res = Simulator::new(&net, &cfg).run(&wl);
+        assert_eq!(res.delivered_messages as usize, wl.num_messages(), "{name}");
+        assert!(
+            (res.max_hops as usize) < cfg.num_vcs,
+            "{name}: hop bound violated"
+        );
+    }
+}
+
+/// A custom algorithm registered through the public API is selectable by name in a
+/// `SimConfig` and routes traffic end-to-end, without any engine changes.
+#[test]
+fn custom_registered_algorithm_routes_end_to_end() {
+    use spectralfly_simnet::routing::{self, Router, RoutingCtx, RoutingState};
+
+    /// Deterministic non-adaptive minimal routing: always the first minimal port.
+    struct FirstPort;
+    impl Router for FirstPort {
+        fn name(&self) -> &str {
+            "e2e-first-port"
+        }
+        fn route(&self, ctx: &mut RoutingCtx<'_>, state: &mut RoutingState) -> usize {
+            let target = state.current_target(ctx.dst());
+            ctx.minimal_ports(target)[0]
+        }
+    }
+
+    routing::register("e2e-first-port", || Box::new(FirstPort));
+    let net = SimNetwork::new(LpsGraph::new(5, 7).unwrap().graph().clone(), 2);
+    let cfg = SimConfig::default().with_routing("e2e-first-port", net.diameter() as u32);
+    let wl = Workload::uniform_random(net.num_endpoints(), 4, 1024, 2);
+    let res = Simulator::new(&net, &cfg).run(&wl);
+    assert_eq!(res.delivered_messages as usize, wl.num_messages());
+    assert!(res.max_hops as u16 <= net.diameter());
+}
+
+/// UGAL-G's global congestion signal changes routing decisions relative to UGAL-L
+/// under congestion, while both deliver the same traffic.
+#[test]
+fn ugal_variants_deliver_identically_but_route_differently() {
+    let net = SimNetwork::new(LpsGraph::new(11, 7).unwrap().graph().clone(), 4);
+    let placement = random_placement(256, net.num_endpoints(), 7);
+    let wl = Workload::synthetic("transpose", 8, 6, 4096, 9)
+        .unwrap()
+        .place(&placement);
+    let d = net.diameter() as u32;
+    let mut results = Vec::new();
+    for routing in [RoutingAlgorithm::UgalL, RoutingAlgorithm::UgalG] {
+        let cfg = SimConfig::default().with_routing(routing, d);
+        let res = Simulator::new(&net, &cfg).run_with_offered_load(&wl, 0.7);
+        assert_eq!(
+            res.delivered_messages as usize,
+            wl.num_messages(),
+            "{routing}"
+        );
+        results.push(res);
+    }
+    // Same conservation laws, but the algorithms are genuinely distinct decision
+    // procedures; under heavy load their trajectories must diverge.
+    assert_eq!(results[0].delivered_packets, results[1].delivered_packets);
+    assert_ne!(
+        (results[0].completion_time_ps, results[0].mean_hops),
+        (results[1].completion_time_ps, results[1].mean_hops),
+        "UGAL-L and UGAL-G produced identical trajectories"
+    );
 }
 
 /// Verify the cheap diameter helpers agree with the profile used by the harness.

@@ -113,8 +113,7 @@ proptest! {
         let ring: Vec<(u32, u32)> = (0..8u32).map(|i| (i, (i + 1) % 8)).collect();
         let net = SimNetwork::new(CsrGraph::from_edges(8, &ring), 2);
         let wl = Workload::uniform_random(net.num_endpoints(), msgs, bytes, seed);
-        let mut cfg = SimConfig::default();
-        cfg.seed = seed;
+        let cfg = SimConfig { seed, ..SimConfig::default() };
         let res = Simulator::new(&net, &cfg).run_with_offered_load(&wl, load_pct as f64 / 10.0);
         let expected_packets: u64 = wl.phases[0]
             .messages
@@ -133,6 +132,91 @@ proptest! {
         if let Some((diam, mean)) = diameter_and_mean_distance(g.graph()) {
             prop_assert!(mean >= 1.0);
             prop_assert!(mean <= diam as f64);
+        }
+    }
+
+    /// The shared distance oracle agrees with a brute-force Floyd–Warshall oracle on
+    /// random JellyFish graphs: distances match, and `min_next_hops` returns exactly
+    /// the neighbours that decrease the brute-force distance by one.
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index-heavy Floyd–Warshall reads clearest as written
+    fn min_next_hops_match_bruteforce_oracle(n in 6usize..32, k in 3usize..6, seed in 0u64..500) {
+        prop_assume!(k < n && n * k % 2 == 0);
+        let g = JellyFishGraph::new(n, k, seed).unwrap();
+        let dm = spectralfly::routing::DistanceMatrix::from_graph(g.graph());
+
+        // Independent oracle: Floyd–Warshall over the adjacency lists.
+        const INF: u32 = u32::MAX / 4;
+        let mut fw = vec![vec![INF; n]; n];
+        for v in 0..n {
+            fw[v][v] = 0;
+            for &w in g.graph().neighbors(v as u32) {
+                fw[v][w as usize] = 1;
+            }
+        }
+        for mid in 0..n {
+            for a in 0..n {
+                for b in 0..n {
+                    let via = fw[a][mid].saturating_add(fw[mid][b]);
+                    if via < fw[a][b] {
+                        fw[a][b] = via;
+                    }
+                }
+            }
+        }
+
+        for cur in 0..n {
+            for dst in 0..n {
+                let expected_dist =
+                    if fw[cur][dst] >= INF { u16::MAX } else { fw[cur][dst] as u16 };
+                prop_assert_eq!(dm.dist(cur as u32, dst as u32), expected_dist, "({}, {})", cur, dst);
+                let mut expected: Vec<u32> = if cur == dst {
+                    Vec::new()
+                } else {
+                    g.graph()
+                        .neighbors(cur as u32)
+                        .iter()
+                        .copied()
+                        .filter(|&w| fw[w as usize][dst].saturating_add(1) == fw[cur][dst])
+                        .collect()
+                };
+                let mut got = dm.min_next_hops(g.graph(), cur as u32, dst as u32);
+                expected.sort_unstable();
+                got.sort_unstable();
+                prop_assert_eq!(got, expected, "next hops ({}, {})", cur, dst);
+            }
+        }
+    }
+
+    /// Registry-driven conformance: every registered routing algorithm delivers every
+    /// packet of a random workload and stays within the hop bound implied by its VC
+    /// rule, on an arbitrary ring + concentration + seed.
+    #[test]
+    fn every_registered_algorithm_conserves_packets(
+        routers in 4usize..12,
+        conc in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let ring: Vec<(u32, u32)> =
+            (0..routers as u32).map(|i| (i, (i + 1) % routers as u32)).collect();
+        let net = SimNetwork::new(CsrGraph::from_edges(routers, &ring), conc);
+        let wl = Workload::uniform_random(net.num_endpoints(), 3, 2048, seed);
+        let expected_packets: u64 = wl.phases[0]
+            .messages
+            .iter()
+            .map(|m| m.bytes.div_ceil(SimConfig::default().packet_size_bytes).max(1))
+            .sum();
+        // A fresh built-ins registry keeps the test set independent of custom
+        // routers other test binaries register into the process-global registry.
+        for name in spectralfly_simnet::RouterRegistry::with_builtins().names() {
+            let mut cfg = SimConfig::default().with_routing(name.clone(), net.diameter() as u32);
+            cfg.seed = seed;
+            let res = Simulator::new(&net, &cfg).run(&wl);
+            prop_assert_eq!(res.delivered_packets, expected_packets, "{}", &name);
+            prop_assert!(
+                (res.max_hops as usize) < cfg.num_vcs,
+                "{}: {} hops >= VC bound {}", &name, res.max_hops, cfg.num_vcs
+            );
         }
     }
 }

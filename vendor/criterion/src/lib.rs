@@ -1,0 +1,226 @@
+//! # criterion (workspace shim)
+//!
+//! This workspace builds in an offline container with no crates.io access, so the
+//! external `criterion` crate is replaced by this API-compatible subset (see
+//! DESIGN.md, "Offline dependency shims"). It supports the surface the workspace's
+//! benches use — `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `sample_size`, and
+//! `Bencher::iter` — and reports mean/min wall-clock time per iteration to stdout.
+//! There is no statistical analysis, HTML report, or baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    /// (mean_ns, min_ns) of the last `iter` call.
+    result: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `samples` times (after one untimed warm-up).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine());
+        let mut total_ns = 0f64;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(routine());
+            let ns = t.elapsed().as_nanos() as f64;
+            total_ns += ns;
+            min_ns = min_ns.min(ns);
+        }
+        self.result = Some((total_ns / self.samples as f64, min_ns));
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((mean, min)) => println!(
+                "bench {}/{id}: mean {} (min {}) over {} samples",
+                self.name,
+                human(mean),
+                human(min),
+                self.criterion.sample_size
+            ),
+            None => println!("bench {}/{id}: no measurement recorded", self.name),
+        }
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into().id;
+        self.run(id, f);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into().id;
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// End the group (kept for API compatibility; printing happens eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_string(),
+            criterion: self,
+        };
+        let id = id.into().id;
+        g.run(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("counting", |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        // one warm-up + three timed samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("11_7").id, "11_7");
+    }
+}

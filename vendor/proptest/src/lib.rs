@@ -1,0 +1,275 @@
+//! # proptest (workspace shim)
+//!
+//! This workspace builds in an offline container with no crates.io access, so the
+//! external `proptest` crate is replaced by this API-compatible subset (see
+//! DESIGN.md, "Offline dependency shims"). Supported surface:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(...)]` header and
+//!   `#[test] fn name(arg in strategy, ...) { ... }` items;
+//! * range strategies over integers and `f64` (`0usize..15`, `0.0f64..0.5`, ...);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`], [`prop_assume!`].
+//!
+//! Semantics: each test runs `cases` accepted inputs drawn from a generator seeded
+//! deterministically from the test name, so failures reproduce across runs. There
+//! is no shrinking — the failing input is printed verbatim instead.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (subset of the upstream struct).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the message describes it.
+    Fail(String),
+    /// `prop_assume!` rejected the input; try another.
+    Reject,
+}
+
+/// A value generator (subset of the upstream trait: sampling only, no shrinking).
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, f64);
+
+/// Drives one `proptest!`-generated test: draws inputs until `cases` of them are
+/// accepted (or an attempt budget runs out), and panics on the first failure.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+    accepted: u32,
+    attempts: u32,
+}
+
+impl TestRunner {
+    /// New runner for the named test; the name seeds the generator.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let mut seed = 0xCAFE_F00D_D15E_A5E5u64;
+        for b in name.bytes() {
+            seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+        }
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            accepted: 0,
+            attempts: 0,
+        }
+    }
+
+    /// Whether another input should be drawn.
+    pub fn keep_going(&self) -> bool {
+        self.accepted < self.config.cases && self.attempts < self.config.cases.saturating_mul(50)
+    }
+
+    /// The generator for the next case.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Record a case outcome; panics (with the inputs) on failure.
+    pub fn handle(&mut self, result: Result<(), TestCaseError>, inputs: &[(&str, String)]) {
+        self.attempts += 1;
+        match result {
+            Ok(()) => self.accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                let rendered: Vec<String> =
+                    inputs.iter().map(|(k, v)| format!("{k} = {v}")).collect();
+                panic!(
+                    "proptest case failed after {} accepted case(s): {msg}\n  inputs: {}",
+                    self.accepted,
+                    rendered.join(", ")
+                );
+            }
+        }
+    }
+}
+
+/// Property-test entry point; see the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(config, stringify!($name));
+            while runner.keep_going() {
+                $(let $arg = $crate::Strategy::sample(&($strat), runner.rng());)+
+                let inputs = [$((stringify!($arg), format!("{:?}", $arg))),+];
+                let result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                runner.handle(result, &inputs);
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (draw another input) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The imports a `use proptest::prelude::*` is expected to provide.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..20, f in 0.25f64..0.75) {
+            prop_assert!((3..20).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn assume_filters_inputs(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x % 2, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0usize..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

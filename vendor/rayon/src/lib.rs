@@ -1,0 +1,225 @@
+//! # rayon (workspace shim)
+//!
+//! This workspace builds in an offline container with no crates.io access, so the
+//! external `rayon` crate is replaced by this API-compatible subset (see DESIGN.md,
+//! "Offline dependency shims"). Unlike a sequential stub, the shim is genuinely
+//! parallel: `map` and `filter` fan their closure out over `std::thread::scope`
+//! with one chunk per available core, preserving input order in the output.
+//!
+//! Differences from real rayon worth knowing:
+//!
+//! * parallel iterators are **eager** — each `map`/`filter` materializes its results
+//!   before the next adapter runs (fine for the coarse-grained, compute-heavy
+//!   closures this workspace uses: BFS sweeps, bisection restarts, whole
+//!   simulations);
+//! * there is no work-stealing pool; threads are scoped per call, which costs
+//!   microseconds against closures that run for milliseconds to seconds.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads used for parallel evaluation.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Evaluate `f` over `items` with one contiguous chunk per worker, preserving order.
+fn parallel_eval<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(n).max(1);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("worker thread panicked"));
+        }
+    });
+    out
+}
+
+/// An eager "parallel iterator": adapters evaluate in parallel, terminal operations
+/// fold the materialized results.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item in parallel, preserving order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: parallel_eval(self.items, f),
+        }
+    }
+
+    /// Keep the items for which `pred` holds, evaluating `pred` in parallel.
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, pred: F) -> ParIter<T> {
+        let kept = parallel_eval(self.items, |x| if pred(&x) { Some(x) } else { None });
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Collect into any `FromIterator` container.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Minimum item.
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().min()
+    }
+
+    /// Maximum item.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    /// Item minimizing `key`.
+    pub fn min_by_key<K: Ord, F: FnMut(&T) -> K>(self, key: F) -> Option<T> {
+        self.items.into_iter().min_by_key(key)
+    }
+
+    /// Sum of the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_into_par!(usize, u32, u64, i32, i64);
+
+/// Conversion into a borrowing parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Convert.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_count_and_min() {
+        let c = (0..100usize)
+            .into_par_iter()
+            .filter(|&x| x % 3 == 0)
+            .count();
+        assert_eq!(c, 34);
+        let m = (5..50u64).into_par_iter().map(|x| x + 1).min();
+        assert_eq!(m, Some(6));
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v: Vec<u32> = (0..257).collect();
+        let s: u64 = v.par_iter().map(|&x| x as u64).sum();
+        assert_eq!(s, 257 * 256 / 2);
+    }
+
+    #[test]
+    fn map_actually_runs_on_multiple_threads() {
+        if super::current_num_threads() < 2 {
+            return; // nothing to assert on a single-core machine
+        }
+        let ids: std::collections::HashSet<std::thread::ThreadId> = (0..64usize)
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                std::thread::current().id()
+            })
+            .collect();
+        assert!(ids.len() >= 2, "expected work on at least two threads");
+    }
+}
