@@ -3,8 +3,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spectralfly_bench::{paper_sim_config, simulation_topologies, Scale};
+use spectralfly_graph::CsrGraph;
 use spectralfly_simnet::workload::random_placement;
-use spectralfly_simnet::{RoutingAlgorithm, SimConfig, Simulator, Workload};
+use spectralfly_simnet::{
+    MeasurementWindows, ReferenceSimulator, RoutingAlgorithm, SimConfig, SimNetwork, Simulator,
+    Workload,
+};
 
 fn bench_routing_algorithms(c: &mut Criterion) {
     let topo = &simulation_topologies(Scale::Small)[0];
@@ -69,10 +73,54 @@ fn bench_vc_count_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Wakeup engine vs the polling reference on a congested ring — the event-loop
+/// rewrite this benchmark group exists to keep honest. Same workload, same
+/// packetization, same routing path; only the engine differs.
+fn bench_engine_wakeup_vs_reference(c: &mut Criterion) {
+    let edges: Vec<(u32, u32)> = (0..32u32).map(|i| (i, (i + 1) % 32)).collect();
+    let net = SimNetwork::new(CsrGraph::from_edges(32, &edges), 2);
+    let cfg = SimConfig {
+        seed: 0xE16,
+        ..Default::default()
+    };
+    let wl = Workload::uniform_random(net.num_endpoints(), 8, 4096, 0xE16);
+    let mut group = c.benchmark_group("simulator/engine");
+    group.sample_size(10);
+    group.bench_function("wakeup", |b| {
+        let sim = Simulator::new(&net, &cfg);
+        b.iter(|| sim.run_with_offered_load(&wl, 0.9))
+    });
+    group.bench_function("reference_polling", |b| {
+        let sim = ReferenceSimulator::new(&net, &cfg);
+        b.iter(|| sim.run_with_offered_load(&wl, 0.9))
+    });
+    group.finish();
+}
+
+/// Steady-state (windowed Poisson sources) runs through the wakeup engine's
+/// arena + calendar path, which the finite benches above don't exercise.
+fn bench_steady_state_run(c: &mut Criterion) {
+    let edges: Vec<(u32, u32)> = (0..16u32).map(|i| (i, (i + 1) % 16)).collect();
+    let net = SimNetwork::new(CsrGraph::from_edges(16, &edges), 2);
+    let cfg = SimConfig::default().with_windows(MeasurementWindows::new(5_000_000, 20_000_000));
+    let wl = Workload::uniform_random(net.num_endpoints(), 1, 4096, 7);
+    let mut group = c.benchmark_group("simulator/steady_state");
+    group.sample_size(10);
+    for load in [0.3f64, 0.9] {
+        group.bench_function(format!("load_{load}"), |b| {
+            let sim = Simulator::new(&net, &cfg);
+            b.iter(|| sim.run_with_offered_load(&wl, load))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_routing_algorithms,
     bench_ugal_threshold_ablation,
-    bench_vc_count_ablation
+    bench_vc_count_ablation,
+    bench_engine_wakeup_vs_reference,
+    bench_steady_state_run
 );
 criterion_main!(benches);

@@ -1,0 +1,243 @@
+//! Engine-throughput benchmark: the wakeup-driven engine vs the polling
+//! reference on saturated ring sweeps, appended to `BENCH_engine.json` so the
+//! repository carries a perf trajectory.
+//!
+//! Usage: `cargo run --release -p spectralfly-bench --bin bench_engine
+//! [--routers N] [--conc N] [--msgs N] [--load-pct N] [--seed N]
+//! [--ref-budget-s N] [--out PATH]`
+//!
+//! Two scenarios are recorded per invocation:
+//!
+//! 1. **ring-64 at offered load 0.9** (the deep-saturation regime of the
+//!    paper's Figures 6–8). The polling baseline's retry cascade amplifies
+//!    congestion here to the point where it often cannot finish at all — it
+//!    livelocks retrying into a head-of-line gridlock — so the baseline runs
+//!    under a wall-clock budget (`--ref-budget-s`, default 60). If it blows
+//!    the budget the entry records `completed: false` and the speedup becomes
+//!    a *lower bound* (budget ÷ wakeup wall time).
+//! 2. **ring-8×4 with heavy finite traffic**, which both engines complete, for
+//!    a clean measured ratio.
+//!
+//! Both engines run identical workloads (shared packetization, shared routing
+//! path), so when both complete, delivered packets match exactly and the
+//! comparison isolates pure event-loop work. Reported per engine: wall time,
+//! events, events/second, and useful-events/second (events minus timed
+//! retries — raw events/second flatters the polling engine by counting retry
+//! churn as progress).
+
+use spectralfly_bench::{arg_u64, fmt};
+use spectralfly_graph::CsrGraph;
+use spectralfly_simnet::{
+    ReferenceSimulator, SimConfig, SimNetwork, SimResults, Simulator, Workload,
+};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+struct EngineRun {
+    name: &'static str,
+    completed: bool,
+    wall_s: f64,
+    events: u64,
+    timed_retries: u64,
+    delivered_packets: u64,
+}
+
+impl EngineRun {
+    fn useful_events_per_sec(&self) -> f64 {
+        (self.events - self.timed_retries) as f64 / self.wall_s
+    }
+    fn json(&self) -> String {
+        format!(
+            "{{\"engine\":\"{}\",\"completed\":{},\"wall_s\":{:.6},\"events\":{},\
+             \"timed_retries\":{},\"delivered_packets\":{},\"events_per_sec\":{:.0},\
+             \"useful_events_per_sec\":{:.0}}}",
+            self.name,
+            self.completed,
+            self.wall_s,
+            self.events,
+            self.timed_retries,
+            self.delivered_packets,
+            self.events as f64 / self.wall_s,
+            self.useful_events_per_sec()
+        )
+    }
+    fn print(&self) {
+        println!(
+            "  {:<18} {} wall {:>8.3} s  events {:>11}  retries {:>11}  useful-ev/s {:>12}",
+            self.name,
+            if self.completed { "ok " } else { "DNF" },
+            self.wall_s,
+            self.events,
+            self.timed_retries,
+            fmt(self.useful_events_per_sec()),
+        );
+    }
+}
+
+fn time_wakeup(net: &SimNetwork, cfg: &SimConfig, wl: &Workload, load: f64) -> EngineRun {
+    let t0 = Instant::now();
+    let res = Simulator::new(net, cfg).run_with_offered_load(wl, load);
+    finish_run("wakeup", true, t0.elapsed().as_secs_f64(), &res)
+}
+
+/// Run the polling reference under a wall-clock budget. A blown budget leaves
+/// the worker thread running detached (the process exits at the end anyway)
+/// and reports a DNF with the budget as the wall time.
+fn time_reference_budgeted(
+    net: &SimNetwork,
+    cfg: &SimConfig,
+    wl: &Workload,
+    load: f64,
+    budget: Duration,
+) -> EngineRun {
+    let (tx, rx) = mpsc::channel();
+    let (net, cfg, wl) = (net.clone(), cfg.clone(), wl.clone());
+    std::thread::spawn(move || {
+        let t0 = Instant::now();
+        let res = ReferenceSimulator::new(&net, &cfg).run_with_offered_load(&wl, load);
+        let _ = tx.send((t0.elapsed().as_secs_f64(), res));
+    });
+    match rx.recv_timeout(budget) {
+        Ok((wall_s, res)) => finish_run("reference-polling", true, wall_s, &res),
+        Err(_) => EngineRun {
+            name: "reference-polling",
+            completed: false,
+            wall_s: budget.as_secs_f64(),
+            events: 0,
+            timed_retries: 0,
+            delivered_packets: 0,
+        },
+    }
+}
+
+fn finish_run(name: &'static str, completed: bool, wall_s: f64, res: &SimResults) -> EngineRun {
+    EngineRun {
+        name,
+        completed,
+        wall_s,
+        events: res.engine.events,
+        timed_retries: res.engine.timed_retries,
+        delivered_packets: res.delivered_packets,
+    }
+}
+
+fn ring_net(routers: usize, conc: usize) -> SimNetwork {
+    let edges: Vec<(u32, u32)> = (0..routers as u32)
+        .map(|i| (i, (i + 1) % routers as u32))
+        .collect();
+    SimNetwork::new(CsrGraph::from_edges(routers, &edges), conc)
+}
+
+/// One recorded scenario: both engines over the same workload.
+fn run_scenario(
+    label: String,
+    net: &SimNetwork,
+    cfg: &SimConfig,
+    wl: &Workload,
+    load: f64,
+    budget: Duration,
+) -> String {
+    println!(
+        "scenario {label}: {} endpoints, {} messages, load {load}",
+        net.num_endpoints(),
+        wl.num_messages()
+    );
+    let wakeup = time_wakeup(net, cfg, wl, load);
+    let reference = time_reference_budgeted(net, cfg, wl, load, budget);
+    if reference.completed {
+        assert_eq!(
+            reference.delivered_packets, wakeup.delivered_packets,
+            "the engines must deliver identical packet counts"
+        );
+    }
+    wakeup.print();
+    reference.print();
+    // Wall-clock speedup over the baseline for the same simulation; a lower
+    // bound when the baseline did not finish inside its budget.
+    let wall_speedup = reference.wall_s / wakeup.wall_s;
+    let (speedup_kind, qualifier) = if reference.completed {
+        ("wall_speedup", "")
+    } else {
+        ("wall_speedup_lower_bound", " (baseline DNF at budget)")
+    };
+    println!(
+        "  wakeup vs reference: {}x wall-clock speedup{qualifier}",
+        fmt(wall_speedup)
+    );
+    format!(
+        "{{\"scenario\":\"{label}\",\"baseline\":{},\"wakeup\":{},\"{speedup_kind}\":{:.3}}}",
+        reference.json(),
+        wakeup.json(),
+        wall_speedup
+    )
+}
+
+fn main() {
+    let routers = arg_u64("--routers", 64) as usize;
+    let conc = arg_u64("--conc", 2) as usize;
+    let msgs = arg_u64("--msgs", 9) as usize;
+    let load = arg_u64("--load-pct", 90) as f64 / 100.0;
+    let seed = arg_u64("--seed", 0xE16);
+    let budget = Duration::from_secs(arg_u64("--ref-budget-s", 60));
+    let out = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_engine.json".to_string())
+    };
+    let cfg = SimConfig {
+        seed,
+        ..Default::default()
+    };
+
+    // Scenario A first: heavy congestion both engines can finish — a clean
+    // measured ratio. It must run before the ring-64 scenario, whose baseline
+    // usually blows its budget and leaves a detached worker thread spinning
+    // that would otherwise contaminate these timings.
+    let net2 = ring_net(8, 4);
+    let wl2 = Workload::uniform_random(net2.num_endpoints(), 100, 4096, seed);
+    let entry2 = run_scenario(
+        "ring8x4-load0.9-msgs100".to_string(),
+        &net2,
+        &cfg,
+        &wl2,
+        0.9,
+        budget,
+    );
+
+    // Scenario B last: the acceptance sweep — ring-64 at offered load 0.9.
+    let net = ring_net(routers, conc);
+    let wl = Workload::uniform_random(net.num_endpoints(), msgs, 4096, seed);
+    let entry1 = run_scenario(
+        format!("ring{routers}x{conc}-load{load}-msgs{msgs}"),
+        &net,
+        &cfg,
+        &wl,
+        load,
+        budget,
+    );
+
+    // Append both entries to the JSON trajectory (an array; created if absent).
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entry = format!("{{\"unix_time\":{unix_time},\"runs\":[{entry1},\n{entry2}]}}");
+    let existing = std::fs::read_to_string(&out).unwrap_or_default();
+    let trimmed = existing.trim();
+    let new_content = if trimmed.is_empty() || trimmed == "[]" {
+        format!("[\n{entry}\n]\n")
+    } else {
+        let body = trimmed
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .unwrap_or_else(|| panic!("{out} is not a JSON array"));
+        format!("[{},\n{entry}\n]\n", body.trim_end().trim_end_matches(','))
+    };
+    std::fs::write(&out, new_content).expect("write BENCH_engine.json");
+    println!("appended to {out}");
+    // A DNF baseline leaves its worker thread alive; exit explicitly.
+    std::process::exit(0);
+}

@@ -4,25 +4,16 @@
 //!
 //! Usage: `cargo run --release -p spectralfly-bench --bin fig11_latency [--pairs N]`
 
-use spectralfly_bench::{fmt, print_table, table2_pairs};
+use spectralfly_bench::{arg_u64, fmt, print_table, table2_pairs};
 use spectralfly_layout::{latency_profile, place_topology, QapConfig};
 use spectralfly_topology::skywalk::{SkyWalkConfig, SkyWalkGraph};
 use spectralfly_topology::{LpsGraph, SlimFlyGraph, Topology};
 
-fn arg(name: &str, default: u64) -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(default)
-}
-
 fn main() {
-    let pairs = arg("--pairs", 2) as usize;
+    let pairs = arg_u64("--pairs", 2) as usize;
     let switch_latencies: Vec<f64> = vec![0.0, 50.0, 100.0, 150.0, 200.0, 250.0];
     let qap = QapConfig {
-        anneal_iters: arg("--anneal", 40_000) as usize,
+        anneal_iters: arg_u64("--anneal", 40_000) as usize,
         ..Default::default()
     };
 

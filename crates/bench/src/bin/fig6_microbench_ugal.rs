@@ -2,15 +2,21 @@
 //! bit-reverse and transpose micro-benchmarks across offered loads.
 //!
 //! Usage: `cargo run --release -p spectralfly-bench --bin fig6_microbench_ugal
-//! [--full] [--routing ugal-l,ugal-g|all]`
+//! [--full] [--routing ugal-l,ugal-g|all] [--seed N] [--warmup NS] [--measure NS]`
 //!
 //! Default is the small scale under UGAL-L; `--full` uses the paper's ~8.7K-endpoint
 //! configuration, and `--routing` selects any set of registry algorithms (one table
-//! per algorithm). Load points of a sweep run in parallel, one simulation per core.
+//! per algorithm). With `--measure` (and optionally `--warmup`, both in simulated
+//! nanoseconds) the sweep switches to steady-state measurement — continuous Poisson
+//! sources with warmup/measure/drain windows — and the speedups compare *sustained
+//! measured throughput* instead of drain-to-empty completion time, which is what the
+//! paper's saturation curves actually plot. Load points of a sweep run in parallel,
+//! one simulation per core.
 
 use spectralfly_bench::{
-    fmt, paper_sim_config, print_table, routing_names_from_args, simulation_topologies,
-    sweep_offered_loads, Scale, OFFERED_LOADS,
+    figure_of_merit, fmt, measurement_from_args, merit_speedup, paper_sim_config, print_table,
+    routing_names_from_args, seed_from_args, simulation_topologies, sweep_offered_loads, Scale,
+    OFFERED_LOADS,
 };
 use spectralfly_simnet::workload::random_placement;
 use spectralfly_simnet::Workload;
@@ -19,26 +25,30 @@ fn main() {
     let scale = Scale::from_args();
     let bits = scale.rank_bits();
     let msgs = scale.messages_per_rank();
+    let seed = seed_from_args(0xF16);
+    let windows = measurement_from_args();
     let topologies = simulation_topologies(scale);
     let patterns = ["random", "shuffle", "reverse", "transpose"];
 
     for routing in routing_names_from_args(&["ugal-l"]) {
         for pattern in patterns {
             let mut rows = Vec::new();
-            // Baseline completion times: DragonFly (last entry) at each load.
-            let mut results: Vec<Vec<f64>> = Vec::new(); // [topology][load] completion ns
+            // Figure of merit per topology per load; DragonFly (last) is the baseline.
+            let mut results: Vec<Vec<(f64, bool)>> = Vec::new();
             for topo in &topologies {
                 let net = topo.network();
-                let cfg = paper_sim_config(&net, routing.clone(), 0xF16);
+                let mut cfg = paper_sim_config(&net, routing.clone(), seed);
+                cfg.windows = windows;
                 let ranks = 1usize << bits;
                 let placement = random_placement(ranks, net.num_endpoints(), 0xBEEF);
                 let wl = Workload::synthetic(pattern, bits, msgs, 4096, 0xABCD)
                     .expect("known pattern")
                     .place(&placement);
-                let per_load: Vec<f64> = sweep_offered_loads(&net, &cfg, &wl, &OFFERED_LOADS)
-                    .into_iter()
-                    .map(|(_, res)| res.completion_time_ps as f64 / 1000.0)
-                    .collect();
+                let per_load: Vec<(f64, bool)> =
+                    sweep_offered_loads(&net, &cfg, &wl, &OFFERED_LOADS)
+                        .into_iter()
+                        .map(|(_, res)| figure_of_merit(&res))
+                        .collect();
                 results.push(per_load);
             }
             let dragonfly = results
@@ -47,16 +57,23 @@ fn main() {
                 .clone();
             for (topo, per_load) in topologies.iter().zip(&results) {
                 let mut row = vec![topo.name.clone()];
-                for (i, &t) in per_load.iter().enumerate() {
-                    row.push(fmt(dragonfly[i] / t));
+                for (i, &m) in per_load.iter().enumerate() {
+                    row.push(fmt(merit_speedup(dragonfly[i], m)));
                 }
                 rows.push(row);
             }
             let mut header: Vec<String> = vec!["Topology".to_string()];
             header.extend(OFFERED_LOADS.iter().map(|l| format!("load {l}")));
             let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+            let metric = if windows.is_some() {
+                "steady-state throughput"
+            } else {
+                "completion time"
+            };
             print_table(
-                &format!("Fig. 6 ({pattern}): speedup over DragonFly under {routing} routing"),
+                &format!(
+                    "Fig. 6 ({pattern}): speedup over DragonFly under {routing} routing ({metric})"
+                ),
                 &header_refs,
                 &rows,
             );

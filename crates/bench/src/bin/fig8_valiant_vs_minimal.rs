@@ -2,15 +2,19 @@
 //! four micro-benchmark patterns across offered loads (speedup relative to minimal).
 //!
 //! Usage: `cargo run --release -p spectralfly-bench --bin fig8_valiant_vs_minimal
-//! [--full] [--routing valiant,ugal-l,ugal-g|all]`
+//! [--full] [--routing valiant,ugal-l,ugal-g|all] [--seed N] [--warmup NS] [--measure NS]`
 //!
 //! Default compares Valiant against minimal (the paper's Fig. 8); `--routing` pits
-//! any set of registry algorithms against the minimal baseline. The minimal and
-//! challenger sweeps each run their load points in parallel, one simulation per core.
+//! any set of registry algorithms against the minimal baseline. With `--measure`
+//! (and optionally `--warmup`, in simulated nanoseconds) the sweeps use
+//! steady-state measurement windows and compare sustained measured throughput
+//! instead of completion time. The minimal and challenger sweeps each run their
+//! load points in parallel, one simulation per core.
 
 use spectralfly_bench::{
-    fmt, paper_sim_config, print_table, routing_names_from_args, simulation_topologies,
-    sweep_offered_loads, Scale, OFFERED_LOADS,
+    figure_of_merit, fmt, measurement_from_args, merit_speedup, paper_sim_config, print_table,
+    routing_names_from_args, seed_from_args, simulation_topologies, sweep_offered_loads, Scale,
+    OFFERED_LOADS,
 };
 use spectralfly_simnet::workload::random_placement;
 use spectralfly_simnet::Workload;
@@ -19,6 +23,8 @@ fn main() {
     let scale = Scale::from_args();
     let bits = scale.rank_bits();
     let msgs = scale.messages_per_rank();
+    let seed = seed_from_args(0xF18);
+    let windows = measurement_from_args();
     let spectralfly = &simulation_topologies(scale)[0];
     let net = spectralfly.network();
     let ranks = 1usize << bits;
@@ -30,19 +36,22 @@ fn main() {
         let wl = Workload::synthetic(pattern, bits, msgs, 4096, 0xABCD)
             .expect("known pattern")
             .place(&placement);
-        let min_cfg = paper_sim_config(&net, "minimal", 0xF18);
+        let mut min_cfg = paper_sim_config(&net, "minimal", seed);
+        min_cfg.windows = windows;
         let baseline = sweep_offered_loads(&net, &min_cfg, &wl, &OFFERED_LOADS);
         for routing in &challengers {
-            let cfg = paper_sim_config(&net, routing.clone(), 0xF18);
+            let mut cfg = paper_sim_config(&net, routing.clone(), seed);
+            cfg.windows = windows;
             let mut row = vec![format!("{pattern} ({routing})")];
             for ((_, min_res), (_, res)) in
                 baseline
                     .iter()
                     .zip(sweep_offered_loads(&net, &cfg, &wl, &OFFERED_LOADS))
             {
-                row.push(fmt(
-                    min_res.completion_time_ps as f64 / res.completion_time_ps as f64
-                ));
+                row.push(fmt(merit_speedup(
+                    figure_of_merit(min_res),
+                    figure_of_merit(&res),
+                )));
             }
             rows.push(row);
         }
@@ -50,9 +59,14 @@ fn main() {
     let mut header: Vec<String> = vec!["Pattern".to_string()];
     header.extend(OFFERED_LOADS.iter().map(|l| format!("load {l}")));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let metric = if windows.is_some() {
+        "steady-state throughput"
+    } else {
+        "completion time"
+    };
     print_table(
         &format!(
-            "Fig. 8: speedup over minimal routing on {} (>1 means the challenger wins)",
+            "Fig. 8: speedup over minimal routing on {} by {metric} (>1 means the challenger wins)",
             spectralfly.name
         ),
         &header_refs,

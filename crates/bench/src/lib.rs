@@ -12,7 +12,9 @@
 use rayon::prelude::*;
 use spectralfly_graph::CsrGraph;
 use spectralfly_simnet::workload::Workload;
-use spectralfly_simnet::{routing, SimConfig, SimNetwork, SimResults, Simulator};
+use spectralfly_simnet::{
+    routing, MeasurementWindows, SimConfig, SimNetwork, SimResults, Simulator,
+};
 use spectralfly_topology::{
     BundleFlyGraph, GeneralizedDragonFly, LpsGraph, SlimFlyGraph, Topology,
 };
@@ -151,6 +153,58 @@ pub fn simulation_topologies(scale: Scale) -> Vec<SimTopology> {
 
 /// The offered-load sweep used on the x-axis of Figures 6–8.
 pub const OFFERED_LOADS: [f64; 6] = [0.1, 0.2, 0.3, 0.5, 0.6, 0.7];
+
+/// Parse `--name <value>` from the command line, falling back to `default`
+/// (shared by every experiment binary; malformed values fall back too).
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(default)
+}
+
+/// The RNG seed selected on the command line (`--seed <u64>`), with a
+/// per-binary default — sweeping seeds puts error bars on any figure.
+pub fn seed_from_args(default: u64) -> u64 {
+    arg_u64("--seed", default)
+}
+
+/// Steady-state measurement windows selected on the command line:
+/// `--measure <ns>` (required to enable them) and `--warmup <ns>` (default:
+/// one quarter of the measurement span). With windows configured, the
+/// offered-load sweeps report *sustained measured throughput* over the
+/// window instead of drain-to-empty completion time — the paper's saturation
+/// curves — via [`spectralfly_simnet::MeasurementSummary`].
+pub fn measurement_from_args() -> Option<MeasurementWindows> {
+    let measure_ns = arg_u64("--measure", 0);
+    if measure_ns == 0 {
+        return None;
+    }
+    let warmup_ns = arg_u64("--warmup", measure_ns / 4);
+    Some(MeasurementWindows::new(warmup_ns * 1000, measure_ns * 1000))
+}
+
+/// The scalar a sweep point contributes to a figure: `(value, higher_is_better)`.
+/// Windowed (steady-state) runs score by sustained measured throughput in Gb/s;
+/// finite runs score by completion time in ps.
+pub fn figure_of_merit(res: &SimResults) -> (f64, bool) {
+    match &res.measurement {
+        Some(m) => (m.throughput_gbps(), true),
+        None => (res.completion_time_ps as f64, false),
+    }
+}
+
+/// Speedup of `ours` over `base` for a [`figure_of_merit`] value pair.
+pub fn merit_speedup(base: (f64, bool), ours: (f64, bool)) -> f64 {
+    debug_assert_eq!(base.1, ours.1, "mixed metric directions");
+    if ours.1 {
+        ours.0 / base.0
+    } else {
+        base.0 / ours.0
+    }
+}
 
 /// Build a [`SimConfig`] following the paper: routing algorithm (a registry name or
 /// [`spectralfly_simnet::RoutingAlgorithm`] constant) with a VC count derived from
@@ -301,6 +355,49 @@ mod tests {
                 "load {load}"
             );
             assert_eq!(res.delivered_packets, seq.delivered_packets, "load {load}");
+        }
+    }
+
+    #[test]
+    fn figure_of_merit_direction_matches_run_kind() {
+        use spectralfly_simnet::MeasurementSummary;
+        let finite = SimResults {
+            completion_time_ps: 2_000,
+            ..Default::default()
+        };
+        let (v, higher) = figure_of_merit(&finite);
+        assert_eq!(v, 2_000.0);
+        assert!(!higher);
+        let steady = SimResults {
+            measurement: Some(MeasurementSummary {
+                window_start_ps: 0,
+                window_end_ps: 1_000_000,
+                delivered_bytes: 125_000, // 1000 Gb/s over 1 us
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let (v, higher) = figure_of_merit(&steady);
+        assert!((v - 1000.0).abs() < 1e-9);
+        assert!(higher);
+        // Completion time: base 2000 ps vs ours 1000 ps -> 2x speedup.
+        assert!((merit_speedup((2_000.0, false), (1_000.0, false)) - 2.0).abs() < 1e-12);
+        // Throughput: base 500 Gb/s vs ours 1000 Gb/s -> 2x speedup.
+        assert!((merit_speedup((500.0, true), (1_000.0, true)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_sweep_reports_measured_throughput() {
+        let ring: Vec<(u32, u32)> = (0..8u32).map(|i| (i, (i + 1) % 8)).collect();
+        let net = SimNetwork::new(CsrGraph::from_edges(8, &ring), 1);
+        let mut cfg = paper_sim_config(&net, "minimal", 3);
+        cfg.windows = Some(MeasurementWindows::new(5_000_000, 20_000_000));
+        let wl = Workload::uniform_random(net.num_endpoints(), 1, 4096, 2);
+        let swept = sweep_offered_loads(&net, &cfg, &wl, &[0.2, 0.3]);
+        for (load, res) in swept {
+            let (v, higher) = figure_of_merit(&res);
+            assert!(higher, "windowed sweep scores by throughput");
+            assert!(v > 0.0, "load {load}: no measured throughput");
         }
     }
 

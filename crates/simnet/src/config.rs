@@ -54,6 +54,67 @@ impl std::fmt::Display for RoutingAlgorithm {
     }
 }
 
+/// Warmup / measurement / drain windows for steady-state runs.
+///
+/// The paper's saturation curves (Figures 6–8) assume a network in steady
+/// state; a finite drain-to-empty run conflates saturation latency with drain
+/// time. With windows configured, [`crate::Simulator::run_with_offered_load`]
+/// switches to **continuous per-endpoint Poisson sources**: every endpoint
+/// that sends in the workload keeps injecting (cycling through its workload
+/// messages) from time 0 until `warmup_ps + measure_ps`, the statistics count
+/// only packets injected inside `[warmup_ps, warmup_ps + measure_ps)`, and the
+/// run then drains for at most `drain_ps` before stopping (packets still in
+/// flight at the deadline are abandoned — above saturation the queues would
+/// otherwise never empty). A time-series sample
+/// ([`crate::stats::IntervalSample`]) is recorded every `sample_interval_ps`.
+///
+/// Workload-paced runs ([`crate::Simulator::run`]) ignore the windows: phased
+/// application motifs are finite by nature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MeasurementWindows {
+    /// Warmup before measurement starts, picoseconds.
+    pub warmup_ps: u64,
+    /// Length of the measurement window, picoseconds.
+    pub measure_ps: u64,
+    /// Grace period after injection stops during which in-flight packets may
+    /// still deliver, picoseconds.
+    pub drain_ps: u64,
+    /// Spacing of the steady-state time-series samples, picoseconds.
+    pub sample_interval_ps: u64,
+}
+
+impl MeasurementWindows {
+    /// Windows with a drain as long as the measurement and 32 samples across
+    /// the measured span.
+    ///
+    /// # Panics
+    /// If `measure_ps` is zero.
+    pub fn new(warmup_ps: u64, measure_ps: u64) -> Self {
+        assert!(measure_ps > 0, "measurement window must be non-empty");
+        MeasurementWindows {
+            warmup_ps,
+            measure_ps,
+            drain_ps: measure_ps,
+            sample_interval_ps: ((warmup_ps + measure_ps) / 32).max(1),
+        }
+    }
+
+    /// Start of the measurement window, picoseconds.
+    pub fn measure_start_ps(&self) -> u64 {
+        self.warmup_ps
+    }
+
+    /// End of the measurement window (= end of injection), picoseconds.
+    pub fn measure_end_ps(&self) -> u64 {
+        self.warmup_ps + self.measure_ps
+    }
+
+    /// Hard stop of the simulation, picoseconds.
+    pub fn deadline_ps(&self) -> u64 {
+        self.measure_end_ps() + self.drain_ps
+    }
+}
+
 /// Hardware and protocol parameters of a simulation run.
 ///
 /// Defaults approximate the paper's setup: 100 Gb/s links, 64 KB router buffers per port
@@ -84,6 +145,10 @@ pub struct SimConfig {
     pub ugal_threshold: f64,
     /// RNG seed (Valiant intermediates, adaptive tie-breaks, Poisson injection).
     pub seed: u64,
+    /// Steady-state warmup/measurement/drain windows. `None` (the default)
+    /// keeps the finite drain-to-empty behaviour; `Some` switches offered-load
+    /// runs to continuous Poisson sources with windowed measurement.
+    pub windows: Option<MeasurementWindows>,
 }
 
 impl Default for SimConfig {
@@ -99,6 +164,7 @@ impl Default for SimConfig {
             routing: "minimal".to_string(),
             ugal_threshold: 1.0,
             seed: 0x5EED,
+            windows: None,
         }
     }
 }
@@ -107,6 +173,12 @@ impl SimConfig {
     /// Serialization time of `bytes` on a link, in picoseconds.
     pub fn serialization_ps(&self, bytes: u64) -> u64 {
         ((bytes as f64 * 8.0) / self.link_bandwidth_gbps * 1000.0).ceil() as u64
+    }
+
+    /// Serialization time of `bytes` through the endpoint NIC (injection
+    /// bandwidth), in picoseconds.
+    pub fn injection_serialization_ps(&self, bytes: u64) -> u64 {
+        ((bytes as f64 * 8.0) / self.injection_bandwidth_gbps * 1000.0).ceil() as u64
     }
 
     /// Link latency in picoseconds.
@@ -148,6 +220,12 @@ impl SimConfig {
         self.routing = name;
         self
     }
+
+    /// Builder-style: enable steady-state measurement windows.
+    pub fn with_windows(mut self, windows: MeasurementWindows) -> Self {
+        self.windows = Some(windows);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +263,24 @@ mod tests {
     #[should_panic(expected = "unknown routing algorithm")]
     fn unknown_routing_name_panics_with_candidates() {
         let _ = SimConfig::default().with_routing("wormhole-9000", 3);
+    }
+
+    #[test]
+    fn measurement_windows_layout() {
+        let w = MeasurementWindows::new(1_000, 64_000);
+        assert_eq!(w.measure_start_ps(), 1_000);
+        assert_eq!(w.measure_end_ps(), 65_000);
+        assert_eq!(w.deadline_ps(), 129_000);
+        assert!(w.sample_interval_ps >= 1);
+        let cfg = SimConfig::default().with_windows(w);
+        assert_eq!(cfg.windows, Some(w));
+        assert!(SimConfig::default().windows.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_measurement_window_panics() {
+        let _ = MeasurementWindows::new(10, 0);
     }
 
     #[test]

@@ -1,0 +1,1124 @@
+//! The discrete-event simulation engine.
+//!
+//! Packets are routed store-and-forward across directed links. Every router owns one
+//! output queue per directed link; per-router, per-virtual-channel buffer occupancy with
+//! fixed capacity provides credit-style backpressure (a packet cannot start crossing a link
+//! until the downstream router has a free slot in the next virtual channel). The virtual
+//! channel index equals the packet's hop count, which makes the channel dependency graph
+//! acyclic and the schedule deadlock-free (Section V-A of the paper).
+//!
+//! # The wakeup-driven hot path
+//!
+//! The engine is **wakeup-driven**: when a link's head packet finds the downstream
+//! `(router, vc)` buffer full, the link parks itself on that slot's waiter list and
+//! schedules *nothing*. The two places a slot can free — a packet transmitting out of
+//! it, or delivering at its router — wake the FIFO-head link parked on the slot (one
+//! wakeup per freed buffer unit; a woken link that loses the race to a newly arriving
+//! packet re-parks, and the reclaimer's departure wakes the next waiter). There are no
+//! time-based retry events at all (the polling engine this replaced
+//! re-enqueued a `TryTransmit` every retry quantum per blocked link; under saturation
+//! those retries dominated the event count). The retained polling implementation lives
+//! in [`reference`] as the equivalence oracle and performance baseline, and
+//! [`crate::stats::EngineCounters`] makes the difference observable: `timed_retries`
+//! is zero for this engine by construction, while `blocked_parks`/`wakeups` count the
+//! waiter-list traffic.
+//!
+//! Event storage is a bucketed calendar queue with an overflow heap for far-future
+//! events ([`calendar`]), and packets live in an index arena with a free list so
+//! steady-state runs recycle slots instead of growing without bound.
+//!
+//! # Steady-state measurement
+//!
+//! With [`crate::config::MeasurementWindows`] configured,
+//! [`Simulator::run_with_offered_load`] switches from the finite drain-to-empty run to
+//! continuous per-endpoint Poisson sources with warmup/measurement/drain windows — see
+//! the type's documentation and DESIGN.md for the protocol.
+
+mod calendar;
+pub mod reference;
+
+use crate::config::SimConfig;
+use crate::network::SimNetwork;
+use crate::routing::{self, Router, RoutingCtx, RoutingState};
+use crate::stats::{EngineCounters, IntervalSample, SimResults, StatsCollector};
+use crate::workload::{Phase, Workload};
+use calendar::{CalendarQueue, Timed};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use spectralfly_graph::csr::VertexId;
+use std::collections::VecDeque;
+
+/// Internal per-packet state.
+#[derive(Clone, Debug)]
+pub(crate) struct Packet {
+    src_router: VertexId,
+    dst_router: VertexId,
+    bytes: u64,
+    inject_time_ps: u64,
+    hops: u32,
+    /// Algorithm-owned routing state (e.g. a Valiant intermediate still to be visited).
+    routing: RoutingState,
+    /// Index of the owning message (for message-completion accounting).
+    msg: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum EventKind {
+    /// Endpoint NIC injects a packet at its source router.
+    Inject { packet: usize },
+    /// Try to transmit the head of a directed link's output queue.
+    TryTransmit { link: usize },
+    /// A packet arrives at a router after crossing a link.
+    Arrive { packet: usize, router: VertexId },
+    /// A continuous source generates its next message (steady-state mode only).
+    NextMessage { source: usize },
+    /// Record a steady-state time-series sample (steady-state mode only).
+    Sample,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Timed for Event {
+    fn time(&self) -> u64 {
+        self.time
+    }
+}
+
+/// A phase's injection schedule, shared between the wakeup engine and the
+/// polling reference so both see byte-identical packetization (and consume the
+/// RNG identically in offered-load mode).
+pub(crate) struct PhaseSchedule {
+    pub packets: Vec<Packet>,
+    /// Packet indices in injection-event push order (event time =
+    /// `packets[i].inject_time_ps`).
+    pub injections: Vec<usize>,
+    pub msg_first_inject: Vec<u64>,
+    pub msg_packets_left: Vec<u32>,
+}
+
+/// Split a message into per-packet `(payload_bytes, nic_serialization_ps)`
+/// segments — the single source of truth for message segmentation, shared by
+/// the finite schedule and the steady-state sources so the two paths can never
+/// drift apart.
+pub(crate) fn segment_message(cfg: &SimConfig, total_bytes: u64) -> Vec<(u64, u64)> {
+    let npkts = total_bytes.div_ceil(cfg.packet_size_bytes).max(1);
+    (0..npkts)
+        .map(|k| {
+            let sent = k * cfg.packet_size_bytes;
+            let bytes = (total_bytes - sent.min(total_bytes))
+                .min(cfg.packet_size_bytes)
+                .max(1);
+            (bytes, cfg.injection_serialization_ps(bytes))
+        })
+        .collect()
+}
+
+/// Packetize one phase and lay out its injection schedule (each source's
+/// messages serialized through its NIC; Poisson-spaced under an offered load).
+pub(crate) fn packetize_phase(
+    net: &SimNetwork,
+    cfg: &SimConfig,
+    phase: &Phase,
+    phase_start: u64,
+    offered_load: Option<f64>,
+    rng: &mut StdRng,
+) -> PhaseSchedule {
+    let mut sched = PhaseSchedule {
+        packets: Vec::new(),
+        injections: Vec::new(),
+        msg_first_inject: vec![u64::MAX; phase.messages.len()],
+        msg_packets_left: vec![0; phase.messages.len()],
+    };
+    let mut nic_free: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+    let mut order: Vec<usize> = (0..phase.messages.len()).collect();
+    order.sort_by_key(|&i| (phase.messages[i].src, phase.messages[i].inject_offset_ps, i));
+    for &mi in &order {
+        let m = &phase.messages[mi];
+        let segments = segment_message(cfg, m.bytes);
+        sched.msg_packets_left[mi] = segments.len() as u32;
+        let nic = nic_free.entry(m.src).or_insert(phase_start);
+        let base = match offered_load {
+            None => phase_start + m.inject_offset_ps,
+            Some(load) => {
+                let mean_gap = cfg.serialization_ps(cfg.packet_size_bytes) as f64 / load;
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                (*nic).max(phase_start) + (-u.ln() * mean_gap) as u64
+            }
+        };
+        let mut t = base.max(*nic);
+        for (bytes, nic_ser) in segments {
+            let pi = sched.packets.len();
+            sched.packets.push(Packet {
+                src_router: net.router_of_endpoint(m.src),
+                dst_router: net.router_of_endpoint(m.dst),
+                bytes,
+                inject_time_ps: t,
+                hops: 0,
+                routing: RoutingState::default(),
+                msg: mi,
+            });
+            sched.msg_first_inject[mi] = sched.msg_first_inject[mi].min(t);
+            sched.injections.push(pi);
+            t += nic_ser;
+        }
+        *nic = t;
+    }
+    sched
+}
+
+/// Record and recycle message slots whose last packet just delivered
+/// (steady-state mode): message latency is recorded if the first injection fell
+/// inside the measurement window, then the slot returns to the free list so
+/// long runs stay bounded by in-flight messages.
+fn drain_completed_messages(st: &mut EngineState, stats: &mut StatsCollector) {
+    while let Some(mi) = st.completed_msgs.pop() {
+        let first = st.msg_first_inject[mi];
+        let last = st.msg_last_delivery[mi];
+        if last != u64::MAX && stats.is_measured(first) {
+            stats.record_message(last.saturating_sub(first.min(last)));
+        }
+        st.msg_free.push(mi);
+    }
+}
+
+/// Map a directed-link id back to `(router, port)`.
+pub(crate) fn link_owner(net: &SimNetwork, link: usize) -> (VertexId, usize) {
+    let n = net.num_routers();
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if net.link_id(mid as VertexId, 0) <= link {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo as VertexId, link - net.link_id(lo as VertexId, 0))
+}
+
+/// Routing decision for packet `pi` currently at `router`: delegate to the
+/// configured [`Router`] behind a [`RoutingCtx`] snapshot of the engine state.
+/// Shared by both engines so a given queue state yields the same decision.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn choose_port(
+    net: &SimNetwork,
+    cfg: &SimConfig,
+    algo: &dyn Router,
+    packets: &mut [Packet],
+    pi: usize,
+    router: VertexId,
+    link_queue: &[VecDeque<usize>],
+    occupancy: &[u32],
+    link_parked: &[bool],
+    rng: &mut StdRng,
+) -> usize {
+    // Detach the packet's routing state so the context can borrow the rest of the
+    // engine state immutably while the algorithm mutates its own state.
+    let mut state = std::mem::take(&mut packets[pi].routing);
+    let mut ctx = RoutingCtx::new(
+        net,
+        link_queue,
+        occupancy,
+        link_parked,
+        cfg.num_vcs,
+        cfg.ugal_threshold,
+        router,
+        packets[pi].dst_router,
+        packets[pi].hops,
+        rng,
+    );
+    let port = algo.route(&mut ctx, &mut state);
+    // Hard assert (not debug_assert): Router is a third-party extension point, and
+    // an out-of-range port would otherwise silently index into the next router's
+    // link range and corrupt the run far from the buggy decision.
+    assert!(
+        port < net.graph().degree(router),
+        "router {} returned out-of-range port {port} at router {router}",
+        algo.name()
+    );
+    packets[pi].routing = state;
+    port
+}
+
+/// A continuous Poisson source (steady-state mode): one per sending endpoint,
+/// cycling through that endpoint's workload messages.
+struct Source {
+    endpoint: usize,
+    /// `(dst endpoint, bytes)` templates drawn from the workload, cycled in order.
+    templates: Vec<(usize, u64)>,
+    next_template: usize,
+    /// NIC-busy horizon of this endpoint.
+    nic_free_ps: u64,
+}
+
+/// Mutable state of one event loop, grouped to keep borrows manageable.
+struct EngineState {
+    /// Packet arena; freed slots are recycled through `free`.
+    packets: Vec<Packet>,
+    free: Vec<usize>,
+    link_queue: Vec<VecDeque<usize>>,
+    link_free_at: Vec<u64>,
+    /// occupancy[router * num_vcs + vc]
+    occupancy: Vec<u32>,
+    /// waiters[router * num_vcs + vc]: links whose head packet is blocked on the slot.
+    waiters: Vec<VecDeque<usize>>,
+    /// Whether a link is currently parked on some waiter list.
+    link_parked: Vec<bool>,
+    parked_count: usize,
+    pending_inject: Vec<VecDeque<usize>>,
+    queue: CalendarQueue<Event>,
+    seq: u64,
+    msg_packets_left: Vec<u32>,
+    msg_first_inject: Vec<u64>,
+    msg_last_delivery: Vec<u64>,
+    /// Message slots recycled by the steady-state loop (finite runs never free).
+    msg_free: Vec<usize>,
+    /// Messages whose last packet just delivered, awaiting the steady-state
+    /// loop's record-and-recycle drain (unused in finite runs).
+    completed_msgs: Vec<usize>,
+    /// Whether `enter_router` should report completions into `completed_msgs`.
+    track_completions: bool,
+    phase_end: u64,
+    /// Running delivery totals (all packets), for the time-series samples.
+    delivered_packets_total: u64,
+    delivered_bytes_total: u64,
+    /// Totals as of the previous sampling tick.
+    sampled_packets: u64,
+    sampled_bytes: u64,
+    counters: EngineCounters,
+}
+
+impl EngineState {
+    fn new(net: &SimNetwork, cfg: &SimConfig, phase_start: u64) -> Self {
+        // Bucket the calendar around the packet serialization time — the natural
+        // spacing of transmit/arrive events — with an ample ring so only genuinely
+        // far-future events (distant injections) spill into the overflow heap.
+        let width = (cfg.serialization_ps(cfg.packet_size_bytes) / 4).max(1);
+        EngineState {
+            packets: Vec::new(),
+            free: Vec::new(),
+            link_queue: vec![VecDeque::new(); net.num_directed_links()],
+            link_free_at: vec![0; net.num_directed_links()],
+            occupancy: vec![0; net.num_routers() * cfg.num_vcs],
+            waiters: vec![VecDeque::new(); net.num_routers() * cfg.num_vcs],
+            link_parked: vec![false; net.num_directed_links()],
+            parked_count: 0,
+            pending_inject: vec![VecDeque::new(); net.num_routers()],
+            queue: CalendarQueue::new(width, 1024),
+            seq: 0,
+            msg_packets_left: Vec::new(),
+            msg_first_inject: Vec::new(),
+            msg_last_delivery: Vec::new(),
+            msg_free: Vec::new(),
+            completed_msgs: Vec::new(),
+            track_completions: false,
+            phase_end: phase_start,
+            delivered_packets_total: 0,
+            delivered_bytes_total: 0,
+            sampled_packets: 0,
+            sampled_bytes: 0,
+            counters: EngineCounters::default(),
+        }
+    }
+
+    fn push(&mut self, time: u64, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Event {
+            time,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    /// Allocate a packet slot, reusing a freed one when available.
+    fn alloc_packet(&mut self, p: Packet) -> usize {
+        match self.free.pop() {
+            Some(i) => {
+                self.packets[i] = p;
+                i
+            }
+            None => {
+                self.packets.push(p);
+                self.packets.len() - 1
+            }
+        }
+    }
+
+    /// Wake the FIFO-head link parked on `slot` — exactly one, because exactly
+    /// one buffer unit freed. Waking every waiter would be a thundering herd:
+    /// all but one re-park, costing O(waiters²) events to drain a list. One
+    /// wakeup per free loses nothing — if the woken link finds the slot
+    /// reclaimed it re-parks at the back, and the reclaimer's own departure
+    /// wakes the next waiter. Deterministic (FIFO park order).
+    fn wake_waiters(&mut self, slot: usize, now: u64) {
+        if let Some(link) = self.waiters[slot].pop_front() {
+            self.link_parked[link] = false;
+            self.parked_count -= 1;
+            self.counters.wakeups += 1;
+            let t = now.max(self.link_free_at[link]);
+            self.push(t, EventKind::TryTransmit { link });
+        }
+    }
+}
+
+/// The packet-level simulator (wakeup-driven engine).
+pub struct Simulator<'a> {
+    net: &'a SimNetwork,
+    cfg: &'a SimConfig,
+    /// The routing algorithm, resolved once from the registry at construction.
+    router: Box<dyn Router>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create a simulator over a network with a configuration.
+    ///
+    /// # Panics
+    /// If `cfg.routing` does not name a registered routing algorithm
+    /// (see [`crate::routing`]).
+    pub fn new(net: &'a SimNetwork, cfg: &'a SimConfig) -> Self {
+        assert!(cfg.num_vcs >= 1, "need at least one virtual channel");
+        assert!(
+            cfg.buffer_packets_per_vc >= 1,
+            "need at least one buffer slot per VC"
+        );
+        let router = routing::create(&cfg.routing).unwrap_or_else(|| {
+            panic!(
+                "unknown routing algorithm {:?}; registered: {}",
+                cfg.routing,
+                routing::registered_names().join(", ")
+            )
+        });
+        Simulator { net, cfg, router }
+    }
+
+    /// Run the workload with message injections spaced exactly as the workload specifies
+    /// (each source's messages additionally serialized through its NIC).
+    ///
+    /// Measurement windows, if configured, are ignored here: phased application
+    /// workloads are finite by nature and run to completion.
+    pub fn run(&self, workload: &Workload) -> SimResults {
+        self.run_finite(workload, None)
+    }
+
+    /// Run the workload with Poisson-spaced injections corresponding to an offered load in
+    /// `(0, 1]` — the fraction of endpoint injection bandwidth the sources try to use
+    /// (the x-axis of Figures 6–8 in the paper).
+    ///
+    /// Without [`SimConfig::windows`] this is a finite run: every workload message is
+    /// injected once (Poisson-spaced) and the network drains to empty. With windows
+    /// configured the run switches to **continuous per-endpoint Poisson sources** and
+    /// steady-state measurement (see [`crate::config::MeasurementWindows`]).
+    pub fn run_with_offered_load(&self, workload: &Workload, offered_load: f64) -> SimResults {
+        assert!(
+            offered_load > 0.0 && offered_load <= 1.0,
+            "offered load must be in (0, 1]"
+        );
+        match self.cfg.windows {
+            None => self.run_finite(workload, Some(offered_load)),
+            Some(w) => self.run_steady(workload, offered_load, w),
+        }
+    }
+
+    /// Finite drain-to-empty run (the legacy semantics) on the wakeup engine.
+    fn run_finite(&self, workload: &Workload, offered_load: Option<f64>) -> SimResults {
+        if let Some(max_ep) = workload.max_endpoint() {
+            assert!(
+                max_ep < self.net.num_endpoints(),
+                "workload references endpoint {max_ep} but the network has only {}",
+                self.net.num_endpoints()
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut stats = StatsCollector::default();
+        let mut phase_start: u64 = 0;
+
+        for phase in &workload.phases {
+            if phase.messages.is_empty() {
+                continue;
+            }
+            let sched = packetize_phase(
+                self.net,
+                self.cfg,
+                phase,
+                phase_start,
+                offered_load,
+                &mut rng,
+            );
+            let mut st = EngineState::new(self.net, self.cfg, phase_start);
+            st.packets = sched.packets;
+            st.msg_packets_left = sched.msg_packets_left;
+            st.msg_first_inject = sched.msg_first_inject;
+            st.msg_last_delivery = vec![u64::MAX; phase.messages.len()];
+            for &pi in &sched.injections {
+                let t = st.packets[pi].inject_time_ps;
+                st.push(t, EventKind::Inject { packet: pi });
+            }
+
+            st.counters.arena_slots = st.packets.len() as u64;
+            while let Some(ev) = st.queue.pop() {
+                st.counters.events += 1;
+                self.handle_event(ev, &mut st, &mut rng, &mut stats);
+            }
+
+            // Every packet must have been delivered; anything else is an engine bug —
+            // or a genuine buffer deadlock, which the wakeup engine turns into a
+            // detectable quiescent state (the polling engine it replaced would spin
+            // on retries forever).
+            let undelivered: u32 = st.msg_packets_left.iter().sum();
+            if undelivered > 0 {
+                let in_queues: usize = st.link_queue.iter().map(|q| q.len()).sum();
+                let pending: usize = st.pending_inject.iter().map(|q| q.len()).sum();
+                let occ: u32 = st.occupancy.iter().sum();
+                if st.parked_count > 0 {
+                    panic!(
+                        "simulation deadlocked with {undelivered} undelivered packets and \
+                         {} links parked in a cyclic head-of-line wait (link queues: \
+                         {in_queues}, pending injections: {pending}, occupancy sum: {occ}); \
+                         single-FIFO link queues can deadlock across virtual channels when \
+                         buffer_packets_per_vc is very small — increase it",
+                        st.parked_count
+                    );
+                }
+                panic!(
+                    "simulation ended with {undelivered} undelivered packets \
+                     (link queues: {in_queues}, pending injections: {pending}, \
+                     occupancy sum: {occ}) — engine invariant violated"
+                );
+            }
+            debug_assert_eq!(st.parked_count, 0, "drained run left links parked");
+            for (mi, &last) in st.msg_last_delivery.iter().enumerate() {
+                if last != u64::MAX {
+                    stats.record_message(last.saturating_sub(st.msg_first_inject[mi].min(last)));
+                }
+            }
+            phase_start = st.phase_end.max(phase_start);
+            stats.record_engine(&st.counters);
+        }
+        stats.finish()
+    }
+
+    /// Steady-state run: continuous per-endpoint Poisson sources, windowed
+    /// measurement, bounded drain.
+    fn run_steady(
+        &self,
+        workload: &Workload,
+        offered_load: f64,
+        w: crate::config::MeasurementWindows,
+    ) -> SimResults {
+        if let Some(max_ep) = workload.max_endpoint() {
+            assert!(
+                max_ep < self.net.num_endpoints(),
+                "workload references endpoint {max_ep} but the network has only {}",
+                self.net.num_endpoints()
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut stats = StatsCollector::with_window(w.measure_start_ps(), w.measure_end_ps());
+
+        // Per-endpoint message templates, cycled in workload order (phases are
+        // flattened: steady-state measurement is an open-loop experiment, not a
+        // bulk-synchronous application run).
+        let mut templates: Vec<Vec<(usize, u64)>> = vec![Vec::new(); self.net.num_endpoints()];
+        for phase in &workload.phases {
+            for m in &phase.messages {
+                templates[m.src].push((m.dst, m.bytes));
+            }
+        }
+        let mut sources: Vec<Source> = templates
+            .into_iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_empty())
+            .map(|(endpoint, templates)| Source {
+                endpoint,
+                templates,
+                next_template: 0,
+                nic_free_ps: 0,
+            })
+            .collect();
+
+        let mut st = EngineState::new(self.net, self.cfg, 0);
+        st.track_completions = true;
+        // First arrival of each source's Poisson process.
+        for (si, source) in sources.iter().enumerate() {
+            let first_bytes = source.templates[0].1;
+            let gap = self.exp_gap(first_bytes, offered_load, &mut rng);
+            if gap < w.measure_end_ps() {
+                st.push(gap, EventKind::NextMessage { source: si });
+            }
+        }
+        let first_sample = w.sample_interval_ps.max(1);
+        if first_sample <= w.deadline_ps() {
+            st.push(first_sample, EventKind::Sample);
+        }
+
+        while let Some(ev) = st.queue.pop() {
+            if ev.time > w.deadline_ps() {
+                // Drain deadline: abandon whatever is still in flight (above
+                // saturation the queues would never empty).
+                break;
+            }
+            st.counters.events += 1;
+            st.counters.arena_slots = st.counters.arena_slots.max(st.packets.len() as u64);
+            if let EventKind::NextMessage { source } = ev.kind {
+                self.spawn_message(
+                    source,
+                    ev.time,
+                    offered_load,
+                    &w,
+                    &mut sources,
+                    &mut st,
+                    &mut stats,
+                    &mut rng,
+                );
+            } else if ev.kind == EventKind::Sample {
+                self.record_sample(ev.time, &w, &mut st, &mut stats);
+            } else {
+                self.handle_event(ev, &mut st, &mut rng, &mut stats);
+            }
+            drain_completed_messages(&mut st, &mut stats);
+        }
+        drain_completed_messages(&mut st, &mut stats);
+        stats.record_engine(&st.counters);
+        stats.finish()
+    }
+
+    /// Exponential inter-arrival gap for a message of `bytes` at `load` of the
+    /// endpoint injection bandwidth.
+    fn exp_gap(&self, bytes: u64, load: f64, rng: &mut StdRng) -> u64 {
+        let ser = self.cfg.injection_serialization_ps(bytes) as f64;
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        (-u.ln() * ser / load) as u64
+    }
+
+    /// Generate one message from a continuous source at its arrival time `now`,
+    /// packetize it through the NIC, and schedule the source's next arrival.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_message(
+        &self,
+        si: usize,
+        now: u64,
+        load: f64,
+        w: &crate::config::MeasurementWindows,
+        sources: &mut [Source],
+        st: &mut EngineState,
+        stats: &mut StatsCollector,
+        rng: &mut StdRng,
+    ) {
+        let src = &mut sources[si];
+        let (dst, bytes) = src.templates[src.next_template % src.templates.len()];
+        src.next_template += 1;
+
+        let segments = segment_message(self.cfg, bytes);
+        let mut t = now.max(src.nic_free_ps);
+        // Message slots are recycled once recorded (see
+        // `drain_completed_messages`), so long runs stay bounded by in-flight
+        // messages, mirroring the packet arena.
+        let mi = match st.msg_free.pop() {
+            Some(i) => {
+                st.msg_packets_left[i] = segments.len() as u32;
+                st.msg_last_delivery[i] = u64::MAX;
+                st.msg_first_inject[i] = t;
+                i
+            }
+            None => {
+                st.msg_packets_left.push(segments.len() as u32);
+                st.msg_last_delivery.push(u64::MAX);
+                st.msg_first_inject.push(t);
+                st.msg_packets_left.len() - 1
+            }
+        };
+        for (pkt_bytes, nic_ser) in segments {
+            let packet = Packet {
+                src_router: self.net.router_of_endpoint(src.endpoint),
+                dst_router: self.net.router_of_endpoint(dst),
+                bytes: pkt_bytes,
+                inject_time_ps: t,
+                hops: 0,
+                routing: RoutingState::default(),
+                msg: mi,
+            };
+            let pi = st.alloc_packet(packet);
+            stats.note_injection(t);
+            st.push(t, EventKind::Inject { packet: pi });
+            t += nic_ser;
+        }
+        src.nic_free_ps = t;
+
+        // Next arrival of the (open-loop) Poisson process, measured from this
+        // arrival; sources fall silent at the end of the measurement window.
+        let next = now + self.exp_gap(bytes, load, rng);
+        if next < w.measure_end_ps() {
+            st.push(next, EventKind::NextMessage { source: si });
+        }
+    }
+
+    /// Record one steady-state time-series tick and schedule the next.
+    fn record_sample(
+        &self,
+        now: u64,
+        w: &crate::config::MeasurementWindows,
+        st: &mut EngineState,
+        stats: &mut StatsCollector,
+    ) {
+        let queued: usize = st.link_queue.iter().map(|q| q.len()).sum();
+        let links = st.link_queue.len().max(1);
+        stats.record_sample(IntervalSample {
+            t_ps: now,
+            delivered_bytes: st.delivered_bytes_total - st.sampled_bytes,
+            delivered_packets: st.delivered_packets_total - st.sampled_packets,
+            mean_queue_depth: queued as f64 / links as f64,
+            blocked_links: st.parked_count,
+        });
+        st.sampled_bytes = st.delivered_bytes_total;
+        st.sampled_packets = st.delivered_packets_total;
+        let next = now + w.sample_interval_ps.max(1);
+        if next <= w.deadline_ps() {
+            st.push(next, EventKind::Sample);
+        }
+    }
+
+    /// Process one core event (injection, transmission, arrival). Shared by the
+    /// finite and steady-state loops.
+    fn handle_event(
+        &self,
+        ev: Event,
+        st: &mut EngineState,
+        rng: &mut StdRng,
+        stats: &mut StatsCollector,
+    ) {
+        let now = ev.time;
+        let cap = self.cfg.buffer_packets_per_vc as u32;
+        match ev.kind {
+            EventKind::Inject { packet } => {
+                let router = st.packets[packet].src_router;
+                let slot = router as usize * self.cfg.num_vcs;
+                if st.occupancy[slot] < cap {
+                    st.occupancy[slot] += 1;
+                    self.enter_router(packet, router, now, st, rng, stats);
+                    self.admit_pending(router, now, st, cap);
+                } else {
+                    st.pending_inject[router as usize].push_back(packet);
+                }
+            }
+            EventKind::TryTransmit { link } => {
+                if st.link_parked[link] {
+                    // Already on a waiter list; the slot-free wakeup will retry.
+                    return;
+                }
+                let Some(&pi) = st.link_queue[link].front() else {
+                    return;
+                };
+                if st.link_free_at[link] > now {
+                    let t = st.link_free_at[link];
+                    st.push(t, EventKind::TryTransmit { link });
+                    return;
+                }
+                let (src_router, port) = link_owner(self.net, link);
+                let dst_router = self.net.link_target(src_router, port);
+                let vc = (st.packets[pi].hops as usize).min(self.cfg.num_vcs - 1);
+                let next_vc = (st.packets[pi].hops as usize + 1).min(self.cfg.num_vcs - 1);
+                let down = dst_router as usize * self.cfg.num_vcs + next_vc;
+                if st.occupancy[down] >= cap {
+                    // Wakeup-driven backpressure: park on the downstream slot's
+                    // waiter list; no timed retry is ever scheduled.
+                    st.link_parked[link] = true;
+                    st.parked_count += 1;
+                    st.waiters[down].push_back(link);
+                    st.counters.blocked_parks += 1;
+                    return;
+                }
+                st.link_queue[link].pop_front();
+                let up = src_router as usize * self.cfg.num_vcs + vc;
+                st.occupancy[up] = st.occupancy[up].saturating_sub(1);
+                st.occupancy[down] += 1;
+                if vc == 0 {
+                    self.admit_pending(src_router, now, st, cap);
+                }
+                st.wake_waiters(up, now);
+                let ser = self.cfg.serialization_ps(st.packets[pi].bytes);
+                let start = now.max(st.link_free_at[link]);
+                st.link_free_at[link] = start + ser;
+                let arrive =
+                    start + ser + self.cfg.link_latency_ps() + self.cfg.router_latency_ps();
+                st.packets[pi].hops += 1;
+                st.push(
+                    arrive,
+                    EventKind::Arrive {
+                        packet: pi,
+                        router: dst_router,
+                    },
+                );
+                if !st.link_queue[link].is_empty() {
+                    let t = st.link_free_at[link];
+                    st.push(t, EventKind::TryTransmit { link });
+                }
+            }
+            EventKind::Arrive { packet, router } => {
+                self.enter_router(packet, router, now, st, rng, stats);
+                self.admit_pending(router, now, st, cap);
+            }
+            EventKind::NextMessage { .. } | EventKind::Sample => {
+                unreachable!("steady-state events are handled by the steady loop")
+            }
+        }
+    }
+
+    /// Re-issue an injection for a waiting packet if the router now has VC-0 space.
+    fn admit_pending(&self, router: VertexId, now: u64, st: &mut EngineState, cap: u32) {
+        let slot = router as usize * self.cfg.num_vcs;
+        if st.occupancy[slot] < cap {
+            if let Some(wpkt) = st.pending_inject[router as usize].pop_front() {
+                st.push(now, EventKind::Inject { packet: wpkt });
+            }
+        }
+    }
+
+    /// A packet has just become resident at `router` (injection or arrival): deliver it if
+    /// it is home, otherwise pick an output port and enqueue it.
+    fn enter_router(
+        &self,
+        pi: usize,
+        router: VertexId,
+        now: u64,
+        st: &mut EngineState,
+        rng: &mut StdRng,
+        stats: &mut StatsCollector,
+    ) {
+        st.packets[pi].routing.note_arrival(router);
+        let target = st.packets[pi]
+            .routing
+            .current_target(st.packets[pi].dst_router);
+        if target == router {
+            let vc = (st.packets[pi].hops as usize).min(self.cfg.num_vcs - 1);
+            let slot = router as usize * self.cfg.num_vcs + vc;
+            st.occupancy[slot] = st.occupancy[slot].saturating_sub(1);
+            let latency = now - st.packets[pi].inject_time_ps;
+            stats.record_packet(latency, st.packets[pi].hops, st.packets[pi].bytes, now);
+            st.delivered_packets_total += 1;
+            st.delivered_bytes_total += st.packets[pi].bytes;
+            let m = st.packets[pi].msg;
+            st.msg_packets_left[m] -= 1;
+            if st.msg_packets_left[m] == 0 {
+                // Written exactly once per message — the delivery that zeroes the
+                // counter is by definition the message's last delivery.
+                st.msg_last_delivery[m] = now;
+                if st.track_completions {
+                    st.completed_msgs.push(m);
+                }
+            }
+            st.phase_end = st.phase_end.max(now);
+            st.free.push(pi);
+            st.wake_waiters(slot, now);
+            return;
+        }
+        let port = choose_port(
+            self.net,
+            self.cfg,
+            self.router.as_ref(),
+            &mut st.packets,
+            pi,
+            router,
+            &st.link_queue,
+            &st.occupancy,
+            &st.link_parked,
+            rng,
+        );
+        let link = self.net.link_id(router, port);
+        st.link_queue[link].push_back(pi);
+        st.push(now, EventKind::TryTransmit { link });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Message, Workload};
+    use spectralfly_graph::CsrGraph;
+
+    fn ring(n: usize) -> CsrGraph {
+        let mut e: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        e.push((n as u32 - 1, 0));
+        CsrGraph::from_edges(n, &e)
+    }
+
+    fn complete(n: usize) -> CsrGraph {
+        let mut e = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                e.push((u, v));
+            }
+        }
+        CsrGraph::from_edges(n, &e)
+    }
+
+    #[test]
+    fn single_packet_latency_is_deterministic_and_correct() {
+        // One 4096-byte packet over exactly one hop on a 2-router network.
+        let net = SimNetwork::new(complete(2), 1);
+        let cfg = SimConfig::default();
+        let wl = Workload::single_phase(
+            "one",
+            vec![Message {
+                src: 0,
+                dst: 1,
+                bytes: 4096,
+                inject_offset_ps: 0,
+            }],
+        );
+        let res = Simulator::new(&net, &cfg).run(&wl);
+        assert_eq!(res.delivered_packets, 1);
+        assert_eq!(res.delivered_messages, 1);
+        // Latency = serialization + link latency + router latency.
+        let expected = cfg.serialization_ps(4096) + cfg.link_latency_ps() + cfg.router_latency_ps();
+        assert_eq!(res.max_packet_latency_ps, expected);
+        assert_eq!(res.mean_hops, 1.0);
+    }
+
+    #[test]
+    fn all_packets_delivered_on_every_registered_routing_algorithm() {
+        // Registry-driven conformance: every built-in algorithm must deliver every
+        // packet and respect the VC/diameter hop bound implied by its own VC rule.
+        // Iterates a freshly-built registry (not the process-global one) so the test
+        // set cannot depend on what other tests registered concurrently.
+        let net = SimNetwork::new(ring(8), 2);
+        let wl = Workload::uniform_random(net.num_endpoints(), 10, 1024, 7);
+        let names = routing::RouterRegistry::with_builtins().names();
+        assert!(
+            names.len() >= 4,
+            "expected at least 4 built-ins, got {names:?}"
+        );
+        for name in names {
+            let cfg = SimConfig::default().with_routing(name.clone(), net.diameter() as u32);
+            let res = Simulator::new(&net, &cfg).run(&wl);
+            assert_eq!(res.delivered_packets, 160, "{name}");
+            assert_eq!(res.delivered_messages, 160, "{name}");
+            assert!(res.completion_time_ps > 0, "{name}");
+            assert!(
+                (res.max_hops as usize) < cfg.num_vcs,
+                "{name}: {} hops exceeds the VC bound {}",
+                res.max_hops,
+                cfg.num_vcs
+            );
+        }
+    }
+
+    #[test]
+    fn message_segmentation_into_packets() {
+        let net = SimNetwork::new(complete(3), 1);
+        let cfg = SimConfig::default();
+        // 10 KB message with 4 KB packets -> 3 packets, 1 message.
+        let wl = Workload::single_phase(
+            "big",
+            vec![Message {
+                src: 0,
+                dst: 2,
+                bytes: 10_240,
+                inject_offset_ps: 0,
+            }],
+        );
+        let res = Simulator::new(&net, &cfg).run(&wl);
+        assert_eq!(res.delivered_packets, 3);
+        assert_eq!(res.delivered_messages, 1);
+        assert_eq!(res.delivered_bytes, 10_240);
+    }
+
+    #[test]
+    fn minimal_routing_takes_shortest_paths_when_uncongested() {
+        let net = SimNetwork::new(ring(10), 1);
+        let cfg = SimConfig::default();
+        let wl = Workload::single_phase(
+            "far",
+            vec![Message {
+                src: 0,
+                dst: 5,
+                bytes: 512,
+                inject_offset_ps: 0,
+            }],
+        );
+        let res = Simulator::new(&net, &cfg).run(&wl);
+        assert_eq!(res.max_hops, 5);
+    }
+
+    #[test]
+    fn valiant_routes_are_longer_than_minimal() {
+        let net = SimNetwork::new(ring(12), 1);
+        let wl = Workload::uniform_random(12, 4, 512, 3);
+        let d = net.diameter() as u32;
+        let min_cfg = SimConfig::default().with_routing("minimal", d);
+        let val_cfg = SimConfig::default().with_routing("valiant", d);
+        let rmin = Simulator::new(&net, &min_cfg).run(&wl);
+        let rval = Simulator::new(&net, &val_cfg).run(&wl);
+        assert!(rval.mean_hops > rmin.mean_hops);
+    }
+
+    #[test]
+    fn congestion_increases_latency_with_offered_load() {
+        let net = SimNetwork::new(ring(8), 2);
+        let cfg = SimConfig::default();
+        let wl = Workload::uniform_random(net.num_endpoints(), 30, 4096, 5);
+        let sim = Simulator::new(&net, &cfg);
+        let light = sim.run_with_offered_load(&wl, 0.1);
+        let heavy = sim.run_with_offered_load(&wl, 0.9);
+        assert_eq!(light.delivered_packets, heavy.delivered_packets);
+        assert!(
+            heavy.mean_packet_latency_ps > light.mean_packet_latency_ps,
+            "heavy {} vs light {}",
+            heavy.mean_packet_latency_ps,
+            light.mean_packet_latency_ps
+        );
+    }
+
+    #[test]
+    fn phased_workload_runs_phases_in_order() {
+        let net = SimNetwork::new(complete(4), 1);
+        let cfg = SimConfig::default();
+        let phase = |src: usize, dst: usize| crate::workload::Phase {
+            messages: vec![Message {
+                src,
+                dst,
+                bytes: 2048,
+                inject_offset_ps: 0,
+            }],
+        };
+        let wl = Workload {
+            phases: vec![phase(0, 1), phase(1, 2), phase(2, 3)],
+            name: "phased".to_string(),
+        };
+        let res = Simulator::new(&net, &cfg).run(&wl);
+        assert_eq!(res.delivered_messages, 3);
+        // Three sequential phases take at least 3x the single-hop latency.
+        let single = cfg.serialization_ps(2048) + cfg.link_latency_ps() + cfg.router_latency_ps();
+        assert!(res.completion_time_ps >= 3 * single);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let net = SimNetwork::new(ring(6), 2);
+        let cfg = SimConfig::default().with_routing("ugal-l", net.diameter() as u32);
+        let wl = Workload::uniform_random(net.num_endpoints(), 8, 1024, 11);
+        let a = Simulator::new(&net, &cfg).run(&wl);
+        let b = Simulator::new(&net, &cfg).run(&wl);
+        assert_eq!(a.completion_time_ps, b.completion_time_ps);
+        assert_eq!(a.max_packet_latency_ps, b.max_packet_latency_ps);
+    }
+
+    #[test]
+    fn self_destination_on_same_router_is_delivered_without_hops() {
+        // Two endpoints on the same router exchange a message: zero network hops.
+        let net = SimNetwork::new(complete(2), 2);
+        let cfg = SimConfig::default();
+        let wl = Workload::single_phase(
+            "local",
+            vec![Message {
+                src: 0,
+                dst: 1,
+                bytes: 256,
+                inject_offset_ps: 0,
+            }],
+        );
+        let res = Simulator::new(&net, &cfg).run(&wl);
+        assert_eq!(res.delivered_packets, 1);
+        assert_eq!(res.max_hops, 0);
+    }
+
+    /// The headline property of the wakeup engine: a congested run executes
+    /// zero time-based retry re-enqueues — backpressure is handled entirely by
+    /// waiter-list parks and wakeups (which must both be exercised here).
+    #[test]
+    fn congested_run_has_zero_timed_retries() {
+        // A ring at offered load 0.9 with 4 endpoints per router is far beyond
+        // saturation: downstream buffers fill and links block. (Buffers stay at
+        // the default depth — very shallow buffers can genuinely deadlock this
+        // single-FIFO-per-link model, in both engines.)
+        let cfg = SimConfig::default();
+        let net = SimNetwork::new(ring(8), 4);
+        let wl = Workload::uniform_random(net.num_endpoints(), 100, 4096, 5);
+        let res = Simulator::new(&net, &cfg).run_with_offered_load(&wl, 0.9);
+        assert_eq!(
+            res.engine.timed_retries, 0,
+            "wakeup engine must never schedule a timed retry"
+        );
+        assert!(
+            res.engine.blocked_parks > 0,
+            "a saturated ring must actually block (got {} parks)",
+            res.engine.blocked_parks
+        );
+        assert_eq!(
+            res.engine.blocked_parks, res.engine.wakeups,
+            "every parked link must be woken again in a drained run"
+        );
+        // Same run on the polling reference: it must retry on a timer.
+        let ref_res = ReferenceSimulator::new(&net, &cfg).run_with_offered_load(&wl, 0.9);
+        assert!(
+            ref_res.engine.timed_retries > 0,
+            "the reference engine polls under congestion"
+        );
+        assert_eq!(ref_res.engine.blocked_parks, 0);
+    }
+
+    use super::reference::ReferenceSimulator;
+
+    /// Out-of-order delivery inside one message: adaptive minimal routing on a
+    /// ring with an antipodal destination splits a message's packets across the
+    /// two equal-length directions, so a later-injected packet can overtake an
+    /// earlier one. Message latency must span first injection to last delivery.
+    #[test]
+    fn multi_packet_message_latency_spans_first_inject_to_last_delivery() {
+        let net = SimNetwork::new(ring(8), 1);
+        let cfg = SimConfig::default();
+        // 10 packets from router 0 to the antipode (both directions minimal).
+        let wl = Workload::single_phase(
+            "antipodal",
+            vec![Message {
+                src: 0,
+                dst: 4,
+                bytes: 10 * 4096,
+                inject_offset_ps: 0,
+            }],
+        );
+        let res = Simulator::new(&net, &cfg).run(&wl);
+        assert_eq!(res.delivered_packets, 10);
+        assert_eq!(res.delivered_messages, 1);
+        // First packet injected at t=0, so the message latency is exactly the
+        // completion time, and it dominates every per-packet latency.
+        assert_eq!(res.max_message_latency_ps, res.completion_time_ps);
+        assert!(res.max_message_latency_ps >= res.max_packet_latency_ps);
+    }
+
+    /// The packet arena recycles delivered slots in steady-state mode instead of
+    /// growing per injected packet.
+    #[test]
+    fn steady_state_arena_stays_bounded() {
+        let net = SimNetwork::new(ring(6), 1);
+        let cfg = SimConfig::default().with_windows(crate::config::MeasurementWindows::new(
+            2_000_000, 30_000_000,
+        ));
+        let wl = Workload::uniform_random(net.num_endpoints(), 1, 4096, 9);
+        let res = Simulator::new(&net, &cfg).run_with_offered_load(&wl, 0.3);
+        let m = res.measurement.expect("steady-state run has a summary");
+        assert!(m.delivered_packets > 50, "got {}", m.delivered_packets);
+        // The arena's high-water mark tracks in-flight packets, not total
+        // injections: the free list must have recycled slots many times over.
+        assert!(
+            res.engine.arena_slots < m.injected_packets,
+            "arena grew to {} slots for {} measured injections",
+            res.engine.arena_slots,
+            m.injected_packets
+        );
+    }
+}

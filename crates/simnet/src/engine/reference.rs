@@ -1,0 +1,303 @@
+//! The polling reference engine.
+//!
+//! This is the engine the wakeup-driven rewrite replaced, retained verbatim in
+//! behaviour: blocked links re-enqueue a `TryTransmit` every retry quantum
+//! (`timed_retries` in [`crate::stats::EngineCounters`] counts them), the event
+//! loop is a single [`std::collections::BinaryHeap`], and runs always drain to
+//! empty. It exists for two reasons:
+//!
+//! 1. **Equivalence oracle** — the test battery asserts that on runs without a
+//!    single blocking episode the wakeup engine reproduces this engine's
+//!    results *exactly* (same event cascade, same RNG stream, same
+//!    `SimResults`), and that under congestion the conservation quantities
+//!    (packets, bytes, messages delivered) still agree.
+//! 2. **Performance baseline** — `bench_engine` and `BENCH_engine.json` report
+//!    the wakeup engine's event-throughput speedup over this implementation on
+//!    a saturated sweep.
+//!
+//! It shares packetization ([`super::packetize_phase`]) and the routing
+//! decision path ([`super::choose_port`]) with the wakeup engine, so the two
+//! can only diverge in event scheduling, never in workload layout or routing
+//! behaviour. Steady-state measurement windows are not supported here.
+
+use super::{choose_port, link_owner, packetize_phase, Event, EventKind, Packet};
+use crate::config::SimConfig;
+use crate::network::SimNetwork;
+use crate::routing::{self, Router};
+use crate::stats::{EngineCounters, SimResults, StatsCollector};
+use crate::workload::Workload;
+use rand::{rngs::StdRng, SeedableRng};
+use spectralfly_graph::csr::VertexId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Mutable state of one phase's event loop.
+struct RefState {
+    packets: Vec<Packet>,
+    link_queue: Vec<VecDeque<usize>>,
+    link_free_at: Vec<u64>,
+    occupancy: Vec<u32>,
+    pending_inject: Vec<VecDeque<usize>>,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    msg_packets_left: Vec<u32>,
+    msg_first_inject: Vec<u64>,
+    msg_last_delivery: Vec<u64>,
+    phase_end: u64,
+    counters: EngineCounters,
+}
+
+impl RefState {
+    fn push(&mut self, time: u64, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+}
+
+/// The polling (pre-wakeup) packet-level simulator.
+pub struct ReferenceSimulator<'a> {
+    net: &'a SimNetwork,
+    cfg: &'a SimConfig,
+    router: Box<dyn Router>,
+}
+
+impl<'a> ReferenceSimulator<'a> {
+    /// Create a reference simulator over a network with a configuration.
+    ///
+    /// # Panics
+    /// If `cfg.routing` does not name a registered routing algorithm.
+    pub fn new(net: &'a SimNetwork, cfg: &'a SimConfig) -> Self {
+        assert!(cfg.num_vcs >= 1, "need at least one virtual channel");
+        assert!(
+            cfg.buffer_packets_per_vc >= 1,
+            "need at least one buffer slot per VC"
+        );
+        let router = routing::create(&cfg.routing).unwrap_or_else(|| {
+            panic!(
+                "unknown routing algorithm {:?}; registered: {}",
+                cfg.routing,
+                routing::registered_names().join(", ")
+            )
+        });
+        ReferenceSimulator { net, cfg, router }
+    }
+
+    /// Run the workload with message injections spaced exactly as the workload
+    /// specifies.
+    pub fn run(&self, workload: &Workload) -> SimResults {
+        self.run_internal(workload, None)
+    }
+
+    /// Run the workload with Poisson-spaced injections at an offered load in
+    /// `(0, 1]` (always a finite drain-to-empty run; measurement windows are
+    /// not supported by the reference engine).
+    pub fn run_with_offered_load(&self, workload: &Workload, offered_load: f64) -> SimResults {
+        assert!(
+            offered_load > 0.0 && offered_load <= 1.0,
+            "offered load must be in (0, 1]"
+        );
+        self.run_internal(workload, Some(offered_load))
+    }
+
+    fn run_internal(&self, workload: &Workload, offered_load: Option<f64>) -> SimResults {
+        if let Some(max_ep) = workload.max_endpoint() {
+            assert!(
+                max_ep < self.net.num_endpoints(),
+                "workload references endpoint {max_ep} but the network has only {}",
+                self.net.num_endpoints()
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut stats = StatsCollector::default();
+        let mut phase_start: u64 = 0;
+
+        for phase in &workload.phases {
+            if phase.messages.is_empty() {
+                continue;
+            }
+            let sched = packetize_phase(
+                self.net,
+                self.cfg,
+                phase,
+                phase_start,
+                offered_load,
+                &mut rng,
+            );
+            let mut st = RefState {
+                packets: sched.packets,
+                link_queue: vec![VecDeque::new(); self.net.num_directed_links()],
+                link_free_at: vec![0; self.net.num_directed_links()],
+                occupancy: vec![0; self.net.num_routers() * self.cfg.num_vcs],
+                pending_inject: vec![VecDeque::new(); self.net.num_routers()],
+                heap: BinaryHeap::new(),
+                seq: 0,
+                msg_packets_left: sched.msg_packets_left,
+                msg_first_inject: sched.msg_first_inject,
+                msg_last_delivery: vec![u64::MAX; phase.messages.len()],
+                phase_end: phase_start,
+                counters: EngineCounters::default(),
+            };
+            for &pi in &sched.injections {
+                let t = st.packets[pi].inject_time_ps;
+                st.push(t, EventKind::Inject { packet: pi });
+            }
+
+            // --- Event loop (polling): blocked links retry every quantum. ---
+            st.counters.arena_slots = st.packets.len() as u64;
+            let cap = self.cfg.buffer_packets_per_vc as u32;
+            let retry_quantum = self.cfg.serialization_ps(self.cfg.packet_size_bytes).max(1);
+            while let Some(Reverse(ev)) = st.heap.pop() {
+                st.counters.events += 1;
+                let now = ev.time;
+                match ev.kind {
+                    EventKind::Inject { packet } => {
+                        let router = st.packets[packet].src_router;
+                        let slot = router as usize * self.cfg.num_vcs;
+                        if st.occupancy[slot] < cap {
+                            st.occupancy[slot] += 1;
+                            self.enter_router(packet, router, now, &mut st, &mut rng, &mut stats);
+                            self.admit_pending(router, now, &mut st, cap);
+                        } else {
+                            st.pending_inject[router as usize].push_back(packet);
+                        }
+                    }
+                    EventKind::TryTransmit { link } => {
+                        let Some(&pi) = st.link_queue[link].front() else {
+                            continue;
+                        };
+                        if st.link_free_at[link] > now {
+                            let t = st.link_free_at[link];
+                            st.push(t, EventKind::TryTransmit { link });
+                            continue;
+                        }
+                        let (src_router, port) = link_owner(self.net, link);
+                        let dst_router = self.net.link_target(src_router, port);
+                        let vc = (st.packets[pi].hops as usize).min(self.cfg.num_vcs - 1);
+                        let next_vc = (st.packets[pi].hops as usize + 1).min(self.cfg.num_vcs - 1);
+                        let down = dst_router as usize * self.cfg.num_vcs + next_vc;
+                        if st.occupancy[down] >= cap {
+                            // The polling hot path this engine preserves: retry on a timer.
+                            st.counters.timed_retries += 1;
+                            st.push(now + retry_quantum, EventKind::TryTransmit { link });
+                            continue;
+                        }
+                        st.link_queue[link].pop_front();
+                        let up = src_router as usize * self.cfg.num_vcs + vc;
+                        st.occupancy[up] = st.occupancy[up].saturating_sub(1);
+                        st.occupancy[down] += 1;
+                        if vc == 0 {
+                            self.admit_pending(src_router, now, &mut st, cap);
+                        }
+                        let ser = self.cfg.serialization_ps(st.packets[pi].bytes);
+                        let start = now.max(st.link_free_at[link]);
+                        st.link_free_at[link] = start + ser;
+                        let arrive =
+                            start + ser + self.cfg.link_latency_ps() + self.cfg.router_latency_ps();
+                        st.packets[pi].hops += 1;
+                        st.push(
+                            arrive,
+                            EventKind::Arrive {
+                                packet: pi,
+                                router: dst_router,
+                            },
+                        );
+                        if !st.link_queue[link].is_empty() {
+                            let t = st.link_free_at[link];
+                            st.push(t, EventKind::TryTransmit { link });
+                        }
+                    }
+                    EventKind::Arrive { packet, router } => {
+                        self.enter_router(packet, router, now, &mut st, &mut rng, &mut stats);
+                        self.admit_pending(router, now, &mut st, cap);
+                    }
+                    EventKind::NextMessage { .. } | EventKind::Sample => {
+                        unreachable!("the reference engine never schedules steady-state events")
+                    }
+                }
+            }
+
+            // Every packet must have been delivered; anything else is an engine bug.
+            let undelivered: u32 = st.msg_packets_left.iter().sum();
+            if undelivered > 0 {
+                let in_queues: usize = st.link_queue.iter().map(|q| q.len()).sum();
+                let pending: usize = st.pending_inject.iter().map(|q| q.len()).sum();
+                let occ: u32 = st.occupancy.iter().sum();
+                panic!(
+                    "simulation ended with {undelivered} undelivered packets \
+                     (link queues: {in_queues}, pending injections: {pending}, \
+                     occupancy sum: {occ}) — engine invariant violated"
+                );
+            }
+            for (mi, &last) in st.msg_last_delivery.iter().enumerate() {
+                if last != u64::MAX {
+                    stats.record_message(last.saturating_sub(st.msg_first_inject[mi].min(last)));
+                }
+            }
+            phase_start = st.phase_end.max(phase_start);
+            stats.record_engine(&st.counters);
+        }
+        stats.finish()
+    }
+
+    /// Re-issue an injection for a waiting packet if the router now has VC-0 space.
+    fn admit_pending(&self, router: VertexId, now: u64, st: &mut RefState, cap: u32) {
+        let slot = router as usize * self.cfg.num_vcs;
+        if st.occupancy[slot] < cap {
+            if let Some(wpkt) = st.pending_inject[router as usize].pop_front() {
+                st.push(now, EventKind::Inject { packet: wpkt });
+            }
+        }
+    }
+
+    /// A packet has just become resident at `router`: deliver it if it is home,
+    /// otherwise pick an output port and enqueue it.
+    fn enter_router(
+        &self,
+        pi: usize,
+        router: VertexId,
+        now: u64,
+        st: &mut RefState,
+        rng: &mut StdRng,
+        stats: &mut StatsCollector,
+    ) {
+        st.packets[pi].routing.note_arrival(router);
+        let target = st.packets[pi]
+            .routing
+            .current_target(st.packets[pi].dst_router);
+        if target == router {
+            let vc = (st.packets[pi].hops as usize).min(self.cfg.num_vcs - 1);
+            let slot = router as usize * self.cfg.num_vcs + vc;
+            st.occupancy[slot] = st.occupancy[slot].saturating_sub(1);
+            let latency = now - st.packets[pi].inject_time_ps;
+            stats.record_packet(latency, st.packets[pi].hops, st.packets[pi].bytes, now);
+            let m = st.packets[pi].msg;
+            st.msg_packets_left[m] -= 1;
+            if st.msg_packets_left[m] == 0 {
+                // Written exactly once per message — the delivery that zeroes the
+                // counter is by definition the message's last delivery.
+                st.msg_last_delivery[m] = now;
+            }
+            st.phase_end = st.phase_end.max(now);
+            return;
+        }
+        let port = choose_port(
+            self.net,
+            self.cfg,
+            self.router.as_ref(),
+            &mut st.packets,
+            pi,
+            router,
+            &st.link_queue,
+            &st.occupancy,
+            &[],
+            rng,
+        );
+        let link = self.net.link_id(router, port);
+        st.link_queue[link].push_back(pi);
+        st.push(now, EventKind::TryTransmit { link });
+    }
+}

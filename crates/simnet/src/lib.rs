@@ -16,7 +16,16 @@
 //!   **Valiant**, **UGAL-L**, and **UGAL-G** (Section V, plus the global-queue
 //!   variant the paper discusses as UGAL's idealized form);
 //! * Poisson packet injection to sweep offered load, plus phased application workloads
-//!   (the Ember motifs) whose phases synchronize like the underlying MPI skeletons.
+//!   (the Ember motifs) whose phases synchronize like the underlying MPI skeletons;
+//! * a **wakeup-driven event engine** ([`engine`]): blocked links park on per-buffer-slot
+//!   waiter lists and are woken exactly when a slot frees — no time-based retry polling —
+//!   over a packet arena and a bucketed calendar event queue. The former polling engine
+//!   is retained as [`engine::reference::ReferenceSimulator`] (equivalence oracle and
+//!   perf baseline);
+//! * **steady-state measurement** ([`config::MeasurementWindows`]): continuous
+//!   per-endpoint Poisson sources with warmup/measurement/drain windows and an interval
+//!   time-series ([`stats::IntervalSample`]), so offered-load sweeps measure true
+//!   saturation behaviour instead of drain-to-empty completion times.
 //!
 //! Path state (distances, minimal next hops) comes from the shared oracle in
 //! [`spectralfly_graph::paths`], the same one the analytical layer uses.
@@ -50,9 +59,10 @@ pub mod routing;
 pub mod stats;
 pub mod workload;
 
-pub use config::{RoutingAlgorithm, SimConfig};
+pub use config::{MeasurementWindows, RoutingAlgorithm, SimConfig};
+pub use engine::reference::ReferenceSimulator;
 pub use engine::Simulator;
 pub use network::SimNetwork;
 pub use routing::{Router, RouterRegistry, RoutingCtx, RoutingState};
-pub use stats::SimResults;
+pub use stats::{EngineCounters, IntervalSample, MeasurementSummary, SimResults};
 pub use workload::{Message, Phase, Workload};

@@ -98,6 +98,9 @@ pub struct RoutingCtx<'a> {
     net: &'a SimNetwork,
     link_queues: &'a [VecDeque<usize>],
     occupancy: &'a [u32],
+    /// Per-link "parked on a waiter list" flags from the wakeup engine (empty
+    /// slice for engines without waiter lists — every link reads as unblocked).
+    link_parked: &'a [bool],
     num_vcs: usize,
     ugal_threshold: f64,
     router: VertexId,
@@ -112,6 +115,7 @@ impl<'a> RoutingCtx<'a> {
         net: &'a SimNetwork,
         link_queues: &'a [VecDeque<usize>],
         occupancy: &'a [u32],
+        link_parked: &'a [bool],
         num_vcs: usize,
         ugal_threshold: f64,
         router: VertexId,
@@ -123,6 +127,7 @@ impl<'a> RoutingCtx<'a> {
             net,
             link_queues,
             occupancy,
+            link_parked,
             num_vcs,
             ugal_threshold,
             router,
@@ -184,6 +189,23 @@ impl<'a> RoutingCtx<'a> {
     #[inline]
     pub fn queue_len(&self, port: usize) -> usize {
         self.link_queues[self.net.link_id(self.router, port)].len()
+    }
+
+    /// Whether the current router's output link on `port` is blocked — its head
+    /// packet is parked on a full downstream buffer's waiter list. A sharper
+    /// congestion signal than [`RoutingCtx::queue_len`] alone: a deep queue on
+    /// a flowing link drains at line rate, a parked link drains not at all.
+    ///
+    /// Always `false` on engines without waiter lists (the polling reference).
+    /// None of the built-in algorithms consult this (they predate it, and
+    /// changing them would perturb the paper's results); it is exposed for
+    /// custom [`Router`] implementations.
+    #[inline]
+    pub fn port_blocked(&self, port: usize) -> bool {
+        self.link_parked
+            .get(self.net.link_id(self.router, port))
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Total buffered packets (all virtual channels) at an arbitrary router — the

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Append an engine-throughput measurement (wakeup engine vs the polling
+# reference on the saturated ring-64 sweep) to BENCH_engine.json.
+#
+# Usage: scripts/bench_engine.sh [--routers N] [--conc N] [--msgs N]
+#        [--load-pct N] [--seed N] [--out PATH]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p spectralfly-bench --bin bench_engine -- "$@"

@@ -7,6 +7,11 @@
 //! `bench_function`, `bench_with_input`, `BenchmarkId`, `sample_size`, and
 //! `Bencher::iter` — and reports mean/min wall-clock time per iteration to stdout.
 //! There is no statistical analysis, HTML report, or baseline comparison.
+//!
+//! Like upstream criterion, passing `--test` on the bench binary's command line
+//! (`cargo bench -- --test`) switches to smoke mode: every benchmark routine runs
+//! exactly once, untimed, so CI can verify the benches still execute without
+//! paying for measurements.
 
 #![forbid(unsafe_code)]
 
@@ -52,13 +57,21 @@ impl From<String> for BenchmarkId {
 /// Passed to the benchmark closure; runs and times the measured routine.
 pub struct Bencher {
     samples: usize,
+    /// Smoke mode (`--test`): run the routine once, untimed.
+    test_mode: bool,
     /// (mean_ns, min_ns) of the last `iter` call.
     result: Option<(f64, f64)>,
 }
 
 impl Bencher {
     /// Time `routine`, running it `samples` times (after one untimed warm-up).
+    /// In `--test` smoke mode the routine runs exactly once and nothing is timed.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.result = Some((0.0, 0.0));
+            return;
+        }
         black_box(routine());
         let mut total_ns = 0f64;
         let mut min_ns = f64::INFINITY;
@@ -101,10 +114,14 @@ impl BenchmarkGroup<'_> {
     fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
         let mut b = Bencher {
             samples: self.criterion.sample_size,
+            test_mode: self.criterion.test_mode,
             result: None,
         };
         f(&mut b);
         match b.result {
+            Some(_) if self.criterion.test_mode => {
+                println!("Testing {}/{id}: Success", self.name)
+            }
             Some((mean, min)) => println!(
                 "bench {}/{id}: mean {} (min {}) over {} samples",
                 self.name,
@@ -146,11 +163,15 @@ impl BenchmarkGroup<'_> {
 /// Benchmark driver.
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
     }
 }
 
@@ -206,7 +227,12 @@ mod tests {
 
     #[test]
     fn bench_group_runs_and_records() {
-        let mut c = Criterion::default();
+        // Constructed explicitly (not Default) so the test is independent of the
+        // process's own command line.
+        let mut c = Criterion {
+            sample_size: 10,
+            test_mode: false,
+        };
         let mut group = c.benchmark_group("shim");
         group.sample_size(3);
         let mut runs = 0usize;
@@ -216,6 +242,25 @@ mod tests {
         group.finish();
         // one warm-up + three timed samples
         assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_once() {
+        let mut c = Criterion {
+            sample_size: 10,
+            test_mode: true,
+        };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("counting", |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert_eq!(
+            runs, 1,
+            "--test smoke mode must run the routine exactly once"
+        );
     }
 
     #[test]
