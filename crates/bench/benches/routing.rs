@@ -1,0 +1,62 @@
+//! Criterion benches for the routing hot path itself: raw decisions/second
+//! through `RoutingHarness` (no event loop), per algorithm × port-set strategy
+//! (packed next-hop table vs distance-matrix scan fallback), plus an end-to-end
+//! routing-bound simulation on an LPS expander at deep saturation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spectralfly_bench::{paper_sim_config, simulation_topologies, Scale};
+use spectralfly_simnet::{RoutingHarness, SimNetwork, Simulator, Workload};
+
+/// The small-scale LPS expander (the routing-bound topology class), with and
+/// without its packed next-hop table.
+fn lps_nets() -> (SimNetwork, SimNetwork) {
+    let topo = &simulation_topologies(Scale::Small)[0];
+    let table_net = topo.network();
+    assert!(table_net.next_hop_table().is_some());
+    let scan_net = table_net.clone().without_next_hop_table();
+    (table_net, scan_net)
+}
+
+fn bench_routing_decisions(c: &mut Criterion) {
+    let (table_net, scan_net) = lps_nets();
+    let mut group = c.benchmark_group("routing/decisions");
+    for algo in ["minimal", "valiant", "ugal-l", "ugal-g"] {
+        for (strategy, net) in [("table", &table_net), ("scan", &scan_net)] {
+            group.bench_function(format!("{algo}/{strategy}"), |b| {
+                let cfg = paper_sim_config(net, algo, 3);
+                let mut harness = RoutingHarness::new(net, &cfg);
+                harness.warm();
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    harness.decide_round_robin(i)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Whole-simulation view of the same contrast: a routing-bound UGAL-G run at
+/// offered load 0.9, table vs scan.
+fn bench_routing_bound_simulation(c: &mut Criterion) {
+    let (table_net, scan_net) = lps_nets();
+    let wl = Workload::uniform_random(table_net.num_endpoints(), 2, 4096, 0xE16);
+    let mut group = c.benchmark_group("routing/simulation_lps_ugal_g");
+    group.sample_size(10);
+    for (strategy, net) in [("table", &table_net), ("scan", &scan_net)] {
+        group.bench_function(strategy.to_string(), |b| {
+            let cfg = paper_sim_config(net, "ugal-g", 0xE16);
+            let sim = Simulator::new(net, &cfg);
+            b.iter(|| sim.run_with_offered_load(&wl, 0.9))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_routing_decisions,
+    bench_routing_bound_simulation
+);
+criterion_main!(benches);

@@ -1,35 +1,49 @@
 //! Engine-throughput benchmark: the wakeup-driven engine vs the polling
-//! reference on saturated ring sweeps, appended to `BENCH_engine.json` so the
+//! reference on saturated ring sweeps, plus routing-bound scenarios and a
+//! routing-decision microbench, appended to `BENCH_engine.json` so the
 //! repository carries a perf trajectory.
 //!
 //! Usage: `cargo run --release -p spectralfly-bench --bin bench_engine
 //! [--routers N] [--conc N] [--msgs N] [--load-pct N] [--seed N]
-//! [--ref-budget-s N] [--out PATH]`
+//! [--ref-budget-s N] [--out PATH] [--smoke]`
 //!
-//! Two scenarios are recorded per invocation:
+//! Recorded per invocation:
 //!
-//! 1. **ring-64 at offered load 0.9** (the deep-saturation regime of the
+//! 1. **ring-8×4 with heavy finite traffic**, which both engines complete, for
+//!    a clean measured wakeup-vs-polling ratio.
+//! 2. **ring-64 at offered load 0.9** (the deep-saturation regime of the
 //!    paper's Figures 6–8). The polling baseline's retry cascade amplifies
 //!    congestion here to the point where it often cannot finish at all — it
 //!    livelocks retrying into a head-of-line gridlock — so the baseline runs
 //!    under a wall-clock budget (`--ref-budget-s`, default 60). If it blows
 //!    the budget the entry records `completed: false` and the speedup becomes
 //!    a *lower bound* (budget ÷ wakeup wall time).
-//! 2. **ring-8×4 with heavy finite traffic**, which both engines complete, for
-//!    a clean measured ratio.
+//! 3. **Routing-bound scenarios**: LPS graphs at paper scale under UGAL-L and
+//!    UGAL-G at offered load 0.9 — the regime where per-event cost is
+//!    dominated by the routing decision itself. Each runs the wakeup engine
+//!    twice, once with the packed next-hop table and once on the
+//!    distance-matrix scan fallback; the two must produce bit-identical
+//!    results, so the ratio isolates the hot-path representation.
+//! 4. **Routing microbench**: raw decisions/second through
+//!    [`spectralfly_simnet::RoutingHarness`] (no event loop around it), per
+//!    algorithm × port-set strategy.
 //!
-//! Both engines run identical workloads (shared packetization, shared routing
-//! path), so when both complete, delivered packets match exactly and the
-//! comparison isolates pure event-loop work. Reported per engine: wall time,
-//! events, events/second, and useful-events/second (events minus timed
-//! retries — raw events/second flatters the polling engine by counting retry
-//! churn as progress).
+//! Engine scenarios run identical workloads (shared packetization, shared
+//! routing path), so when both sides complete, delivered packets match exactly.
+//! Reported per run: wall time, events, events/second, and
+//! useful-events/second (events minus timed retries — raw events/second
+//! flatters the polling engine by counting retry churn as progress).
+//!
+//! `--smoke` shrinks everything (small LPS, short budgets, few decisions) so CI
+//! can execute every code path in seconds; smoke results default to a
+//! throwaway output file instead of `BENCH_engine.json`.
 
 use spectralfly_bench::{arg_u64, fmt};
 use spectralfly_graph::CsrGraph;
 use spectralfly_simnet::{
-    ReferenceSimulator, SimConfig, SimNetwork, SimResults, Simulator, Workload,
+    ReferenceSimulator, RoutingHarness, SimConfig, SimNetwork, SimResults, Simulator, Workload,
 };
+use spectralfly_topology::{LpsGraph, Topology};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -75,9 +89,20 @@ impl EngineRun {
 }
 
 fn time_wakeup(net: &SimNetwork, cfg: &SimConfig, wl: &Workload, load: f64) -> EngineRun {
+    time_wakeup_named("wakeup", net, cfg, wl, load).1
+}
+
+fn time_wakeup_named(
+    name: &'static str,
+    net: &SimNetwork,
+    cfg: &SimConfig,
+    wl: &Workload,
+    load: f64,
+) -> (SimResults, EngineRun) {
     let t0 = Instant::now();
     let res = Simulator::new(net, cfg).run_with_offered_load(wl, load);
-    finish_run("wakeup", true, t0.elapsed().as_secs_f64(), &res)
+    let run = finish_run(name, true, t0.elapsed().as_secs_f64(), &res);
+    (res, run)
 }
 
 /// Run the polling reference under a wall-clock budget. A blown budget leaves
@@ -172,60 +197,90 @@ fn run_scenario(
     )
 }
 
-fn main() {
-    let routers = arg_u64("--routers", 64) as usize;
-    let conc = arg_u64("--conc", 2) as usize;
-    let msgs = arg_u64("--msgs", 9) as usize;
-    let load = arg_u64("--load-pct", 90) as f64 / 100.0;
-    let seed = arg_u64("--seed", 0xE16);
-    let budget = Duration::from_secs(arg_u64("--ref-budget-s", 60));
-    let out = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--out")
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-            .unwrap_or_else(|| "BENCH_engine.json".to_string())
-    };
+/// One routing-bound scenario: the wakeup engine on the same workload with the
+/// packed next-hop table vs the distance-matrix scan fallback. The two runs must
+/// be bit-identical in results; only the hot-path representation differs. Each
+/// strategy is warmed once and timed `reps` times interleaved (best-of wall), so
+/// a noisy neighbour on the host does not masquerade as a regression.
+fn run_routing_bound_scenario(
+    label: String,
+    table_net: &SimNetwork,
+    cfg: &SimConfig,
+    wl: &Workload,
+    load: f64,
+    reps: usize,
+) -> String {
+    println!(
+        "scenario {label}: {} endpoints, {} messages, load {load}, routing {}",
+        table_net.num_endpoints(),
+        wl.num_messages(),
+        cfg.routing,
+    );
+    assert!(
+        table_net.next_hop_table().is_some(),
+        "routing-bound scenario expects the packed table to build"
+    );
+    let scan_net = table_net.clone().without_next_hop_table();
+    let (scan_res, mut scan) = time_wakeup_named("wakeup-scan", &scan_net, cfg, wl, load);
+    let (table_res, mut table) = time_wakeup_named("wakeup-table", table_net, cfg, wl, load);
+    assert_eq!(
+        scan_res, table_res,
+        "table and scan strategies must produce bit-identical results"
+    );
+    for _ in 1..reps.max(1) {
+        let (_, s) = time_wakeup_named("wakeup-scan", &scan_net, cfg, wl, load);
+        scan.wall_s = scan.wall_s.min(s.wall_s);
+        let (_, t) = time_wakeup_named("wakeup-table", table_net, cfg, wl, load);
+        table.wall_s = table.wall_s.min(t.wall_s);
+    }
+    table.print();
+    scan.print();
+    let speedup = table.useful_events_per_sec() / scan.useful_events_per_sec();
+    println!("  table vs scan: {}x useful-events/second", fmt(speedup));
+    format!(
+        "{{\"scenario\":\"{label}\",\"baseline\":{},\"wakeup\":{},\"useful_events_speedup\":{:.3}}}",
+        scan.json(),
+        table.json(),
+        speedup
+    )
+}
+
+/// Raw routing decisions/second through `RoutingHarness` — no event loop, no
+/// packet state; just the per-hop decision the engines make.
+fn run_routing_microbench(
+    algo: &str,
+    strategy: &str,
+    net: &SimNetwork,
+    seed: u64,
+    decisions: u64,
+) -> String {
     let cfg = SimConfig {
         seed,
-        ..Default::default()
+        ..SimConfig::default().with_routing(algo, net.diameter() as u32)
     };
-
-    // Scenario A first: heavy congestion both engines can finish — a clean
-    // measured ratio. It must run before the ring-64 scenario, whose baseline
-    // usually blows its budget and leaves a detached worker thread spinning
-    // that would otherwise contaminate these timings.
-    let net2 = ring_net(8, 4);
-    let wl2 = Workload::uniform_random(net2.num_endpoints(), 100, 4096, seed);
-    let entry2 = run_scenario(
-        "ring8x4-load0.9-msgs100".to_string(),
-        &net2,
-        &cfg,
-        &wl2,
-        0.9,
-        budget,
+    let mut harness = RoutingHarness::new(net, &cfg);
+    harness.warm();
+    let mut sink = 0usize;
+    let t0 = Instant::now();
+    for i in 0..decisions {
+        sink ^= harness.decide_round_robin(i);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    let per_sec = decisions as f64 / wall_s;
+    println!(
+        "  microbench {algo:<8} {strategy:<6} {decisions:>9} decisions  {:>12} decisions/s",
+        fmt(per_sec)
     );
+    format!(
+        "{{\"microbench\":\"routing-decisions\",\"algo\":\"{algo}\",\"strategy\":\"{strategy}\",\
+         \"decisions\":{decisions},\"wall_s\":{wall_s:.6},\"decisions_per_sec\":{per_sec:.0}}}"
+    )
+}
 
-    // Scenario B last: the acceptance sweep — ring-64 at offered load 0.9.
-    let net = ring_net(routers, conc);
-    let wl = Workload::uniform_random(net.num_endpoints(), msgs, 4096, seed);
-    let entry1 = run_scenario(
-        format!("ring{routers}x{conc}-load{load}-msgs{msgs}"),
-        &net,
-        &cfg,
-        &wl,
-        load,
-        budget,
-    );
-
-    // Append both entries to the JSON trajectory (an array; created if absent).
-    let unix_time = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let entry = format!("{{\"unix_time\":{unix_time},\"runs\":[{entry1},\n{entry2}]}}");
-    let existing = std::fs::read_to_string(&out).unwrap_or_default();
+/// Append `entry` to the JSON trajectory array at `out` (created if absent).
+fn append_entry(out: &str, entry: &str) {
+    let existing = std::fs::read_to_string(out).unwrap_or_default();
     let trimmed = existing.trim();
     let new_content = if trimmed.is_empty() || trimmed == "[]" {
         format!("[\n{entry}\n]\n")
@@ -236,8 +291,149 @@ fn main() {
             .unwrap_or_else(|| panic!("{out} is not a JSON array"));
         format!("[{},\n{entry}\n]\n", body.trim_end().trim_end_matches(','))
     };
-    std::fs::write(&out, new_content).expect("write BENCH_engine.json");
+    std::fs::write(out, new_content).expect("write bench trajectory");
     println!("appended to {out}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let routers = arg_u64("--routers", 64) as usize;
+    let conc = arg_u64("--conc", 2) as usize;
+    let msgs = arg_u64("--msgs", 9) as usize;
+    let load = arg_u64("--load-pct", 90) as f64 / 100.0;
+    let seed = arg_u64("--seed", 0xE16);
+    let budget = Duration::from_secs(arg_u64("--ref-budget-s", if smoke { 5 } else { 60 }));
+    let out = {
+        let args: Vec<String> = std::env::args().collect();
+        let default = if smoke {
+            // Smoke runs exercise the code paths; they are not trajectory data.
+            "/tmp/BENCH_engine_smoke.json".to_string()
+        } else {
+            "BENCH_engine.json".to_string()
+        };
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or(default)
+    };
+    let cfg = SimConfig {
+        seed,
+        ..Default::default()
+    };
+    let mut entries: Vec<String> = Vec::new();
+
+    // Routing-bound scenarios under UGAL at deep saturation — the regime where
+    // the routing decision dominates per-event cost: the paper's exact
+    // LPS(23,13)×8, plus the higher-radix LPS(29,17)×2 (radix 30 + 2 endpoints
+    // = the full 32-port router, ~9.8K endpoints). Under --smoke only the
+    // small-scale sibling runs. Each network is built once and shared; only the
+    // port-set strategy differs between timed runs.
+    let reps = if smoke { 1 } else { 3 };
+    let scenarios: Vec<(&str, SimNetwork, usize)> = if smoke {
+        vec![("lps(11,7)x4", lps_net(11, 7, 4), 1)]
+    } else {
+        vec![
+            ("lps(23,13)x8", lps_net(23, 13, 8), 20),
+            ("lps(29,17)x2", lps_net(29, 17, 2), 20),
+        ]
+    };
+    for (lps_label, lps_net, lps_msgs) in &scenarios {
+        let lps_wl = Workload::uniform_random(lps_net.num_endpoints(), *lps_msgs, 4096, seed);
+        for algo in ["ugal-l", "ugal-g"] {
+            let rcfg = SimConfig {
+                seed,
+                ..SimConfig::default().with_routing(algo, lps_net.diameter() as u32)
+            };
+            entries.push(run_routing_bound_scenario(
+                format!("{lps_label}-{algo}-load0.9-msgs{lps_msgs}"),
+                lps_net,
+                &rcfg,
+                &lps_wl,
+                0.9,
+                reps,
+            ));
+            if smoke {
+                break; // one algorithm exercises the path
+            }
+        }
+    }
+    let lps_net = scenarios.into_iter().next().expect("scenario list").1;
+
+    // Routing microbench: decisions/second per algorithm × strategy.
+    let micro_decisions = if smoke { 50_000 } else { 2_000_000 };
+    let scan_net = lps_net.clone().without_next_hop_table();
+    for algo in ["minimal", "ugal-g"] {
+        entries.push(run_routing_microbench(
+            algo,
+            "table",
+            &lps_net,
+            seed,
+            micro_decisions,
+        ));
+        entries.push(run_routing_microbench(
+            algo,
+            "scan",
+            &scan_net,
+            seed,
+            micro_decisions,
+        ));
+        if smoke {
+            break;
+        }
+    }
+
+    // Engine scenario A: heavy congestion both engines can finish — a clean
+    // measured ratio. It must run before the ring-64 scenario, whose baseline
+    // usually blows its budget and leaves a detached worker thread spinning
+    // that would otherwise contaminate these timings.
+    let net2 = ring_net(8, 4);
+    let ring_msgs = if smoke { 10 } else { 100 };
+    let wl2 = Workload::uniform_random(net2.num_endpoints(), ring_msgs, 4096, seed);
+    entries.push(run_scenario(
+        format!("ring8x4-load0.9-msgs{ring_msgs}"),
+        &net2,
+        &cfg,
+        &wl2,
+        0.9,
+        budget,
+    ));
+
+    // Engine scenario B last: the deep-saturation sweep — ring-64 at load 0.9
+    // (skipped under --smoke: its baseline intentionally blows minutes of budget).
+    if !smoke {
+        let net = ring_net(routers, conc);
+        let wl = Workload::uniform_random(net.num_endpoints(), msgs, 4096, seed);
+        entries.push(run_scenario(
+            format!("ring{routers}x{conc}-load{load}-msgs{msgs}"),
+            &net,
+            &cfg,
+            &wl,
+            load,
+            budget,
+        ));
+    }
+
+    // Append the entries to the JSON trajectory (an array; created if absent).
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entry = format!(
+        "{{\"unix_time\":{unix_time},\"runs\":[{}]}}",
+        entries.join(",\n")
+    );
+    append_entry(&out, &entry);
     // A DNF baseline leaves its worker thread alive; exit explicitly.
     std::process::exit(0);
+}
+
+fn lps_net(p: u64, q: u64, conc: usize) -> SimNetwork {
+    SimNetwork::new(
+        LpsGraph::new(p, q)
+            .expect("valid LPS parameters")
+            .graph()
+            .clone(),
+        conc,
+    )
 }

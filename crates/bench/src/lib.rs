@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 
 use rayon::prelude::*;
+use spectralfly_graph::paths::DistanceMatrix;
 use spectralfly_graph::CsrGraph;
 use spectralfly_simnet::workload::Workload;
 use spectralfly_simnet::{
@@ -18,6 +19,7 @@ use spectralfly_simnet::{
 use spectralfly_topology::{
     BundleFlyGraph, GeneralizedDragonFly, LpsGraph, SlimFlyGraph, Topology,
 };
+use std::sync::{Arc, OnceLock};
 
 /// Experiment scale: `Paper` reproduces the published configuration; `Small` is a reduced
 /// configuration with the same topology families for quick runs and CI.
@@ -64,12 +66,33 @@ pub struct SimTopology {
     pub graph: CsrGraph,
     /// Endpoints per router.
     pub concentration: usize,
+    /// Lazily-computed distance oracle, shared by every network built from this
+    /// topology (the sweep drivers build one network per routing × pattern; the
+    /// quadratic all-pairs BFS should run once, not once per sweep).
+    dist: OnceLock<Arc<DistanceMatrix>>,
 }
 
 impl SimTopology {
-    /// Wrap into a simulator network.
+    /// A named topology (the distance oracle is computed on first use).
+    pub fn new(name: impl Into<String>, graph: CsrGraph, concentration: usize) -> Self {
+        SimTopology {
+            name: name.into(),
+            graph,
+            concentration,
+            dist: OnceLock::new(),
+        }
+    }
+
+    /// The topology's distance oracle (computed on first call, then shared).
+    pub fn distances(&self) -> Arc<DistanceMatrix> {
+        self.dist
+            .get_or_init(|| Arc::new(DistanceMatrix::from_graph(&self.graph)))
+            .clone()
+    }
+
+    /// Wrap into a simulator network sharing the cached distance oracle.
     pub fn network(&self) -> SimNetwork {
-        SimNetwork::new(self.graph.clone(), self.concentration)
+        SimNetwork::with_distances(self.graph.clone(), self.concentration, self.distances())
     }
 }
 
@@ -81,72 +104,72 @@ impl SimTopology {
 pub fn simulation_topologies(scale: Scale) -> Vec<SimTopology> {
     match scale {
         Scale::Paper => vec![
-            SimTopology {
-                name: "SpectralFly LPS(23,13) x8".to_string(),
-                graph: LpsGraph::new(23, 13)
+            SimTopology::new(
+                "SpectralFly LPS(23,13) x8",
+                LpsGraph::new(23, 13)
                     .expect("valid LPS parameters")
                     .graph()
                     .clone(),
-                concentration: 8,
-            },
-            SimTopology {
-                name: "SlimFly SF(27) x8".to_string(),
-                graph: SlimFlyGraph::new(27)
+                8,
+            ),
+            SimTopology::new(
+                "SlimFly SF(27) x8",
+                SlimFlyGraph::new(27)
                     .expect("valid SlimFly parameter")
                     .graph()
                     .clone(),
-                concentration: 8,
-            },
-            SimTopology {
-                name: "BundleFly BF(9,9) x6".to_string(),
-                graph: BundleFlyGraph::new(9, 9)
+                8,
+            ),
+            SimTopology::new(
+                "BundleFly BF(9,9) x6",
+                BundleFlyGraph::new(9, 9)
                     .expect("valid BundleFly parameters")
                     .graph()
                     .clone(),
-                concentration: 6,
-            },
-            SimTopology {
-                name: "DragonFly DF(16,8,69) x8".to_string(),
-                graph: GeneralizedDragonFly::new(16, 8, 69)
+                6,
+            ),
+            SimTopology::new(
+                "DragonFly DF(16,8,69) x8",
+                GeneralizedDragonFly::new(16, 8, 69)
                     .expect("valid DragonFly parameters")
                     .graph()
                     .clone(),
-                concentration: 8,
-            },
+                8,
+            ),
         ],
         Scale::Small => vec![
-            SimTopology {
-                name: "SpectralFly LPS(11,7) x4".to_string(),
-                graph: LpsGraph::new(11, 7)
+            SimTopology::new(
+                "SpectralFly LPS(11,7) x4",
+                LpsGraph::new(11, 7)
                     .expect("valid LPS parameters")
                     .graph()
                     .clone(),
-                concentration: 4,
-            },
-            SimTopology {
-                name: "SlimFly SF(9) x4".to_string(),
-                graph: SlimFlyGraph::new(9)
+                4,
+            ),
+            SimTopology::new(
+                "SlimFly SF(9) x4",
+                SlimFlyGraph::new(9)
                     .expect("valid SlimFly parameter")
                     .graph()
                     .clone(),
-                concentration: 4,
-            },
-            SimTopology {
-                name: "BundleFly BF(13,3) x3".to_string(),
-                graph: BundleFlyGraph::new(13, 3)
+                4,
+            ),
+            SimTopology::new(
+                "BundleFly BF(13,3) x3",
+                BundleFlyGraph::new(13, 3)
                     .expect("valid BundleFly parameters")
                     .graph()
                     .clone(),
-                concentration: 3,
-            },
-            SimTopology {
-                name: "DragonFly DF(8,4,21) x4".to_string(),
-                graph: GeneralizedDragonFly::new(8, 4, 21)
+                3,
+            ),
+            SimTopology::new(
+                "DragonFly DF(8,4,21) x4",
+                GeneralizedDragonFly::new(8, 4, 21)
                     .expect("valid DragonFly parameters")
                     .graph()
                     .clone(),
-                concentration: 4,
-            },
+                4,
+            ),
         ],
     }
 }
@@ -326,6 +349,18 @@ mod tests {
             let net = t.network();
             assert!(net.num_endpoints() >= 500, "{}", t.name);
         }
+    }
+
+    #[test]
+    fn topology_networks_share_one_distance_oracle() {
+        let t = &simulation_topologies(Scale::Small)[0];
+        let a = t.network();
+        let b = t.network();
+        assert!(
+            Arc::ptr_eq(&a.distances_arc(), &b.distances_arc()),
+            "every network built from one SimTopology must share its oracle"
+        );
+        assert!(Arc::ptr_eq(&a.distances_arc(), &t.distances()));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   coefficient-of-variation stopping rule (Fig. 5).
 //! * [`matching`] — near-maximum matchings used to pair routers into cabinets (Section VII).
 //! * [`paths`] — the shared distance / next-hop oracle ([`paths::DistanceMatrix`])
-//!   consumed by both the analytical layer and the packet-level simulator.
+//!   consumed by both the analytical layer and the packet-level simulator, plus the
+//!   CSR-packed [`paths::NextHopTable`] behind the simulator's allocation-free
+//!   routing hot path.
 //!
 //! ```
 //! use spectralfly_graph::csr::CsrGraph;
@@ -45,5 +47,5 @@ pub mod spectral;
 pub use csr::{CsrGraph, VertexId};
 pub use metrics::{structural_metrics, StructuralMetrics};
 pub use partition::{bisect, bisection_bandwidth, BisectConfig, Bisection};
-pub use paths::DistanceMatrix;
+pub use paths::{DistanceMatrix, NextHopTable};
 pub use spectral::{is_ramanujan, spectral_summary, SpectralSummary};

@@ -1,0 +1,75 @@
+//! Property battery for the CSR-packed next-hop table: on random graphs, every
+//! `(src, dst)` lookup must equal the scan-based `min_next_ports` derivation the
+//! table precomputes — including disconnected pairs and self-destinations.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use spectralfly_graph::paths::{DistanceMatrix, NextHopTable};
+use spectralfly_graph::{CsrGraph, VertexId};
+
+/// A random graph, deterministic in `seed`: a ring spine (keeps most instances
+/// connected) plus random chords, with an option to delete spine edges so some
+/// instances are genuinely disconnected.
+fn random_graph(n: usize, extra: usize, cut: bool, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = (0..n as u32)
+        .map(|i| (i, (i + 1) % n as u32))
+        .filter(|_| !cut || rng.gen_range(0..4usize) != 0)
+        .collect();
+    for _ in 0..extra {
+        let a = rng.gen_range(0..n) as u32;
+        let b = rng.gen_range(0..n) as u32;
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn table_lookups_equal_scan_everywhere(
+        n in 2usize..40,
+        extra in 0usize..30,
+        cut in 0usize..2,
+        seed in 0u64..10_000,
+    ) {
+        let g = random_graph(n, extra, cut == 1, seed);
+        let dm = DistanceMatrix::from_graph(&g);
+        let table = NextHopTable::build(&g, &dm).expect("small graphs always fit the budget");
+        let mut buf = Vec::new();
+        for src in 0..n as VertexId {
+            for dst in 0..n as VertexId {
+                let scanned = dm.min_next_ports(&g, src, dst);
+                let packed: Vec<usize> = table.ports(src, dst).iter().map(|&p| p as usize).collect();
+                prop_assert_eq!(&scanned, &packed, "({}, {})", src, dst);
+                // The into-buffer fallback agrees too (same hot-path contract).
+                dm.min_next_ports_into(&g, src, dst, &mut buf);
+                prop_assert_eq!(&scanned, &buf, "into ({}, {})", src, dst);
+            }
+        }
+    }
+
+    /// Random (src, dst) probes on larger graphs than the exhaustive test can
+    /// afford, exercising longer packed rows.
+    #[test]
+    fn table_lookups_equal_scan_sampled(
+        n in 40usize..120,
+        extra in 0usize..200,
+        seed in 0u64..10_000,
+    ) {
+        let g = random_graph(n, extra, false, seed);
+        let dm = DistanceMatrix::from_graph(&g);
+        let table = NextHopTable::build(&g, &dm).expect("fits the budget");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xAB1E);
+        for _ in 0..64 {
+            let src = rng.gen_range(0..n) as VertexId;
+            let dst = rng.gen_range(0..n) as VertexId;
+            let scanned = dm.min_next_ports(&g, src, dst);
+            let packed: Vec<usize> = table.ports(src, dst).iter().map(|&p| p as usize).collect();
+            prop_assert_eq!(&scanned, &packed, "({}, {})", src, dst);
+        }
+    }
+}

@@ -39,7 +39,7 @@ pub mod reference;
 
 use crate::config::SimConfig;
 use crate::network::SimNetwork;
-use crate::routing::{self, Router, RoutingCtx, RoutingState};
+use crate::routing::{self, RouteScratch, Router, RoutingCtx, RoutingState};
 use crate::stats::{EngineCounters, IntervalSample, SimResults, StatsCollector};
 use crate::workload::{Phase, Workload};
 use calendar::{CalendarQueue, Timed};
@@ -64,13 +64,14 @@ pub(crate) struct Packet {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub(crate) enum EventKind {
     /// Endpoint NIC injects a packet at its source router.
-    Inject { packet: usize },
+    /// (`u32` indices keep the event 24 bytes — the queue moves millions.)
+    Inject { packet: u32 },
     /// Try to transmit the head of a directed link's output queue.
-    TryTransmit { link: usize },
+    TryTransmit { link: u32 },
     /// A packet arrives at a router after crossing a link.
-    Arrive { packet: usize, router: VertexId },
+    Arrive { packet: u32, router: VertexId },
     /// A continuous source generates its next message (steady-state mode only).
-    NextMessage { source: usize },
+    NextMessage { source: u32 },
     /// Record a steady-state time-series sample (steady-state mode only).
     Sample,
 }
@@ -143,14 +144,16 @@ pub(crate) fn packetize_phase(
         msg_first_inject: vec![u64::MAX; phase.messages.len()],
         msg_packets_left: vec![0; phase.messages.len()],
     };
-    let mut nic_free: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+    // NIC-busy horizon per endpoint: a flat Vec keyed by endpoint id (endpoints are
+    // dense small integers; a HashMap here cost a hash + probe per message).
+    let mut nic_free: Vec<u64> = vec![phase_start; net.num_endpoints()];
     let mut order: Vec<usize> = (0..phase.messages.len()).collect();
     order.sort_by_key(|&i| (phase.messages[i].src, phase.messages[i].inject_offset_ps, i));
     for &mi in &order {
         let m = &phase.messages[mi];
         let segments = segment_message(cfg, m.bytes);
         sched.msg_packets_left[mi] = segments.len() as u32;
-        let nic = nic_free.entry(m.src).or_insert(phase_start);
+        let nic = &mut nic_free[m.src];
         let base = match offered_load {
             None => phase_start + m.inject_offset_ps,
             Some(load) => {
@@ -195,22 +198,6 @@ fn drain_completed_messages(st: &mut EngineState, stats: &mut StatsCollector) {
     }
 }
 
-/// Map a directed-link id back to `(router, port)`.
-pub(crate) fn link_owner(net: &SimNetwork, link: usize) -> (VertexId, usize) {
-    let n = net.num_routers();
-    let mut lo = 0usize;
-    let mut hi = n;
-    while lo + 1 < hi {
-        let mid = (lo + hi) / 2;
-        if net.link_id(mid as VertexId, 0) <= link {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    (lo as VertexId, link - net.link_id(lo as VertexId, 0))
-}
-
 /// Routing decision for packet `pi` currently at `router`: delegate to the
 /// configured [`Router`] behind a [`RoutingCtx`] snapshot of the engine state.
 /// Shared by both engines so a given queue state yields the same decision.
@@ -222,18 +209,21 @@ pub(crate) fn choose_port(
     packets: &mut [Packet],
     pi: usize,
     router: VertexId,
-    link_queue: &[VecDeque<usize>],
+    link_qlen: &[u32],
     occupancy: &[u32],
+    router_occ: &[u32],
     link_parked: &[bool],
     rng: &mut StdRng,
+    scratch: &mut RouteScratch,
 ) -> usize {
     // Detach the packet's routing state so the context can borrow the rest of the
     // engine state immutably while the algorithm mutates its own state.
     let mut state = std::mem::take(&mut packets[pi].routing);
     let mut ctx = RoutingCtx::new(
         net,
-        link_queue,
+        link_qlen,
         occupancy,
+        router_occ,
         link_parked,
         cfg.num_vcs,
         cfg.ugal_threshold,
@@ -241,6 +231,7 @@ pub(crate) fn choose_port(
         packets[pi].dst_router,
         packets[pi].hops,
         rng,
+        scratch,
     );
     let port = algo.route(&mut ctx, &mut state);
     // Hard assert (not debug_assert): Router is a third-party extension point, and
@@ -272,15 +263,28 @@ struct EngineState {
     packets: Vec<Packet>,
     free: Vec<usize>,
     link_queue: Vec<VecDeque<usize>>,
+    /// Per-link queue depths, mirrored from `link_queue` on every push/pop: the
+    /// flat array the routing hot path reads ([`RoutingCtx::queue_len`]) without
+    /// touching the `VecDeque` headers.
+    link_qlen: Vec<u32>,
     link_free_at: Vec<u64>,
     /// occupancy[router * num_vcs + vc]
     occupancy: Vec<u32>,
+    /// Per-router sum of `occupancy` across VCs, maintained incrementally so the
+    /// UGAL-G congestion signal is one read (verified against the per-VC sum in
+    /// debug builds on every query — see [`RoutingCtx::router_occupancy`]).
+    router_occ: Vec<u32>,
+    /// Reused scan-fallback buffers for minimal-port queries.
+    route_scratch: RouteScratch,
     /// waiters[router * num_vcs + vc]: links whose head packet is blocked on the slot.
     waiters: Vec<VecDeque<usize>>,
     /// Whether a link is currently parked on some waiter list.
     link_parked: Vec<bool>,
     parked_count: usize,
     pending_inject: Vec<VecDeque<usize>>,
+    /// Per-router depths of `pending_inject`, so the admit check on every
+    /// transmit/arrive is one cached read for the common empty case.
+    pending_len: Vec<u32>,
     queue: CalendarQueue<Event>,
     seq: u64,
     msg_packets_left: Vec<u32>,
@@ -313,12 +317,16 @@ impl EngineState {
             packets: Vec::new(),
             free: Vec::new(),
             link_queue: vec![VecDeque::new(); net.num_directed_links()],
+            link_qlen: vec![0; net.num_directed_links()],
             link_free_at: vec![0; net.num_directed_links()],
             occupancy: vec![0; net.num_routers() * cfg.num_vcs],
+            router_occ: vec![0; net.num_routers()],
+            route_scratch: RouteScratch::default(),
             waiters: vec![VecDeque::new(); net.num_routers() * cfg.num_vcs],
             link_parked: vec![false; net.num_directed_links()],
             parked_count: 0,
             pending_inject: vec![VecDeque::new(); net.num_routers()],
+            pending_len: vec![0; net.num_routers()],
             queue: CalendarQueue::new(width, 1024),
             seq: 0,
             msg_packets_left: Vec::new(),
@@ -345,6 +353,46 @@ impl EngineState {
         });
     }
 
+    /// Enqueue a packet on a link's output queue, keeping the flat depth mirror
+    /// in sync.
+    #[inline]
+    fn link_push(&mut self, link: usize, pi: usize) {
+        self.link_queue[link].push_back(pi);
+        self.link_qlen[link] += 1;
+        debug_assert_eq!(self.link_qlen[link] as usize, self.link_queue[link].len());
+    }
+
+    /// Dequeue the head packet of a link's output queue, keeping the flat depth
+    /// mirror in sync.
+    #[inline]
+    fn link_pop(&mut self, link: usize) -> Option<usize> {
+        let head = self.link_queue[link].pop_front();
+        if head.is_some() {
+            self.link_qlen[link] -= 1;
+        }
+        debug_assert_eq!(self.link_qlen[link] as usize, self.link_queue[link].len());
+        head
+    }
+
+    /// Increment a `(router, vc)` buffer slot together with the router's
+    /// incremental occupancy total.
+    #[inline]
+    fn occ_inc(&mut self, router: VertexId, slot: usize) {
+        self.occupancy[slot] += 1;
+        self.router_occ[router as usize] += 1;
+    }
+
+    /// Decrement a `(router, vc)` buffer slot together with the router's total,
+    /// mirroring the former `saturating_sub` exactly (a decrement of an empty slot
+    /// is a no-op on both counters, so they can never diverge).
+    #[inline]
+    fn occ_dec(&mut self, router: VertexId, slot: usize) {
+        if self.occupancy[slot] > 0 {
+            self.occupancy[slot] -= 1;
+            self.router_occ[router as usize] -= 1;
+        }
+    }
+
     /// Allocate a packet slot, reusing a freed one when available.
     fn alloc_packet(&mut self, p: Packet) -> usize {
         match self.free.pop() {
@@ -353,6 +401,13 @@ impl EngineState {
                 i
             }
             None => {
+                // Event payloads index the arena as u32 (24-byte events); an
+                // arena past 4G slots would be a >200 GB run, but fail loudly
+                // rather than truncate.
+                assert!(
+                    self.packets.len() < u32::MAX as usize,
+                    "packet arena exceeded u32 index space"
+                );
                 self.packets.push(p);
                 self.packets.len() - 1
             }
@@ -371,7 +426,7 @@ impl EngineState {
             self.parked_count -= 1;
             self.counters.wakeups += 1;
             let t = now.max(self.link_free_at[link]);
-            self.push(t, EventKind::TryTransmit { link });
+            self.push(t, EventKind::TryTransmit { link: link as u32 });
         }
     }
 }
@@ -466,7 +521,7 @@ impl<'a> Simulator<'a> {
             st.msg_last_delivery = vec![u64::MAX; phase.messages.len()];
             for &pi in &sched.injections {
                 let t = st.packets[pi].inject_time_ps;
-                st.push(t, EventKind::Inject { packet: pi });
+                st.push(t, EventKind::Inject { packet: pi as u32 });
             }
 
             st.counters.arena_slots = st.packets.len() as u64;
@@ -558,7 +613,7 @@ impl<'a> Simulator<'a> {
             let first_bytes = source.templates[0].1;
             let gap = self.exp_gap(first_bytes, offered_load, &mut rng);
             if gap < w.measure_end_ps() {
-                st.push(gap, EventKind::NextMessage { source: si });
+                st.push(gap, EventKind::NextMessage { source: si as u32 });
             }
         }
         let first_sample = w.sample_interval_ps.max(1);
@@ -576,7 +631,7 @@ impl<'a> Simulator<'a> {
             st.counters.arena_slots = st.counters.arena_slots.max(st.packets.len() as u64);
             if let EventKind::NextMessage { source } = ev.kind {
                 self.spawn_message(
-                    source,
+                    source as usize,
                     ev.time,
                     offered_load,
                     &w,
@@ -654,7 +709,7 @@ impl<'a> Simulator<'a> {
             };
             let pi = st.alloc_packet(packet);
             stats.note_injection(t);
-            st.push(t, EventKind::Inject { packet: pi });
+            st.push(t, EventKind::Inject { packet: pi as u32 });
             t += nic_ser;
         }
         src.nic_free_ps = t;
@@ -663,7 +718,7 @@ impl<'a> Simulator<'a> {
         // arrival; sources fall silent at the end of the measurement window.
         let next = now + self.exp_gap(bytes, load, rng);
         if next < w.measure_end_ps() {
-            st.push(next, EventKind::NextMessage { source: si });
+            st.push(next, EventKind::NextMessage { source: si as u32 });
         }
     }
 
@@ -705,17 +760,20 @@ impl<'a> Simulator<'a> {
         let cap = self.cfg.buffer_packets_per_vc as u32;
         match ev.kind {
             EventKind::Inject { packet } => {
+                let packet = packet as usize;
                 let router = st.packets[packet].src_router;
                 let slot = router as usize * self.cfg.num_vcs;
                 if st.occupancy[slot] < cap {
-                    st.occupancy[slot] += 1;
+                    st.occ_inc(router, slot);
                     self.enter_router(packet, router, now, st, rng, stats);
                     self.admit_pending(router, now, st, cap);
                 } else {
                     st.pending_inject[router as usize].push_back(packet);
+                    st.pending_len[router as usize] += 1;
                 }
             }
             EventKind::TryTransmit { link } => {
+                let link = link as usize;
                 if st.link_parked[link] {
                     // Already on a waiter list; the slot-free wakeup will retry.
                     return;
@@ -725,10 +783,10 @@ impl<'a> Simulator<'a> {
                 };
                 if st.link_free_at[link] > now {
                     let t = st.link_free_at[link];
-                    st.push(t, EventKind::TryTransmit { link });
+                    st.push(t, EventKind::TryTransmit { link: link as u32 });
                     return;
                 }
-                let (src_router, port) = link_owner(self.net, link);
+                let (src_router, port) = self.net.link_owner(link);
                 let dst_router = self.net.link_target(src_router, port);
                 let vc = (st.packets[pi].hops as usize).min(self.cfg.num_vcs - 1);
                 let next_vc = (st.packets[pi].hops as usize + 1).min(self.cfg.num_vcs - 1);
@@ -742,10 +800,10 @@ impl<'a> Simulator<'a> {
                     st.counters.blocked_parks += 1;
                     return;
                 }
-                st.link_queue[link].pop_front();
+                st.link_pop(link);
                 let up = src_router as usize * self.cfg.num_vcs + vc;
-                st.occupancy[up] = st.occupancy[up].saturating_sub(1);
-                st.occupancy[down] += 1;
+                st.occ_dec(src_router, up);
+                st.occ_inc(dst_router, down);
                 if vc == 0 {
                     self.admit_pending(src_router, now, st, cap);
                 }
@@ -759,17 +817,17 @@ impl<'a> Simulator<'a> {
                 st.push(
                     arrive,
                     EventKind::Arrive {
-                        packet: pi,
+                        packet: pi as u32,
                         router: dst_router,
                     },
                 );
                 if !st.link_queue[link].is_empty() {
                     let t = st.link_free_at[link];
-                    st.push(t, EventKind::TryTransmit { link });
+                    st.push(t, EventKind::TryTransmit { link: link as u32 });
                 }
             }
             EventKind::Arrive { packet, router } => {
-                self.enter_router(packet, router, now, st, rng, stats);
+                self.enter_router(packet as usize, router, now, st, rng, stats);
                 self.admit_pending(router, now, st, cap);
             }
             EventKind::NextMessage { .. } | EventKind::Sample => {
@@ -780,10 +838,19 @@ impl<'a> Simulator<'a> {
 
     /// Re-issue an injection for a waiting packet if the router now has VC-0 space.
     fn admit_pending(&self, router: VertexId, now: u64, st: &mut EngineState, cap: u32) {
+        if st.pending_len[router as usize] == 0 {
+            return;
+        }
         let slot = router as usize * self.cfg.num_vcs;
         if st.occupancy[slot] < cap {
             if let Some(wpkt) = st.pending_inject[router as usize].pop_front() {
-                st.push(now, EventKind::Inject { packet: wpkt });
+                st.pending_len[router as usize] -= 1;
+                st.push(
+                    now,
+                    EventKind::Inject {
+                        packet: wpkt as u32,
+                    },
+                );
             }
         }
     }
@@ -806,7 +873,7 @@ impl<'a> Simulator<'a> {
         if target == router {
             let vc = (st.packets[pi].hops as usize).min(self.cfg.num_vcs - 1);
             let slot = router as usize * self.cfg.num_vcs + vc;
-            st.occupancy[slot] = st.occupancy[slot].saturating_sub(1);
+            st.occ_dec(router, slot);
             let latency = now - st.packets[pi].inject_time_ps;
             stats.record_packet(latency, st.packets[pi].hops, st.packets[pi].bytes, now);
             st.delivered_packets_total += 1;
@@ -833,14 +900,25 @@ impl<'a> Simulator<'a> {
             &mut st.packets,
             pi,
             router,
-            &st.link_queue,
+            &st.link_qlen,
             &st.occupancy,
+            &st.router_occ,
             &st.link_parked,
             rng,
+            &mut st.route_scratch,
         );
         let link = self.net.link_id(router, port);
-        st.link_queue[link].push_back(pi);
-        st.push(now, EventKind::TryTransmit { link });
+        // Schedule a transmit only when this enqueue makes the queue non-empty: a
+        // non-empty queue already has exactly one driver in flight (a scheduled
+        // TryTransmit, or a park that a wakeup will revive), and scheduling at
+        // `max(now, free_at)` directly skips the pop-check-repush round-trip the
+        // old schedule-at-now made against a still-serializing link.
+        let was_empty = st.link_qlen[link] == 0;
+        st.link_push(link, pi);
+        if was_empty {
+            let t = now.max(st.link_free_at[link]);
+            st.push(t, EventKind::TryTransmit { link: link as u32 });
+        }
     }
 }
 

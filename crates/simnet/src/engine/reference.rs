@@ -20,10 +20,10 @@
 //! can only diverge in event scheduling, never in workload layout or routing
 //! behaviour. Steady-state measurement windows are not supported here.
 
-use super::{choose_port, link_owner, packetize_phase, Event, EventKind, Packet};
+use super::{choose_port, packetize_phase, Event, EventKind, Packet};
 use crate::config::SimConfig;
 use crate::network::SimNetwork;
-use crate::routing::{self, Router};
+use crate::routing::{self, RouteScratch, Router};
 use crate::stats::{EngineCounters, SimResults, StatsCollector};
 use crate::workload::Workload;
 use rand::{rngs::StdRng, SeedableRng};
@@ -35,9 +35,20 @@ use std::collections::{BinaryHeap, VecDeque};
 struct RefState {
     packets: Vec<Packet>,
     link_queue: Vec<VecDeque<usize>>,
+    /// Flat per-link queue depths, mirrored on every push/pop (see the wakeup
+    /// engine's `EngineState::link_qlen`).
+    link_qlen: Vec<u32>,
     link_free_at: Vec<u64>,
     occupancy: Vec<u32>,
+    /// Per-router occupancy totals, maintained incrementally (same invariant as
+    /// the wakeup engine's, so the shared routing path sees identical signals).
+    router_occ: Vec<u32>,
+    /// Reused scan-fallback buffers for minimal-port queries (see the wakeup
+    /// engine's mirror).
+    route_scratch: RouteScratch,
     pending_inject: Vec<VecDeque<usize>>,
+    /// Per-router depths of `pending_inject` (see the wakeup engine's mirror).
+    pending_len: Vec<u32>,
     heap: BinaryHeap<Reverse<Event>>,
     seq: u64,
     msg_packets_left: Vec<u32>,
@@ -55,6 +66,41 @@ impl RefState {
             seq: self.seq,
             kind,
         }));
+    }
+
+    /// See `EngineState::link_push`.
+    #[inline]
+    fn link_push(&mut self, link: usize, pi: usize) {
+        self.link_queue[link].push_back(pi);
+        self.link_qlen[link] += 1;
+        debug_assert_eq!(self.link_qlen[link] as usize, self.link_queue[link].len());
+    }
+
+    /// See `EngineState::link_pop`.
+    #[inline]
+    fn link_pop(&mut self, link: usize) -> Option<usize> {
+        let head = self.link_queue[link].pop_front();
+        if head.is_some() {
+            self.link_qlen[link] -= 1;
+        }
+        debug_assert_eq!(self.link_qlen[link] as usize, self.link_queue[link].len());
+        head
+    }
+
+    /// See `EngineState::occ_inc` — the engines must maintain the totals identically.
+    #[inline]
+    fn occ_inc(&mut self, router: VertexId, slot: usize) {
+        self.occupancy[slot] += 1;
+        self.router_occ[router as usize] += 1;
+    }
+
+    /// See `EngineState::occ_dec` — mirrors the former `saturating_sub` exactly.
+    #[inline]
+    fn occ_dec(&mut self, router: VertexId, slot: usize) {
+        if self.occupancy[slot] > 0 {
+            self.occupancy[slot] -= 1;
+            self.router_occ[router as usize] -= 1;
+        }
     }
 }
 
@@ -130,9 +176,13 @@ impl<'a> ReferenceSimulator<'a> {
             let mut st = RefState {
                 packets: sched.packets,
                 link_queue: vec![VecDeque::new(); self.net.num_directed_links()],
+                link_qlen: vec![0; self.net.num_directed_links()],
                 link_free_at: vec![0; self.net.num_directed_links()],
                 occupancy: vec![0; self.net.num_routers() * self.cfg.num_vcs],
+                router_occ: vec![0; self.net.num_routers()],
+                route_scratch: RouteScratch::default(),
                 pending_inject: vec![VecDeque::new(); self.net.num_routers()],
+                pending_len: vec![0; self.net.num_routers()],
                 heap: BinaryHeap::new(),
                 seq: 0,
                 msg_packets_left: sched.msg_packets_left,
@@ -143,7 +193,7 @@ impl<'a> ReferenceSimulator<'a> {
             };
             for &pi in &sched.injections {
                 let t = st.packets[pi].inject_time_ps;
-                st.push(t, EventKind::Inject { packet: pi });
+                st.push(t, EventKind::Inject { packet: pi as u32 });
             }
 
             // --- Event loop (polling): blocked links retry every quantum. ---
@@ -155,26 +205,29 @@ impl<'a> ReferenceSimulator<'a> {
                 let now = ev.time;
                 match ev.kind {
                     EventKind::Inject { packet } => {
+                        let packet = packet as usize;
                         let router = st.packets[packet].src_router;
                         let slot = router as usize * self.cfg.num_vcs;
                         if st.occupancy[slot] < cap {
-                            st.occupancy[slot] += 1;
+                            st.occ_inc(router, slot);
                             self.enter_router(packet, router, now, &mut st, &mut rng, &mut stats);
                             self.admit_pending(router, now, &mut st, cap);
                         } else {
                             st.pending_inject[router as usize].push_back(packet);
+                            st.pending_len[router as usize] += 1;
                         }
                     }
                     EventKind::TryTransmit { link } => {
+                        let link = link as usize;
                         let Some(&pi) = st.link_queue[link].front() else {
                             continue;
                         };
                         if st.link_free_at[link] > now {
                             let t = st.link_free_at[link];
-                            st.push(t, EventKind::TryTransmit { link });
+                            st.push(t, EventKind::TryTransmit { link: link as u32 });
                             continue;
                         }
-                        let (src_router, port) = link_owner(self.net, link);
+                        let (src_router, port) = self.net.link_owner(link);
                         let dst_router = self.net.link_target(src_router, port);
                         let vc = (st.packets[pi].hops as usize).min(self.cfg.num_vcs - 1);
                         let next_vc = (st.packets[pi].hops as usize + 1).min(self.cfg.num_vcs - 1);
@@ -182,13 +235,16 @@ impl<'a> ReferenceSimulator<'a> {
                         if st.occupancy[down] >= cap {
                             // The polling hot path this engine preserves: retry on a timer.
                             st.counters.timed_retries += 1;
-                            st.push(now + retry_quantum, EventKind::TryTransmit { link });
+                            st.push(
+                                now + retry_quantum,
+                                EventKind::TryTransmit { link: link as u32 },
+                            );
                             continue;
                         }
-                        st.link_queue[link].pop_front();
+                        st.link_pop(link);
                         let up = src_router as usize * self.cfg.num_vcs + vc;
-                        st.occupancy[up] = st.occupancy[up].saturating_sub(1);
-                        st.occupancy[down] += 1;
+                        st.occ_dec(src_router, up);
+                        st.occ_inc(dst_router, down);
                         if vc == 0 {
                             self.admit_pending(src_router, now, &mut st, cap);
                         }
@@ -201,17 +257,24 @@ impl<'a> ReferenceSimulator<'a> {
                         st.push(
                             arrive,
                             EventKind::Arrive {
-                                packet: pi,
+                                packet: pi as u32,
                                 router: dst_router,
                             },
                         );
                         if !st.link_queue[link].is_empty() {
                             let t = st.link_free_at[link];
-                            st.push(t, EventKind::TryTransmit { link });
+                            st.push(t, EventKind::TryTransmit { link: link as u32 });
                         }
                     }
                     EventKind::Arrive { packet, router } => {
-                        self.enter_router(packet, router, now, &mut st, &mut rng, &mut stats);
+                        self.enter_router(
+                            packet as usize,
+                            router,
+                            now,
+                            &mut st,
+                            &mut rng,
+                            &mut stats,
+                        );
                         self.admit_pending(router, now, &mut st, cap);
                     }
                     EventKind::NextMessage { .. } | EventKind::Sample => {
@@ -245,10 +308,19 @@ impl<'a> ReferenceSimulator<'a> {
 
     /// Re-issue an injection for a waiting packet if the router now has VC-0 space.
     fn admit_pending(&self, router: VertexId, now: u64, st: &mut RefState, cap: u32) {
+        if st.pending_len[router as usize] == 0 {
+            return;
+        }
         let slot = router as usize * self.cfg.num_vcs;
         if st.occupancy[slot] < cap {
             if let Some(wpkt) = st.pending_inject[router as usize].pop_front() {
-                st.push(now, EventKind::Inject { packet: wpkt });
+                st.pending_len[router as usize] -= 1;
+                st.push(
+                    now,
+                    EventKind::Inject {
+                        packet: wpkt as u32,
+                    },
+                );
             }
         }
     }
@@ -271,7 +343,7 @@ impl<'a> ReferenceSimulator<'a> {
         if target == router {
             let vc = (st.packets[pi].hops as usize).min(self.cfg.num_vcs - 1);
             let slot = router as usize * self.cfg.num_vcs + vc;
-            st.occupancy[slot] = st.occupancy[slot].saturating_sub(1);
+            st.occ_dec(router, slot);
             let latency = now - st.packets[pi].inject_time_ps;
             stats.record_packet(latency, st.packets[pi].hops, st.packets[pi].bytes, now);
             let m = st.packets[pi].msg;
@@ -291,13 +363,23 @@ impl<'a> ReferenceSimulator<'a> {
             &mut st.packets,
             pi,
             router,
-            &st.link_queue,
+            &st.link_qlen,
             &st.occupancy,
+            &st.router_occ,
             &[],
             rng,
+            &mut st.route_scratch,
         );
         let link = self.net.link_id(router, port);
-        st.link_queue[link].push_back(pi);
-        st.push(now, EventKind::TryTransmit { link });
+        // Same driver-event discipline as the wakeup engine's enter_router (the
+        // engines must schedule identically on block-free runs): only the enqueue
+        // that makes the queue non-empty schedules a transmit, directly at
+        // `max(now, free_at)`.
+        let was_empty = st.link_qlen[link] == 0;
+        st.link_push(link, pi);
+        if was_empty {
+            let t = now.max(st.link_free_at[link]);
+            st.push(t, EventKind::TryTransmit { link: link as u32 });
+        }
     }
 }

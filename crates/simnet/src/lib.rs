@@ -63,6 +63,6 @@ pub use config::{MeasurementWindows, RoutingAlgorithm, SimConfig};
 pub use engine::reference::ReferenceSimulator;
 pub use engine::Simulator;
 pub use network::SimNetwork;
-pub use routing::{Router, RouterRegistry, RoutingCtx, RoutingState};
+pub use routing::{Router, RouterRegistry, RoutingCtx, RoutingHarness, RoutingState};
 pub use stats::{EngineCounters, IntervalSample, MeasurementSummary, SimResults};
 pub use workload::{Message, Phase, Workload};

@@ -2,9 +2,18 @@
 //! and shortest-path routing state backed by the shared distance oracle
 //! ([`spectralfly_graph::paths::DistanceMatrix`] — the same oracle the analytical
 //! layer uses, so the simulator and the analysis can never disagree about paths).
+//!
+//! The routing hot path additionally carries a
+//! [`spectralfly_graph::paths::NextHopTable`]: one fixed-stride 8-byte row read per
+//! `(router, dst)` minimal-port query instead of a radix-wide rescan of the distance
+//! matrix. The table is optional — construction falls back to the scan when the
+//! table would blow its memory budget (or the radix exceeds `u8`), and
+//! [`SimNetwork::minimal_ports_packed`] hides the difference behind a caller-owned
+//! scratch buffer so the fallback is allocation-free too.
 
 use spectralfly_graph::csr::{CsrGraph, VertexId};
-use spectralfly_graph::paths::DistanceMatrix;
+use spectralfly_graph::paths::{DistanceMatrix, NextHopTable};
+use std::sync::Arc;
 
 /// A network instance fed to the simulator: a router graph plus endpoint concentration.
 ///
@@ -16,16 +25,47 @@ pub struct SimNetwork {
     concentration: usize,
     /// Prefix offsets into the directed-link index space.
     link_offset: Vec<usize>,
-    /// Shared all-pairs distance / next-hop oracle.
-    dist: DistanceMatrix,
+    /// link id → (owning router, port): the inverse of `link_id`, precomputed so
+    /// the engines' transmit path is a table read instead of a binary search.
+    link_owner: Vec<(VertexId, u32)>,
+    /// Shared all-pairs distance / next-hop oracle (`Arc` so callers that already
+    /// computed it — the analytical layer, sweep drivers — share rather than
+    /// recompute the quadratic matrix).
+    dist: Arc<DistanceMatrix>,
+    /// Packed minimal next-hop ports; `None` means "scan the matrix" (memory-budget
+    /// fallback, or explicitly disabled for differential testing).
+    next_hops: Option<Arc<NextHopTable>>,
     n: usize,
 }
 
 impl SimNetwork {
-    /// Build a network from a router graph and a per-router endpoint count (≥ 1).
+    /// Build a network from a router graph and a per-router endpoint count (≥ 1),
+    /// computing the distance oracle and next-hop table here.
     pub fn new(graph: CsrGraph, concentration: usize) -> Self {
+        let dist = Arc::new(DistanceMatrix::from_graph(&graph));
+        Self::with_distances(graph, concentration, dist)
+    }
+
+    /// Build a network around a distance oracle the caller already holds (the
+    /// analytical layer and the bench sweep drivers compute one per topology);
+    /// avoids recomputing one BFS per router per construction.
+    ///
+    /// # Panics
+    /// If `dist` was not computed over exactly `graph`'s vertex count, or
+    /// `concentration` is 0.
+    pub fn with_distances(
+        graph: CsrGraph,
+        concentration: usize,
+        dist: Arc<DistanceMatrix>,
+    ) -> Self {
         assert!(concentration >= 1, "concentration must be at least 1");
         let n = graph.num_vertices();
+        assert_eq!(
+            dist.n(),
+            n,
+            "distance matrix is over {} routers but the graph has {n}",
+            dist.n()
+        );
         let mut link_offset = Vec::with_capacity(n + 1);
         let mut acc = 0usize;
         link_offset.push(0);
@@ -33,14 +73,37 @@ impl SimNetwork {
             acc += graph.degree(v as VertexId);
             link_offset.push(acc);
         }
-        let dist = DistanceMatrix::from_graph(&graph);
+        let mut link_owner = Vec::with_capacity(acc);
+        for v in 0..n {
+            for p in 0..graph.degree(v as VertexId) {
+                link_owner.push((v as VertexId, p as u32));
+            }
+        }
+        let next_hops = NextHopTable::build(&graph, &dist).map(Arc::new);
         SimNetwork {
             graph,
             concentration,
             link_offset,
+            link_owner,
             dist,
+            next_hops,
             n,
         }
+    }
+
+    /// This network with the packed next-hop table dropped, forcing every minimal-
+    /// port query through the distance-matrix scan. The differential-testing hook
+    /// behind the table/scan golden-seed equivalence battery; production callers
+    /// never need it.
+    pub fn without_next_hop_table(mut self) -> Self {
+        self.next_hops = None;
+        self
+    }
+
+    /// The packed next-hop table, when one was built (`None` after a memory-budget
+    /// fallback or [`Self::without_next_hop_table`]).
+    pub fn next_hop_table(&self) -> Option<&Arc<NextHopTable>> {
+        self.next_hops.as_ref()
     }
 
     /// The router graph.
@@ -51,6 +114,12 @@ impl SimNetwork {
     /// The shared distance / next-hop oracle over routers.
     pub fn distances(&self) -> &DistanceMatrix {
         &self.dist
+    }
+
+    /// The distance oracle by shared handle (for constructing sibling networks over
+    /// the same topology without recomputing it).
+    pub fn distances_arc(&self) -> Arc<DistanceMatrix> {
+        Arc::clone(&self.dist)
     }
 
     /// Endpoints per router.
@@ -103,9 +172,47 @@ impl SimNetwork {
         self.graph.neighbors(router)[port]
     }
 
+    /// The `(router, port)` that owns a directed link — the inverse of
+    /// [`Self::link_id`], as one table read.
+    #[inline]
+    pub fn link_owner(&self, link: usize) -> (VertexId, usize) {
+        let (r, p) = self.link_owner[link];
+        (r, p as usize)
+    }
+
     /// Ports of `current` whose neighbour lies on a shortest path to `dst`.
     pub fn minimal_ports(&self, current: VertexId, dst: VertexId) -> Vec<usize> {
-        self.dist.min_next_ports(&self.graph, current, dst)
+        match &self.next_hops {
+            Some(t) => t.ports(current, dst).iter().map(|&p| p as usize).collect(),
+            None => self.dist.min_next_ports(&self.graph, current, dst),
+        }
+    }
+
+    /// [`Self::minimal_ports`] as a packed `u8` slice without heap traffic: a table
+    /// lookup when the table exists, otherwise a scan into `scratch` (cleared and
+    /// refilled; allocation-free once grown to the radix). The returned ports are
+    /// ascending under both strategies, so callers' tie-breaks are strategy-blind.
+    ///
+    /// # Panics
+    /// If `current`'s degree exceeds `u8::MAX` — port ids then don't fit the packed
+    /// representation. Callers that must support such radices (the routing hot
+    /// path does, via its wide-scratch branch) should use
+    /// [`DistanceMatrix::min_next_ports_into`] instead.
+    #[inline]
+    pub fn minimal_ports_packed<'s>(
+        &'s self,
+        current: VertexId,
+        dst: VertexId,
+        scratch: &'s mut Vec<u8>,
+    ) -> &'s [u8] {
+        match &self.next_hops {
+            Some(t) => t.ports(current, dst),
+            None => {
+                self.dist
+                    .min_next_ports_u8_into(&self.graph, current, dst, scratch);
+                scratch
+            }
+        }
     }
 }
 
@@ -168,6 +275,44 @@ mod tests {
                     .map(|p| net.link_target(a, p))
                     .collect();
                 assert_eq!(ports, dm.min_next_hops(&g, a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn prebuilt_distances_are_shared_not_recomputed() {
+        let g = ring(10);
+        let dm = Arc::new(DistanceMatrix::from_graph(&g));
+        let net = SimNetwork::with_distances(g, 2, Arc::clone(&dm));
+        assert!(Arc::ptr_eq(&net.distances_arc(), &dm));
+        // Sibling networks over the same oracle share it too.
+        let sib = SimNetwork::with_distances(net.graph().clone(), 1, net.distances_arc());
+        assert!(Arc::ptr_eq(&sib.distances_arc(), &dm));
+    }
+
+    #[test]
+    #[should_panic(expected = "distance matrix is over")]
+    fn mismatched_distances_are_rejected() {
+        let dm = Arc::new(DistanceMatrix::from_graph(&ring(6)));
+        SimNetwork::with_distances(ring(8), 1, dm);
+    }
+
+    #[test]
+    fn packed_ports_agree_between_table_and_scan() {
+        let with_table = SimNetwork::new(ring(9), 1);
+        assert!(with_table.next_hop_table().is_some());
+        let scan_only = with_table.clone().without_next_hop_table();
+        assert!(scan_only.next_hop_table().is_none());
+        let mut scratch = Vec::new();
+        for a in 0..9u32 {
+            for b in 0..9u32 {
+                let t: Vec<u8> = with_table.minimal_ports_packed(a, b, &mut scratch).to_vec();
+                let s: Vec<u8> = scan_only.minimal_ports_packed(a, b, &mut scratch).to_vec();
+                assert_eq!(t, s, "({a}, {b})");
+                assert_eq!(
+                    with_table.minimal_ports(a, b),
+                    scan_only.minimal_ports(a, b)
+                );
             }
         }
     }

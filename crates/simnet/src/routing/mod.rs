@@ -50,7 +50,7 @@ use crate::network::SimNetwork;
 use rand::rngs::StdRng;
 use rand::Rng;
 use spectralfly_graph::csr::VertexId;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock, RwLock};
 
 pub use minimal::Minimal;
@@ -90,14 +90,30 @@ impl RoutingState {
     }
 }
 
+/// Reusable per-engine buffers for the minimal-port scan fallback, so decisions
+/// stay allocation-free whichever path they take: `packed` holds `u8` ports for
+/// networks whose radix fits the packed representation, `wide` holds `usize`
+/// ports for radix > 255 (where the next-hop table refuses to build and the
+/// packed scan would truncate).
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    packed: Vec<u8>,
+    wide: Vec<usize>,
+}
+
 /// Everything a routing decision may consult, snapshotted at decision time.
 ///
 /// Wraps the network (neighbour ports and the shared distance oracle), the engine's
 /// queue and buffer state, the configured UGAL bias, and the run's RNG.
 pub struct RoutingCtx<'a> {
     net: &'a SimNetwork,
-    link_queues: &'a [VecDeque<usize>],
+    /// Per-link output-queue depths, maintained incrementally by the engines —
+    /// one flat cache-resident array instead of chasing `VecDeque` headers.
+    link_qlen: &'a [u32],
     occupancy: &'a [u32],
+    /// Per-router buffered-packet totals, maintained incrementally by the engines
+    /// (`occupancy` summed across VCs, without the `num_vcs`-wide walk).
+    router_occ: &'a [u32],
     /// Per-link "parked on a waiter list" flags from the wakeup engine (empty
     /// slice for engines without waiter lists — every link reads as unblocked).
     link_parked: &'a [bool],
@@ -107,14 +123,18 @@ pub struct RoutingCtx<'a> {
     dst: VertexId,
     hops: u32,
     rng: &'a mut StdRng,
+    /// Scratch for the scan fallback of the minimal-port query; unused (and
+    /// untouched) when the network carries a next-hop table.
+    scratch: &'a mut RouteScratch,
 }
 
 impl<'a> RoutingCtx<'a> {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         net: &'a SimNetwork,
-        link_queues: &'a [VecDeque<usize>],
+        link_qlen: &'a [u32],
         occupancy: &'a [u32],
+        router_occ: &'a [u32],
         link_parked: &'a [bool],
         num_vcs: usize,
         ugal_threshold: f64,
@@ -122,11 +142,13 @@ impl<'a> RoutingCtx<'a> {
         dst: VertexId,
         hops: u32,
         rng: &'a mut StdRng,
+        scratch: &'a mut RouteScratch,
     ) -> Self {
         RoutingCtx {
             net,
-            link_queues,
+            link_qlen,
             occupancy,
+            router_occ,
             link_parked,
             num_vcs,
             ugal_threshold,
@@ -134,6 +156,7 @@ impl<'a> RoutingCtx<'a> {
             dst,
             hops,
             rng,
+            scratch,
         }
     }
 
@@ -186,9 +209,13 @@ impl<'a> RoutingCtx<'a> {
     }
 
     /// Occupancy of the current router's output queue on `port`, in packets.
+    ///
+    /// O(1) from the engines' incrementally-maintained flat depth array (one
+    /// sequential `u32` read; the former implementation chased the link's
+    /// `VecDeque` header through a cache-cold pointer per candidate port).
     #[inline]
     pub fn queue_len(&self, port: usize) -> usize {
-        self.link_queues[self.net.link_id(self.router, port)].len()
+        self.link_qlen[self.net.link_id(self.router, port)] as usize
     }
 
     /// Whether the current router's output link on `port` is blocked — its head
@@ -210,9 +237,25 @@ impl<'a> RoutingCtx<'a> {
 
     /// Total buffered packets (all virtual channels) at an arbitrary router — the
     /// "global" congestion signal available to UGAL-G style algorithms.
+    ///
+    /// O(1): the engines maintain the per-router total incrementally on every
+    /// enqueue/dequeue, so this is one array read rather than a `num_vcs`-wide
+    /// sum per candidate port. Debug builds verify the incremental total against
+    /// the per-VC sum on every query.
+    #[inline]
     pub fn router_occupancy(&self, router: VertexId) -> u32 {
-        let base = router as usize * self.num_vcs;
-        self.occupancy[base..base + self.num_vcs].iter().sum()
+        let total = self.router_occ[router as usize];
+        debug_assert_eq!(
+            total,
+            {
+                let base = router as usize * self.num_vcs;
+                self.occupancy[base..base + self.num_vcs]
+                    .iter()
+                    .sum::<u32>()
+            },
+            "incremental occupancy total diverged from per-VC sum at router {router}"
+        );
+        total
     }
 
     /// The run's RNG (deterministic given [`crate::SimConfig::seed`]).
@@ -223,22 +266,50 @@ impl<'a> RoutingCtx<'a> {
 
     /// The least-occupied minimal port toward `target`, breaking ties uniformly at
     /// random — the adaptive-minimal primitive every built-in algorithm shares.
+    ///
+    /// Allocation-free: the candidate ports come as a packed slice (next-hop table
+    /// lookup, or a matrix scan into the reused scratch buffer), and the selection
+    /// is a two-pass min+count / pick-k-th walk. The single `gen_range` draw over
+    /// the tie count consumes the RNG exactly as the old collect-into-`Vec`
+    /// implementation did (ties walked in ascending port order), so golden-seed
+    /// results are bit-identical across the strategies.
     pub fn best_minimal_port(&mut self, target: VertexId) -> usize {
-        let ports = self.net.minimal_ports(self.router, target);
-        // Hard assert: an empty port set means the target is unreachable (or equals the
-        // current router, which the engine rules out) — fail with the routing facts
-        // instead of an opaque unwrap panic deeper in.
-        assert!(
-            !ports.is_empty(),
-            "no minimal port from router {} toward {target} (unreachable destination?)",
-            self.router
-        );
-        let min_q = ports.iter().map(|&p| self.queue_len(p)).min().unwrap();
-        let best: Vec<usize> = ports
-            .into_iter()
-            .filter(|&p| self.queue_len(p) == min_q)
-            .collect();
-        best[self.rng.gen_range(0..best.len())]
+        let RoutingCtx {
+            net,
+            link_qlen,
+            router,
+            rng,
+            scratch,
+            ..
+        } = self;
+        let router = *router;
+        let link_base = net.link_id(router, 0);
+        if net.graph().degree(router) <= u8::MAX as usize {
+            let ports = net.minimal_ports_packed(router, target, &mut scratch.packed);
+            pick_least_queued(
+                ports.iter().map(|&p| p as usize),
+                link_qlen,
+                link_base,
+                rng,
+                router,
+                target,
+            )
+        } else {
+            // Radix above the packed `u8` representation: the next-hop table
+            // refuses such graphs, and the packed scan would truncate port ids,
+            // so scan into the wide scratch instead (still allocation-free once
+            // grown).
+            net.distances()
+                .min_next_ports_into(net.graph(), router, target, &mut scratch.wide);
+            pick_least_queued(
+                scratch.wide.iter().copied(),
+                link_qlen,
+                link_base,
+                rng,
+                router,
+                target,
+            )
+        }
     }
 
     /// A uniformly random intermediate router excluding the current router and the
@@ -250,6 +321,52 @@ impl<'a> RoutingCtx<'a> {
     pub fn sample_intermediate(&mut self) -> Option<VertexId> {
         sample_excluding(self.rng, self.net.num_routers(), self.router, self.dst)
     }
+}
+
+/// The two-pass min+count / pick-k-th walk behind [`RoutingCtx::best_minimal_port`]:
+/// one `gen_range` draw over the tie count, ties resolved in the iterator's
+/// (ascending-port) order — exactly the RNG consumption of the historical
+/// collect-into-`Vec` implementation, for any port-slice representation.
+fn pick_least_queued<I>(
+    ports: I,
+    link_qlen: &[u32],
+    link_base: usize,
+    rng: &mut StdRng,
+    router: VertexId,
+    target: VertexId,
+) -> usize
+where
+    I: Iterator<Item = usize> + Clone,
+{
+    let mut min_q = u32::MAX;
+    let mut ties = 0usize;
+    for p in ports.clone() {
+        let q = link_qlen[link_base + p];
+        if q < min_q {
+            min_q = q;
+            ties = 1;
+        } else if q == min_q {
+            ties += 1;
+        }
+    }
+    // Hard assert: an empty port set means the target is unreachable (or equals the
+    // current router, which the engine rules out) — fail with the routing facts
+    // instead of an opaque panic deeper in.
+    assert!(
+        ties > 0,
+        "no minimal port from router {router} toward {target} (unreachable destination?)"
+    );
+    let k = rng.gen_range(0..ties);
+    let mut seen = 0usize;
+    for p in ports {
+        if link_qlen[link_base + p] == min_q {
+            if seen == k {
+                return p;
+            }
+            seen += 1;
+        }
+    }
+    unreachable!("tie index {k} below the counted {ties} ties must exist")
 }
 
 /// Uniform sample from `0..n` excluding `a` and `b` (which may coincide).
@@ -267,6 +384,104 @@ fn sample_excluding(rng: &mut StdRng, n: usize, a: VertexId, b: VertexId) -> Opt
         x += 1;
     }
     Some(x)
+}
+
+/// A standalone driver for routing decisions outside any engine: an idle network's
+/// queue state plus one configured algorithm, with every per-decision buffer owned
+/// and reused by the harness.
+///
+/// This is the measurement surface for the routing-decisions-per-second microbench
+/// and the zero-allocation integration test: `decide` exercises exactly the hot
+/// path the engines run per hop ([`RoutingCtx::best_minimal_port`], the congestion
+/// signals, the intermediate sampler) without any event-loop work around it.
+pub struct RoutingHarness<'a> {
+    net: &'a SimNetwork,
+    algo: Box<dyn Router>,
+    link_qlen: Vec<u32>,
+    occupancy: Vec<u32>,
+    router_occ: Vec<u32>,
+    link_parked: Vec<bool>,
+    scratch: RouteScratch,
+    num_vcs: usize,
+    ugal_threshold: f64,
+    rng: StdRng,
+    state: RoutingState,
+}
+
+impl<'a> RoutingHarness<'a> {
+    /// Build a harness over `net` with `cfg`'s routing algorithm, VC count, UGAL
+    /// threshold, and seed. Queue state starts idle (every queue empty).
+    ///
+    /// # Panics
+    /// If `cfg.routing` does not name a registered algorithm.
+    pub fn new(net: &'a SimNetwork, cfg: &crate::config::SimConfig) -> Self {
+        use rand::SeedableRng;
+        let algo = create(&cfg.routing).unwrap_or_else(|| {
+            panic!(
+                "unknown routing algorithm {:?}; registered: {}",
+                cfg.routing,
+                registered_names().join(", ")
+            )
+        });
+        RoutingHarness {
+            net,
+            algo,
+            link_qlen: vec![0; net.num_directed_links()],
+            occupancy: vec![0; net.num_routers() * cfg.num_vcs],
+            router_occ: vec![0; net.num_routers()],
+            link_parked: vec![false; net.num_directed_links()],
+            scratch: RouteScratch::default(),
+            num_vcs: cfg.num_vcs,
+            ugal_threshold: cfg.ugal_threshold,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            state: RoutingState::default(),
+        }
+    }
+
+    /// One source-router decision for a packet at `src` destined to `dst`
+    /// (`src != dst`, reachable), returning the chosen output port.
+    pub fn decide(&mut self, src: VertexId, dst: VertexId) -> usize {
+        self.state = RoutingState::default();
+        let mut ctx = RoutingCtx::new(
+            self.net,
+            &self.link_qlen,
+            &self.occupancy,
+            &self.router_occ,
+            &self.link_parked,
+            self.num_vcs,
+            self.ugal_threshold,
+            src,
+            dst,
+            0,
+            &mut self.rng,
+            &mut self.scratch,
+        );
+        self.algo.route(&mut ctx, &mut self.state)
+    }
+
+    /// Warm the harness so steady-state decisions are allocation-free even on the
+    /// scan fallback: grows the scratch buffers to the network's radix.
+    pub fn warm(&mut self) {
+        let radix = self.net.graph().max_degree();
+        self.scratch.packed.reserve(radix);
+        self.scratch.wide.reserve(radix);
+    }
+
+    /// The `i`-th decision of a deterministic all-pairs rotation over the
+    /// network's routers — the shared drive pattern of the decisions-per-second
+    /// microbenches and the allocation test, so they all measure the same
+    /// stream.
+    pub fn decide_round_robin(&mut self, i: u64) -> usize {
+        let n = self.net.num_routers() as u64;
+        let src = (i % n) as VertexId;
+        let dst = ((i * 7 + 1 + src as u64) % n) as VertexId;
+        let dst = if dst == src {
+            (dst + 1) % n as VertexId
+        } else {
+            dst
+        };
+        self.decide(src, dst)
+    }
 }
 
 /// A routing algorithm: a stateless decision procedure over per-packet state.
@@ -487,6 +702,38 @@ mod tests {
             create("Fixed-Test-Router").unwrap().name(),
             "fixed-test-router"
         );
+    }
+
+    #[test]
+    fn radix_above_u8_routes_correctly_through_wide_fallback() {
+        // A star with 300 leaves: the hub's degree exceeds the packed u8 port
+        // space, so no next-hop table builds and decisions at the hub must take
+        // the wide scan path. Regression test: the packed scan used to truncate
+        // port ids to u8 here, silently routing to the wrong neighbour.
+        let edges: Vec<(u32, u32)> = (1..=300u32).map(|v| (0, v)).collect();
+        let g = crate::SimNetwork::new(spectralfly_graph::CsrGraph::from_edges(301, &edges), 1);
+        assert!(g.next_hop_table().is_none());
+        let cfg = crate::SimConfig::default().with_routing("minimal", 2);
+        let mut harness = RoutingHarness::new(&g, &cfg);
+        // The hub's neighbour list is sorted, so leaf v sits behind port v - 1.
+        assert_eq!(harness.decide(0, 300), 299);
+        assert_eq!(harness.decide(0, 257), 256);
+        assert_eq!(harness.decide(0, 1), 0);
+        // Leaf decisions (degree 1) still use the packed path.
+        assert_eq!(harness.decide(42, 7), 0);
+        // End-to-end: a leaf-to-leaf message crosses the hub and delivers.
+        let wl = crate::Workload::single_phase(
+            "star",
+            vec![crate::workload::Message {
+                src: 299,
+                dst: 300,
+                bytes: 512,
+                inject_offset_ps: 0,
+            }],
+        );
+        let res = crate::Simulator::new(&g, &cfg).run(&wl);
+        assert_eq!(res.delivered_packets, 1);
+        assert_eq!(res.max_hops, 2);
     }
 
     #[test]

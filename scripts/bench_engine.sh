@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# Append an engine-throughput measurement (wakeup engine vs the polling
-# reference on the saturated ring-64 sweep) to BENCH_engine.json.
+# Append an engine-throughput measurement to BENCH_engine.json: the wakeup
+# engine vs the polling reference on saturated ring sweeps, the routing-bound
+# LPS scenarios (packed next-hop table vs distance-matrix scan), and the
+# routing-decision microbench.
 #
 # Usage: scripts/bench_engine.sh [--routers N] [--conc N] [--msgs N]
-#        [--load-pct N] [--seed N] [--out PATH]
+#        [--load-pct N] [--seed N] [--out PATH] [--smoke]
+#
+# --smoke shrinks every scenario (small LPS, short reference budget, few
+# microbench decisions) so CI can execute all code paths in seconds; smoke
+# results go to a throwaway output file instead of BENCH_engine.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo run --release -p spectralfly-bench --bin bench_engine -- "$@"

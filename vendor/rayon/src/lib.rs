@@ -119,6 +119,19 @@ impl<T: Send> ParIter<T> {
     pub fn sum<S: std::iter::Sum<T>>(self) -> S {
         self.items.into_iter().sum()
     }
+
+    /// Run `f` on every item in parallel, discarding results.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_eval(self.items, f);
+    }
+
+    /// Pair every item with its index (indices reflect the original order, as in
+    /// real rayon's indexed parallel iterators).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
 }
 
 /// Conversion into an owning parallel iterator.
@@ -175,9 +188,27 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
     }
 }
 
+/// Parallel iteration over disjoint mutable chunks of a slice (`par_chunks_mut`).
+///
+/// The chunks come from `slice::chunks_mut`, so they are disjoint by construction
+/// and the borrow checker accepts sending them to worker threads without unsafe.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable chunks of `chunk_size` elements (the last
+    /// chunk may be shorter). `chunk_size` must be non-zero.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
 /// The traits a `use rayon::prelude::*` is expected to bring into scope.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -206,6 +237,24 @@ mod tests {
         let v: Vec<u32> = (0..257).collect();
         let s: u64 = v.par_iter().map(|&x| x as u64).sum();
         assert_eq!(s, 257 * 256 / 2);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk() {
+        let mut v = vec![0u32; 1000];
+        v.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = (i * 64 + j) as u32;
+            }
+        });
+        assert_eq!(v, (0..1000).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn enumerate_preserves_original_order() {
+        let out: Vec<(usize, u32)> = (10..20u32).into_par_iter().enumerate().collect();
+        assert_eq!(out[0], (0, 10));
+        assert_eq!(out[9], (9, 19));
     }
 
     #[test]
