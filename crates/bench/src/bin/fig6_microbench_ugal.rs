@@ -2,7 +2,8 @@
 //! bit-reverse and transpose micro-benchmarks across offered loads.
 //!
 //! Usage: `cargo run --release -p spectralfly-bench --bin fig6_microbench_ugal
-//! [--full] [--routing ugal-l,ugal-g|all] [--seed N] [--warmup NS] [--measure NS]`
+//! [--full] [--routing ugal-l,ugal-g|all] [--pattern random,shuffle,…|all]
+//! [--seed N] [--warmup NS] [--measure NS]`
 //!
 //! Default is the small scale under UGAL-L; `--full` uses the paper's ~8.7K-endpoint
 //! configuration, and `--routing` selects any set of registry algorithms (one table
@@ -14,9 +15,9 @@
 //! one simulation per core.
 
 use spectralfly_bench::{
-    figure_of_merit, fmt, measurement_from_args, merit_speedup, paper_sim_config, print_table,
-    routing_names_from_args, seed_from_args, simulation_topologies, sweep_offered_loads, Scale,
-    OFFERED_LOADS,
+    figure_of_merit, fmt, measurement_from_args, merit_speedup, paper_sim_config,
+    pattern_names_from_args, print_table, routing_names_from_args, seed_from_args,
+    simulation_topologies, sweep_offered_loads, Scale, OFFERED_LOADS,
 };
 use spectralfly_simnet::workload::random_placement;
 use spectralfly_simnet::Workload;
@@ -28,21 +29,21 @@ fn main() {
     let seed = seed_from_args(0xF16);
     let windows = measurement_from_args();
     let topologies = simulation_topologies(scale);
-    let patterns = ["random", "shuffle", "reverse", "transpose"];
+    let patterns = pattern_names_from_args(&["random", "shuffle", "reverse", "transpose"]);
 
     for routing in routing_names_from_args(&["ugal-l"]) {
-        for pattern in patterns {
+        for pattern in &patterns {
             let mut rows = Vec::new();
             // Figure of merit per topology per load; DragonFly (last) is the baseline.
             let mut results: Vec<Vec<(f64, bool)>> = Vec::new();
             for topo in &topologies {
                 let net = topo.network();
                 let mut cfg = paper_sim_config(&net, routing.clone(), seed);
-                cfg.windows = windows;
+                cfg.windows = windows.clone();
                 let ranks = 1usize << bits;
                 let placement = random_placement(ranks, net.num_endpoints(), 0xBEEF);
                 let wl = Workload::synthetic(pattern, bits, msgs, 4096, 0xABCD)
-                    .expect("known pattern")
+                    .unwrap_or_else(|e| panic!("{e}"))
                     .place(&placement);
                 let per_load: Vec<(f64, bool)> =
                     sweep_offered_loads(&net, &cfg, &wl, &OFFERED_LOADS)

@@ -2,7 +2,8 @@
 //! four micro-benchmark patterns across offered loads (speedup relative to minimal).
 //!
 //! Usage: `cargo run --release -p spectralfly-bench --bin fig8_valiant_vs_minimal
-//! [--full] [--routing valiant,ugal-l,ugal-g|all] [--seed N] [--warmup NS] [--measure NS]`
+//! [--full] [--routing valiant,ugal-l,ugal-g|all] [--pattern random,shuffle,…|all]
+//! [--seed N] [--warmup NS] [--measure NS]`
 //!
 //! Default compares Valiant against minimal (the paper's Fig. 8); `--routing` pits
 //! any set of registry algorithms against the minimal baseline. With `--measure`
@@ -12,9 +13,9 @@
 //! load points in parallel, one simulation per core.
 
 use spectralfly_bench::{
-    figure_of_merit, fmt, measurement_from_args, merit_speedup, paper_sim_config, print_table,
-    routing_names_from_args, seed_from_args, simulation_topologies, sweep_offered_loads, Scale,
-    OFFERED_LOADS,
+    figure_of_merit, fmt, measurement_from_args, merit_speedup, paper_sim_config,
+    pattern_names_from_args, print_table, routing_names_from_args, seed_from_args,
+    simulation_topologies, sweep_offered_loads, Scale, OFFERED_LOADS,
 };
 use spectralfly_simnet::workload::random_placement;
 use spectralfly_simnet::Workload;
@@ -32,16 +33,16 @@ fn main() {
     let challengers = routing_names_from_args(&["valiant"]);
 
     let mut rows = Vec::new();
-    for pattern in ["random", "shuffle", "reverse", "transpose"] {
-        let wl = Workload::synthetic(pattern, bits, msgs, 4096, 0xABCD)
-            .expect("known pattern")
+    for pattern in pattern_names_from_args(&["random", "shuffle", "reverse", "transpose"]) {
+        let wl = Workload::synthetic(&pattern, bits, msgs, 4096, 0xABCD)
+            .unwrap_or_else(|e| panic!("{e}"))
             .place(&placement);
         let mut min_cfg = paper_sim_config(&net, "minimal", seed);
-        min_cfg.windows = windows;
+        min_cfg.windows = windows.clone();
         let baseline = sweep_offered_loads(&net, &min_cfg, &wl, &OFFERED_LOADS);
         for routing in &challengers {
             let mut cfg = paper_sim_config(&net, routing.clone(), seed);
-            cfg.windows = windows;
+            cfg.windows = windows.clone();
             let mut row = vec![format!("{pattern} ({routing})")];
             for ((_, min_res), (_, res)) in
                 baseline

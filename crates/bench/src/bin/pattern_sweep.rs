@@ -1,0 +1,125 @@
+//! Pattern × topology × routing steady-state saturation sweep — the harness
+//! behind the paper's adversarial-vs-uniform UGAL story (Sections VI-C/VI-D):
+//! under uniform traffic minimal routing wins, under an adversarial pattern it
+//! collapses while UGAL sustains throughput by detouring.
+//!
+//! Usage: `cargo run --release -p spectralfly-bench --bin pattern_sweep
+//! [--full] [--pattern random,adversarial,…|all] [--routing minimal,ugal-l,…|all]
+//! [--topo substring] [--loads 0.1,0.5,0.9] [--seed N] [--warmup NS] [--measure NS]`
+//!
+//! Unlike the fig6/fig8 micro-benchmarks (which materialize a pattern over a
+//! rank space and scatter it with a random placement), this sweep drives the
+//! pattern **live through the steady-state sources** over the physical endpoint
+//! space: every endpoint injects Poisson-spaced messages whose destinations are
+//! drawn from the pattern at injection time
+//! ([`spectralfly_simnet::MeasurementWindows::pattern`]), and group-structured
+//! patterns are aligned to each topology's own group structure
+//! ([`spectralfly_bench::pattern_spec_for`]). The reported figure of merit is
+//! sustained measured throughput (Gb/s) over the measurement window, with the
+//! delivery ratio and p99 packet latency alongside.
+//!
+//! The key acceptance scenario — UGAL-L beating minimal on SpectralFly under
+//! adversarial traffic at load 0.9 — is
+//! `pattern_sweep --full --topo SpectralFly --pattern adversarial --routing minimal,ugal-l --loads 0.9`.
+
+use spectralfly_bench::{
+    arg_u64, fmt, paper_sim_config, pattern_names_from_args, pattern_spec_for, print_table,
+    routing_names_from_args, seed_from_args, simulation_topologies, steady_source_workload,
+    sweep_offered_loads, Scale,
+};
+use spectralfly_simnet::MeasurementWindows;
+
+/// Offered loads selected with `--loads a,b,c` (fractions of injection
+/// bandwidth), defaulting to a saturation-curve axis that includes the 0.9
+/// point the adversarial story is told at.
+fn loads_from_args() -> Vec<f64> {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--loads") {
+        None => vec![0.1, 0.3, 0.5, 0.7, 0.9],
+        Some(i) => args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--loads requires a comma-separated list of fractions"))
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                let l: f64 = s
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--loads entry {s:?} is not a number"));
+                assert!(l > 0.0 && l <= 1.0, "load {l} outside (0, 1]");
+                l
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = seed_from_args(0x9A77);
+    let loads = loads_from_args();
+    let patterns = pattern_names_from_args(&["random", "adversarial"]);
+    let routings = routing_names_from_args(&["minimal", "ugal-l"]);
+    // Steady-state windows are the point of this binary, so they default on.
+    let measure_ns = arg_u64("--measure", 20_000);
+    let warmup_ns = arg_u64("--warmup", measure_ns / 4);
+    let topo_filter: Option<String> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--topo")
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.to_lowercase())
+    };
+
+    let topologies: Vec<_> = simulation_topologies(scale)
+        .into_iter()
+        .filter(|t| match &topo_filter {
+            None => true,
+            Some(f) => t.name.to_lowercase().contains(f),
+        })
+        .collect();
+    assert!(!topologies.is_empty(), "--topo matched no topology");
+
+    let mut rows = Vec::new();
+    for topo in &topologies {
+        let net = topo.network();
+        let wl = steady_source_workload(&net, 4096, seed ^ 0x51EADE);
+        for pattern in &patterns {
+            let spec = pattern_spec_for(topo, pattern);
+            for routing in &routings {
+                let mut cfg = paper_sim_config(&net, routing.clone(), seed);
+                cfg.windows = Some(
+                    MeasurementWindows::new(warmup_ns * 1000, measure_ns * 1000)
+                        .with_pattern(spec.clone()),
+                );
+                for (load, res) in sweep_offered_loads(&net, &cfg, &wl, &loads) {
+                    let m = res.measurement.expect("steady-state run has a summary");
+                    rows.push(vec![
+                        topo.name.clone(),
+                        spec.clone(),
+                        routing.clone(),
+                        format!("{load:.2}"),
+                        fmt(m.throughput_gbps()),
+                        fmt(m.delivery_ratio()),
+                        format!("{}", res.p99_packet_latency_ps / 1000),
+                    ]);
+                }
+            }
+        }
+    }
+    print_table(
+        &format!(
+            "Pattern x topology x routing steady-state sweep \
+             (measure {measure_ns} ns, warmup {warmup_ns} ns, seed {seed:#x})"
+        ),
+        &[
+            "Topology",
+            "Pattern",
+            "Routing",
+            "Load",
+            "Tput Gb/s",
+            "Delivered",
+            "p99 ns",
+        ],
+        &rows,
+    );
+}

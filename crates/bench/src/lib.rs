@@ -14,7 +14,7 @@ use spectralfly_graph::paths::DistanceMatrix;
 use spectralfly_graph::CsrGraph;
 use spectralfly_simnet::workload::Workload;
 use spectralfly_simnet::{
-    routing, MeasurementWindows, SimConfig, SimNetwork, SimResults, Simulator,
+    pattern, routing, MeasurementWindows, SimConfig, SimNetwork, SimResults, Simulator,
 };
 use spectralfly_topology::{
     BundleFlyGraph, GeneralizedDragonFly, LpsGraph, SlimFlyGraph, Topology,
@@ -66,6 +66,11 @@ pub struct SimTopology {
     pub graph: CsrGraph,
     /// Endpoints per router.
     pub concentration: usize,
+    /// Endpoints per topology group, when the family has a natural group
+    /// structure (DragonFly groups, SlimFly local clusters). Group-structured
+    /// traffic patterns (`adversarial`, `nearest-group`) align to this via
+    /// [`pattern_spec_for`]; `None` leaves the pattern its own fallback.
+    pub group_endpoints: Option<usize>,
     /// Lazily-computed distance oracle, shared by every network built from this
     /// topology (the sweep drivers build one network per routing × pattern; the
     /// quadratic all-pairs BFS should run once, not once per sweep).
@@ -79,8 +84,16 @@ impl SimTopology {
             name: name.into(),
             graph,
             concentration,
+            group_endpoints: None,
             dist: OnceLock::new(),
         }
+    }
+
+    /// Builder-style: record the family's group structure as `routers_per_group`
+    /// consecutive routers (× concentration endpoints each).
+    pub fn with_router_groups(mut self, routers_per_group: usize) -> Self {
+        self.group_endpoints = Some(routers_per_group * self.concentration);
+        self
     }
 
     /// The topology's distance oracle (computed on first call, then shared).
@@ -101,6 +114,13 @@ impl SimTopology {
 ///
 /// Paper scale: LPS(23,13)×8, SF(27)×8, BF(9,9)×6, DF(a=16,h=8,g=69)×8 — all ≈ 8.7K
 /// endpoints on ≤ 32-port routers. Small scale keeps the same families at ~650 endpoints.
+///
+/// Group structure for the group-aligned traffic patterns: DragonFly groups are
+/// its `a` routers per group, SlimFly "groups" are the MMS local clusters of `q`
+/// consecutive routers, and SpectralFly (an expander with no modular structure)
+/// uses single-router groups — its adversarial worst case funnels every router's
+/// endpoints into one victim router, concentrating load on the few minimal
+/// routes between the pair. BundleFly is left to the pattern's own fallback.
 pub fn simulation_topologies(scale: Scale) -> Vec<SimTopology> {
     match scale {
         Scale::Paper => vec![
@@ -111,7 +131,8 @@ pub fn simulation_topologies(scale: Scale) -> Vec<SimTopology> {
                     .graph()
                     .clone(),
                 8,
-            ),
+            )
+            .with_router_groups(1),
             SimTopology::new(
                 "SlimFly SF(27) x8",
                 SlimFlyGraph::new(27)
@@ -119,7 +140,8 @@ pub fn simulation_topologies(scale: Scale) -> Vec<SimTopology> {
                     .graph()
                     .clone(),
                 8,
-            ),
+            )
+            .with_router_groups(27),
             SimTopology::new(
                 "BundleFly BF(9,9) x6",
                 BundleFlyGraph::new(9, 9)
@@ -135,7 +157,8 @@ pub fn simulation_topologies(scale: Scale) -> Vec<SimTopology> {
                     .graph()
                     .clone(),
                 8,
-            ),
+            )
+            .with_router_groups(16),
         ],
         Scale::Small => vec![
             SimTopology::new(
@@ -145,7 +168,8 @@ pub fn simulation_topologies(scale: Scale) -> Vec<SimTopology> {
                     .graph()
                     .clone(),
                 4,
-            ),
+            )
+            .with_router_groups(1),
             SimTopology::new(
                 "SlimFly SF(9) x4",
                 SlimFlyGraph::new(9)
@@ -153,7 +177,8 @@ pub fn simulation_topologies(scale: Scale) -> Vec<SimTopology> {
                     .graph()
                     .clone(),
                 4,
-            ),
+            )
+            .with_router_groups(9),
             SimTopology::new(
                 "BundleFly BF(13,3) x3",
                 BundleFlyGraph::new(13, 3)
@@ -169,7 +194,8 @@ pub fn simulation_topologies(scale: Scale) -> Vec<SimTopology> {
                     .graph()
                     .clone(),
                 4,
-            ),
+            )
+            .with_router_groups(8),
         ],
     }
 }
@@ -275,6 +301,93 @@ pub fn routing_names_from_args(default: &[&str]) -> Vec<String> {
     requested
 }
 
+/// Split a comma-separated pattern list at **top-level** commas only, so
+/// multi-argument specs survive intact:
+/// `"hotspot(8,0.2),adversarial"` → `["hotspot(8,0.2)", "adversarial"]`.
+pub fn split_pattern_list(list: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in list.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(list[start..i].trim().to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(list[start..].trim().to_string());
+    out.retain(|s| !s.is_empty());
+    out
+}
+
+/// Traffic patterns selected on the command line: `--pattern a,b,c` (pattern
+/// specs, validated against [`spectralfly_simnet::pattern`]) with a fallback
+/// when the flag is absent. `--pattern all` selects every registered pattern.
+/// Specs may carry arguments, e.g. `--pattern "hotspot(8,0.2),adversarial"` —
+/// commas inside parentheses separate a spec's arguments, not specs.
+///
+/// # Panics
+/// If a requested spec's base name is not in the pattern registry (the message
+/// lists what is).
+pub fn pattern_names_from_args(default: &[&str]) -> Vec<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let requested: Vec<String> = match args.iter().position(|a| a == "--pattern") {
+        Some(i) => split_pattern_list(args.get(i + 1).unwrap_or_else(|| {
+            panic!("--pattern requires a comma-separated list of pattern specs")
+        })),
+        None => default.iter().map(|s| s.to_string()).collect(),
+    };
+    assert!(
+        !requested.is_empty(),
+        "--pattern requires at least one pattern; registered: {}",
+        pattern::registered_names().join(", ")
+    );
+    if requested.iter().any(|r| r == "all") {
+        return pattern::registered_names();
+    }
+    for spec in &requested {
+        assert!(
+            pattern::is_registered(spec),
+            "unknown traffic pattern {spec:?}; registered: {}",
+            pattern::registered_names().join(", ")
+        );
+    }
+    requested
+}
+
+/// Align a pattern spec to a topology's group structure: group-structured
+/// patterns (`adversarial`, `nearest-group`) without explicit arguments gain the
+/// topology's endpoints-per-group ([`SimTopology::group_endpoints`]) as their
+/// group size, so `--pattern adversarial` means "adversarial against *this*
+/// topology" for every topology in a sweep. Specs with explicit arguments and
+/// patterns without group structure pass through untouched.
+pub fn pattern_spec_for(topo: &SimTopology, spec: &str) -> String {
+    let Some(group) = topo.group_endpoints else {
+        return spec.to_string();
+    };
+    match pattern::parse_spec(spec) {
+        Ok((base, args))
+            if args.is_empty() && (base == "adversarial" || base == "nearest-group") =>
+        {
+            format!("{base}({group})")
+        }
+        _ => spec.to_string(),
+    }
+}
+
+/// The steady-state source workload for pattern-driven sweeps: every endpoint
+/// sends `bytes`-sized messages (one template each), so the workload supplies
+/// the *senders and sizes* while [`MeasurementWindows::pattern`] supplies the
+/// destinations. (Template destinations are uniform-random; they are only used
+/// when no pattern is configured.)
+pub fn steady_source_workload(net: &SimNetwork, bytes: u64, seed: u64) -> Workload {
+    Workload::uniform_random(net.num_endpoints(), 1, bytes, seed)
+}
+
 /// Run one simulation per offered load, in parallel (one simulation per core) —
 /// the sweep behind the x-axis of Figures 6–8.
 ///
@@ -349,6 +462,71 @@ mod tests {
             let net = t.network();
             assert!(net.num_endpoints() >= 500, "{}", t.name);
         }
+    }
+
+    #[test]
+    fn group_specs_align_to_each_topology() {
+        let topos = simulation_topologies(Scale::Small);
+        // SpectralFly: single-router groups -> group = concentration endpoints.
+        assert_eq!(topos[0].group_endpoints, Some(4));
+        assert_eq!(pattern_spec_for(&topos[0], "adversarial"), "adversarial(4)");
+        // SlimFly SF(9) x4: MMS local clusters of 9 routers.
+        assert_eq!(
+            pattern_spec_for(&topos[1], "nearest-group"),
+            "nearest-group(36)"
+        );
+        // BundleFly: no declared structure -> spec passes through.
+        assert_eq!(topos[2].group_endpoints, None);
+        assert_eq!(pattern_spec_for(&topos[2], "adversarial"), "adversarial");
+        // DragonFly DF(8,4,21) x4: groups of 8 routers.
+        assert_eq!(
+            pattern_spec_for(&topos[3], "adversarial"),
+            "adversarial(32)"
+        );
+        // Explicit arguments and non-group patterns are never rewritten.
+        assert_eq!(
+            pattern_spec_for(&topos[3], "adversarial(7)"),
+            "adversarial(7)"
+        );
+        assert_eq!(pattern_spec_for(&topos[3], "tornado"), "tornado");
+        assert_eq!(
+            pattern_spec_for(&topos[3], "hotspot(8, 0.2)"),
+            "hotspot(8, 0.2)"
+        );
+    }
+
+    #[test]
+    fn pattern_lists_split_at_top_level_commas_only() {
+        assert_eq!(
+            split_pattern_list("hotspot(8,0.2),adversarial"),
+            vec!["hotspot(8,0.2)", "adversarial"]
+        );
+        assert_eq!(
+            split_pattern_list(" random , nearest-group(32) "),
+            vec!["random", "nearest-group(32)"]
+        );
+        assert_eq!(split_pattern_list("tornado"), vec!["tornado"]);
+        assert_eq!(
+            split_pattern_list("hotspot(4, 0.5)"),
+            vec!["hotspot(4, 0.5)"]
+        );
+        assert!(split_pattern_list(" , ,").is_empty());
+        // Every surviving element is a spec the registry can validate whole.
+        for spec in split_pattern_list("hotspot(8,0.2),adversarial(64),random") {
+            assert!(pattern::is_registered(&spec), "{spec}");
+        }
+    }
+
+    #[test]
+    fn steady_source_workload_covers_every_endpoint() {
+        let ring: Vec<(u32, u32)> = (0..6u32).map(|i| (i, (i + 1) % 6)).collect();
+        let net = SimNetwork::new(CsrGraph::from_edges(6, &ring), 3);
+        let wl = steady_source_workload(&net, 4096, 1);
+        assert_eq!(wl.num_messages(), net.num_endpoints());
+        let senders: std::collections::BTreeSet<usize> =
+            wl.phases[0].messages.iter().map(|m| m.src).collect();
+        assert_eq!(senders.len(), net.num_endpoints());
+        assert!(wl.phases[0].messages.iter().all(|m| m.bytes == 4096));
     }
 
     #[test]

@@ -67,10 +67,13 @@ impl std::fmt::Display for RoutingAlgorithm {
 /// flight at the deadline are abandoned — above saturation the queues would
 /// otherwise never empty). A time-series sample
 /// ([`crate::stats::IntervalSample`]) is recorded every `sample_interval_ps`.
+/// With [`MeasurementWindows::pattern`] set, each spawned message's destination
+/// is drawn live from the named traffic pattern ([`crate::pattern`]) instead of
+/// the workload template — the adversarial / tornado / hotspot scenarios.
 ///
 /// Workload-paced runs ([`crate::Simulator::run`]) ignore the windows: phased
 /// application motifs are finite by nature.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MeasurementWindows {
     /// Warmup before measurement starts, picoseconds.
     pub warmup_ps: u64,
@@ -81,6 +84,15 @@ pub struct MeasurementWindows {
     pub drain_ps: u64,
     /// Spacing of the steady-state time-series samples, picoseconds.
     pub sample_interval_ps: u64,
+    /// Traffic-pattern spec the continuous sources draw destinations from
+    /// (resolved through [`crate::pattern`], e.g. `"adversarial(128)"`).
+    ///
+    /// `None` (the default) keeps the original template behaviour: each source
+    /// cycles through its workload messages' destinations — bit-identical to
+    /// the pre-pattern engine. `Some(spec)` overrides only the *destination* of
+    /// every spawned message with a live draw from the pattern; message sizes
+    /// and the set of sending endpoints still come from the workload.
+    pub pattern: Option<String>,
 }
 
 impl MeasurementWindows {
@@ -96,7 +108,19 @@ impl MeasurementWindows {
             measure_ps,
             drain_ps: measure_ps,
             sample_interval_ps: ((warmup_ps + measure_ps) / 32).max(1),
+            pattern: None,
         }
+    }
+
+    /// Builder-style: draw steady-state destinations from a registered traffic
+    /// pattern instead of the workload templates.
+    ///
+    /// The spec is resolved against the network when the run starts; an unknown
+    /// or invalid spec panics there with the registered pattern names, exactly
+    /// as an unknown routing name does.
+    pub fn with_pattern(mut self, spec: impl Into<String>) -> Self {
+        self.pattern = Some(spec.into());
+        self
     }
 
     /// Start of the measurement window, picoseconds.
@@ -272,9 +296,18 @@ mod tests {
         assert_eq!(w.measure_end_ps(), 65_000);
         assert_eq!(w.deadline_ps(), 129_000);
         assert!(w.sample_interval_ps >= 1);
-        let cfg = SimConfig::default().with_windows(w);
+        assert!(w.pattern.is_none());
+        let cfg = SimConfig::default().with_windows(w.clone());
         assert_eq!(cfg.windows, Some(w));
         assert!(SimConfig::default().windows.is_none());
+    }
+
+    #[test]
+    fn windows_carry_a_pattern_spec() {
+        let w = MeasurementWindows::new(1_000, 64_000).with_pattern("adversarial(32)");
+        assert_eq!(w.pattern.as_deref(), Some("adversarial(32)"));
+        // Pattern-less windows stay equal to their original spelling.
+        assert_ne!(w, MeasurementWindows::new(1_000, 64_000));
     }
 
     #[test]

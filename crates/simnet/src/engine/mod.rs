@@ -18,13 +18,13 @@
 //! time-based retry events at all (the polling engine this replaced
 //! re-enqueued a `TryTransmit` every retry quantum per blocked link; under saturation
 //! those retries dominated the event count). The retained polling implementation lives
-//! in [`reference`] as the equivalence oracle and performance baseline, and
+//! in [`mod@reference`] as the equivalence oracle and performance baseline, and
 //! [`crate::stats::EngineCounters`] makes the difference observable: `timed_retries`
 //! is zero for this engine by construction, while `blocked_parks`/`wakeups` count the
 //! waiter-list traffic.
 //!
 //! Event storage is a bucketed calendar queue with an overflow heap for far-future
-//! events ([`calendar`]), and packets live in an index arena with a free list so
+//! events (the private `calendar` module), and packets live in an index arena with a free list so
 //! steady-state runs recycle slots instead of growing without bound.
 //!
 //! # Steady-state measurement
@@ -483,7 +483,7 @@ impl<'a> Simulator<'a> {
             offered_load > 0.0 && offered_load <= 1.0,
             "offered load must be in (0, 1]"
         );
-        match self.cfg.windows {
+        match &self.cfg.windows {
             None => self.run_finite(workload, Some(offered_load)),
             Some(w) => self.run_steady(workload, offered_load, w),
         }
@@ -573,7 +573,7 @@ impl<'a> Simulator<'a> {
         &self,
         workload: &Workload,
         offered_load: f64,
-        w: crate::config::MeasurementWindows,
+        w: &crate::config::MeasurementWindows,
     ) -> SimResults {
         if let Some(max_ep) = workload.max_endpoint() {
             assert!(
@@ -582,6 +582,16 @@ impl<'a> Simulator<'a> {
                 self.net.num_endpoints()
             );
         }
+        // Resolve the destination pattern once, up front — an unknown spec fails
+        // loudly before any simulation work, mirroring unknown routing names.
+        let pattern: Option<Box<dyn crate::pattern::TrafficPattern>> =
+            w.pattern.as_deref().map(|spec| {
+                crate::pattern::create(
+                    spec,
+                    &crate::pattern::PatternCtx::new(self.net.num_endpoints()),
+                )
+                .unwrap_or_else(|e| panic!("{e}"))
+            });
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut stats = StatsCollector::with_window(w.measure_start_ps(), w.measure_end_ps());
 
@@ -634,14 +644,15 @@ impl<'a> Simulator<'a> {
                     source as usize,
                     ev.time,
                     offered_load,
-                    &w,
+                    w,
+                    pattern.as_deref(),
                     &mut sources,
                     &mut st,
                     &mut stats,
                     &mut rng,
                 );
             } else if ev.kind == EventKind::Sample {
-                self.record_sample(ev.time, &w, &mut st, &mut stats);
+                self.record_sample(ev.time, w, &mut st, &mut stats);
             } else {
                 self.handle_event(ev, &mut st, &mut rng, &mut stats);
             }
@@ -662,6 +673,11 @@ impl<'a> Simulator<'a> {
 
     /// Generate one message from a continuous source at its arrival time `now`,
     /// packetize it through the NIC, and schedule the source's next arrival.
+    ///
+    /// With a destination `pattern` configured, the message's destination is
+    /// drawn live from it (one pattern draw per message); the template cycle
+    /// still supplies the message size, so workloads keep controlling *how
+    /// much* each endpoint sends while the pattern controls *where to*.
     #[allow(clippy::too_many_arguments)]
     fn spawn_message(
         &self,
@@ -669,14 +685,27 @@ impl<'a> Simulator<'a> {
         now: u64,
         load: f64,
         w: &crate::config::MeasurementWindows,
+        pattern: Option<&dyn crate::pattern::TrafficPattern>,
         sources: &mut [Source],
         st: &mut EngineState,
         stats: &mut StatsCollector,
         rng: &mut StdRng,
     ) {
         let src = &mut sources[si];
-        let (dst, bytes) = src.templates[src.next_template % src.templates.len()];
+        let (mut dst, bytes) = src.templates[src.next_template % src.templates.len()];
         src.next_template += 1;
+        if let Some(p) = pattern {
+            dst = p.dst(src.endpoint, rng);
+            // Hard assert (not debug_assert): TrafficPattern is a third-party
+            // extension point, and an out-of-range destination would otherwise
+            // index past the endpoint map far from the buggy draw.
+            assert!(
+                dst < self.net.num_endpoints(),
+                "pattern {} returned out-of-range destination {dst} (network has {} endpoints)",
+                p.name(),
+                self.net.num_endpoints()
+            );
+        }
 
         let segments = segment_message(self.cfg, bytes);
         let mut t = now.max(src.nic_free_ps);

@@ -15,8 +15,8 @@
 //!    the wakeup engine's event-throughput speedup over this implementation on
 //!    a saturated sweep.
 //!
-//! It shares packetization ([`super::packetize_phase`]) and the routing
-//! decision path ([`super::choose_port`]) with the wakeup engine, so the two
+//! It shares packetization (`packetize_phase`) and the routing
+//! decision path (`choose_port`) with the wakeup engine, so the two
 //! can only diverge in event scheduling, never in workload layout or routing
 //! behaviour. Steady-state measurement windows are not supported here.
 

@@ -17,6 +17,12 @@
 //!   variant the paper discusses as UGAL's idealized form);
 //! * Poisson packet injection to sweep offered load, plus phased application workloads
 //!   (the Ember motifs) whose phases synchronize like the underlying MPI skeletons;
+//! * a **pluggable traffic-pattern subsystem** ([`pattern`]) mirroring the routing
+//!   registry: synthetic patterns implement [`pattern::TrafficPattern`] and are
+//!   selected by spec string (`"random"`, `"tornado"`, `"hotspot(8, 0.2)"`,
+//!   `"adversarial(128)"`, …) — materialized into finite workloads, or sampled
+//!   live by the steady-state sources via
+//!   [`config::MeasurementWindows::pattern`];
 //! * a **wakeup-driven event engine** ([`engine`]): blocked links park on per-buffer-slot
 //!   waiter lists and are woken exactly when a slot frees — no time-based retry polling —
 //!   over a packet arena and a bucketed calendar event queue. The former polling engine
@@ -55,6 +61,7 @@
 pub mod config;
 pub mod engine;
 pub mod network;
+pub mod pattern;
 pub mod routing;
 pub mod stats;
 pub mod workload;
@@ -63,6 +70,7 @@ pub use config::{MeasurementWindows, RoutingAlgorithm, SimConfig};
 pub use engine::reference::ReferenceSimulator;
 pub use engine::Simulator;
 pub use network::SimNetwork;
+pub use pattern::{PatternCtx, PatternError, PatternRegistry, TrafficPattern};
 pub use routing::{Router, RouterRegistry, RoutingCtx, RoutingHarness, RoutingState};
 pub use stats::{EngineCounters, IntervalSample, MeasurementSummary, SimResults};
 pub use workload::{Message, Phase, Workload};

@@ -3,7 +3,7 @@
 //! These are not evaluated in the paper's figures, but they serve three purposes in this
 //! repository: (1) closed-form spectra and distances make them ideal test oracles for the
 //! analysis substrate, (2) they are familiar reference points in the examples, and (3) the
-//! paper's related-work discussion ([10]) contrasts supercomputing topologies of exactly
+//! paper's related-work discussion (ref. \[10\]) contrasts supercomputing topologies of exactly
 //! these kinds against Ramanujan graphs.
 
 use crate::spec::TopologyError;
