@@ -24,7 +24,11 @@
 //!    twice, once with the packed next-hop table and once on the
 //!    distance-matrix scan fallback; the two must produce bit-identical
 //!    results, so the ratio isolates the hot-path representation.
-//! 4. **Routing microbench**: raw decisions/second through
+//! 4. **Degraded-LPS scenario**: the routing-bound regime repeated with 10%
+//!    of links failed (`FaultPlan::random_links(0.1)`), oracles rebuilt over
+//!    the surviving graph — routing on a damaged expander must stay as cheap
+//!    as on a pristine one (table and scan remain bit-identical there too).
+//! 5. **Routing microbench**: raw decisions/second through
 //!    [`spectralfly_simnet::RoutingHarness`] (no event loop around it), per
 //!    algorithm × port-set strategy.
 //!
@@ -41,7 +45,8 @@
 use spectralfly_bench::{arg_u64, fmt};
 use spectralfly_graph::CsrGraph;
 use spectralfly_simnet::{
-    ReferenceSimulator, RoutingHarness, SimConfig, SimNetwork, SimResults, Simulator, Workload,
+    FaultPlan, ReferenceSimulator, RoutingHarness, SimConfig, SimNetwork, SimResults, Simulator,
+    Workload,
 };
 use spectralfly_topology::{LpsGraph, Topology};
 use std::sync::mpsc;
@@ -360,6 +365,44 @@ fn main() {
     }
     let lps_net = scenarios.into_iter().next().expect("scenario list").1;
 
+    // Degraded-LPS scenario: the same routing-bound regime with 10% of links
+    // failed (the dynamic Fig. 5 headline point). The oracles are rebuilt over
+    // the surviving graph at construction, so the hot path runs unchanged —
+    // this row tracks that routing on a damaged expander stays as cheap as on
+    // a pristine one.
+    {
+        let plan = FaultPlan::random_links(0.1).with_seed(seed);
+        let (label, degraded, msgs) = if smoke {
+            (
+                "lps(11,7)x4-faults-links(0.1)",
+                lps_faulted(11, 7, 4, &plan),
+                1,
+            )
+        } else {
+            (
+                "lps(23,13)x8-faults-links(0.1)",
+                lps_faulted(23, 13, 8, &plan),
+                20,
+            )
+        };
+        // Sources and destinations restricted to the surviving machine's
+        // alive endpoints (all of them under pure link failures).
+        let wl = Workload::uniform_random(degraded.num_endpoints(), msgs, 4096, seed);
+        let rcfg = SimConfig {
+            seed,
+            ..SimConfig::default().with_routing("ugal-l", degraded.diameter() as u32)
+        }
+        .with_fault_plan(plan);
+        entries.push(run_routing_bound_scenario(
+            format!("{label}-ugal-l-load0.9-msgs{msgs}"),
+            &degraded,
+            &rcfg,
+            &wl,
+            0.9,
+            reps,
+        ));
+    }
+
     // Routing microbench: decisions/second per algorithm × strategy.
     let micro_decisions = if smoke { 50_000 } else { 2_000_000 };
     let scan_net = lps_net.clone().without_next_hop_table();
@@ -436,4 +479,16 @@ fn lps_net(p: u64, q: u64, conc: usize) -> SimNetwork {
             .clone(),
         conc,
     )
+}
+
+fn lps_faulted(p: u64, q: u64, conc: usize, plan: &FaultPlan) -> SimNetwork {
+    SimNetwork::with_faults(
+        LpsGraph::new(p, q)
+            .expect("valid LPS parameters")
+            .graph()
+            .clone(),
+        conc,
+        plan,
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
 }

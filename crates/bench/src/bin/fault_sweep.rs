@@ -1,0 +1,190 @@
+//! Throughput vs failure fraction — the **dynamic** analogue of the paper's
+//! Fig. 5.
+//!
+//! Fig. 5 (`fig5_failures`) shows that LPS Ramanujan expanders keep their
+//! *structural* metrics (diameter, mean hops, bisection) as random links die.
+//! This sweep closes the loop on the resilience claim by actually routing
+//! traffic on the damaged machines: for each topology and failure fraction it
+//! applies a seeded `links(f)` fault plan ([`spectralfly_simnet::FaultPlan`] —
+//! the same draws as the static sweep at equal seeds), rebuilds the routing
+//! oracles over the surviving graph, and measures sustained steady-state
+//! throughput under a live traffic pattern. Expected shape: SpectralFly's
+//! throughput degrades gracefully (slightly super-linear in the dead-link
+//! fraction), while DragonFly — whose minimal routes concentrate on few
+//! global links — loses throughput faster and fragments sooner.
+//!
+//! Usage: `cargo run --release -p spectralfly-bench --bin fault_sweep
+//! [--full] [--topo substring] [--routing ugal-l,minimal,…|all]
+//! [--pattern SPEC] [--fractions 0,0.05,0.1,0.2] [--load PCT]
+//! [--seed N] [--fault-seed N] [--warmup NS] [--measure NS] [--smoke]`
+//!
+//! * Failure fractions default to `0, 0.05, 0.1, 0.2` (the paper's Fig. 5
+//!   x-axis up to well past its 10% headline point).
+//! * The offered load defaults to 0.7 of injection bandwidth (`--load`, in
+//!   percent) — high enough that lost capacity shows, below the adversarial
+//!   collapse regime.
+//! * A fraction that fragments the surviving machine is reported as
+//!   `infeasible` (the [`spectralfly_simnet::FaultError`]), not a crash —
+//!   that *is* the disconnection threshold, observed dynamically.
+//! * `--smoke` shrinks everything (small scale, two fractions, short windows)
+//!   so CI exercises the whole path in seconds.
+//!
+//! The acceptance scenario — paper-scale LPS(23,13)×8 with 10% random link
+//! failures under UGAL-L — is
+//! `fault_sweep --full --topo SpectralFly --fractions 0.1 --routing ugal-l`.
+
+use spectralfly_bench::{
+    arg_u64, fmt, paper_sim_config, pattern_spec_for, print_table, routing_names_from_args,
+    seed_from_args, simulation_topologies, steady_source_workload, try_sweep_offered_loads, Scale,
+};
+use spectralfly_simnet::{FaultPlan, MeasurementWindows};
+
+/// Failure fractions selected with `--fractions a,b,c` (fractions of links).
+fn fractions_from_args(default: &[f64]) -> Vec<f64> {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--fractions") {
+        None => default.to_vec(),
+        Some(i) => args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--fractions requires a comma-separated list"))
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                let f: f64 = s
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--fractions entry {s:?} is not a number"));
+                assert!((0.0..=1.0).contains(&f), "fraction {f} outside [0, 1]");
+                f
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale::Small
+    } else {
+        Scale::from_args()
+    };
+    let seed = seed_from_args(0xFA5);
+    // This binary *is* the fault axis: it builds its own links(f) plan per
+    // fraction, so a --faults spec would be silently ignored — reject it.
+    assert!(
+        !std::env::args().any(|a| a == "--faults"),
+        "fault_sweep sweeps links(f) plans itself; select the axis with \
+         --fractions and the draw with --fault-seed (other binaries take --faults)"
+    );
+    let fault_seed = arg_u64("--fault-seed", FaultPlan::DEFAULT_SEED);
+    let fractions = fractions_from_args(if smoke {
+        &[0.0, 0.1]
+    } else {
+        &[0.0, 0.05, 0.1, 0.2]
+    });
+    let routings = routing_names_from_args(&["ugal-l"]);
+    let load = (arg_u64("--load", 70) as f64 / 100.0).clamp(0.01, 1.0);
+    let measure_ns = arg_u64("--measure", if smoke { 3_000 } else { 20_000 });
+    let warmup_ns = arg_u64("--warmup", measure_ns / 4);
+    let pattern: String = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--pattern")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "random".to_string())
+    };
+    let topo_filter: Option<String> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--topo")
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.to_lowercase())
+    };
+
+    let topologies: Vec<_> = simulation_topologies(scale)
+        .into_iter()
+        .filter(|t| match &topo_filter {
+            None => true,
+            Some(f) => t.name.to_lowercase().contains(f),
+        })
+        .collect();
+    assert!(!topologies.is_empty(), "--topo matched no topology");
+
+    let mut rows = Vec::new();
+    for topo in &topologies {
+        let spec = pattern_spec_for(topo, &pattern);
+        for routing in &routings {
+            // Throughput at fraction 0 of this (topology, routing) anchors the
+            // "retained" column, so degradation is read directly.
+            let mut baseline: Option<f64> = None;
+            for &fraction in &fractions {
+                let plan = if fraction == 0.0 {
+                    FaultPlan::none()
+                } else {
+                    FaultPlan::random_links(fraction).with_seed(fault_seed)
+                };
+                let net = topo
+                    .faulted_network(&plan)
+                    .unwrap_or_else(|e| panic!("{}: {e}", topo.name));
+                let wl = steady_source_workload(&net, 4096, seed ^ 0x51EADE);
+                let mut cfg =
+                    paper_sim_config(&net, routing.clone(), seed).with_fault_plan(plan.clone());
+                cfg.windows = Some(
+                    MeasurementWindows::new(warmup_ns * 1000, measure_ns * 1000)
+                        .with_pattern(spec.clone()),
+                );
+                let (_, res) = try_sweep_offered_loads(&net, &cfg, &wl, &[load])
+                    .pop()
+                    .expect("one load point");
+                let tail = match res {
+                    Ok(res) => {
+                        let m = res.measurement.expect("steady-state run has a summary");
+                        let tput = m.throughput_gbps();
+                        if fraction == 0.0 {
+                            baseline = Some(tput);
+                        }
+                        // Only a swept fraction-0 point anchors "retained";
+                        // without one the ratio would silently rebase on the
+                        // first damaged row.
+                        let retained = match baseline {
+                            Some(b) if b > 0.0 => fmt(tput / b),
+                            _ => "-".to_string(),
+                        };
+                        vec![
+                            fmt(tput),
+                            retained,
+                            fmt(m.delivery_ratio()),
+                            format!("{}", res.p99_packet_latency_ps / 1000),
+                        ]
+                    }
+                    Err(e) => vec![
+                        format!("infeasible: {e}"),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ],
+                };
+                let mut row = vec![topo.name.clone(), routing.clone(), format!("{fraction:.2}")];
+                row.extend(tail);
+                rows.push(row);
+            }
+        }
+    }
+    print_table(
+        &format!(
+            "Throughput vs link-failure fraction (dynamic Fig. 5; pattern {pattern}, \
+             load {load:.2}, measure {measure_ns} ns, seed {seed:#x}, fault seed {fault_seed:#x})"
+        ),
+        &[
+            "Topology",
+            "Routing",
+            "Failed",
+            "Tput Gb/s",
+            "Retained",
+            "Delivered",
+            "p99 ns",
+        ],
+        &rows,
+    );
+}

@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run --release -p spectralfly-bench --bin fig6_microbench_ugal
 //! [--full] [--routing ugal-l,ugal-g|all] [--pattern random,shuffle,…|all]
-//! [--seed N] [--warmup NS] [--measure NS]`
+//! [--seed N] [--warmup NS] [--measure NS] [--faults SPEC] [--fault-seed N]`
 //!
 //! Default is the small scale under UGAL-L; `--full` uses the paper's ~8.7K-endpoint
 //! configuration, and `--routing` selects any set of registry algorithms (one table
@@ -12,14 +12,15 @@
 //! sources with warmup/measure/drain windows — and the speedups compare *sustained
 //! measured throughput* instead of drain-to-empty completion time, which is what the
 //! paper's saturation curves actually plot. Load points of a sweep run in parallel,
-//! one simulation per core.
+//! one simulation per core. `--faults` (a fault-plan spec like `links(0.1)`,
+//! seeded by `--fault-seed`) degrades every topology before the sweep: ranks
+//! are placed on the surviving endpoints and routing steers around the damage.
 
 use spectralfly_bench::{
-    figure_of_merit, fmt, measurement_from_args, merit_speedup, paper_sim_config,
-    pattern_names_from_args, print_table, routing_names_from_args, seed_from_args,
+    faults_from_args, figure_of_merit, fmt, measurement_from_args, merit_speedup, paper_sim_config,
+    pattern_names_from_args, place_on_alive, print_table, routing_names_from_args, seed_from_args,
     simulation_topologies, sweep_offered_loads, Scale, OFFERED_LOADS,
 };
-use spectralfly_simnet::workload::random_placement;
 use spectralfly_simnet::Workload;
 
 fn main() {
@@ -28,6 +29,7 @@ fn main() {
     let msgs = scale.messages_per_rank();
     let seed = seed_from_args(0xF16);
     let windows = measurement_from_args();
+    let faults = faults_from_args();
     let topologies = simulation_topologies(scale);
     let patterns = pattern_names_from_args(&["random", "shuffle", "reverse", "transpose"]);
 
@@ -37,11 +39,14 @@ fn main() {
             // Figure of merit per topology per load; DragonFly (last) is the baseline.
             let mut results: Vec<Vec<(f64, bool)>> = Vec::new();
             for topo in &topologies {
-                let net = topo.network();
-                let mut cfg = paper_sim_config(&net, routing.clone(), seed);
+                let net = topo
+                    .faulted_network(&faults)
+                    .unwrap_or_else(|e| panic!("{}: {e}", topo.name));
+                let mut cfg =
+                    paper_sim_config(&net, routing.clone(), seed).with_fault_plan(faults.clone());
                 cfg.windows = windows.clone();
                 let ranks = 1usize << bits;
-                let placement = random_placement(ranks, net.num_endpoints(), 0xBEEF);
+                let placement = place_on_alive(&net, ranks, 0xBEEF);
                 let wl = Workload::synthetic(pattern, bits, msgs, 4096, 0xABCD)
                     .unwrap_or_else(|e| panic!("{e}"))
                     .place(&placement);

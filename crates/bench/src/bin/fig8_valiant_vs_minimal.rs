@@ -3,21 +3,23 @@
 //!
 //! Usage: `cargo run --release -p spectralfly-bench --bin fig8_valiant_vs_minimal
 //! [--full] [--routing valiant,ugal-l,ugal-g|all] [--pattern random,shuffle,…|all]
-//! [--seed N] [--warmup NS] [--measure NS]`
+//! [--seed N] [--warmup NS] [--measure NS] [--faults SPEC] [--fault-seed N]`
 //!
 //! Default compares Valiant against minimal (the paper's Fig. 8); `--routing` pits
 //! any set of registry algorithms against the minimal baseline. With `--measure`
 //! (and optionally `--warmup`, in simulated nanoseconds) the sweeps use
 //! steady-state measurement windows and compare sustained measured throughput
 //! instead of completion time. The minimal and challenger sweeps each run their
-//! load points in parallel, one simulation per core.
+//! load points in parallel, one simulation per core. `--faults` degrades the
+//! SpectralFly instance before the comparison (ranks are placed on surviving
+//! endpoints), answering "does non-minimal routing still pay off on a damaged
+//! expander?".
 
 use spectralfly_bench::{
-    figure_of_merit, fmt, measurement_from_args, merit_speedup, paper_sim_config,
-    pattern_names_from_args, print_table, routing_names_from_args, seed_from_args,
+    faults_from_args, figure_of_merit, fmt, measurement_from_args, merit_speedup, paper_sim_config,
+    pattern_names_from_args, place_on_alive, print_table, routing_names_from_args, seed_from_args,
     simulation_topologies, sweep_offered_loads, Scale, OFFERED_LOADS,
 };
-use spectralfly_simnet::workload::random_placement;
 use spectralfly_simnet::Workload;
 
 fn main() {
@@ -26,10 +28,13 @@ fn main() {
     let msgs = scale.messages_per_rank();
     let seed = seed_from_args(0xF18);
     let windows = measurement_from_args();
+    let faults = faults_from_args();
     let spectralfly = &simulation_topologies(scale)[0];
-    let net = spectralfly.network();
+    let net = spectralfly
+        .faulted_network(&faults)
+        .unwrap_or_else(|e| panic!("{}: {e}", spectralfly.name));
     let ranks = 1usize << bits;
-    let placement = random_placement(ranks, net.num_endpoints(), 0xBEEF);
+    let placement = place_on_alive(&net, ranks, 0xBEEF);
     let challengers = routing_names_from_args(&["valiant"]);
 
     let mut rows = Vec::new();
@@ -37,11 +42,12 @@ fn main() {
         let wl = Workload::synthetic(&pattern, bits, msgs, 4096, 0xABCD)
             .unwrap_or_else(|e| panic!("{e}"))
             .place(&placement);
-        let mut min_cfg = paper_sim_config(&net, "minimal", seed);
+        let mut min_cfg = paper_sim_config(&net, "minimal", seed).with_fault_plan(faults.clone());
         min_cfg.windows = windows.clone();
         let baseline = sweep_offered_loads(&net, &min_cfg, &wl, &OFFERED_LOADS);
         for routing in &challengers {
-            let mut cfg = paper_sim_config(&net, routing.clone(), seed);
+            let mut cfg =
+                paper_sim_config(&net, routing.clone(), seed).with_fault_plan(faults.clone());
             cfg.windows = windows.clone();
             let mut row = vec![format!("{pattern} ({routing})")];
             for ((_, min_res), (_, res)) in

@@ -5,7 +5,8 @@
 //!
 //! Usage: `cargo run --release -p spectralfly-bench --bin pattern_sweep
 //! [--full] [--pattern random,adversarial,…|all] [--routing minimal,ugal-l,…|all]
-//! [--topo substring] [--loads 0.1,0.5,0.9] [--seed N] [--warmup NS] [--measure NS]`
+//! [--topo substring] [--loads 0.1,0.5,0.9] [--seed N] [--warmup NS] [--measure NS]
+//! [--faults SPEC] [--fault-seed N]`
 //!
 //! Unlike the fig6/fig8 micro-benchmarks (which materialize a pattern over a
 //! rank space and scatter it with a random placement), this sweep drives the
@@ -23,9 +24,9 @@
 //! `pattern_sweep --full --topo SpectralFly --pattern adversarial --routing minimal,ugal-l --loads 0.9`.
 
 use spectralfly_bench::{
-    arg_u64, fmt, paper_sim_config, pattern_names_from_args, pattern_spec_for, print_table,
-    routing_names_from_args, seed_from_args, simulation_topologies, steady_source_workload,
-    sweep_offered_loads, Scale,
+    arg_u64, faults_from_args, fmt, paper_sim_config, pattern_names_from_args, pattern_spec_for,
+    print_table, routing_names_from_args, seed_from_args, simulation_topologies,
+    steady_source_workload, try_sweep_offered_loads, Scale,
 };
 use spectralfly_simnet::MeasurementWindows;
 
@@ -56,6 +57,7 @@ fn loads_from_args() -> Vec<f64> {
 fn main() {
     let scale = Scale::from_args();
     let seed = seed_from_args(0x9A77);
+    let faults = faults_from_args();
     let loads = loads_from_args();
     let patterns = pattern_names_from_args(&["random", "adversarial"]);
     let routings = routing_names_from_args(&["minimal", "ugal-l"]);
@@ -81,27 +83,41 @@ fn main() {
 
     let mut rows = Vec::new();
     for topo in &topologies {
-        let net = topo.network();
+        let net = topo
+            .faulted_network(&faults)
+            .unwrap_or_else(|e| panic!("{}: {e}", topo.name));
         let wl = steady_source_workload(&net, 4096, seed ^ 0x51EADE);
         for pattern in &patterns {
             let spec = pattern_spec_for(topo, pattern);
             for routing in &routings {
-                let mut cfg = paper_sim_config(&net, routing.clone(), seed);
+                let mut cfg =
+                    paper_sim_config(&net, routing.clone(), seed).with_fault_plan(faults.clone());
                 cfg.windows = Some(
                     MeasurementWindows::new(warmup_ns * 1000, measure_ns * 1000)
                         .with_pattern(spec.clone()),
                 );
-                for (load, res) in sweep_offered_loads(&net, &cfg, &wl, &loads) {
-                    let m = res.measurement.expect("steady-state run has a summary");
-                    rows.push(vec![
+                for (load, res) in try_sweep_offered_loads(&net, &cfg, &wl, &loads) {
+                    let row_tail = match res {
+                        Ok(res) => {
+                            let m = res.measurement.expect("steady-state run has a summary");
+                            vec![
+                                fmt(m.throughput_gbps()),
+                                fmt(m.delivery_ratio()),
+                                format!("{}", res.p99_packet_latency_ps / 1000),
+                            ]
+                        }
+                        // A plan that fragments the survivors is a data point
+                        // (total collapse), not a crash.
+                        Err(e) => vec![format!("infeasible: {e}"), "-".into(), "-".into()],
+                    };
+                    let mut row = vec![
                         topo.name.clone(),
                         spec.clone(),
                         routing.clone(),
                         format!("{load:.2}"),
-                        fmt(m.throughput_gbps()),
-                        fmt(m.delivery_ratio()),
-                        format!("{}", res.p99_packet_latency_ps / 1000),
-                    ]);
+                    ];
+                    row.extend(row_tail);
+                    rows.push(row);
                 }
             }
         }
@@ -109,7 +125,8 @@ fn main() {
     print_table(
         &format!(
             "Pattern x topology x routing steady-state sweep \
-             (measure {measure_ns} ns, warmup {warmup_ns} ns, seed {seed:#x})"
+             (measure {measure_ns} ns, warmup {warmup_ns} ns, seed {seed:#x}, faults {})",
+            faults.cache_key()
         ),
         &[
             "Topology",

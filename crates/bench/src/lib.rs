@@ -12,14 +12,17 @@
 use rayon::prelude::*;
 use spectralfly_graph::paths::DistanceMatrix;
 use spectralfly_graph::CsrGraph;
-use spectralfly_simnet::workload::Workload;
+use spectralfly_simnet::fault::AppliedFaults;
+use spectralfly_simnet::workload::{random_placement, Workload};
 use spectralfly_simnet::{
-    pattern, routing, MeasurementWindows, SimConfig, SimNetwork, SimResults, Simulator,
+    pattern, routing, FaultError, FaultPlan, MeasurementWindows, SimConfig, SimNetwork, SimResults,
+    Simulator,
 };
 use spectralfly_topology::{
     BundleFlyGraph, GeneralizedDragonFly, LpsGraph, SlimFlyGraph, Topology,
 };
-use std::sync::{Arc, OnceLock};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Experiment scale: `Paper` reproduces the published configuration; `Small` is a reduced
 /// configuration with the same topology families for quick runs and CI.
@@ -75,6 +78,10 @@ pub struct SimTopology {
     /// topology (the sweep drivers build one network per routing × pattern; the
     /// quadratic all-pairs BFS should run once, not once per sweep).
     dist: OnceLock<Arc<DistanceMatrix>>,
+    /// Degraded graphs + oracles, keyed by [`FaultPlan::cache_key`]: a fault
+    /// sweep builds one network per routing × load point, and the damage draw
+    /// plus all-pairs BFS should run once per plan, not once per point.
+    fault_cache: Mutex<BTreeMap<String, (AppliedFaults, Arc<DistanceMatrix>)>>,
 }
 
 impl SimTopology {
@@ -86,6 +93,7 @@ impl SimTopology {
             concentration,
             group_endpoints: None,
             dist: OnceLock::new(),
+            fault_cache: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -106,6 +114,29 @@ impl SimTopology {
     /// Wrap into a simulator network sharing the cached distance oracle.
     pub fn network(&self) -> SimNetwork {
         SimNetwork::with_distances(self.graph.clone(), self.concentration, self.distances())
+    }
+
+    /// Wrap into a simulator network degraded by `plan`, caching the damage
+    /// draw and the rebuilt distance oracle per [`FaultPlan::cache_key`] so a
+    /// routing × load sweep over one plan applies it exactly once. The empty
+    /// plan returns the pristine [`SimTopology::network`].
+    pub fn faulted_network(&self, plan: &FaultPlan) -> Result<SimNetwork, FaultError> {
+        if plan.is_none() {
+            return Ok(self.network());
+        }
+        let mut cache = self.fault_cache.lock().expect("fault cache poisoned");
+        let key = plan.cache_key();
+        if !cache.contains_key(&key) {
+            let applied = plan.apply(&self.graph)?;
+            let dist = Arc::new(DistanceMatrix::from_graph(&applied.graph));
+            cache.insert(key.clone(), (applied, dist));
+        }
+        let (applied, dist) = cache.get(&key).expect("just inserted");
+        Ok(SimNetwork::degraded(
+            applied.clone(),
+            self.concentration,
+            Arc::clone(dist),
+        ))
     }
 }
 
@@ -359,6 +390,67 @@ pub fn pattern_names_from_args(default: &[&str]) -> Vec<String> {
     requested
 }
 
+/// The fault plan selected on the command line: `--faults <spec>` (a
+/// [`FaultPlan`] spec like `links(0.1)` or `routers(4)+link(0,1)`; default
+/// `none`) seeded by `--fault-seed <u64>` (default
+/// [`FaultPlan::DEFAULT_SEED`]). Every simulation binary that accepts it
+/// builds its networks through [`SimTopology::faulted_network`], so the same
+/// flag degrades every topology of a sweep with one seeded plan.
+///
+/// # Panics
+/// If the spec does not parse (the message names the registered fault models).
+pub fn faults_from_args() -> FaultPlan {
+    let args: Vec<String> = std::env::args().collect();
+    let spec = args
+        .iter()
+        .position(|a| a == "--faults")
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--faults requires a fault-plan spec, e.g. links(0.1)"))
+                .clone()
+        })
+        .unwrap_or_else(|| "none".to_string());
+    let plan = FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("{e}"));
+    plan.with_seed(arg_u64("--fault-seed", FaultPlan::DEFAULT_SEED))
+}
+
+/// A random rank placement restricted to the network's *alive* endpoints: on a
+/// pristine network this is exactly
+/// [`spectralfly_simnet::workload::random_placement`] (bit-identical, same
+/// draws); on a degraded one the ranks land on the surviving machine, so
+/// placed micro-benchmarks never address a dead endpoint.
+pub fn place_on_alive(net: &SimNetwork, ranks: usize, seed: u64) -> Vec<usize> {
+    if !net.has_faults() {
+        return random_placement(ranks, net.num_endpoints(), seed);
+    }
+    let alive = net.alive_endpoints();
+    random_placement(ranks, alive.len(), seed)
+        .into_iter()
+        .map(|i| alive[i])
+        .collect()
+}
+
+/// [`sweep_offered_loads`] through the fault-checked entry point: each load
+/// point carries a `Result`, so a sweep driver can report an infeasible
+/// degraded run (disconnected pair, fragmented survivors) as a table entry
+/// instead of a panic.
+pub fn try_sweep_offered_loads(
+    net: &SimNetwork,
+    cfg: &SimConfig,
+    wl: &Workload,
+    loads: &[f64],
+) -> Vec<(f64, Result<SimResults, FaultError>)> {
+    loads
+        .par_iter()
+        .map(|&load| {
+            (
+                load,
+                Simulator::new(net, cfg).try_run_with_offered_load(wl, load),
+            )
+        })
+        .collect()
+}
+
 /// Align a pattern spec to a topology's group structure: group-structured
 /// patterns (`adversarial`, `nearest-group`) without explicit arguments gain the
 /// topology's endpoints-per-group ([`SimTopology::group_endpoints`]) as their
@@ -527,6 +619,80 @@ mod tests {
             wl.phases[0].messages.iter().map(|m| m.src).collect();
         assert_eq!(senders.len(), net.num_endpoints());
         assert!(wl.phases[0].messages.iter().all(|m| m.bytes == 4096));
+    }
+
+    #[test]
+    fn faulted_networks_cache_one_oracle_per_plan() {
+        let t = &simulation_topologies(Scale::Small)[0];
+        let plan = FaultPlan::random_links(0.05).with_seed(3);
+        let a = t.faulted_network(&plan).unwrap();
+        let b = t.faulted_network(&plan).unwrap();
+        assert!(a.has_faults());
+        assert!(
+            Arc::ptr_eq(&a.distances_arc(), &b.distances_arc()),
+            "same plan must share one degraded oracle"
+        );
+        assert_eq!(a.graph(), b.graph());
+        // A different seed is different damage — and a different oracle.
+        let c = t.faulted_network(&plan.clone().with_seed(4)).unwrap();
+        assert!(!Arc::ptr_eq(&a.distances_arc(), &c.distances_arc()));
+        // The empty plan is the pristine cached network.
+        let p = t.faulted_network(&FaultPlan::none()).unwrap();
+        assert!(!p.has_faults());
+        assert!(Arc::ptr_eq(&p.distances_arc(), &t.distances()));
+    }
+
+    #[test]
+    fn alive_placement_avoids_dead_endpoints_and_matches_pristine() {
+        let ring: Vec<(u32, u32)> = (0..8u32).map(|i| (i, (i + 1) % 8)).collect();
+        let g = CsrGraph::from_edges(8, &ring);
+        let pristine = SimNetwork::new(g.clone(), 2);
+        assert_eq!(
+            place_on_alive(&pristine, 8, 7),
+            random_placement(8, pristine.num_endpoints(), 7),
+            "pristine placement must be bit-identical to random_placement"
+        );
+        let plan = FaultPlan::parse("router(5)").unwrap();
+        let net = SimNetwork::with_faults(g, 2, &plan).unwrap();
+        let placement = place_on_alive(&net, 8, 7);
+        assert_eq!(placement.len(), 8);
+        for &e in &placement {
+            assert!(net.endpoint_alive(e), "rank placed on dead endpoint {e}");
+        }
+    }
+
+    #[test]
+    fn try_sweep_surfaces_fault_errors_per_load_point() {
+        // Cut a 6-ring in two; a cross-cut workload errs at every load point.
+        let ring: Vec<(u32, u32)> = (0..6u32).map(|i| (i, (i + 1) % 6)).collect();
+        let plan = FaultPlan::parse("link(0,5)+link(2,3)").unwrap();
+        let net = SimNetwork::with_faults(CsrGraph::from_edges(6, &ring), 1, &plan).unwrap();
+        let cfg = paper_sim_config(&net, "minimal", 1);
+        let wl = Workload::single_phase(
+            "cross",
+            vec![spectralfly_simnet::Message {
+                src: 1,
+                dst: 4,
+                bytes: 512,
+                inject_offset_ps: 0,
+            }],
+        );
+        for (_, res) in try_sweep_offered_loads(&net, &cfg, &wl, &[0.2, 0.5]) {
+            assert!(matches!(res, Err(FaultError::Disconnected { .. })));
+        }
+        // A same-side workload sails through.
+        let wl = Workload::single_phase(
+            "local",
+            vec![spectralfly_simnet::Message {
+                src: 0,
+                dst: 2,
+                bytes: 512,
+                inject_offset_ps: 0,
+            }],
+        );
+        for (_, res) in try_sweep_offered_loads(&net, &cfg, &wl, &[0.2]) {
+            assert_eq!(res.unwrap().delivered_packets, 1);
+        }
     }
 
     #[test]

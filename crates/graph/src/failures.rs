@@ -4,6 +4,27 @@
 //! hop count, and bisection bandwidth on the damaged topology, and averages over enough
 //! trials that the coefficient of variation of batch means drops below 10%. The same
 //! protocol is implemented here, including the batched stopping rule.
+//!
+//! This module measures **static** resilience: structural metrics of the damaged
+//! graph. The **dynamic** side — actually routing packets on the degraded
+//! topology — lives in `spectralfly_simnet::fault`, whose random fault models
+//! draw their failures through [`draw_failed_links`] / [`draw_failed_routers`]
+//! below, so a static sweep and a dynamic sweep at the same seed damage the
+//! same links.
+//!
+//! ```
+//! use spectralfly_graph::failures::{delete_random_edges, draw_failed_links};
+//! use spectralfly_graph::CsrGraph;
+//!
+//! // A 4-cycle; kill half the links, deterministically in the seed.
+//! let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+//! let killed = draw_failed_links(&g, 0.5, 7);
+//! assert_eq!(killed.len(), 2);
+//! // Deleting is exactly "remove the drawn links": the two views cannot drift.
+//! let damaged = delete_random_edges(&g, 0.5, 7);
+//! assert_eq!(damaged, g.remove_edges(&killed));
+//! assert_eq!(damaged.num_edges(), 2);
+//! ```
 
 use crate::csr::{CsrGraph, VertexId};
 use crate::metrics::{diameter_and_mean_distance, is_connected};
@@ -62,15 +83,46 @@ impl Default for TrialConfig {
     }
 }
 
-/// Delete `round(proportion * |E|)` edges uniformly at random (deterministic in `seed`).
-pub fn delete_random_edges(g: &CsrGraph, proportion: f64, seed: u64) -> CsrGraph {
-    assert!((0.0..=1.0).contains(&proportion));
+/// Draw `round(proportion * |E|)` distinct edges uniformly at random
+/// (deterministic in `seed`) — the kill set of one failure trial.
+///
+/// This is the single source of failure draws: [`delete_random_edges`] (the
+/// static Fig. 5 sweeps) and the simulator's `links(f)` fault model both
+/// delete exactly this set, so static and dynamic resilience sweeps at equal
+/// seeds run on identically damaged graphs.
+pub fn draw_failed_links(g: &CsrGraph, proportion: f64, seed: u64) -> Vec<(VertexId, VertexId)> {
+    assert!(
+        (0.0..=1.0).contains(&proportion),
+        "failure proportion {proportion} outside [0, 1]"
+    );
     let mut edges: Vec<(VertexId, VertexId)> = g.edges().collect();
-    let kill = ((edges.len() as f64) * proportion).round() as usize;
+    let kill = (((edges.len() as f64) * proportion).round() as usize).min(edges.len());
     let mut rng = StdRng::seed_from_u64(seed);
     edges.shuffle(&mut rng);
-    let survivors = &edges[kill.min(edges.len())..];
-    CsrGraph::from_edges(g.num_vertices(), survivors)
+    edges.truncate(kill);
+    edges
+}
+
+/// Draw `count` distinct routers uniformly at random (deterministic in `seed`)
+/// — the down-set of one router-failure trial, shared with the simulator's
+/// `routers(k)` fault model.
+///
+/// # Panics
+/// If `count > n`.
+pub fn draw_failed_routers(n: usize, count: usize, seed: u64) -> Vec<VertexId> {
+    assert!(count <= n, "cannot fail {count} of {n} routers");
+    let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    ids.truncate(count);
+    ids
+}
+
+/// Delete `round(proportion * |E|)` edges uniformly at random (deterministic in `seed`).
+///
+/// The deleted set is exactly [`draw_failed_links`] at the same seed.
+pub fn delete_random_edges(g: &CsrGraph, proportion: f64, seed: u64) -> CsrGraph {
+    g.remove_edges(&draw_failed_links(g, proportion, seed))
 }
 
 fn measure(g: &CsrGraph, metric: FailureMetric, cfg: &TrialConfig, seed: u64) -> Option<f64> {
@@ -237,6 +289,36 @@ mod tests {
         let g = hypercube(6); // 192 edges
         let damaged = delete_random_edges(&g, 0.25, 9);
         assert_eq!(damaged.num_edges(), 192 - 48);
+    }
+
+    #[test]
+    fn drawn_links_are_exactly_the_deleted_set() {
+        let g = hypercube(5);
+        for (prop, seed) in [(0.0, 1u64), (0.25, 9), (0.5, 42), (1.0, 7)] {
+            let killed = draw_failed_links(&g, prop, seed);
+            assert_eq!(
+                killed.len(),
+                ((g.num_edges() as f64) * prop).round() as usize
+            );
+            // No duplicates in the kill set.
+            let distinct: std::collections::BTreeSet<_> =
+                killed.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
+            assert_eq!(distinct.len(), killed.len());
+            assert_eq!(delete_random_edges(&g, prop, seed), g.remove_edges(&killed));
+        }
+    }
+
+    #[test]
+    fn drawn_routers_are_distinct_and_deterministic() {
+        let down = draw_failed_routers(40, 7, 11);
+        assert_eq!(down.len(), 7);
+        let distinct: std::collections::BTreeSet<_> = down.iter().collect();
+        assert_eq!(distinct.len(), 7);
+        assert!(down.iter().all(|&r| r < 40));
+        assert_eq!(down, draw_failed_routers(40, 7, 11));
+        assert_ne!(down, draw_failed_routers(40, 7, 12));
+        assert_eq!(draw_failed_routers(5, 0, 3), Vec::<VertexId>::new());
+        assert_eq!(draw_failed_routers(3, 3, 3).len(), 3);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Simulation parameters (the hardware knobs the paper's SST/macro runs configure).
 
+use crate::fault::FaultPlan;
 use crate::routing;
 
 /// Convenience constants for the paper's routing algorithms (Section V).
@@ -173,6 +174,18 @@ pub struct SimConfig {
     /// keeps the finite drain-to-empty behaviour; `Some` switches offered-load
     /// runs to continuous Poisson sources with windowed measurement.
     pub windows: Option<MeasurementWindows>,
+    /// The fault plan the run's network is expected to be degraded by
+    /// ([`crate::fault::FaultPlan::none`] by default).
+    ///
+    /// Faults are *applied* at network construction
+    /// ([`crate::SimNetwork::with_faults`]), not here — a `SimConfig` has no
+    /// graph to damage. Recording the plan in the config threads it through
+    /// sweep drivers alongside routing and windows, and lets the engines
+    /// fail fast on the classic sweep bug: a config that asks for faults
+    /// paired with a network that was built pristine (or with a different
+    /// plan) panics at simulator construction instead of silently measuring
+    /// the wrong machine.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -189,6 +202,7 @@ impl Default for SimConfig {
             ugal_threshold: 1.0,
             seed: 0x5EED,
             windows: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -248,6 +262,14 @@ impl SimConfig {
     /// Builder-style: enable steady-state measurement windows.
     pub fn with_windows(mut self, windows: MeasurementWindows) -> Self {
         self.windows = Some(windows);
+        self
+    }
+
+    /// Builder-style: record the fault plan the run's network is degraded by
+    /// (see [`SimConfig::faults`] — the plan is applied at network
+    /// construction, this field keeps config and network honest).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 }

@@ -246,6 +246,27 @@ pub(crate) fn choose_port(
     port
 }
 
+/// The surviving endpoint space of a degraded network (steady-state pattern
+/// mode): `alive` lists the endpoints of up routers ascending, and `rank[e]`
+/// is endpoint `e`'s index in `alive` (`u32::MAX` for dead endpoints). The
+/// live traffic pattern runs over ranks — the surviving machine — and draws
+/// are mapped back to physical endpoint ids at injection time.
+struct AliveEndpoints {
+    alive: Vec<usize>,
+    rank: Vec<u32>,
+}
+
+impl AliveEndpoints {
+    fn new(net: &SimNetwork) -> Self {
+        let alive = net.alive_endpoints();
+        let mut rank = vec![u32::MAX; net.num_endpoints()];
+        for (i, &e) in alive.iter().enumerate() {
+            rank[e] = i as u32;
+        }
+        AliveEndpoints { alive, rank }
+    }
+}
+
 /// A continuous Poisson source (steady-state mode): one per sending endpoint,
 /// cycling through that endpoint's workload messages.
 struct Source {
@@ -458,6 +479,7 @@ impl<'a> Simulator<'a> {
                 routing::registered_names().join(", ")
             )
         });
+        crate::fault::check_config_plan(net, &cfg.faults);
         Simulator { net, cfg, router }
     }
 
@@ -466,8 +488,26 @@ impl<'a> Simulator<'a> {
     ///
     /// Measurement windows, if configured, are ignored here: phased application
     /// workloads are finite by nature and run to completion.
+    ///
+    /// # Panics
+    /// On a degraded network, if the workload is infeasible on the surviving
+    /// graph — use [`Simulator::try_run`] to handle the [`crate::FaultError`]
+    /// instead.
     pub fn run(&self, workload: &Workload) -> SimResults {
-        self.run_finite(workload, None)
+        self.try_run(workload).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Simulator::run`], rejecting workloads that a fault plan has made
+    /// infeasible: a referenced endpoint on a down router yields
+    /// [`crate::FaultError::RouterDown`], a message pair separated by the
+    /// damage yields [`crate::FaultError::Disconnected`] — both *before* any
+    /// simulation work, never as a hang or a mid-run panic. On pristine
+    /// networks this never errs.
+    pub fn try_run(&self, workload: &Workload) -> Result<SimResults, crate::FaultError> {
+        if self.net.has_faults() {
+            crate::fault::validate_workload(self.net, workload)?;
+        }
+        Ok(self.run_finite(workload, None))
     }
 
     /// Run the workload with Poisson-spaced injections corresponding to an offered load in
@@ -478,14 +518,57 @@ impl<'a> Simulator<'a> {
     /// injected once (Poisson-spaced) and the network drains to empty. With windows
     /// configured the run switches to **continuous per-endpoint Poisson sources** and
     /// steady-state measurement (see [`crate::config::MeasurementWindows`]).
+    ///
+    /// # Panics
+    /// On a degraded network, if the run is infeasible on the surviving graph
+    /// — use [`Simulator::try_run_with_offered_load`] to handle the
+    /// [`crate::FaultError`] instead.
     pub fn run_with_offered_load(&self, workload: &Workload, offered_load: f64) -> SimResults {
+        self.try_run_with_offered_load(workload, offered_load)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Simulator::run_with_offered_load`], rejecting runs that a fault plan
+    /// has made infeasible. Finite runs validate every workload message pair
+    /// (like [`Simulator::try_run`]). Steady-state runs with a live
+    /// destination pattern ([`crate::config::MeasurementWindows::pattern`])
+    /// instead require every surviving router to sit in one connected
+    /// component ([`crate::FaultError::Fragmented`] otherwise): the pattern
+    /// draws destinations across the whole surviving machine, and injection
+    /// is restricted to the endpoints of alive routers.
+    ///
+    /// The pattern's endpoint space is the *compacted* alive-endpoint rank
+    /// space. Uniform patterns are unaffected, but group-structured specs
+    /// (`adversarial(g)`, `nearest-group(g)`) see group boundaries shift by
+    /// however many endpoints died before them — once routers are down,
+    /// treat group-aligned results as approximate (or pass a group size in
+    /// surviving-rank units).
+    pub fn try_run_with_offered_load(
+        &self,
+        workload: &Workload,
+        offered_load: f64,
+    ) -> Result<SimResults, crate::FaultError> {
         assert!(
             offered_load > 0.0 && offered_load <= 1.0,
             "offered load must be in (0, 1]"
         );
         match &self.cfg.windows {
-            None => self.run_finite(workload, Some(offered_load)),
-            Some(w) => self.run_steady(workload, offered_load, w),
+            None => {
+                if self.net.has_faults() {
+                    crate::fault::validate_workload(self.net, workload)?;
+                }
+                Ok(self.run_finite(workload, Some(offered_load)))
+            }
+            Some(w) => {
+                if self.net.has_faults() {
+                    if w.pattern.is_some() {
+                        crate::fault::validate_steady_pattern(self.net)?;
+                    } else {
+                        crate::fault::validate_workload(self.net, workload)?;
+                    }
+                }
+                Ok(self.run_steady(workload, offered_load, w))
+            }
         }
     }
 
@@ -582,15 +665,22 @@ impl<'a> Simulator<'a> {
                 self.net.num_endpoints()
             );
         }
+        // On a degraded network the live pattern runs over the *surviving*
+        // machine: its endpoint space is the alive endpoints, and only those
+        // inject (dead sources are filtered below). Pristine networks skip the
+        // mapping entirely, keeping the fault-free path bit-identical.
+        let alive_map: Option<AliveEndpoints> =
+            (self.net.has_faults() && w.pattern.is_some()).then(|| AliveEndpoints::new(self.net));
+        let pattern_endpoints = alive_map
+            .as_ref()
+            .map(|m| m.alive.len())
+            .unwrap_or(self.net.num_endpoints());
         // Resolve the destination pattern once, up front — an unknown spec fails
         // loudly before any simulation work, mirroring unknown routing names.
         let pattern: Option<Box<dyn crate::pattern::TrafficPattern>> =
             w.pattern.as_deref().map(|spec| {
-                crate::pattern::create(
-                    spec,
-                    &crate::pattern::PatternCtx::new(self.net.num_endpoints()),
-                )
-                .unwrap_or_else(|e| panic!("{e}"))
+                crate::pattern::create(spec, &crate::pattern::PatternCtx::new(pattern_endpoints))
+                    .unwrap_or_else(|e| panic!("{e}"))
             });
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut stats = StatsCollector::with_window(w.measure_start_ps(), w.measure_end_ps());
@@ -607,7 +697,9 @@ impl<'a> Simulator<'a> {
         let mut sources: Vec<Source> = templates
             .into_iter()
             .enumerate()
-            .filter(|(_, t)| !t.is_empty())
+            .filter(|(e, t)| {
+                !t.is_empty() && alive_map.as_ref().is_none_or(|m| m.rank[*e] != u32::MAX)
+            })
             .map(|(endpoint, templates)| Source {
                 endpoint,
                 templates,
@@ -646,6 +738,7 @@ impl<'a> Simulator<'a> {
                     offered_load,
                     w,
                     pattern.as_deref(),
+                    alive_map.as_ref(),
                     &mut sources,
                     &mut st,
                     &mut stats,
@@ -677,7 +770,10 @@ impl<'a> Simulator<'a> {
     /// With a destination `pattern` configured, the message's destination is
     /// drawn live from it (one pattern draw per message); the template cycle
     /// still supplies the message size, so workloads keep controlling *how
-    /// much* each endpoint sends while the pattern controls *where to*.
+    /// much* each endpoint sends while the pattern controls *where to*. On a
+    /// degraded network (`alive` set) the pattern speaks in surviving-machine
+    /// ranks: the source's rank goes in, the drawn rank is mapped back to a
+    /// physical endpoint.
     #[allow(clippy::too_many_arguments)]
     fn spawn_message(
         &self,
@@ -686,6 +782,7 @@ impl<'a> Simulator<'a> {
         load: f64,
         w: &crate::config::MeasurementWindows,
         pattern: Option<&dyn crate::pattern::TrafficPattern>,
+        alive: Option<&AliveEndpoints>,
         sources: &mut [Source],
         st: &mut EngineState,
         stats: &mut StatsCollector,
@@ -695,16 +792,27 @@ impl<'a> Simulator<'a> {
         let (mut dst, bytes) = src.templates[src.next_template % src.templates.len()];
         src.next_template += 1;
         if let Some(p) = pattern {
-            dst = p.dst(src.endpoint, rng);
+            let src_rank = match alive {
+                None => src.endpoint,
+                Some(m) => m.rank[src.endpoint] as usize,
+            };
+            let drawn = p.dst(src_rank, rng);
+            let endpoint_space = alive
+                .map(|m| m.alive.len())
+                .unwrap_or(self.net.num_endpoints());
             // Hard assert (not debug_assert): TrafficPattern is a third-party
             // extension point, and an out-of-range destination would otherwise
             // index past the endpoint map far from the buggy draw.
             assert!(
-                dst < self.net.num_endpoints(),
-                "pattern {} returned out-of-range destination {dst} (network has {} endpoints)",
+                drawn < endpoint_space,
+                "pattern {} returned out-of-range destination {drawn} (pattern space has {} endpoints)",
                 p.name(),
-                self.net.num_endpoints()
+                endpoint_space
             );
+            dst = match alive {
+                None => drawn,
+                Some(m) => m.alive[drawn],
+            };
         }
 
         let segments = segment_message(self.cfg, bytes);
@@ -1205,6 +1313,112 @@ mod tests {
         // completion time, and it dominates every per-packet latency.
         assert_eq!(res.max_message_latency_ps, res.completion_time_ps);
         assert!(res.max_message_latency_ps >= res.max_packet_latency_ps);
+    }
+
+    /// Degraded topologies route around the damage: a ring with one down
+    /// router still delivers everything among the survivors, the long way.
+    #[test]
+    fn degraded_ring_reroutes_and_delivers() {
+        use crate::fault::{FaultError, FaultPlan};
+        let plan = FaultPlan::parse("router(4)").unwrap();
+        let net = SimNetwork::with_faults(ring(8), 1, &plan).unwrap();
+        let cfg = SimConfig::default().with_routing("minimal", net.diameter() as u32);
+        // 3 -> 5 minimally crossed router 4 (2 hops); now it rides the long arc.
+        let wl = Workload::single_phase(
+            "around",
+            vec![Message {
+                src: 3,
+                dst: 5,
+                bytes: 512,
+                inject_offset_ps: 0,
+            }],
+        );
+        let res = Simulator::new(&net, &cfg).try_run(&wl).unwrap();
+        assert_eq!(res.delivered_packets, 1);
+        assert_eq!(res.max_hops, 6);
+        // Anything touching the down router's endpoint fails fast and typed.
+        let dead = Workload::single_phase(
+            "dead",
+            vec![Message {
+                src: 3,
+                dst: 4,
+                bytes: 512,
+                inject_offset_ps: 0,
+            }],
+        );
+        let err = Simulator::new(&net, &cfg).try_run(&dead).unwrap_err();
+        assert_eq!(
+            err,
+            FaultError::RouterDown {
+                endpoint: 4,
+                router: 4
+            }
+        );
+    }
+
+    /// Steady-state live patterns on a degraded network run over the surviving
+    /// machine: dead endpoints neither inject nor receive.
+    #[test]
+    fn degraded_steady_pattern_runs_over_survivors() {
+        use crate::fault::{FaultError, FaultPlan};
+        let plan = FaultPlan::parse("router(2)").unwrap();
+        let net = SimNetwork::with_faults(ring(8), 2, &plan).unwrap();
+        let mut cfg = SimConfig::default().with_routing("ugal-l", net.diameter() as u32);
+        cfg.windows = Some(
+            crate::config::MeasurementWindows::new(2_000_000, 20_000_000).with_pattern("random"),
+        );
+        let wl = Workload::uniform_random(net.num_endpoints(), 1, 4096, 5);
+        let res = Simulator::new(&net, &cfg)
+            .try_run_with_offered_load(&wl, 0.3)
+            .unwrap();
+        let m = res.measurement.expect("steady-state run has a summary");
+        assert!(m.delivered_packets > 20, "got {}", m.delivered_packets);
+        // A fragmented surviving graph is rejected up front for live patterns.
+        let cut = FaultPlan::parse("link(0,7) + link(3,4)").unwrap();
+        let frag = SimNetwork::with_faults(ring(8), 2, &cut).unwrap();
+        let err = Simulator::new(&frag, &cfg)
+            .try_run_with_offered_load(&wl, 0.3)
+            .unwrap_err();
+        assert_eq!(err, FaultError::Fragmented { components: 2 });
+    }
+
+    /// A config that records a fault plan must be paired with a network built
+    /// from that plan.
+    #[test]
+    #[should_panic(expected = "built pristine")]
+    fn config_fault_plan_without_degraded_network_panics() {
+        use crate::fault::FaultPlan;
+        let net = SimNetwork::new(ring(8), 1);
+        let cfg = SimConfig::default().with_fault_plan(FaultPlan::random_links(0.2));
+        let _ = Simulator::new(&net, &cfg);
+    }
+
+    /// Same spec at a different seed is different damage — the config check
+    /// compares the full cache key, not just the spelling.
+    #[test]
+    #[should_panic(expected = "does not match the network's")]
+    fn config_fault_plan_with_wrong_seed_panics() {
+        use crate::fault::FaultPlan;
+        let net = SimNetwork::with_faults(ring(12), 1, &FaultPlan::random_links(0.2).with_seed(1))
+            .unwrap();
+        let cfg = SimConfig::default().with_fault_plan(FaultPlan::random_links(0.2).with_seed(2));
+        let _ = Simulator::new(&net, &cfg);
+    }
+
+    /// A machine with every router down is as infeasible for a live pattern
+    /// as a fragmented one — not a normal-looking zero-throughput run.
+    #[test]
+    fn all_routers_down_is_rejected_for_live_patterns() {
+        use crate::fault::{FaultError, FaultPlan};
+        let net = SimNetwork::with_faults(ring(6), 1, &FaultPlan::random_routers(6)).unwrap();
+        let cfg = SimConfig::default().with_windows(
+            crate::config::MeasurementWindows::new(1_000_000, 4_000_000).with_pattern("random"),
+        );
+        let wl = Workload::uniform_random(net.num_endpoints(), 1, 1024, 3);
+        let err = Simulator::new(&net, &cfg)
+            .try_run_with_offered_load(&wl, 0.3)
+            .unwrap_err();
+        assert_eq!(err, FaultError::Fragmented { components: 0 });
     }
 
     /// The packet arena recycles delivered slots in steady-state mode instead of

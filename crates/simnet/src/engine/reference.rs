@@ -129,24 +129,58 @@ impl<'a> ReferenceSimulator<'a> {
                 routing::registered_names().join(", ")
             )
         });
+        crate::fault::check_config_plan(net, &cfg.faults);
         ReferenceSimulator { net, cfg, router }
     }
 
     /// Run the workload with message injections spaced exactly as the workload
     /// specifies.
+    ///
+    /// # Panics
+    /// On a degraded network, if the workload is infeasible on the surviving
+    /// graph — use [`ReferenceSimulator::try_run`] to handle the
+    /// [`crate::FaultError`] instead.
     pub fn run(&self, workload: &Workload) -> SimResults {
-        self.run_internal(workload, None)
+        self.try_run(workload).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ReferenceSimulator::run`] with the same degraded-network feasibility
+    /// checks as [`crate::Simulator::try_run`], so the engine-equivalence
+    /// battery covers fault handling too.
+    pub fn try_run(&self, workload: &Workload) -> Result<SimResults, crate::FaultError> {
+        if self.net.has_faults() {
+            crate::fault::validate_workload(self.net, workload)?;
+        }
+        Ok(self.run_internal(workload, None))
     }
 
     /// Run the workload with Poisson-spaced injections at an offered load in
     /// `(0, 1]` (always a finite drain-to-empty run; measurement windows are
     /// not supported by the reference engine).
+    ///
+    /// # Panics
+    /// On a degraded network, if the workload is infeasible on the surviving
+    /// graph — use [`ReferenceSimulator::try_run_with_offered_load`] instead.
     pub fn run_with_offered_load(&self, workload: &Workload, offered_load: f64) -> SimResults {
+        self.try_run_with_offered_load(workload, offered_load)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ReferenceSimulator::run_with_offered_load`] with the degraded-network
+    /// feasibility checks of [`crate::Simulator::try_run_with_offered_load`].
+    pub fn try_run_with_offered_load(
+        &self,
+        workload: &Workload,
+        offered_load: f64,
+    ) -> Result<SimResults, crate::FaultError> {
         assert!(
             offered_load > 0.0 && offered_load <= 1.0,
             "offered load must be in (0, 1]"
         );
-        self.run_internal(workload, Some(offered_load))
+        if self.net.has_faults() {
+            crate::fault::validate_workload(self.net, workload)?;
+        }
+        Ok(self.run_internal(workload, Some(offered_load)))
     }
 
     fn run_internal(&self, workload: &Workload, offered_load: Option<f64>) -> SimResults {

@@ -1,0 +1,970 @@
+//! The pluggable fault-injection subsystem: run the simulator on degraded
+//! topologies.
+//!
+//! The paper's Fig. 5 argues that LPS Ramanujan expanders stay structurally
+//! healthy under random link failures; this module makes the *dynamic* half of
+//! that claim testable by letting every simulation run on a damaged graph. A
+//! [`FaultPlan`] — a composition of [`FaultModel`]s selected by spec string
+//! through a string-keyed [`FaultRegistry`], exactly mirroring the routing
+//! ([`crate::routing`]) and traffic-pattern ([`crate::pattern`]) subsystems —
+//! is applied once at [`SimNetwork`] construction
+//! ([`SimNetwork::with_faults`]): failed links
+//! and down routers are deleted from the router graph, and the distance /
+//! next-hop oracle is rebuilt over the *surviving* graph. Routing algorithms
+//! therefore steer around failures through the ordinary minimal-port machinery
+//! — the per-hop hot path is byte-for-byte the pristine one, with no fault
+//! branching.
+//!
+//! # Fault specs
+//!
+//! A plan spec is one or more model terms joined by `+`; each term is a
+//! registry name with optional numeric arguments (the
+//! [`crate::pattern`] spec syntax). Built-ins:
+//!
+//! | spec | meaning |
+//! |------|---------|
+//! | `none` | no faults (the pristine graph; never consumes the seed) |
+//! | `links(f)` | a fraction `f ∈ [0, 1]` of links chosen uniformly at random |
+//! | `routers(k)` | `k` routers chosen uniformly at random |
+//! | `link(u, v)` | the specific link `{u, v}` (absent links are ignored) |
+//! | `router(r)` | the specific router `r` |
+//!
+//! Random draws are deterministic in the plan seed ([`FaultPlan::with_seed`])
+//! and shared with the static Fig. 5 sweeps
+//! ([`spectralfly_graph::failures::draw_failed_links`]), so a static metric
+//! sweep and a dynamic throughput sweep at equal seeds damage identical links.
+//!
+//! A **down router** loses all of its links but keeps its vertex id (endpoint
+//! numbering never shifts); its endpoints are dead — a workload that references
+//! them is rejected with [`FaultError::RouterDown`] before the run starts, and
+//! endpoint pairs separated by the damage are rejected with
+//! [`FaultError::Disconnected`]. The checked entry points are
+//! [`crate::Simulator::try_run`] and
+//! [`crate::Simulator::try_run_with_offered_load`]
+//! (mirrored on the reference engine); the panicking `run` variants remain for
+//! pristine networks.
+//!
+//! ```
+//! use spectralfly_graph::CsrGraph;
+//! use spectralfly_simnet::fault::FaultPlan;
+//! use spectralfly_simnet::SimNetwork;
+//!
+//! // A 6-ring with router 3 administratively down.
+//! let ring = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+//! let plan = FaultPlan::parse("router(3)").unwrap();
+//! let net = SimNetwork::with_faults(ring, 1, &plan).unwrap();
+//! assert!(net.has_faults());
+//! assert!(!net.router_alive(3));
+//! // The survivors re-route the long way around: 2 -> 4 is now 4 hops, not 2.
+//! assert_eq!(net.dist(2, 4), 4);
+//! // A no-fault plan leaves the network pristine (and bit-identical to
+//! // `SimNetwork::new` — locked by a golden-seed test).
+//! let pristine = SimNetwork::with_faults(net.graph().clone(), 1, &FaultPlan::none());
+//! assert!(!pristine.unwrap().has_faults());
+//! ```
+
+use crate::network::SimNetwork;
+use crate::pattern;
+use crate::workload::Workload;
+use spectralfly_graph::csr::{CsrGraph, VertexId};
+use spectralfly_graph::failures::{draw_failed_links, draw_failed_routers};
+use spectralfly_graph::paths::UNREACHABLE_U16;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Why a fault plan could not be built or a run could not start on a degraded
+/// network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultError {
+    /// A spec term's base name is not in the fault registry.
+    Unknown {
+        /// The (normalized) name that failed to resolve.
+        name: String,
+        /// Canonical names currently registered, for the error message.
+        registered: Vec<String>,
+    },
+    /// The plan spec could not be parsed (`name(arg, …) + name(…)` syntax).
+    BadSpec {
+        /// The offending spec string.
+        spec: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A term parsed but its arguments are invalid for the model (or for the
+    /// graph the plan is applied to).
+    BadArgs {
+        /// The model that rejected its arguments.
+        name: String,
+        /// What was wrong with them.
+        reason: String,
+    },
+    /// A workload references an endpoint whose router is down.
+    RouterDown {
+        /// The dead endpoint.
+        endpoint: usize,
+        /// The down router serving it.
+        router: VertexId,
+    },
+    /// A workload pairs two endpoints the damage has separated.
+    Disconnected {
+        /// Source endpoint.
+        src: usize,
+        /// Destination endpoint.
+        dst: usize,
+        /// Source endpoint's router.
+        src_router: VertexId,
+        /// Destination endpoint's router.
+        dst_router: VertexId,
+    },
+    /// A live-pattern steady-state run needs every surviving router in one
+    /// connected component, but the damage fragmented them.
+    Fragmented {
+        /// Number of connected components among the surviving routers.
+        components: usize,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::Unknown { name, registered } => write!(
+                f,
+                "unknown fault model {name:?}; registered: {}",
+                registered.join(", ")
+            ),
+            FaultError::BadSpec { spec, reason } => {
+                write!(f, "malformed fault spec {spec:?}: {reason}")
+            }
+            FaultError::BadArgs { name, reason } => {
+                write!(f, "invalid arguments for fault model {name:?}: {reason}")
+            }
+            FaultError::RouterDown { endpoint, router } => {
+                write!(f, "endpoint {endpoint} is attached to down router {router}")
+            }
+            FaultError::Disconnected {
+                src,
+                dst,
+                src_router,
+                dst_router,
+            } => write!(
+                f,
+                "endpoints {src} (router {src_router}) and {dst} (router {dst_router}) \
+                 are disconnected by the fault plan"
+            ),
+            FaultError::Fragmented { components } => write!(
+                f,
+                "the fault plan fragments the surviving routers into {components} \
+                 components; live-pattern steady-state runs need one"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// The links and routers one fault model takes down on a graph.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSet {
+    /// Undirected links to delete (absent links are ignored).
+    pub links: Vec<(VertexId, VertexId)>,
+    /// Routers to take down (all their links are deleted; endpoints go dead).
+    pub routers: Vec<VertexId>,
+}
+
+/// A fault model: a deterministic draw of failed links / down routers on a
+/// graph.
+///
+/// Implementations must be `Send + Sync` (plans are shared across parallel
+/// sweeps). Randomized models must be deterministic in `seed`; static models
+/// ignore it. Arguments that only become checkable against a concrete graph
+/// (a router count larger than the machine, an out-of-range id) are rejected
+/// here with [`FaultError::BadArgs`].
+pub trait FaultModel: Send + Sync {
+    /// Canonical registry name (lowercase, dash-separated).
+    fn name(&self) -> &str;
+
+    /// The fault set this model inflicts on `g`, deterministic in `seed`.
+    fn draw(&self, g: &CsrGraph, seed: u64) -> Result<FaultSet, FaultError>;
+}
+
+/// Uniformly random link failures (`links(f)`): a fraction `f` of the graph's
+/// links, drawn through the same machinery as the static Fig. 5 sweeps.
+pub struct RandomLinks {
+    fraction: f64,
+}
+
+impl FaultModel for RandomLinks {
+    fn name(&self) -> &str {
+        "links"
+    }
+    fn draw(&self, g: &CsrGraph, seed: u64) -> Result<FaultSet, FaultError> {
+        Ok(FaultSet {
+            links: draw_failed_links(g, self.fraction, seed),
+            routers: Vec::new(),
+        })
+    }
+}
+
+/// Uniformly random router failures (`routers(k)`): `k` distinct routers.
+pub struct RandomRouters {
+    count: usize,
+}
+
+impl FaultModel for RandomRouters {
+    fn name(&self) -> &str {
+        "routers"
+    }
+    fn draw(&self, g: &CsrGraph, seed: u64) -> Result<FaultSet, FaultError> {
+        let n = g.num_vertices();
+        if self.count > n {
+            return Err(FaultError::BadArgs {
+                name: "routers".to_string(),
+                reason: format!("cannot fail {} of {n} routers", self.count),
+            });
+        }
+        Ok(FaultSet {
+            links: Vec::new(),
+            routers: draw_failed_routers(n, self.count, seed),
+        })
+    }
+}
+
+/// One explicitly named down link (`link(u, v)`).
+pub struct DownLink {
+    u: VertexId,
+    v: VertexId,
+}
+
+impl FaultModel for DownLink {
+    fn name(&self) -> &str {
+        "link"
+    }
+    fn draw(&self, _g: &CsrGraph, _seed: u64) -> Result<FaultSet, FaultError> {
+        Ok(FaultSet {
+            links: vec![(self.u, self.v)],
+            routers: Vec::new(),
+        })
+    }
+}
+
+/// One explicitly named down router (`router(r)`).
+pub struct DownRouter {
+    r: VertexId,
+}
+
+impl FaultModel for DownRouter {
+    fn name(&self) -> &str {
+        "router"
+    }
+    fn draw(&self, _g: &CsrGraph, _seed: u64) -> Result<FaultSet, FaultError> {
+        Ok(FaultSet {
+            links: Vec::new(),
+            routers: vec![self.r],
+        })
+    }
+}
+
+/// Factory producing a fault-model instance from a spec term's numeric
+/// arguments.
+pub type FaultFactory =
+    Arc<dyn Fn(&[f64]) -> Result<Arc<dyn FaultModel>, FaultError> + Send + Sync>;
+
+fn vertex_arg(name: &str, args: &[f64], idx: usize) -> Result<VertexId, FaultError> {
+    match args.get(idx) {
+        None => Err(FaultError::BadArgs {
+            name: name.to_string(),
+            reason: format!("missing argument {}", idx + 1),
+        }),
+        Some(&a) => {
+            if !a.is_finite() || a < 0.0 || a.fract() != 0.0 || a > u32::MAX as f64 {
+                return Err(FaultError::BadArgs {
+                    name: name.to_string(),
+                    reason: format!(
+                        "argument {} must be a non-negative integer id, got {a}",
+                        idx + 1
+                    ),
+                });
+            }
+            Ok(a as VertexId)
+        }
+    }
+}
+
+fn exactly_n_args(name: &str, args: &[f64], n: usize) -> Result<(), FaultError> {
+    if args.len() == n {
+        Ok(())
+    } else {
+        Err(FaultError::BadArgs {
+            name: name.to_string(),
+            reason: format!("takes exactly {n} argument(s), got {}", args.len()),
+        })
+    }
+}
+
+/// String-keyed registry of fault models.
+///
+/// Names are normalized exactly like routing and pattern names (lowercased,
+/// `_` and spaces mapped to `-`).
+#[derive(Clone, Default)]
+pub struct FaultRegistry {
+    /// normalized key → factory.
+    entries: BTreeMap<String, FaultFactory>,
+}
+
+impl FaultRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        FaultRegistry::default()
+    }
+
+    /// A registry pre-populated with the built-in models (see the module docs
+    /// for the table).
+    pub fn with_builtins() -> Self {
+        let mut r = FaultRegistry::empty();
+        r.register("links", |args| {
+            exactly_n_args("links", args, 1)?;
+            let fraction = args[0];
+            if !(0.0..=1.0).contains(&fraction) {
+                return Err(FaultError::BadArgs {
+                    name: "links".to_string(),
+                    reason: format!("fraction must be in [0, 1], got {fraction}"),
+                });
+            }
+            Ok(Arc::new(RandomLinks { fraction }))
+        });
+        r.register("routers", |args| {
+            exactly_n_args("routers", args, 1)?;
+            let count = args[0];
+            if !count.is_finite() || count < 0.0 || count.fract() != 0.0 {
+                return Err(FaultError::BadArgs {
+                    name: "routers".to_string(),
+                    reason: format!("count must be a non-negative integer, got {count}"),
+                });
+            }
+            Ok(Arc::new(RandomRouters {
+                count: count as usize,
+            }))
+        });
+        r.register("link", |args| {
+            exactly_n_args("link", args, 2)?;
+            Ok(Arc::new(DownLink {
+                u: vertex_arg("link", args, 0)?,
+                v: vertex_arg("link", args, 1)?,
+            }))
+        });
+        r.register("router", |args| {
+            exactly_n_args("router", args, 1)?;
+            Ok(Arc::new(DownRouter {
+                r: vertex_arg("router", args, 0)?,
+            }))
+        });
+        r
+    }
+
+    /// Register (or replace) a fault model under `name`.
+    pub fn register<F>(&mut self, name: &str, factory: F)
+    where
+        F: Fn(&[f64]) -> Result<Arc<dyn FaultModel>, FaultError> + Send + Sync + 'static,
+    {
+        self.entries.insert(normalize(name), Arc::new(factory));
+    }
+
+    /// Instantiate the model selected by one spec term, e.g. `"links(0.1)"`.
+    pub fn create(&self, term: &str) -> Result<Arc<dyn FaultModel>, FaultError> {
+        let (base, args) = parse_term(term)?;
+        let Some(factory) = self.entries.get(&base) else {
+            return Err(FaultError::Unknown {
+                name: base,
+                registered: self.names(),
+            });
+        };
+        factory(&args)
+    }
+
+    /// Whether `term`'s base name resolves to a registered model.
+    pub fn contains(&self, term: &str) -> bool {
+        parse_term(term)
+            .map(|(base, _)| self.entries.contains_key(&base))
+            .unwrap_or(false)
+    }
+
+    /// The names of the registered models.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+}
+
+fn normalize(name: &str) -> String {
+    name.trim()
+        .chars()
+        .map(|c| match c {
+            '_' | ' ' => '-',
+            c => c.to_ascii_lowercase(),
+        })
+        .collect()
+}
+
+/// Parse one spec term into its normalized base name and numeric arguments —
+/// the `name(arg, …)` syntax shared with [`crate::pattern::parse_spec`].
+fn parse_term(term: &str) -> Result<(String, Vec<f64>), FaultError> {
+    pattern::parse_spec(term).map_err(|e| match e {
+        pattern::PatternError::BadSpec { spec, reason } => FaultError::BadSpec { spec, reason },
+        other => FaultError::BadSpec {
+            spec: term.to_string(),
+            reason: other.to_string(),
+        },
+    })
+}
+
+fn global_registry() -> &'static RwLock<FaultRegistry> {
+    static GLOBAL: OnceLock<RwLock<FaultRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(FaultRegistry::with_builtins()))
+}
+
+/// Instantiate a fault model from one spec term via the global registry.
+pub fn create(term: &str) -> Result<Arc<dyn FaultModel>, FaultError> {
+    global_registry()
+        .read()
+        .expect("fault registry poisoned")
+        .create(term)
+}
+
+/// Whether `term`'s base name is selectable through the global registry.
+pub fn is_registered(term: &str) -> bool {
+    global_registry()
+        .read()
+        .expect("fault registry poisoned")
+        .contains(term)
+}
+
+/// Register a custom fault model in the global registry.
+pub fn register<F>(name: &str, factory: F)
+where
+    F: Fn(&[f64]) -> Result<Arc<dyn FaultModel>, FaultError> + Send + Sync + 'static,
+{
+    global_registry()
+        .write()
+        .expect("fault registry poisoned")
+        .register(name, factory);
+}
+
+/// Names of the models in the global registry.
+pub fn registered_names() -> Vec<String> {
+    global_registry()
+        .read()
+        .expect("fault registry poisoned")
+        .names()
+}
+
+/// One term of a [`FaultPlan`]: its spec spelling plus the resolved model.
+#[derive(Clone)]
+struct FaultTerm {
+    spec: String,
+    model: Arc<dyn FaultModel>,
+}
+
+/// A composed, seeded fault plan: what to break and with which random draws.
+///
+/// Plans are cheap to clone (terms are shared) and are applied once, at
+/// network construction ([`crate::SimNetwork::with_faults`]). Two plans with
+/// the same spec and seed damage any given graph identically
+/// ([`FaultPlan::cache_key`] is the sweep caches' key).
+#[derive(Clone, Default)]
+pub struct FaultPlan {
+    terms: Vec<FaultTerm>,
+    seed: u64,
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("spec", &self.spec())
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl FaultPlan {
+    /// The default per-plan seed (override with [`FaultPlan::with_seed`]).
+    pub const DEFAULT_SEED: u64 = 0xFA117;
+
+    /// The empty plan: no faults. Applying it is the identity (and networks
+    /// built through it are bit-identical to pristine construction).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan failing a uniformly random fraction of links.
+    ///
+    /// # Panics
+    /// If `fraction` is outside `[0, 1]` (spec validation).
+    pub fn random_links(fraction: f64) -> Self {
+        FaultPlan::parse(&format!("links({fraction})")).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// A plan taking down `count` uniformly random routers.
+    pub fn random_routers(count: usize) -> Self {
+        FaultPlan::parse(&format!("routers({count})")).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Parse a plan spec: model terms joined by `+`, e.g.
+    /// `"links(0.1) + routers(2)"`; `"none"` (or an empty string) is the empty
+    /// plan. Terms resolve through the global fault registry.
+    pub fn parse(spec: &str) -> Result<Self, FaultError> {
+        let trimmed = spec.trim();
+        if trimmed.is_empty() || normalize(trimmed) == "none" {
+            return Ok(FaultPlan::none());
+        }
+        let mut terms = Vec::new();
+        for raw in trimmed.split('+') {
+            let term = raw.trim();
+            if term.is_empty() {
+                return Err(FaultError::BadSpec {
+                    spec: spec.to_string(),
+                    reason: "empty term between '+' separators".to_string(),
+                });
+            }
+            terms.push(FaultTerm {
+                spec: term.to_string(),
+                model: create(term)?,
+            });
+        }
+        Ok(FaultPlan {
+            terms,
+            seed: Self::DEFAULT_SEED,
+        })
+    }
+
+    /// Builder-style: set the seed of the plan's random draws.
+    ///
+    /// The first term draws with exactly this seed — which is what ties the
+    /// `links(f)` model bit-for-bit to the static sweeps'
+    /// [`spectralfly_graph::failures::delete_random_edges`] at the same seed;
+    /// later terms use decorrelated derived seeds.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the plan breaks nothing.
+    pub fn is_none(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The plan's canonical spec string (`"none"` for the empty plan).
+    pub fn spec(&self) -> String {
+        if self.terms.is_empty() {
+            "none".to_string()
+        } else {
+            self.terms
+                .iter()
+                .map(|t| t.spec.as_str())
+                .collect::<Vec<_>>()
+                .join("+")
+        }
+    }
+
+    /// A key identifying the damage the plan inflicts: spec plus seed (seed is
+    /// omitted for the empty plan, which never draws). Sweep caches key their
+    /// degraded graphs and rebuilt oracles by this.
+    pub fn cache_key(&self) -> String {
+        if self.is_none() {
+            "none".to_string()
+        } else {
+            format!("{}#{:#x}", self.spec(), self.seed)
+        }
+    }
+
+    /// Apply the plan to a router graph: delete the drawn links and every link
+    /// of each down router, keeping all vertex ids (so endpoint numbering is
+    /// stable; a down router survives as an isolated vertex).
+    pub fn apply(&self, g: &CsrGraph) -> Result<AppliedFaults, FaultError> {
+        let n = g.num_vertices();
+        let mut down_routers = vec![false; n];
+        let mut removed: Vec<(VertexId, VertexId)> = Vec::new();
+        for (i, term) in self.terms.iter().enumerate() {
+            // Term 0 draws with the plan seed itself (shared with the static
+            // sweeps); later terms decorrelate by index.
+            let term_seed = self.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            let set = term.model.draw(g, term_seed)?;
+            for &(u, v) in &set.links {
+                if u as usize >= n || v as usize >= n {
+                    return Err(FaultError::BadArgs {
+                        name: term.model.name().to_string(),
+                        reason: format!("link ({u}, {v}) out of range for {n} routers"),
+                    });
+                }
+                removed.push((u, v));
+            }
+            for &r in &set.routers {
+                if r as usize >= n {
+                    return Err(FaultError::BadArgs {
+                        name: term.model.name().to_string(),
+                        reason: format!("router {r} out of range for {n} routers"),
+                    });
+                }
+                down_routers[r as usize] = true;
+            }
+        }
+        for (r, &down) in down_routers.iter().enumerate() {
+            if down {
+                for &w in g.neighbors(r as VertexId) {
+                    removed.push((r as VertexId, w));
+                }
+            }
+        }
+        let graph = g.remove_edges(&removed);
+        let removed_links = g.num_edges() - graph.num_edges();
+        let any_down = down_routers.iter().any(|&d| d);
+        Ok(AppliedFaults {
+            graph,
+            down_routers,
+            removed_links,
+            any_down,
+            spec: self.spec(),
+            cache_key: self.cache_key(),
+        })
+    }
+}
+
+/// The outcome of applying a [`FaultPlan`] to a graph: the surviving topology
+/// plus the damage metadata the simulator needs.
+#[derive(Clone, Debug)]
+pub struct AppliedFaults {
+    /// The surviving router graph (all original vertex ids; down routers are
+    /// isolated vertices).
+    pub graph: CsrGraph,
+    /// Administrative down mask, indexed by router id.
+    pub down_routers: Vec<bool>,
+    /// Undirected links actually removed (drawn links that existed, plus every
+    /// link of each down router, deduplicated).
+    pub removed_links: usize,
+    /// Whether any router is administratively down.
+    pub any_down: bool,
+    /// The plan spec that produced this damage.
+    pub spec: String,
+    /// The plan's [`FaultPlan::cache_key`] (spec plus seed): the identity of
+    /// the damage, used to pair configs with the networks they describe.
+    pub cache_key: String,
+}
+
+impl AppliedFaults {
+    /// Whether the plan changed nothing (no removed links, no down routers).
+    pub fn is_pristine(&self) -> bool {
+        self.removed_links == 0 && !self.any_down
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run-start validation (shared by both engines).
+// ---------------------------------------------------------------------------
+
+/// Check a finite workload against a degraded network: every referenced
+/// endpoint's router must be up, and every (src, dst) pair must be connected
+/// on the surviving graph. No-op quickly on pristine networks (the engines
+/// only call this when [`SimNetwork::has_faults`] is true).
+pub(crate) fn validate_workload(net: &SimNetwork, wl: &Workload) -> Result<(), FaultError> {
+    for phase in &wl.phases {
+        for m in &phase.messages {
+            let sr = net.router_of_endpoint(m.src);
+            let dr = net.router_of_endpoint(m.dst);
+            if !net.router_alive(sr) {
+                return Err(FaultError::RouterDown {
+                    endpoint: m.src,
+                    router: sr,
+                });
+            }
+            if !net.router_alive(dr) {
+                return Err(FaultError::RouterDown {
+                    endpoint: m.dst,
+                    router: dr,
+                });
+            }
+            if sr != dr && net.dist(sr, dr) == UNREACHABLE_U16 {
+                return Err(FaultError::Disconnected {
+                    src: m.src,
+                    dst: m.dst,
+                    src_router: sr,
+                    dst_router: dr,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fail fast on mismatched fault wiring: a [`crate::SimConfig`] that records a
+/// fault plan must be paired with a network degraded by that plan. Called by
+/// both simulator constructors.
+///
+/// # Panics
+/// If the config's plan names a different spec than the network's, or the
+/// network is pristine while the config's plan would actually damage its
+/// graph (the plan was configured but never applied).
+pub(crate) fn check_config_plan(net: &SimNetwork, plan: &FaultPlan) {
+    if plan.is_none() {
+        // A degraded network under a fault-less config is the network-first
+        // workflow (build with faults, simulate as usual) — always fine.
+        return;
+    }
+    match net.fault_key() {
+        Some(key) => assert_eq!(
+            key,
+            plan.cache_key(),
+            "SimConfig fault plan does not match the network's (build the \
+             network with SimNetwork::with_faults using the same plan and seed)"
+        ),
+        None => {
+            let applied = plan.apply(net.graph()).unwrap_or_else(|e| panic!("{e}"));
+            assert!(
+                applied.is_pristine(),
+                "SimConfig carries fault plan {:?} but the network was built \
+                 pristine; build it with SimNetwork::with_faults",
+                plan.spec()
+            );
+        }
+    }
+}
+
+/// Check a live-pattern steady-state run against a degraded network: patterns
+/// draw destinations across the whole surviving machine, so every alive router
+/// must sit in one connected component.
+pub(crate) fn validate_steady_pattern(net: &SimNetwork) -> Result<(), FaultError> {
+    let components = net.alive_component_count();
+    if components != 1 {
+        // components == 0 means every router is down — as infeasible for a
+        // machine-wide pattern as a fragmented one.
+        return Err(FaultError::Fragmented { components });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> CsrGraph {
+        let mut e: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        e.push((n as u32 - 1, 0));
+        CsrGraph::from_edges(n, &e)
+    }
+
+    #[test]
+    fn builtin_names_are_complete() {
+        assert_eq!(
+            FaultRegistry::with_builtins().names(),
+            vec!["link", "links", "router", "routers"]
+        );
+    }
+
+    #[test]
+    fn parse_none_and_empty_are_the_empty_plan() {
+        for spec in ["none", "None", "", "  ", " NONE "] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            assert!(plan.is_none(), "{spec:?}");
+            assert_eq!(plan.spec(), "none");
+            assert_eq!(plan.cache_key(), "none");
+        }
+        // The empty plan's cache key ignores the seed: no draws happen.
+        assert_eq!(FaultPlan::none().with_seed(9).cache_key(), "none");
+    }
+
+    #[test]
+    fn parse_composes_terms_and_keeps_spelling() {
+        let plan = FaultPlan::parse("links(0.1) + routers(2)")
+            .unwrap()
+            .with_seed(5);
+        assert!(!plan.is_none());
+        assert_eq!(plan.spec(), "links(0.1)+routers(2)");
+        assert_eq!(plan.cache_key(), "links(0.1)+routers(2)#0x5");
+        assert_eq!(plan.seed(), 5);
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(matches!(
+            FaultPlan::parse("links(0.1) + "),
+            Err(FaultError::BadSpec { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("links(0.1"),
+            Err(FaultError::BadSpec { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("meteor-strike(3)"),
+            Err(FaultError::Unknown { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("links(1.5)"),
+            Err(FaultError::BadArgs { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("links"),
+            Err(FaultError::BadArgs { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("routers(2.5)"),
+            Err(FaultError::BadArgs { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("link(1)"),
+            Err(FaultError::BadArgs { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("router(-1)"),
+            Err(FaultError::BadArgs { .. })
+        ));
+    }
+
+    #[test]
+    fn explicit_link_and_router_terms_apply() {
+        let g = ring(6);
+        let applied = FaultPlan::parse("link(0, 1) + router(3)")
+            .unwrap()
+            .apply(&g)
+            .unwrap();
+        // link(0,1) plus router 3's two links.
+        assert_eq!(applied.removed_links, 3);
+        assert!(applied.any_down);
+        assert!(applied.down_routers[3]);
+        assert_eq!(applied.graph.degree(3), 0);
+        assert_eq!(applied.graph.num_vertices(), 6);
+        assert!(!applied.is_pristine());
+        // Deleting an absent link is a no-op, not an error.
+        let applied = FaultPlan::parse("link(0, 3)").unwrap().apply(&g).unwrap();
+        assert_eq!(applied.removed_links, 0);
+        assert!(applied.is_pristine());
+        // Out-of-range ids are rejected at apply time (graph-dependent).
+        assert!(matches!(
+            FaultPlan::parse("router(6)").unwrap().apply(&g),
+            Err(FaultError::BadArgs { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("link(0, 9)").unwrap().apply(&g),
+            Err(FaultError::BadArgs { .. })
+        ));
+    }
+
+    #[test]
+    fn random_links_share_the_static_sweep_draws() {
+        // The satellite contract: at equal seeds, the dynamic links(f) model
+        // damages exactly the graph the static Fig. 5 path damages.
+        use spectralfly_graph::failures::delete_random_edges;
+        let g = ring(30);
+        for (f, seed) in [(0.1, 0xFA11u64), (0.3, 7), (0.5, 99)] {
+            let applied = FaultPlan::random_links(f)
+                .with_seed(seed)
+                .apply(&g)
+                .unwrap();
+            assert_eq!(
+                applied.graph,
+                delete_random_edges(&g, f, seed),
+                "links({f}) at seed {seed} must equal the static sweep's deletion"
+            );
+        }
+    }
+
+    #[test]
+    fn random_routers_draw_is_deterministic_and_isolating() {
+        let g = ring(12);
+        let a = FaultPlan::random_routers(3).with_seed(4).apply(&g).unwrap();
+        let b = FaultPlan::random_routers(3).with_seed(4).apply(&g).unwrap();
+        assert_eq!(a.down_routers, b.down_routers);
+        assert_eq!(a.down_routers.iter().filter(|&&d| d).count(), 3);
+        for (r, &down) in a.down_routers.iter().enumerate() {
+            if down {
+                assert_eq!(a.graph.degree(r as VertexId), 0);
+            }
+        }
+        let c = FaultPlan::random_routers(3).with_seed(5).apply(&g).unwrap();
+        assert_ne!(a.down_routers, c.down_routers);
+    }
+
+    #[test]
+    fn random_routers_beyond_machine_size_is_typed_not_clamped() {
+        // routers(400) on a 12-router graph must be BadArgs at apply time,
+        // not a silently clamped whole-machine outage.
+        let err = FaultPlan::random_routers(400).apply(&ring(12)).unwrap_err();
+        assert!(matches!(err, FaultError::BadArgs { .. }), "{err}");
+        // The boundary case (exactly n) is allowed.
+        let applied = FaultPlan::random_routers(12).apply(&ring(12)).unwrap();
+        assert_eq!(applied.down_routers.iter().filter(|&&d| d).count(), 12);
+    }
+
+    #[test]
+    fn composed_terms_decorrelate_their_draws() {
+        // links(0.2)+links(0.2) must not delete the same set twice.
+        let g = ring(40);
+        let applied = FaultPlan::parse("links(0.2)+links(0.2)")
+            .unwrap()
+            .with_seed(11)
+            .apply(&g)
+            .unwrap();
+        assert!(
+            applied.removed_links > 8,
+            "two decorrelated 20% draws should overlap only partially, removed {}",
+            applied.removed_links
+        );
+    }
+
+    #[test]
+    fn none_plan_apply_is_the_identity() {
+        let g = ring(8);
+        let applied = FaultPlan::none().apply(&g).unwrap();
+        assert!(applied.is_pristine());
+        assert_eq!(applied.graph, g);
+        assert_eq!(applied.spec, "none");
+    }
+
+    #[test]
+    fn custom_model_registration_extends_the_global_registry() {
+        struct EveryOtherLink;
+        impl FaultModel for EveryOtherLink {
+            fn name(&self) -> &str {
+                "every-other-link"
+            }
+            fn draw(&self, g: &CsrGraph, _seed: u64) -> Result<FaultSet, FaultError> {
+                Ok(FaultSet {
+                    links: g.edges().step_by(2).collect(),
+                    routers: Vec::new(),
+                })
+            }
+        }
+        register("every-other-link", |args| {
+            if !args.is_empty() {
+                return Err(FaultError::BadArgs {
+                    name: "every-other-link".to_string(),
+                    reason: "takes no arguments".to_string(),
+                });
+            }
+            Ok(Arc::new(EveryOtherLink))
+        });
+        assert!(is_registered("every-other-link"));
+        let plan = FaultPlan::parse("Every_Other_Link").unwrap();
+        let applied = plan.apply(&ring(10)).unwrap();
+        assert_eq!(applied.removed_links, 5);
+    }
+
+    #[test]
+    fn display_messages_name_the_facts() {
+        let e = FaultError::RouterDown {
+            endpoint: 17,
+            router: 4,
+        };
+        assert!(e.to_string().contains("17") && e.to_string().contains('4'));
+        let e = FaultError::Disconnected {
+            src: 1,
+            dst: 2,
+            src_router: 0,
+            dst_router: 5,
+        };
+        assert!(e.to_string().contains("disconnected"));
+        let e = FaultError::Fragmented { components: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+}

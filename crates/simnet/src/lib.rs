@@ -23,6 +23,14 @@
 //!   `"adversarial(128)"`, …) — materialized into finite workloads, or sampled
 //!   live by the steady-state sources via
 //!   [`config::MeasurementWindows::pattern`];
+//! * a **pluggable fault-injection subsystem** ([`fault`]) completing the
+//!   registry triple: a seeded [`fault::FaultPlan`] (spec strings like
+//!   `"links(0.1)"` or `"routers(4)+link(0,1)"`) degrades the topology at
+//!   [`SimNetwork::with_faults`] construction, the distance / next-hop oracle
+//!   is rebuilt over the surviving graph so every algorithm routes around the
+//!   damage with zero hot-path branching, and infeasible runs fail fast with
+//!   [`fault::FaultError`] through [`Simulator::try_run`] /
+//!   [`Simulator::try_run_with_offered_load`];
 //! * a **wakeup-driven event engine** ([`engine`]): blocked links park on per-buffer-slot
 //!   waiter lists and are woken exactly when a slot frees — no time-based retry polling —
 //!   over a packet arena and a bucketed calendar event queue. The former polling engine
@@ -60,6 +68,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod network;
 pub mod pattern;
 pub mod routing;
@@ -69,6 +78,7 @@ pub mod workload;
 pub use config::{MeasurementWindows, RoutingAlgorithm, SimConfig};
 pub use engine::reference::ReferenceSimulator;
 pub use engine::Simulator;
+pub use fault::{FaultError, FaultModel, FaultPlan, FaultRegistry};
 pub use network::SimNetwork;
 pub use pattern::{PatternCtx, PatternError, PatternRegistry, TrafficPattern};
 pub use routing::{Router, RouterRegistry, RoutingCtx, RoutingHarness, RoutingState};

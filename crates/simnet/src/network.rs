@@ -11,9 +11,77 @@
 //! [`SimNetwork::minimal_ports_packed`] hides the difference behind a caller-owned
 //! scratch buffer so the fallback is allocation-free too.
 
+use crate::fault::{AppliedFaults, FaultError, FaultPlan};
 use spectralfly_graph::csr::{CsrGraph, VertexId};
 use spectralfly_graph::paths::{DistanceMatrix, NextHopTable};
 use std::sync::Arc;
+
+/// Fault metadata of a degraded network: which routers are administratively
+/// down, and the connected-component structure of the surviving graph (used by
+/// the Valiant intermediate sampler and the run-start feasibility checks).
+#[derive(Clone, Debug)]
+struct NetworkFaults {
+    /// Administrative down mask, indexed by router id.
+    down: Vec<bool>,
+    /// Connected-component id per router (over the degraded graph).
+    comp_of: Vec<u32>,
+    /// Members of each component, ascending. Down routers are isolated, so
+    /// they form singleton components and never appear in an alive component.
+    comp_members: Vec<Vec<VertexId>>,
+    /// Number of components containing at least one alive router.
+    alive_components: usize,
+    /// The fault-plan spec that produced this damage.
+    spec: String,
+    /// The plan's cache key (spec plus seed) — the identity of the damage.
+    key: String,
+}
+
+impl NetworkFaults {
+    /// Label the degraded graph's connected components.
+    fn new(graph: &CsrGraph, down: Vec<bool>, spec: String, key: String) -> Self {
+        let n = graph.num_vertices();
+        let mut comp_of = vec![u32::MAX; n];
+        let mut comp_members: Vec<Vec<VertexId>> = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        for root in 0..n {
+            if comp_of[root] != u32::MAX {
+                continue;
+            }
+            let cid = comp_members.len() as u32;
+            let mut members = Vec::new();
+            comp_of[root] = cid;
+            queue.push_back(root as VertexId);
+            while let Some(u) = queue.pop_front() {
+                members.push(u);
+                for &v in graph.neighbors(u) {
+                    if comp_of[v as usize] == u32::MAX {
+                        comp_of[v as usize] = cid;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            members.sort_unstable();
+            comp_members.push(members);
+        }
+        let mut alive_seen = vec![false; comp_members.len()];
+        let mut alive_components = 0usize;
+        for (r, &d) in down.iter().enumerate() {
+            let cid = comp_of[r] as usize;
+            if !d && !alive_seen[cid] {
+                alive_seen[cid] = true;
+                alive_components += 1;
+            }
+        }
+        NetworkFaults {
+            down,
+            comp_of,
+            comp_members,
+            alive_components,
+            spec,
+            key,
+        }
+    }
+}
 
 /// A network instance fed to the simulator: a router graph plus endpoint concentration.
 ///
@@ -35,6 +103,10 @@ pub struct SimNetwork {
     /// Packed minimal next-hop ports; `None` means "scan the matrix" (memory-budget
     /// fallback, or explicitly disabled for differential testing).
     next_hops: Option<Arc<NextHopTable>>,
+    /// Fault metadata when the network was built over a degraded graph
+    /// ([`SimNetwork::with_faults`]); `None` for pristine networks, so every
+    /// fault-aware query short-circuits to the pristine answer.
+    faults: Option<Arc<NetworkFaults>>,
     n: usize,
 }
 
@@ -87,8 +159,57 @@ impl SimNetwork {
             link_owner,
             dist,
             next_hops,
+            faults: None,
             n,
         }
+    }
+
+    /// Build a network over the topology left by a fault plan: apply `plan` to
+    /// `graph`, rebuild the distance / next-hop oracle over the **surviving**
+    /// graph, and record the damage so the engines can reject infeasible
+    /// workloads with a [`FaultError`] instead of hanging.
+    ///
+    /// With [`FaultPlan::none`] (or any plan that happens to remove nothing)
+    /// this is exactly [`SimNetwork::new`] — same construction path, no fault
+    /// metadata — so fault-free simulation stays bit-identical.
+    pub fn with_faults(
+        graph: CsrGraph,
+        concentration: usize,
+        plan: &FaultPlan,
+    ) -> Result<Self, FaultError> {
+        let applied = plan.apply(&graph)?;
+        if applied.is_pristine() {
+            return Ok(Self::new(graph, concentration));
+        }
+        let dist = Arc::new(DistanceMatrix::from_graph(&applied.graph));
+        Ok(Self::degraded(applied, concentration, dist))
+    }
+
+    /// Build a network from pre-applied faults and a distance oracle already
+    /// computed over the surviving graph — the constructor behind sweep caches
+    /// that key degraded oracles by fault plan.
+    ///
+    /// # Panics
+    /// If `dist` was not computed over exactly the surviving graph's vertex
+    /// count, or `concentration` is 0.
+    pub fn degraded(
+        applied: AppliedFaults,
+        concentration: usize,
+        dist: Arc<DistanceMatrix>,
+    ) -> Self {
+        let AppliedFaults {
+            graph,
+            down_routers,
+            spec,
+            cache_key,
+            removed_links,
+            any_down,
+        } = applied;
+        let faults = (removed_links > 0 || any_down)
+            .then(|| Arc::new(NetworkFaults::new(&graph, down_routers, spec, cache_key)));
+        let mut net = Self::with_distances(graph, concentration, dist);
+        net.faults = faults;
+        net
     }
 
     /// This network with the packed next-hop table dropped, forcing every minimal-
@@ -125,6 +246,72 @@ impl SimNetwork {
     /// Endpoints per router.
     pub fn concentration(&self) -> usize {
         self.concentration
+    }
+
+    /// Whether this network was built over a degraded graph (a fault plan that
+    /// actually removed something).
+    #[inline]
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The fault-plan spec this network was degraded by, if any.
+    pub fn fault_spec(&self) -> Option<&str> {
+        self.faults.as_ref().map(|f| f.spec.as_str())
+    }
+
+    /// The degrading plan's [`FaultPlan::cache_key`] (spec plus seed), if any
+    /// — the identity of the damage, distinguishing equal specs drawn at
+    /// different seeds.
+    pub fn fault_key(&self) -> Option<&str> {
+        self.faults.as_ref().map(|f| f.key.as_str())
+    }
+
+    /// Whether a router is up (always true on pristine networks). A down
+    /// router keeps its vertex id but has no links and dead endpoints.
+    #[inline]
+    pub fn router_alive(&self, router: VertexId) -> bool {
+        match &self.faults {
+            None => true,
+            Some(f) => !f.down[router as usize],
+        }
+    }
+
+    /// Whether an endpoint's router is up (always true on pristine networks).
+    #[inline]
+    pub fn endpoint_alive(&self, endpoint: usize) -> bool {
+        self.router_alive(self.router_of_endpoint(endpoint))
+    }
+
+    /// Endpoint ids whose routers are up, ascending (all of them on a pristine
+    /// network). The steady-state sources and the bench placements run traffic
+    /// over exactly this set on degraded networks.
+    pub fn alive_endpoints(&self) -> Vec<usize> {
+        (0..self.num_endpoints())
+            .filter(|&e| self.endpoint_alive(e))
+            .collect()
+    }
+
+    /// Number of connected components of the surviving graph that contain at
+    /// least one alive router (1 on a pristine network).
+    pub fn alive_component_count(&self) -> usize {
+        match &self.faults {
+            None => 1,
+            Some(f) => f.alive_components,
+        }
+    }
+
+    /// The routers sharing `router`'s connected component on the surviving
+    /// graph, ascending — `None` on pristine networks (every router qualifies).
+    ///
+    /// This is the Valiant intermediate candidate set on degraded networks:
+    /// any member is reachable from `router` by construction, so detour
+    /// routing never steers a packet at an unreachable intermediate.
+    #[inline]
+    pub(crate) fn component_peers(&self, router: VertexId) -> Option<&[VertexId]> {
+        self.faults
+            .as_ref()
+            .map(|f| f.comp_members[f.comp_of[router as usize] as usize].as_slice())
     }
 
     /// Number of routers.
@@ -219,6 +406,7 @@ impl SimNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     fn ring(n: usize) -> CsrGraph {
         let mut e: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
@@ -295,6 +483,77 @@ mod tests {
     fn mismatched_distances_are_rejected() {
         let dm = Arc::new(DistanceMatrix::from_graph(&ring(6)));
         SimNetwork::with_distances(ring(8), 1, dm);
+    }
+
+    #[test]
+    fn pristine_network_answers_fault_queries_trivially() {
+        let net = SimNetwork::new(ring(6), 2);
+        assert!(!net.has_faults());
+        assert_eq!(net.fault_spec(), None);
+        assert!((0..6).all(|r| net.router_alive(r)));
+        assert!((0..12).all(|e| net.endpoint_alive(e)));
+        assert_eq!(net.alive_endpoints().len(), 12);
+        assert_eq!(net.alive_component_count(), 1);
+        assert!(net.component_peers(0).is_none());
+    }
+
+    #[test]
+    fn none_plan_builds_a_pristine_network() {
+        let net = SimNetwork::with_faults(ring(6), 2, &FaultPlan::none()).unwrap();
+        assert!(!net.has_faults());
+        // A plan whose damage is vacuous (absent link) is pristine too.
+        let plan = FaultPlan::parse("link(0, 3)").unwrap();
+        let net = SimNetwork::with_faults(ring(6), 2, &plan).unwrap();
+        assert!(!net.has_faults());
+    }
+
+    #[test]
+    fn down_router_isolates_and_reroutes() {
+        let plan = FaultPlan::parse("router(3)").unwrap();
+        let net = SimNetwork::with_faults(ring(8), 2, &plan).unwrap();
+        assert!(net.has_faults());
+        assert_eq!(net.fault_spec(), Some("router(3)"));
+        assert!(!net.router_alive(3));
+        assert!(!net.endpoint_alive(6) && !net.endpoint_alive(7));
+        assert_eq!(net.alive_endpoints().len(), 14);
+        // The survivors stay connected (the ring minus one vertex is a path);
+        // distances reroute the long way around the hole.
+        assert_eq!(net.alive_component_count(), 1);
+        assert_eq!(net.dist(2, 4), 6);
+        // The down router is its own singleton component; the alive component
+        // holds the other 7 routers and excludes it.
+        let peers = net.component_peers(0).unwrap();
+        assert_eq!(peers.len(), 7);
+        assert!(!peers.contains(&3));
+        assert_eq!(net.component_peers(3).unwrap(), &[3]);
+        // The oracle was rebuilt over the surviving graph: the down router is
+        // unreachable, and its ports are gone.
+        assert_eq!(net.dist(0, 3), spectralfly_graph::paths::UNREACHABLE_U16);
+        assert_eq!(net.graph().degree(3), 0);
+    }
+
+    #[test]
+    fn link_failures_fragmenting_the_graph_are_reported_as_components() {
+        // Cut the 6-ring into two 3-paths.
+        let plan = FaultPlan::parse("link(0,5) + link(2,3)").unwrap();
+        let net = SimNetwork::with_faults(ring(6), 1, &plan).unwrap();
+        assert_eq!(net.alive_component_count(), 2);
+        // Everyone is administratively alive — the damage is pure link loss.
+        assert!((0..6).all(|r| net.router_alive(r)));
+        assert_eq!(net.component_peers(1).unwrap(), &[0, 1, 2]);
+        assert_eq!(net.component_peers(4).unwrap(), &[3, 4, 5]);
+        assert_eq!(net.dist(2, 3), spectralfly_graph::paths::UNREACHABLE_U16);
+    }
+
+    #[test]
+    fn degraded_constructor_shares_a_prebuilt_oracle() {
+        let plan = FaultPlan::random_links(0.2).with_seed(9);
+        let applied = plan.apply(&ring(12)).unwrap();
+        let dm = Arc::new(DistanceMatrix::from_graph(&applied.graph));
+        let net = SimNetwork::degraded(applied.clone(), 2, Arc::clone(&dm));
+        assert!(net.has_faults());
+        assert!(Arc::ptr_eq(&net.distances_arc(), &dm));
+        assert_eq!(net.graph(), &applied.graph);
     }
 
     #[test]

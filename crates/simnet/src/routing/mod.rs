@@ -318,8 +318,17 @@ impl<'a> RoutingCtx<'a> {
     /// Exact by construction (index remapping around the excluded ids), replacing the
     /// engine's former bounded rejection loop, which could silently give up on small
     /// networks and degrade Valiant to minimal routing.
+    ///
+    /// On a degraded network ([`crate::SimNetwork::with_faults`]) candidates
+    /// come from the current router's connected component of the *surviving*
+    /// graph instead of the whole id space, so a detour can never steer a
+    /// packet at a down or unreachable router. Pristine networks take the
+    /// original dense path (bit-identical RNG consumption).
     pub fn sample_intermediate(&mut self) -> Option<VertexId> {
-        sample_excluding(self.rng, self.net.num_routers(), self.router, self.dst)
+        match self.net.component_peers(self.router) {
+            None => sample_excluding(self.rng, self.net.num_routers(), self.router, self.dst),
+            Some(peers) => sample_peers_excluding(self.rng, peers, self.router, self.dst),
+        }
     }
 }
 
@@ -367,6 +376,46 @@ where
         }
     }
     unreachable!("tie index {k} below the counted {ties} ties must exist")
+}
+
+/// Uniform sample from a sorted candidate slice excluding `a` and `b` (which
+/// may coincide, and need not be members) — the degraded-network sibling of
+/// [`sample_excluding`], used when Valiant intermediates must come from one
+/// connected component of the surviving graph. Allocation-free: two binary
+/// searches plus one `gen_range` draw with index remapping.
+fn sample_peers_excluding(
+    rng: &mut StdRng,
+    peers: &[VertexId],
+    a: VertexId,
+    b: VertexId,
+) -> Option<VertexId> {
+    let pa = peers.binary_search(&a).ok();
+    let pb = if b == a {
+        None
+    } else {
+        peers.binary_search(&b).ok()
+    };
+    let excluded = pa.is_some() as usize + pb.is_some() as usize;
+    if peers.len() <= excluded {
+        return None;
+    }
+    let mut x = rng.gen_range(0..peers.len() - excluded);
+    let (lo, hi) = match (pa, pb) {
+        (Some(p), Some(q)) => (Some(p.min(q)), Some(p.max(q))),
+        (Some(p), None) | (None, Some(p)) => (Some(p), None),
+        (None, None) => (None, None),
+    };
+    if let Some(l) = lo {
+        if x >= l {
+            x += 1;
+        }
+    }
+    if let Some(h) = hi {
+        if x >= h {
+            x += 1;
+        }
+    }
+    Some(peers[x])
 }
 
 /// Uniform sample from `0..n` excluding `a` and `b` (which may coincide).
@@ -681,6 +730,51 @@ mod tests {
             } else {
                 assert!((700..1300).contains(&c), "router {i} drawn {c} times");
             }
+        }
+    }
+
+    #[test]
+    fn sample_peers_excluding_is_exact_and_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let peers: Vec<VertexId> = vec![0, 2, 5, 7, 9];
+        // Excluding two members leaves {0, 2, 9}; all hit, nothing else.
+        let mut counts = std::collections::BTreeMap::new();
+        for _ in 0..3000 {
+            let x = sample_peers_excluding(&mut rng, &peers, 5, 7).unwrap();
+            assert!([0, 2, 9].contains(&x));
+            *counts.entry(x).or_insert(0usize) += 1;
+        }
+        for (&x, &c) in &counts {
+            assert!((800..1200).contains(&c), "peer {x} drawn {c} times");
+        }
+        // Coinciding exclusions count once; non-member exclusions not at all.
+        assert!([0, 2, 7, 9].contains(&sample_peers_excluding(&mut rng, &peers, 5, 5).unwrap()));
+        assert!(peers.contains(&sample_peers_excluding(&mut rng, &peers, 4, 6).unwrap()));
+        // Too few candidates -> None.
+        assert_eq!(sample_peers_excluding(&mut rng, &[3, 8], 3, 8), None);
+        assert_eq!(sample_peers_excluding(&mut rng, &[3], 3, 3), None);
+        assert_eq!(sample_peers_excluding(&mut rng, &[], 0, 1), None);
+    }
+
+    #[test]
+    fn degraded_network_samples_intermediates_from_the_component() {
+        // 8-ring cut into two 4-paths: {0,1,2,3} and {4,5,6,7}.
+        let plan = crate::fault::FaultPlan::parse("link(3,4) + link(7,0)").unwrap();
+        let ring: Vec<(u32, u32)> = (0..8u32).map(|i| (i, (i + 1) % 8)).collect();
+        let net = crate::SimNetwork::with_faults(
+            spectralfly_graph::CsrGraph::from_edges(8, &ring),
+            1,
+            &plan,
+        )
+        .unwrap();
+        let cfg = crate::SimConfig::default().with_routing("valiant", net.diameter() as u32);
+        let mut harness = RoutingHarness::new(&net, &cfg);
+        // Valiant decisions at router 1 toward 3 must only ever detour inside
+        // {0, 1, 2, 3} — the port chosen always stays in the component.
+        for _ in 0..200 {
+            let port = harness.decide(1, 3);
+            let next = net.link_target(1, port);
+            assert!((0..=3).contains(&next), "escaped the component via {next}");
         }
     }
 
