@@ -1,0 +1,237 @@
+//! Shared CLI argument parsing for the experiment binaries.
+//!
+//! Every figure/sweep binary accepts the same flag vocabulary —
+//! `--routing`, `--pattern`, `--faults`/`--fault-seed`, `--seed`,
+//! `--warmup`/`--measure`, `--shards`, `--topo`, plus list-valued axes like
+//! `--loads` and `--fractions` — and this module is the single definition of
+//! each, so a flag behaves identically everywhere it is accepted and a new
+//! binary picks the vocabulary up by import instead of re-implementing it.
+
+use spectralfly_simnet::{pattern, routing, FaultPlan, MeasurementWindows};
+
+/// Parse `--name <value>` from the command line, falling back to `default`
+/// (malformed values fall back too).
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(default)
+}
+
+/// The raw string value of `--name <value>`, if the flag is present.
+pub fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parse a comma-separated `f64` list from `--name a,b,c`, falling back to
+/// `default` when the flag is absent. Every parsed value must satisfy
+/// `valid` (described by `expect` in the panic message).
+///
+/// # Panics
+/// If the flag is present without a value, an entry is not a number, or an
+/// entry fails validation.
+pub fn arg_f64_list(
+    name: &str,
+    default: &[f64],
+    valid: impl Fn(f64) -> bool,
+    expect: &str,
+) -> Vec<f64> {
+    match arg_str(name) {
+        None => default.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                let v: f64 = s
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name} entry {s:?} is not a number"));
+                assert!(valid(v), "{name} entry {v} is not {expect}");
+                v
+            })
+            .collect(),
+    }
+}
+
+/// Offered loads selected with `--loads a,b,c` (fractions of injection
+/// bandwidth in `(0, 1]`), falling back to `default`.
+pub fn loads_from_args(default: &[f64]) -> Vec<f64> {
+    arg_f64_list("--loads", default, |l| l > 0.0 && l <= 1.0, "in (0, 1]")
+}
+
+/// Failure fractions selected with `--fractions a,b,c` (fractions of links in
+/// `[0, 1]`), falling back to `default`.
+pub fn fractions_from_args(default: &[f64]) -> Vec<f64> {
+    arg_f64_list(
+        "--fractions",
+        default,
+        |f| (0.0..=1.0).contains(&f),
+        "in [0, 1]",
+    )
+}
+
+/// The RNG seed selected on the command line (`--seed <u64>`), with a
+/// per-binary default — sweeping seeds puts error bars on any figure.
+pub fn seed_from_args(default: u64) -> u64 {
+    arg_u64("--seed", default)
+}
+
+/// The engine shard count selected on the command line (`--shards <n>`,
+/// default 1). One shard is the sequential wakeup engine; more run the
+/// conservative parallel engine ([`spectralfly_simnet::ParallelSimulator`])
+/// with that many worker threads — a performance knob, never a semantics knob:
+/// results are identical at every value.
+///
+/// # Panics
+/// If zero is requested.
+pub fn shards_from_args() -> usize {
+    let shards = arg_u64("--shards", 1) as usize;
+    assert!(shards >= 1, "--shards must be at least 1");
+    shards
+}
+
+/// The case-insensitive topology-name filter selected with
+/// `--topo <substring>`, if any.
+pub fn topo_filter_from_args() -> Option<String> {
+    arg_str("--topo").map(|s| s.to_lowercase())
+}
+
+/// Steady-state measurement windows selected on the command line:
+/// `--measure <ns>` (required to enable them) and `--warmup <ns>` (default:
+/// one quarter of the measurement span). With windows configured, the
+/// offered-load sweeps report *sustained measured throughput* over the
+/// window instead of drain-to-empty completion time — the paper's saturation
+/// curves — via [`spectralfly_simnet::MeasurementSummary`].
+pub fn measurement_from_args() -> Option<MeasurementWindows> {
+    let measure_ns = arg_u64("--measure", 0);
+    if measure_ns == 0 {
+        return None;
+    }
+    let warmup_ns = arg_u64("--warmup", measure_ns / 4);
+    Some(MeasurementWindows::new(warmup_ns * 1000, measure_ns * 1000))
+}
+
+/// Routing algorithms selected on the command line: `--routing a,b,c` (registry
+/// names, validated against [`spectralfly_simnet::routing`]) with a fallback when
+/// the flag is absent. `--routing all` selects every registered algorithm.
+///
+/// # Panics
+/// If a requested name is not in the routing registry (the message lists what is).
+pub fn routing_names_from_args(default: &[&str]) -> Vec<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let requested: Vec<String> = match args.iter().position(|a| a == "--routing") {
+        Some(i) => args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--routing requires a comma-separated list of algorithms"))
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect(),
+        None => default.iter().map(|s| s.to_string()).collect(),
+    };
+    assert!(
+        !requested.is_empty(),
+        "--routing requires at least one algorithm; registered: {}",
+        routing::registered_names().join(", ")
+    );
+    if requested.iter().any(|r| r == "all") {
+        return routing::registered_names();
+    }
+    for name in &requested {
+        assert!(
+            routing::is_registered(name),
+            "unknown routing algorithm {name:?}; registered: {}",
+            routing::registered_names().join(", ")
+        );
+    }
+    requested
+}
+
+/// Split a comma-separated pattern list at **top-level** commas only, so
+/// multi-argument specs survive intact:
+/// `"hotspot(8,0.2),adversarial"` → `["hotspot(8,0.2)", "adversarial"]`.
+pub fn split_pattern_list(list: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in list.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(list[start..i].trim().to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(list[start..].trim().to_string());
+    out.retain(|s| !s.is_empty());
+    out
+}
+
+/// Traffic patterns selected on the command line: `--pattern a,b,c` (pattern
+/// specs, validated against [`spectralfly_simnet::pattern`]) with a fallback
+/// when the flag is absent. `--pattern all` selects every registered pattern.
+/// Specs may carry arguments, e.g. `--pattern "hotspot(8,0.2),adversarial"` —
+/// commas inside parentheses separate a spec's arguments, not specs.
+///
+/// # Panics
+/// If a requested spec's base name is not in the pattern registry (the message
+/// lists what is).
+pub fn pattern_names_from_args(default: &[&str]) -> Vec<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let requested: Vec<String> = match args.iter().position(|a| a == "--pattern") {
+        Some(i) => split_pattern_list(args.get(i + 1).unwrap_or_else(|| {
+            panic!("--pattern requires a comma-separated list of pattern specs")
+        })),
+        None => default.iter().map(|s| s.to_string()).collect(),
+    };
+    assert!(
+        !requested.is_empty(),
+        "--pattern requires at least one pattern; registered: {}",
+        pattern::registered_names().join(", ")
+    );
+    if requested.iter().any(|r| r == "all") {
+        return pattern::registered_names();
+    }
+    for spec in &requested {
+        assert!(
+            pattern::is_registered(spec),
+            "unknown traffic pattern {spec:?}; registered: {}",
+            pattern::registered_names().join(", ")
+        );
+    }
+    requested
+}
+
+/// The fault plan selected on the command line: `--faults <spec>` (a
+/// [`FaultPlan`] spec like `links(0.1)` or `routers(4)+link(0,1)`; default
+/// `none`) seeded by `--fault-seed <u64>` (default
+/// [`FaultPlan::DEFAULT_SEED`]). Every simulation binary that accepts it
+/// builds its networks through [`crate::SimTopology::faulted_network`], so the
+/// same flag degrades every topology of a sweep with one seeded plan.
+///
+/// # Panics
+/// If the spec does not parse (the message names the registered fault models).
+pub fn faults_from_args() -> FaultPlan {
+    let args: Vec<String> = std::env::args().collect();
+    let spec = args
+        .iter()
+        .position(|a| a == "--faults")
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--faults requires a fault-plan spec, e.g. links(0.1)"))
+                .clone()
+        })
+        .unwrap_or_else(|| "none".to_string());
+    let plan = FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("{e}"));
+    plan.with_seed(arg_u64("--fault-seed", FaultPlan::DEFAULT_SEED))
+}

@@ -16,7 +16,8 @@
 //! Usage: `cargo run --release -p spectralfly-bench --bin fault_sweep
 //! [--full] [--topo substring] [--routing ugal-l,minimal,…|all]
 //! [--pattern SPEC] [--fractions 0,0.05,0.1,0.2] [--load PCT]
-//! [--seed N] [--fault-seed N] [--warmup NS] [--measure NS] [--smoke]`
+//! [--seed N] [--fault-seed N] [--warmup NS] [--measure NS] [--shards N]
+//! [--smoke]`
 //!
 //! * Failure fractions default to `0, 0.05, 0.1, 0.2` (the paper's Fig. 5
 //!   x-axis up to well past its 10% headline point).
@@ -34,32 +35,11 @@
 //! `fault_sweep --full --topo SpectralFly --fractions 0.1 --routing ugal-l`.
 
 use spectralfly_bench::{
-    arg_u64, fmt, paper_sim_config, pattern_spec_for, print_table, routing_names_from_args,
-    seed_from_args, simulation_topologies, steady_source_workload, try_sweep_offered_loads, Scale,
+    arg_str, arg_u64, fmt, fractions_from_args, paper_sim_config, pattern_spec_for, print_table,
+    routing_names_from_args, seed_from_args, shards_from_args, simulation_topologies,
+    steady_source_workload, topo_filter_from_args, try_sweep_offered_loads, Scale,
 };
 use spectralfly_simnet::{FaultPlan, MeasurementWindows};
-
-/// Failure fractions selected with `--fractions a,b,c` (fractions of links).
-fn fractions_from_args(default: &[f64]) -> Vec<f64> {
-    let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--fractions") {
-        None => default.to_vec(),
-        Some(i) => args
-            .get(i + 1)
-            .unwrap_or_else(|| panic!("--fractions requires a comma-separated list"))
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .map(|s| {
-                let f: f64 = s
-                    .parse()
-                    .unwrap_or_else(|_| panic!("--fractions entry {s:?} is not a number"));
-                assert!((0.0..=1.0).contains(&f), "fraction {f} outside [0, 1]");
-                f
-            })
-            .collect(),
-    }
-}
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -83,24 +63,12 @@ fn main() {
         &[0.0, 0.05, 0.1, 0.2]
     });
     let routings = routing_names_from_args(&["ugal-l"]);
+    let shards = shards_from_args();
     let load = (arg_u64("--load", 70) as f64 / 100.0).clamp(0.01, 1.0);
     let measure_ns = arg_u64("--measure", if smoke { 3_000 } else { 20_000 });
     let warmup_ns = arg_u64("--warmup", measure_ns / 4);
-    let pattern: String = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--pattern")
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-            .unwrap_or_else(|| "random".to_string())
-    };
-    let topo_filter: Option<String> = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--topo")
-            .and_then(|i| args.get(i + 1))
-            .map(|s| s.to_lowercase())
-    };
+    let pattern = arg_str("--pattern").unwrap_or_else(|| "random".to_string());
+    let topo_filter = topo_filter_from_args();
 
     let topologies: Vec<_> = simulation_topologies(scale)
         .into_iter()
@@ -128,8 +96,9 @@ fn main() {
                     .faulted_network(&plan)
                     .unwrap_or_else(|e| panic!("{}: {e}", topo.name));
                 let wl = steady_source_workload(&net, 4096, seed ^ 0x51EADE);
-                let mut cfg =
-                    paper_sim_config(&net, routing.clone(), seed).with_fault_plan(plan.clone());
+                let mut cfg = paper_sim_config(&net, routing.clone(), seed)
+                    .with_fault_plan(plan.clone())
+                    .with_shards(shards);
                 cfg.windows = Some(
                     MeasurementWindows::new(warmup_ns * 1000, measure_ns * 1000)
                         .with_pattern(spec.clone()),

@@ -2,15 +2,17 @@
 //! UGAL routing, reported as speedup relative to DragonFly-UGAL.
 //!
 //! Usage: `cargo run --release -p spectralfly-bench --bin fig10_ember_ugal
-//! [--full] [--routing ugal-l,ugal-g|all] [--seed N]`
+//! [--full] [--routing ugal-l,ugal-g|all] [--seed N] [--shards N]`
 //!
 //! `--routing` selects any set of registry algorithms (one table per algorithm);
 //! the four motifs of a topology simulate in parallel, one per core. The Ember
 //! motifs are phased (bulk-synchronous) workloads, so they always run to
-//! completion — steady-state windows do not apply here.
+//! completion — steady-state windows do not apply here. `--shards N` runs each
+//! simulation on the sharded parallel engine with `N` worker threads
+//! (identical results, multi-core wall clock).
 
 use spectralfly_bench::{
-    fmt, paper_sim_config, print_table, routing_names_from_args, seed_from_args,
+    fmt, paper_sim_config, print_table, routing_names_from_args, seed_from_args, shards_from_args,
     simulation_topologies, sweep_workloads, Scale,
 };
 use spectralfly_simnet::workload::random_placement;
@@ -20,6 +22,7 @@ use spectralfly_workloads::{fft3d, halo3d_26, sweep3d, FftBalance, Grid3};
 fn main() {
     let scale = Scale::from_args();
     let seed = seed_from_args(0xE4BF);
+    let shards = shards_from_args();
     let ranks = 1usize << scale.rank_bits();
     let topologies = simulation_topologies(scale);
     let grid = Grid3::near_cubic(ranks);
@@ -35,7 +38,7 @@ fn main() {
         let mut results: Vec<Vec<f64>> = Vec::new();
         for topo in &topologies {
             let net = topo.network();
-            let cfg = paper_sim_config(&net, routing.clone(), seed);
+            let cfg = paper_sim_config(&net, routing.clone(), seed).with_shards(shards);
             let placement = random_placement(ranks, net.num_endpoints(), 0xBEEF);
             let placed: Vec<Workload> = motifs.iter().map(|wl| wl.place(&placement)).collect();
             let per_motif: Vec<f64> = sweep_workloads(&net, &cfg, &placed)

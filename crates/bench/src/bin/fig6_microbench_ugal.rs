@@ -3,7 +3,8 @@
 //!
 //! Usage: `cargo run --release -p spectralfly-bench --bin fig6_microbench_ugal
 //! [--full] [--routing ugal-l,ugal-g|all] [--pattern random,shuffle,…|all]
-//! [--seed N] [--warmup NS] [--measure NS] [--faults SPEC] [--fault-seed N]`
+//! [--seed N] [--warmup NS] [--measure NS] [--faults SPEC] [--fault-seed N]
+//! [--shards N]`
 //!
 //! Default is the small scale under UGAL-L; `--full` uses the paper's ~8.7K-endpoint
 //! configuration, and `--routing` selects any set of registry algorithms (one table
@@ -15,11 +16,13 @@
 //! one simulation per core. `--faults` (a fault-plan spec like `links(0.1)`,
 //! seeded by `--fault-seed`) degrades every topology before the sweep: ranks
 //! are placed on the surviving endpoints and routing steers around the damage.
+//! `--shards N` runs every simulation on the sharded parallel engine with `N`
+//! worker threads (identical results, multi-core wall clock).
 
 use spectralfly_bench::{
     faults_from_args, figure_of_merit, fmt, measurement_from_args, merit_speedup, paper_sim_config,
     pattern_names_from_args, place_on_alive, print_table, routing_names_from_args, seed_from_args,
-    simulation_topologies, sweep_offered_loads, Scale, OFFERED_LOADS,
+    shards_from_args, simulation_topologies, sweep_offered_loads, Scale, OFFERED_LOADS,
 };
 use spectralfly_simnet::Workload;
 
@@ -30,6 +33,7 @@ fn main() {
     let seed = seed_from_args(0xF16);
     let windows = measurement_from_args();
     let faults = faults_from_args();
+    let shards = shards_from_args();
     let topologies = simulation_topologies(scale);
     let patterns = pattern_names_from_args(&["random", "shuffle", "reverse", "transpose"]);
 
@@ -42,8 +46,9 @@ fn main() {
                 let net = topo
                     .faulted_network(&faults)
                     .unwrap_or_else(|e| panic!("{}: {e}", topo.name));
-                let mut cfg =
-                    paper_sim_config(&net, routing.clone(), seed).with_fault_plan(faults.clone());
+                let mut cfg = paper_sim_config(&net, routing.clone(), seed)
+                    .with_fault_plan(faults.clone())
+                    .with_shards(shards);
                 cfg.windows = windows.clone();
                 let ranks = 1usize << bits;
                 let placement = place_on_alive(&net, ranks, 0xBEEF);

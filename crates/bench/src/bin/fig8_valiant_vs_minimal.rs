@@ -3,7 +3,8 @@
 //!
 //! Usage: `cargo run --release -p spectralfly-bench --bin fig8_valiant_vs_minimal
 //! [--full] [--routing valiant,ugal-l,ugal-g|all] [--pattern random,shuffle,…|all]
-//! [--seed N] [--warmup NS] [--measure NS] [--faults SPEC] [--fault-seed N]`
+//! [--seed N] [--warmup NS] [--measure NS] [--faults SPEC] [--fault-seed N]
+//! [--shards N]`
 //!
 //! Default compares Valiant against minimal (the paper's Fig. 8); `--routing` pits
 //! any set of registry algorithms against the minimal baseline. With `--measure`
@@ -13,12 +14,13 @@
 //! load points in parallel, one simulation per core. `--faults` degrades the
 //! SpectralFly instance before the comparison (ranks are placed on surviving
 //! endpoints), answering "does non-minimal routing still pay off on a damaged
-//! expander?".
+//! expander?". `--shards N` runs every simulation on the sharded parallel
+//! engine with `N` worker threads (identical results, multi-core wall clock).
 
 use spectralfly_bench::{
     faults_from_args, figure_of_merit, fmt, measurement_from_args, merit_speedup, paper_sim_config,
     pattern_names_from_args, place_on_alive, print_table, routing_names_from_args, seed_from_args,
-    simulation_topologies, sweep_offered_loads, Scale, OFFERED_LOADS,
+    shards_from_args, simulation_topologies, sweep_offered_loads, Scale, OFFERED_LOADS,
 };
 use spectralfly_simnet::Workload;
 
@@ -29,6 +31,7 @@ fn main() {
     let seed = seed_from_args(0xF18);
     let windows = measurement_from_args();
     let faults = faults_from_args();
+    let shards = shards_from_args();
     let spectralfly = &simulation_topologies(scale)[0];
     let net = spectralfly
         .faulted_network(&faults)
@@ -42,12 +45,15 @@ fn main() {
         let wl = Workload::synthetic(&pattern, bits, msgs, 4096, 0xABCD)
             .unwrap_or_else(|e| panic!("{e}"))
             .place(&placement);
-        let mut min_cfg = paper_sim_config(&net, "minimal", seed).with_fault_plan(faults.clone());
+        let mut min_cfg = paper_sim_config(&net, "minimal", seed)
+            .with_fault_plan(faults.clone())
+            .with_shards(shards);
         min_cfg.windows = windows.clone();
         let baseline = sweep_offered_loads(&net, &min_cfg, &wl, &OFFERED_LOADS);
         for routing in &challengers {
-            let mut cfg =
-                paper_sim_config(&net, routing.clone(), seed).with_fault_plan(faults.clone());
+            let mut cfg = paper_sim_config(&net, routing.clone(), seed)
+                .with_fault_plan(faults.clone())
+                .with_shards(shards);
             cfg.windows = windows.clone();
             let mut row = vec![format!("{pattern} ({routing})")];
             for ((_, min_res), (_, res)) in

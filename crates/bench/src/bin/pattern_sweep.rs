@@ -6,7 +6,7 @@
 //! Usage: `cargo run --release -p spectralfly-bench --bin pattern_sweep
 //! [--full] [--pattern random,adversarial,…|all] [--routing minimal,ugal-l,…|all]
 //! [--topo substring] [--loads 0.1,0.5,0.9] [--seed N] [--warmup NS] [--measure NS]
-//! [--faults SPEC] [--fault-seed N]`
+//! [--faults SPEC] [--fault-seed N] [--shards N]`
 //!
 //! Unlike the fig6/fig8 micro-benchmarks (which materialize a pattern over a
 //! rank space and scatter it with a random placement), this sweep drives the
@@ -24,53 +24,27 @@
 //! `pattern_sweep --full --topo SpectralFly --pattern adversarial --routing minimal,ugal-l --loads 0.9`.
 
 use spectralfly_bench::{
-    arg_u64, faults_from_args, fmt, paper_sim_config, pattern_names_from_args, pattern_spec_for,
-    print_table, routing_names_from_args, seed_from_args, simulation_topologies,
-    steady_source_workload, try_sweep_offered_loads, Scale,
+    arg_u64, faults_from_args, fmt, loads_from_args, paper_sim_config, pattern_names_from_args,
+    pattern_spec_for, print_table, routing_names_from_args, seed_from_args, shards_from_args,
+    simulation_topologies, steady_source_workload, topo_filter_from_args, try_sweep_offered_loads,
+    Scale,
 };
 use spectralfly_simnet::MeasurementWindows;
-
-/// Offered loads selected with `--loads a,b,c` (fractions of injection
-/// bandwidth), defaulting to a saturation-curve axis that includes the 0.9
-/// point the adversarial story is told at.
-fn loads_from_args() -> Vec<f64> {
-    let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--loads") {
-        None => vec![0.1, 0.3, 0.5, 0.7, 0.9],
-        Some(i) => args
-            .get(i + 1)
-            .unwrap_or_else(|| panic!("--loads requires a comma-separated list of fractions"))
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .map(|s| {
-                let l: f64 = s
-                    .parse()
-                    .unwrap_or_else(|_| panic!("--loads entry {s:?} is not a number"));
-                assert!(l > 0.0 && l <= 1.0, "load {l} outside (0, 1]");
-                l
-            })
-            .collect(),
-    }
-}
 
 fn main() {
     let scale = Scale::from_args();
     let seed = seed_from_args(0x9A77);
     let faults = faults_from_args();
-    let loads = loads_from_args();
+    let shards = shards_from_args();
+    // The default load axis is a saturation curve that includes the 0.9 point
+    // the adversarial story is told at.
+    let loads = loads_from_args(&[0.1, 0.3, 0.5, 0.7, 0.9]);
     let patterns = pattern_names_from_args(&["random", "adversarial"]);
     let routings = routing_names_from_args(&["minimal", "ugal-l"]);
     // Steady-state windows are the point of this binary, so they default on.
     let measure_ns = arg_u64("--measure", 20_000);
     let warmup_ns = arg_u64("--warmup", measure_ns / 4);
-    let topo_filter: Option<String> = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--topo")
-            .and_then(|i| args.get(i + 1))
-            .map(|s| s.to_lowercase())
-    };
+    let topo_filter = topo_filter_from_args();
 
     let topologies: Vec<_> = simulation_topologies(scale)
         .into_iter()
@@ -90,8 +64,9 @@ fn main() {
         for pattern in &patterns {
             let spec = pattern_spec_for(topo, pattern);
             for routing in &routings {
-                let mut cfg =
-                    paper_sim_config(&net, routing.clone(), seed).with_fault_plan(faults.clone());
+                let mut cfg = paper_sim_config(&net, routing.clone(), seed)
+                    .with_fault_plan(faults.clone())
+                    .with_shards(shards);
                 cfg.windows = Some(
                     MeasurementWindows::new(warmup_ns * 1000, measure_ns * 1000)
                         .with_pattern(spec.clone()),

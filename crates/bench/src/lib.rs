@@ -9,14 +9,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod args;
+pub use args::*;
+
 use rayon::prelude::*;
 use spectralfly_graph::paths::DistanceMatrix;
 use spectralfly_graph::CsrGraph;
 use spectralfly_simnet::fault::AppliedFaults;
 use spectralfly_simnet::workload::{random_placement, Workload};
 use spectralfly_simnet::{
-    pattern, routing, FaultError, FaultPlan, MeasurementWindows, SimConfig, SimNetwork, SimResults,
-    Simulator,
+    pattern, FaultError, FaultPlan, ParallelSimulator, SimConfig, SimNetwork, SimResults, Simulator,
 };
 use spectralfly_topology::{
     BundleFlyGraph, GeneralizedDragonFly, LpsGraph, SlimFlyGraph, Topology,
@@ -234,38 +236,6 @@ pub fn simulation_topologies(scale: Scale) -> Vec<SimTopology> {
 /// The offered-load sweep used on the x-axis of Figures 6–8.
 pub const OFFERED_LOADS: [f64; 6] = [0.1, 0.2, 0.3, 0.5, 0.6, 0.7];
 
-/// Parse `--name <value>` from the command line, falling back to `default`
-/// (shared by every experiment binary; malformed values fall back too).
-pub fn arg_u64(name: &str, default: u64) -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(default)
-}
-
-/// The RNG seed selected on the command line (`--seed <u64>`), with a
-/// per-binary default — sweeping seeds puts error bars on any figure.
-pub fn seed_from_args(default: u64) -> u64 {
-    arg_u64("--seed", default)
-}
-
-/// Steady-state measurement windows selected on the command line:
-/// `--measure <ns>` (required to enable them) and `--warmup <ns>` (default:
-/// one quarter of the measurement span). With windows configured, the
-/// offered-load sweeps report *sustained measured throughput* over the
-/// window instead of drain-to-empty completion time — the paper's saturation
-/// curves — via [`spectralfly_simnet::MeasurementSummary`].
-pub fn measurement_from_args() -> Option<MeasurementWindows> {
-    let measure_ns = arg_u64("--measure", 0);
-    if measure_ns == 0 {
-        return None;
-    }
-    let warmup_ns = arg_u64("--warmup", measure_ns / 4);
-    Some(MeasurementWindows::new(warmup_ns * 1000, measure_ns * 1000))
-}
-
 /// The scalar a sweep point contributes to a figure: `(value, higher_is_better)`.
 /// Windowed (steady-state) runs score by sustained measured throughput in Gb/s;
 /// finite runs score by completion time in ps.
@@ -295,125 +265,6 @@ pub fn paper_sim_config(net: &SimNetwork, routing: impl Into<String>, seed: u64)
     cfg
 }
 
-/// Routing algorithms selected on the command line: `--routing a,b,c` (registry
-/// names, validated against [`spectralfly_simnet::routing`]) with a fallback when
-/// the flag is absent. `--routing all` selects every registered algorithm.
-///
-/// # Panics
-/// If a requested name is not in the routing registry (the message lists what is).
-pub fn routing_names_from_args(default: &[&str]) -> Vec<String> {
-    let args: Vec<String> = std::env::args().collect();
-    let requested: Vec<String> = match args.iter().position(|a| a == "--routing") {
-        Some(i) => args
-            .get(i + 1)
-            .unwrap_or_else(|| panic!("--routing requires a comma-separated list of algorithms"))
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .map(str::to_string)
-            .collect(),
-        None => default.iter().map(|s| s.to_string()).collect(),
-    };
-    assert!(
-        !requested.is_empty(),
-        "--routing requires at least one algorithm; registered: {}",
-        routing::registered_names().join(", ")
-    );
-    if requested.iter().any(|r| r == "all") {
-        return routing::registered_names();
-    }
-    for name in &requested {
-        assert!(
-            routing::is_registered(name),
-            "unknown routing algorithm {name:?}; registered: {}",
-            routing::registered_names().join(", ")
-        );
-    }
-    requested
-}
-
-/// Split a comma-separated pattern list at **top-level** commas only, so
-/// multi-argument specs survive intact:
-/// `"hotspot(8,0.2),adversarial"` → `["hotspot(8,0.2)", "adversarial"]`.
-pub fn split_pattern_list(list: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut depth = 0usize;
-    let mut start = 0usize;
-    for (i, c) in list.char_indices() {
-        match c {
-            '(' => depth += 1,
-            ')' => depth = depth.saturating_sub(1),
-            ',' if depth == 0 => {
-                out.push(list[start..i].trim().to_string());
-                start = i + 1;
-            }
-            _ => {}
-        }
-    }
-    out.push(list[start..].trim().to_string());
-    out.retain(|s| !s.is_empty());
-    out
-}
-
-/// Traffic patterns selected on the command line: `--pattern a,b,c` (pattern
-/// specs, validated against [`spectralfly_simnet::pattern`]) with a fallback
-/// when the flag is absent. `--pattern all` selects every registered pattern.
-/// Specs may carry arguments, e.g. `--pattern "hotspot(8,0.2),adversarial"` —
-/// commas inside parentheses separate a spec's arguments, not specs.
-///
-/// # Panics
-/// If a requested spec's base name is not in the pattern registry (the message
-/// lists what is).
-pub fn pattern_names_from_args(default: &[&str]) -> Vec<String> {
-    let args: Vec<String> = std::env::args().collect();
-    let requested: Vec<String> = match args.iter().position(|a| a == "--pattern") {
-        Some(i) => split_pattern_list(args.get(i + 1).unwrap_or_else(|| {
-            panic!("--pattern requires a comma-separated list of pattern specs")
-        })),
-        None => default.iter().map(|s| s.to_string()).collect(),
-    };
-    assert!(
-        !requested.is_empty(),
-        "--pattern requires at least one pattern; registered: {}",
-        pattern::registered_names().join(", ")
-    );
-    if requested.iter().any(|r| r == "all") {
-        return pattern::registered_names();
-    }
-    for spec in &requested {
-        assert!(
-            pattern::is_registered(spec),
-            "unknown traffic pattern {spec:?}; registered: {}",
-            pattern::registered_names().join(", ")
-        );
-    }
-    requested
-}
-
-/// The fault plan selected on the command line: `--faults <spec>` (a
-/// [`FaultPlan`] spec like `links(0.1)` or `routers(4)+link(0,1)`; default
-/// `none`) seeded by `--fault-seed <u64>` (default
-/// [`FaultPlan::DEFAULT_SEED`]). Every simulation binary that accepts it
-/// builds its networks through [`SimTopology::faulted_network`], so the same
-/// flag degrades every topology of a sweep with one seeded plan.
-///
-/// # Panics
-/// If the spec does not parse (the message names the registered fault models).
-pub fn faults_from_args() -> FaultPlan {
-    let args: Vec<String> = std::env::args().collect();
-    let spec = args
-        .iter()
-        .position(|a| a == "--faults")
-        .map(|i| {
-            args.get(i + 1)
-                .unwrap_or_else(|| panic!("--faults requires a fault-plan spec, e.g. links(0.1)"))
-                .clone()
-        })
-        .unwrap_or_else(|| "none".to_string());
-    let plan = FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("{e}"));
-    plan.with_seed(arg_u64("--fault-seed", FaultPlan::DEFAULT_SEED))
-}
-
 /// A random rank placement restricted to the network's *alive* endpoints: on a
 /// pristine network this is exactly
 /// [`spectralfly_simnet::workload::random_placement`] (bit-identical, same
@@ -430,6 +281,34 @@ pub fn place_on_alive(net: &SimNetwork, ranks: usize, seed: u64) -> Vec<usize> {
         .collect()
 }
 
+/// Run one workload-paced simulation, dispatching on [`SimConfig::shards`]:
+/// one shard is the sequential wakeup engine, more run the conservative
+/// parallel engine with that many worker threads. Results are identical
+/// either way (the parallel engine is shard-count-invariant), so `--shards`
+/// is purely a wall-clock knob for the sweep drivers.
+pub fn run_workload(net: &SimNetwork, cfg: &SimConfig, wl: &Workload) -> SimResults {
+    if cfg.shards > 1 {
+        ParallelSimulator::new(net, cfg).run(wl)
+    } else {
+        Simulator::new(net, cfg).run(wl)
+    }
+}
+
+/// [`run_workload`] for an offered-load point, through the fault-checked
+/// entry so degraded sweeps surface infeasibility as a value.
+pub fn try_run_offered_load(
+    net: &SimNetwork,
+    cfg: &SimConfig,
+    wl: &Workload,
+    load: f64,
+) -> Result<SimResults, FaultError> {
+    if cfg.shards > 1 {
+        ParallelSimulator::new(net, cfg).try_run_with_offered_load(wl, load)
+    } else {
+        Simulator::new(net, cfg).try_run_with_offered_load(wl, load)
+    }
+}
+
 /// [`sweep_offered_loads`] through the fault-checked entry point: each load
 /// point carries a `Result`, so a sweep driver can report an infeasible
 /// degraded run (disconnected pair, fragmented survivors) as a table entry
@@ -442,12 +321,7 @@ pub fn try_sweep_offered_loads(
 ) -> Vec<(f64, Result<SimResults, FaultError>)> {
     loads
         .par_iter()
-        .map(|&load| {
-            (
-                load,
-                Simulator::new(net, cfg).try_run_with_offered_load(wl, load),
-            )
-        })
+        .map(|&load| (load, try_run_offered_load(net, cfg, wl, load)))
         .collect()
 }
 
@@ -496,7 +370,7 @@ pub fn sweep_offered_loads(
         .map(|&load| {
             (
                 load,
-                Simulator::new(net, cfg).run_with_offered_load(wl, load),
+                try_run_offered_load(net, cfg, wl, load).unwrap_or_else(|e| panic!("{e}")),
             )
         })
         .collect()
@@ -506,7 +380,7 @@ pub fn sweep_offered_loads(
 /// sweep behind the Ember figures (9–10), where the x-axis is the motif.
 pub fn sweep_workloads(net: &SimNetwork, cfg: &SimConfig, wls: &[Workload]) -> Vec<SimResults> {
     wls.par_iter()
-        .map(|wl| Simulator::new(net, cfg).run(wl))
+        .map(|wl| run_workload(net, cfg, wl))
         .collect()
 }
 
@@ -540,6 +414,7 @@ pub fn fmt(x: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spectralfly_simnet::MeasurementWindows;
 
     #[test]
     fn small_scale_topologies_build_and_fit_ports() {

@@ -46,6 +46,6 @@ pub mod spectral;
 
 pub use csr::{CsrGraph, VertexId};
 pub use metrics::{structural_metrics, StructuralMetrics};
-pub use partition::{bisect, bisection_bandwidth, BisectConfig, Bisection};
+pub use partition::{bisect, bisection_bandwidth, partition_kway, BisectConfig, Bisection};
 pub use paths::{DistanceMatrix, NextHopTable};
 pub use spectral::{is_ramanujan, spectral_summary, SpectralSummary};

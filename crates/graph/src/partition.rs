@@ -373,6 +373,62 @@ pub fn normalized_bisection_bandwidth(g: &CsrGraph, restarts: usize, seed: u64) 
     bw / (n * k / 2.0)
 }
 
+/// Partition `g` into `parts` balanced parts, returning the part index of each vertex.
+///
+/// Power-of-two part counts recurse on [`bisect`] (each half is extracted with
+/// [`CsrGraph::induced_subgraph`] and split again with a level-derived seed), which keeps
+/// the edge cut low — the property the parallel simulator wants, since cut edges become
+/// cross-shard messages. Any other part count falls back to a contiguous block
+/// assignment, which is balanced but cut-oblivious.
+pub fn partition_kway(g: &CsrGraph, parts: usize, cfg: &BisectConfig, seed: u64) -> Vec<u32> {
+    let n = g.num_vertices();
+    if parts <= 1 || n == 0 {
+        return vec![0; n];
+    }
+    if !parts.is_power_of_two() {
+        // Contiguous blocks: part sizes differ by at most one.
+        return (0..n).map(|v| (v * parts / n) as u32).collect();
+    }
+    let mut assign = vec![0u32; n];
+    // (vertex list in original ids, first part index, parts to split into)
+    let mut work: Vec<(Vec<VertexId>, u32, usize)> = vec![((0..n as VertexId).collect(), 0, parts)];
+    while let Some((mut verts, base, k)) = work.pop() {
+        if k == 1 || verts.len() <= 1 {
+            // k parts but ≤1 vertex left: everything lands in the first part.
+            for &v in &verts {
+                assign[v as usize] = base;
+            }
+            continue;
+        }
+        let sub = g.induced_subgraph(&verts);
+        // Derive a per-level seed so sibling bisections see independent streams.
+        let level_seed = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(base as u64)
+            .wrapping_add((k as u64) << 32);
+        let b = bisect(&sub, cfg, level_seed);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for (i, &v) in verts.iter().enumerate() {
+            if b.side[i] == 0 {
+                left.push(v);
+            } else {
+                right.push(v);
+            }
+        }
+        // A stalled bisection (everything on one side) would recurse forever; fall back
+        // to an even split of the vertex list.
+        if left.is_empty() || right.is_empty() {
+            let mid = verts.len() / 2;
+            right = verts.split_off(mid);
+            left = verts;
+        }
+        work.push((left, base, k / 2));
+        work.push((right, base + (k / 2) as u32, k / 2));
+    }
+    assign
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,5 +528,58 @@ mod tests {
         let g = complete_bipartite(10, 10);
         let nb = normalized_bisection_bandwidth(&g, 4, 9);
         assert!(nb > 0.0 && nb <= 1.0);
+    }
+
+    #[test]
+    fn kway_covers_all_parts_and_balances() {
+        let g = cycle_graph(64);
+        for parts in [1usize, 2, 4, 8] {
+            let a = partition_kway(&g, parts, &BisectConfig::default(), 17);
+            assert_eq!(a.len(), 64);
+            let mut counts = vec![0usize; parts];
+            for &p in &a {
+                assert!((p as usize) < parts, "part {p} out of range");
+                counts[p as usize] += 1;
+            }
+            let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(
+                max - min <= 64 / parts / 2 + 2,
+                "parts={parts} counts {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn kway_four_way_cycle_cut_is_small() {
+        // A 4-way split of a cycle needs only 4 cut edges; recursive bisection should
+        // land at (or very near) that.
+        let g = cycle_graph(64);
+        let a = partition_kway(&g, 4, &BisectConfig::default(), 3);
+        let cut = g
+            .edges()
+            .filter(|&(u, v)| a[u as usize] != a[v as usize])
+            .count();
+        assert!(cut <= 8, "cut {cut}");
+    }
+
+    #[test]
+    fn kway_non_power_of_two_falls_back_contiguous() {
+        let g = cycle_graph(30);
+        let a = partition_kway(&g, 3, &BisectConfig::default(), 1);
+        assert_eq!(a, (0..30).map(|v| (v * 3 / 30) as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kway_degenerate_inputs() {
+        let g = cycle_graph(4);
+        assert_eq!(
+            partition_kway(&g, 1, &BisectConfig::default(), 0),
+            vec![0; 4]
+        );
+        // More parts than vertices still assigns every vertex a valid part.
+        let a = partition_kway(&g, 8, &BisectConfig::default(), 0);
+        assert!(a.iter().all(|&p| p < 8));
+        let empty = CsrGraph::from_edges(0, &[]);
+        assert!(partition_kway(&empty, 4, &BisectConfig::default(), 0).is_empty());
     }
 }

@@ -186,6 +186,13 @@ pub struct SimConfig {
     /// plan) panics at simulator construction instead of silently measuring
     /// the wrong machine.
     pub faults: FaultPlan,
+    /// Worker-shard count for the parallel engine ([`crate::ParallelSimulator`]).
+    ///
+    /// `1` (the default) runs the conservative PDES loop on a single shard; the
+    /// sequential wakeup engine ignores this field entirely. Results are
+    /// shard-count-invariant by construction, so this is a performance knob,
+    /// never a semantics knob.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -203,6 +210,7 @@ impl Default for SimConfig {
             seed: 0x5EED,
             windows: None,
             faults: FaultPlan::none(),
+            shards: 1,
         }
     }
 }
@@ -272,6 +280,16 @@ impl SimConfig {
         self.faults = plan;
         self
     }
+
+    /// Builder-style: set the worker-shard count used by the parallel engine.
+    ///
+    /// # Panics
+    /// If `shards` is zero.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "shard count must be at least 1");
+        self.shards = shards;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -336,6 +354,18 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_measurement_window_panics() {
         let _ = MeasurementWindows::new(10, 0);
+    }
+
+    #[test]
+    fn shard_builder_round_trips() {
+        assert_eq!(SimConfig::default().shards, 1);
+        assert_eq!(SimConfig::default().with_shards(4).shards, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_shards_panics() {
+        let _ = SimConfig::default().with_shards(0);
     }
 
     #[test]

@@ -79,6 +79,46 @@ impl<T: Timed> CalendarQueue<T> {
 
     /// Remove and return the earliest item (ties broken by the item's `Ord`).
     pub fn pop(&mut self) -> Option<T> {
+        self.pop_limited(None)
+    }
+
+    /// Remove and return the earliest item if it is scheduled strictly before
+    /// `limit`; leave the queue untouched otherwise.
+    ///
+    /// This is the parallel engine's epoch primitive: with lookahead `E` and
+    /// epoch floor `m`, every event before `m + E` is safe to process because
+    /// any message still in flight from another shard carries a timestamp
+    /// `≥ m + E`. The cursor may advance into `limit`'s bucket, which is safe
+    /// for the same reason — nothing earlier can arrive afterwards.
+    pub fn pop_before(&mut self, limit: u64) -> Option<T> {
+        self.pop_limited(Some(limit))
+    }
+
+    /// The timestamp of the earliest item without removing it (or advancing
+    /// the cursor or migrating overflow items — crucially, a later `push` of
+    /// an *earlier* cross-shard message stays legal after this query).
+    pub fn next_time(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        // An overflow item whose slot has entered the window but has not
+        // migrated yet can still be the minimum, so always consult `far`.
+        let far_t = self.far.peek().map(|&Reverse(e)| e.time());
+        if self.in_buckets == 0 {
+            return far_t;
+        }
+        let n = self.buckets.len() as u64;
+        let ring_t = (self.cursor_slot..self.cursor_slot + n)
+            .map(|s| (s % n) as usize)
+            .find_map(|b| self.buckets[b].peek().map(|&Reverse(e)| e.time()));
+        match (ring_t, far_t) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
+    }
+
+    fn pop_limited(&mut self, limit: Option<u64>) -> Option<T> {
         if self.len == 0 {
             return None;
         }
@@ -111,6 +151,20 @@ impl<T: Timed> CalendarQueue<T> {
                 far_top < ring_top
             }
         };
+        if let Some(limit) = limit {
+            let earliest = if take_far {
+                let Reverse(top) = self.far.peek()?;
+                top.time()
+            } else {
+                let Reverse(top) = self.buckets[ring_min.expect("ring candidate")]
+                    .peek()
+                    .expect("non-empty");
+                top.time()
+            };
+            if earliest >= limit {
+                return None;
+            }
+        }
         let item = if take_far {
             let Reverse(item) = self.far.pop()?;
             item
@@ -215,5 +269,152 @@ mod tests {
             assert_eq!(q.pop(), Some(want));
         }
         assert_eq!(q.pop(), None);
+    }
+
+    /// Adversarial overflow-heap trace: every push lands at or beyond the
+    /// bucket horizon (`cursor + nbuckets * width`), so *all* traffic funnels
+    /// through the far heap and must migrate correctly as the cursor chases it.
+    #[test]
+    fn far_future_horizon_crossing_matches_binary_heap() {
+        let width = 10u64;
+        let nbuckets = 4usize;
+        let horizon = width * nbuckets as u64;
+        let mut q = CalendarQueue::new(width, nbuckets);
+        let mut oracle: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+        let mut now = 0u64;
+        for seq in 0..200u64 {
+            // Alternate exactly-at-horizon and far-beyond-horizon pushes, plus
+            // one near event to keep the ring populated.
+            let deltas = [horizon, horizon + 1, 3 * horizon + seq % width, 1];
+            for (i, d) in deltas.iter().enumerate() {
+                let e = Ev(now + d, seq * 10 + i as u64);
+                q.push(e);
+                oracle.push(Reverse(e));
+            }
+            // Drain two, keeping a backlog that straddles the horizon.
+            for _ in 0..2 {
+                let got = q.pop();
+                let want = oracle.pop().map(|Reverse(e)| e);
+                assert_eq!(got, want);
+                now = got.expect("backlog never empties here").0;
+            }
+        }
+        while let Some(Reverse(want)) = oracle.pop() {
+            assert_eq!(q.pop(), Some(want));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Bucket-boundary ties: equal times landing exactly on slot boundaries
+    /// (`k * width`), including ties split across the ring/overflow border,
+    /// must still pop in full `(time, seq)` order.
+    #[test]
+    fn bucket_boundary_ties_pop_in_seq_order() {
+        let width = 10u64;
+        let mut q = CalendarQueue::new(width, 4);
+        let mut oracle: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+        // Time 40 sits exactly on the horizon at push time (cursor 0, window
+        // [0, 40)): these go to the overflow heap...
+        for seq in 0..4 {
+            let e = Ev(40, seq);
+            q.push(e);
+            oracle.push(Reverse(e));
+        }
+        // ...and these equal-time, *lower-seq* items arrive after the cursor
+        // has advanced, landing in the ring. The ring/overflow split must not
+        // leak into pop order.
+        for (t, seq) in [(0, 100), (10, 101), (20, 102)] {
+            let e = Ev(t, seq);
+            q.push(e);
+            oracle.push(Reverse(e));
+        }
+        assert_eq!(q.pop(), Some(Ev(0, 100)));
+        assert_eq!(q.pop(), Some(Ev(10, 101)));
+        oracle.pop();
+        oracle.pop();
+        for seq in [90u64, 95] {
+            let e = Ev(40, seq);
+            q.push(e);
+            oracle.push(Reverse(e));
+        }
+        while let Some(Reverse(want)) = oracle.pop() {
+            assert_eq!(q.pop(), Some(want));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    /// `pop_before` must behave as a guarded `pop`: pop exactly the items
+    /// strictly before the limit, in order, and leave the rest untouched —
+    /// differentially checked against a plain BinaryHeap with the same guard.
+    #[test]
+    fn pop_before_matches_guarded_binary_heap() {
+        let mut q = CalendarQueue::new(16, 8);
+        let mut oracle: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for round in 0..400 {
+            // A clustered burst with occasional far-future outliers.
+            for _ in 0..3 {
+                let r = rnd();
+                let delta = if r % 13 == 0 { r % 5_000 } else { r % 48 };
+                let e = Ev(now + delta, seq);
+                seq += 1;
+                q.push(e);
+                oracle.push(Reverse(e));
+            }
+            // Epoch-style drain up to a limit ahead of "now".
+            let limit = now + 1 + rnd() % 96;
+            loop {
+                let want = match oracle.peek() {
+                    Some(&Reverse(e)) if e.0 < limit => {
+                        oracle.pop();
+                        Some(e)
+                    }
+                    _ => None,
+                };
+                let got = q.pop_before(limit);
+                assert_eq!(got, want, "round {round} limit {limit}");
+                match got {
+                    Some(e) => now = e.0,
+                    None => break,
+                }
+            }
+            // The queue must refuse to pop at-or-after the limit even when
+            // non-empty.
+            if let Some(&Reverse(e)) = oracle.peek() {
+                assert!(e.0 >= limit);
+            }
+        }
+        while let Some(Reverse(want)) = oracle.pop() {
+            assert_eq!(q.pop(), Some(want));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    /// `next_time` reports the true minimum (including unmigrated overflow
+    /// items) without consuming anything or advancing the cursor: an earlier
+    /// push afterwards must still be legal and pop first.
+    #[test]
+    fn next_time_is_non_destructive_and_sees_overflow() {
+        let mut q = CalendarQueue::new(10, 4);
+        assert_eq!(q.next_time(), None);
+        q.push(Ev(500, 0)); // straight to the overflow heap
+        assert_eq!(q.next_time(), Some(500));
+        // After the query, an earlier event (a cross-shard message in the
+        // engine) can still arrive and must come out first.
+        q.push(Ev(7, 1));
+        assert_eq!(q.next_time(), Some(7));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(Ev(7, 1)));
+        assert_eq!(q.next_time(), Some(500));
+        assert_eq!(q.pop(), Some(Ev(500, 0)));
+        assert_eq!(q.next_time(), None);
     }
 }

@@ -35,6 +35,7 @@
 //! the type's documentation and DESIGN.md for the protocol.
 
 mod calendar;
+pub mod parallel;
 pub mod reference;
 
 use crate::config::SimConfig;
@@ -213,7 +214,7 @@ pub(crate) fn choose_port(
     occupancy: &[u32],
     router_occ: &[u32],
     link_parked: &[bool],
-    rng: &mut StdRng,
+    rng: &mut dyn rand::RngCore,
     scratch: &mut RouteScratch,
 ) -> usize {
     // Detach the packet's routing state so the context can borrow the rest of the

@@ -36,6 +36,11 @@
 //!   over a packet arena and a bucketed calendar event queue. The former polling engine
 //!   is retained as [`engine::reference::ReferenceSimulator`] (equivalence oracle and
 //!   perf baseline);
+//! * a **sharded conservative parallel engine** ([`engine::parallel`]): routers are
+//!   partitioned across worker shards by recursive spectral bisection, which co-simulate
+//!   in barrier-synchronized epochs bounded by the link + router latency lookahead —
+//!   with shard-count-invariant results ([`SimConfig::shards`] is a performance knob,
+//!   never a semantics knob);
 //! * **steady-state measurement** ([`config::MeasurementWindows`]): continuous
 //!   per-endpoint Poisson sources with warmup/measurement/drain windows and an interval
 //!   time-series ([`stats::IntervalSample`]), so offered-load sweeps measure true
@@ -76,6 +81,7 @@ pub mod stats;
 pub mod workload;
 
 pub use config::{MeasurementWindows, RoutingAlgorithm, SimConfig};
+pub use engine::parallel::ParallelSimulator;
 pub use engine::reference::ReferenceSimulator;
 pub use engine::Simulator;
 pub use fault::{FaultError, FaultModel, FaultPlan, FaultRegistry};

@@ -48,7 +48,7 @@ pub mod valiant;
 
 use crate::network::SimNetwork;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, RngCore};
 use spectralfly_graph::csr::VertexId;
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock, RwLock};
@@ -122,7 +122,10 @@ pub struct RoutingCtx<'a> {
     router: VertexId,
     dst: VertexId,
     hops: u32,
-    rng: &'a mut StdRng,
+    /// Any deterministic generator: the sequential engines pass the run's
+    /// `StdRng`, the parallel engine a per-decision counter-based stream (so
+    /// decisions stay independent of event interleaving across shards).
+    rng: &'a mut dyn RngCore,
     /// Scratch for the scan fallback of the minimal-port query; unused (and
     /// untouched) when the network carries a next-hop table.
     scratch: &'a mut RouteScratch,
@@ -141,7 +144,7 @@ impl<'a> RoutingCtx<'a> {
         router: VertexId,
         dst: VertexId,
         hops: u32,
-        rng: &'a mut StdRng,
+        rng: &'a mut dyn RngCore,
         scratch: &'a mut RouteScratch,
     ) -> Self {
         RoutingCtx {
@@ -258,9 +261,9 @@ impl<'a> RoutingCtx<'a> {
         total
     }
 
-    /// The run's RNG (deterministic given [`crate::SimConfig::seed`]).
+    /// The decision RNG (deterministic given [`crate::SimConfig::seed`]).
     #[inline]
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut dyn RngCore {
         self.rng
     }
 
@@ -290,7 +293,7 @@ impl<'a> RoutingCtx<'a> {
                 ports.iter().map(|&p| p as usize),
                 link_qlen,
                 link_base,
-                rng,
+                &mut **rng,
                 router,
                 target,
             )
@@ -305,7 +308,7 @@ impl<'a> RoutingCtx<'a> {
                 scratch.wide.iter().copied(),
                 link_qlen,
                 link_base,
-                rng,
+                &mut **rng,
                 router,
                 target,
             )
@@ -340,7 +343,7 @@ fn pick_least_queued<I>(
     ports: I,
     link_qlen: &[u32],
     link_base: usize,
-    rng: &mut StdRng,
+    rng: &mut dyn RngCore,
     router: VertexId,
     target: VertexId,
 ) -> usize
@@ -384,7 +387,7 @@ where
 /// connected component of the surviving graph. Allocation-free: two binary
 /// searches plus one `gen_range` draw with index remapping.
 fn sample_peers_excluding(
-    rng: &mut StdRng,
+    rng: &mut dyn RngCore,
     peers: &[VertexId],
     a: VertexId,
     b: VertexId,
@@ -419,7 +422,7 @@ fn sample_peers_excluding(
 }
 
 /// Uniform sample from `0..n` excluding `a` and `b` (which may coincide).
-fn sample_excluding(rng: &mut StdRng, n: usize, a: VertexId, b: VertexId) -> Option<VertexId> {
+fn sample_excluding(rng: &mut dyn RngCore, n: usize, a: VertexId, b: VertexId) -> Option<VertexId> {
     let excluded = if a == b { 1 } else { 2 };
     if n <= excluded {
         return None;

@@ -275,6 +275,30 @@ impl StatsCollector {
         self.counters.merge(counters);
     }
 
+    /// Fold another collector (a worker shard's partial observations) into this
+    /// one. Every aggregate [`StatsCollector::finish`] derives is order-free
+    /// (sums, maxes, sorted percentiles), so absorbing shards in any order
+    /// yields the same [`SimResults`] as a single sequential collector.
+    pub(crate) fn absorb(&mut self, other: StatsCollector) {
+        debug_assert_eq!(
+            self.window, other.window,
+            "absorbing a collector with a different measurement window"
+        );
+        self.latencies_ps.extend(other.latencies_ps);
+        self.hops.extend(other.hops);
+        self.bytes += other.bytes;
+        self.messages_done += other.messages_done;
+        self.max_message_latency_ps = self
+            .max_message_latency_ps
+            .max(other.max_message_latency_ps);
+        self.last_delivery_ps = self.last_delivery_ps.max(other.last_delivery_ps);
+        self.injected_in_window += other.injected_in_window;
+        self.min_inject_ps = self.min_inject_ps.min(other.min_inject_ps);
+        self.max_inject_ps = self.max_inject_ps.max(other.max_inject_ps);
+        self.samples.extend(other.samples);
+        self.counters.merge(&other.counters);
+    }
+
     /// Finalize into a [`SimResults`].
     pub fn finish(mut self) -> SimResults {
         let measurement = self.window.map(|(s, e)| MeasurementSummary {

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Append an engine-throughput measurement to BENCH_engine.json: the wakeup
 # engine vs the polling reference on saturated ring sweeps, the routing-bound
-# LPS scenarios (packed next-hop table vs distance-matrix scan), and the
-# routing-decision microbench.
+# LPS scenarios (packed next-hop table vs distance-matrix scan), the
+# shard-scaling scenario (sequential vs the conservative parallel engine at
+# 1/2/4/8 shards), and the routing-decision microbench. Timed scenarios
+# report median-of-rounds walls; every JSON row records its round count.
 #
 # Usage: scripts/bench_engine.sh [--routers N] [--conc N] [--msgs N]
 #        [--load-pct N] [--seed N] [--out PATH] [--smoke]

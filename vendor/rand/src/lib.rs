@@ -30,10 +30,9 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
 /// User-facing random-value methods, blanket-implemented for every [`RngCore`].
 pub trait Rng: RngCore {
     /// A uniform sample from `range` (half-open, as in upstream `rand`).
-    fn gen_range<T, B: SampleRange<T>>(&mut self, range: B) -> T
-    where
-        Self: Sized,
-    {
+    ///
+    /// No `Self: Sized` bound — as upstream, so `&mut dyn RngCore` receivers work.
+    fn gen_range<T, B: SampleRange<T>>(&mut self, range: B) -> T {
         range.sample_from(self)
     }
 }
