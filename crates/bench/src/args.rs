@@ -7,7 +7,7 @@
 //! each, so a flag behaves identically everywhere it is accepted and a new
 //! binary picks the vocabulary up by import instead of re-implementing it.
 
-use spectralfly_simnet::{pattern, routing, FaultPlan, MeasurementWindows};
+use spectralfly_simnet::{pattern, routing, FaultPlan, MeasurementWindows, OraclePolicy};
 
 /// Parse `--name <value>` from the command line, falling back to `default`
 /// (malformed values fall back too).
@@ -94,6 +94,24 @@ pub fn shards_from_args() -> usize {
     let shards = arg_u64("--shards", 1) as usize;
     assert!(shards >= 1, "--shards must be at least 1");
     shards
+}
+
+/// The path-oracle policy selected on the command line (`--oracle
+/// auto|dense|landmark|cayley`, default `auto`). Like `--shards`, this is a
+/// memory/performance knob, never a semantics knob: every backing answers
+/// minimal-path queries identically, so results do not depend on it. `cayley`
+/// is only honoured by binaries that construct algebraic topologies (the
+/// translation oracle comes from the topology, e.g.
+/// [`spectralfly_topology::LpsGraph::cayley_oracle`]); generic sweeps reject
+/// it through [`spectralfly_simnet::SimNetwork::with_policy`].
+///
+/// # Panics
+/// If the value is not one of the four policy names.
+pub fn oracle_from_args() -> OraclePolicy {
+    match arg_str("--oracle") {
+        None => OraclePolicy::default(),
+        Some(s) => s.parse().unwrap_or_else(|e| panic!("--oracle: {e}")),
+    }
 }
 
 /// The case-insensitive topology-name filter selected with

@@ -347,7 +347,7 @@ pub fn pattern_spec_for(topo: &SimTopology, spec: &str) -> String {
 
 /// The steady-state source workload for pattern-driven sweeps: every endpoint
 /// sends `bytes`-sized messages (one template each), so the workload supplies
-/// the *senders and sizes* while [`MeasurementWindows::pattern`] supplies the
+/// the *senders and sizes* while [`MeasurementWindows::pattern`](spectralfly_simnet::MeasurementWindows::pattern) supplies the
 /// destinations. (Template destinations are uniform-random; they are only used
 /// when no pattern is configured.)
 pub fn steady_source_workload(net: &SimNetwork, bytes: u64, seed: u64) -> Workload {
@@ -387,6 +387,27 @@ pub fn sweep_workloads(net: &SimNetwork, cfg: &SimConfig, wls: &[Workload]) -> V
 /// The LPS↔SlimFly size pairs of Table II / Fig. 11.
 pub fn table2_pairs() -> Vec<((u64, u64), u64)> {
     vec![((11, 7), 9), ((19, 7), 13), ((23, 11), 17), ((29, 13), 23)]
+}
+
+/// Append `entry` to the JSON trajectory array at `out` (created if absent) —
+/// the `BENCH_*.json` perf-trajectory format shared by the recording binaries.
+///
+/// # Panics
+/// If `out` exists but does not hold a JSON array, or the write fails.
+pub fn append_entry(out: &str, entry: &str) {
+    let existing = std::fs::read_to_string(out).unwrap_or_default();
+    let trimmed = existing.trim();
+    let new_content = if trimmed.is_empty() || trimmed == "[]" {
+        format!("[\n{entry}\n]\n")
+    } else {
+        let body = trimmed
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .unwrap_or_else(|| panic!("{out} is not a JSON array"));
+        format!("[{},\n{entry}\n]\n", body.trim_end().trim_end_matches(','))
+    };
+    std::fs::write(out, new_content).expect("write bench trajectory");
+    println!("appended to {out}");
 }
 
 /// Print a markdown-style table: a header row and aligned value rows.

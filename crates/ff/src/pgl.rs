@@ -140,9 +140,11 @@ impl ProjectiveGroup {
 
     /// Enumerate every canonical class in the group, in a deterministic order.
     ///
-    /// Enumeration is `O(q³)` and intended for `q` up to a few dozen (the paper's largest
-    /// instance is `q = 19` with 6 840 classes; the simulation instance is `q = 13`).
-    /// For design-space *counting* use [`ProjectiveGroup::order`], which is closed-form.
+    /// The order is the one [`ProjectiveIndex`] inverts in closed form: the `a = 1` block
+    /// ordered lexicographically by `(b, c, d)` (skipping singular `d = bc` and, for PSL,
+    /// non-square determinants), then the `a = 0, b = 1` block ordered by `(c, d)`.
+    /// Enumeration is `O(q³)`; for design-space *counting* use
+    /// [`ProjectiveGroup::order`], which is closed-form.
     pub fn enumerate(&self) -> Vec<ProjMat> {
         let q = self.q;
         let mut out = Vec::with_capacity(self.order() as usize);
@@ -172,6 +174,112 @@ impl ProjectiveGroup {
         }
         debug_assert_eq!(out.len() as u64, self.order());
         out
+    }
+}
+
+/// Closed-form rank of a canonical class within [`ProjectiveGroup::enumerate`]'s order.
+///
+/// `index_of(m)` equals `enumerate().iter().position(|&x| x == m)` without materializing
+/// (or hashing) the `O(q³)` element list — the piece that turns a Cayley graph over
+/// `PGL(2, F_q)` into an *implicit* vertex numbering: group arithmetic on canonical
+/// matrices composes with this rank function to give O(1) vertex-id translation maps,
+/// which is what million-vertex LPS path oracles need in their hot path.
+///
+/// The enumeration order has two blocks:
+///
+/// * `a = 1`: buckets ordered by `(b, c)`; within a bucket, admissible `d` (nonzero —
+///   and, for PSL, square — determinant `d - bc`) in increasing order. Every bucket
+///   holds exactly `q - 1` (PGL) or `(q - 1)/2` (PSL) classes, so the bucket base is a
+///   multiplication and the within-bucket rank is a precomputed `O(q²)` prefix table.
+/// * `a = 0, b = 1`: determinant `-c`, rows ordered by `(c, d)` with all `d` admissible;
+///   a length-`q` prefix table ranks the admissible `c`.
+#[derive(Clone, Debug)]
+pub struct ProjectiveIndex {
+    q: u64,
+    kind: ProjectiveKind,
+    /// `rank_d[bc * q + d]` = admissible `d' < d` in the `a = 1` bucket with product `bc`.
+    rank_d: Vec<u32>,
+    /// `rank_c[c]` = admissible `c' in 1..c` in the `a = 0` block.
+    rank_c: Vec<u32>,
+    /// Classes per `a = 1` bucket: `q - 1` (PGL) or `(q - 1)/2` (PSL).
+    bucket: u64,
+    /// Total size of the `a = 1` block (`q² · bucket`).
+    a0_offset: u64,
+}
+
+impl ProjectiveIndex {
+    /// Build the rank tables for a group (`O(q²)` time and space).
+    pub fn new(group: &ProjectiveGroup) -> Self {
+        let q = group.q();
+        let kind = group.kind();
+        // Is `det` an admissible determinant? (nonzero, and a square for PSL)
+        let admissible: Vec<bool> = (0..q)
+            .map(|det| match kind {
+                ProjectiveKind::Pgl => det != 0,
+                ProjectiveKind::Psl => legendre(det, q) == 1,
+            })
+            .collect();
+        let mut rank_d = vec![0u32; (q * q) as usize];
+        for bc in 0..q {
+            let mut rank = 0u32;
+            for d in 0..q {
+                rank_d[(bc * q + d) as usize] = rank;
+                if admissible[((d + q - bc) % q) as usize] {
+                    rank += 1;
+                }
+            }
+        }
+        let mut rank_c = vec![0u32; q as usize];
+        let mut rank = 0u32;
+        for c in 1..q {
+            rank_c[c as usize] = rank;
+            if admissible[(q - c) as usize] {
+                rank += 1;
+            }
+        }
+        let bucket = match kind {
+            ProjectiveKind::Pgl => q - 1,
+            ProjectiveKind::Psl => (q - 1) / 2,
+        };
+        ProjectiveIndex {
+            q,
+            kind,
+            rank_d,
+            rank_c,
+            bucket,
+            a0_offset: q * q * bucket,
+        }
+    }
+
+    /// The field size `q`.
+    pub fn q(&self) -> u64 {
+        self.q
+    }
+
+    /// Which group the ranks refer to.
+    pub fn kind(&self) -> ProjectiveKind {
+        self.kind
+    }
+
+    /// The rank of a canonical class in [`ProjectiveGroup::enumerate`]'s order.
+    ///
+    /// `m` must be a canonical member of the group this index was built for (as produced
+    /// by [`ProjectiveGroup::canonicalize`] / [`ProjectiveGroup::mul`]); ranks of
+    /// non-members are meaningless (debug assertions catch malformed leading entries).
+    #[inline]
+    pub fn index_of(&self, m: ProjMat) -> usize {
+        let q = self.q;
+        if m.a == 1 {
+            let bc = mod_mul(m.b, m.c, q);
+            ((m.b * q + m.c) * self.bucket + self.rank_d[(bc * q + m.d) as usize] as u64) as usize
+        } else {
+            debug_assert_eq!(
+                (m.a, m.b),
+                (0, 1),
+                "canonical class with a != 1 must have a = 0, b = 1"
+            );
+            (self.a0_offset + self.rank_c[m.c as usize] as u64 * q + m.d) as usize
+        }
     }
 }
 
@@ -261,6 +369,40 @@ mod tests {
         for &x in &sample {
             for &y in &sample {
                 assert!(g.contains(g.mul(x, y)));
+            }
+        }
+    }
+
+    /// The closed-form rank must invert the enumeration order exactly, for both
+    /// kinds and several field sizes — this is the contract the Cayley path
+    /// oracle's vertex translation rests on.
+    #[test]
+    fn projective_index_matches_enumeration_order() {
+        for q in [3u64, 5, 7, 11, 13] {
+            for kind in [ProjectiveKind::Pgl, ProjectiveKind::Psl] {
+                let g = ProjectiveGroup::new(q, kind);
+                let idx = ProjectiveIndex::new(&g);
+                for (i, m) in g.enumerate().into_iter().enumerate() {
+                    assert_eq!(idx.index_of(m), i, "q={q} kind={kind:?} element {m:?}");
+                }
+            }
+        }
+    }
+
+    /// Ranks compose with group arithmetic: `index_of(mul(x, y))` is a valid
+    /// vertex id, and `index_of(identity)` is stable under `x·x⁻¹`.
+    #[test]
+    fn projective_index_composes_with_group_ops() {
+        let g = ProjectiveGroup::new(11, ProjectiveKind::Psl);
+        let idx = ProjectiveIndex::new(&g);
+        let elems = g.enumerate();
+        let id_rank = idx.index_of(g.identity());
+        for &x in elems.iter().step_by(29) {
+            assert_eq!(idx.index_of(g.mul(x, g.inverse(x))), id_rank);
+            for &y in elems.iter().step_by(31) {
+                let r = idx.index_of(g.mul(x, y));
+                assert!(r < elems.len());
+                assert_eq!(elems[r], g.mul(x, y));
             }
         }
     }

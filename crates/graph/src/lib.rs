@@ -17,6 +17,10 @@
 //!   consumed by both the analytical layer and the packet-level simulator, plus the
 //!   CSR-packed [`paths::NextHopTable`] behind the simulator's allocation-free
 //!   routing hot path.
+//! * [`oracle`] — the [`oracle::PathOracle`] trait that puts the dense pair, the
+//!   O(n) Cayley-translation oracle, and the landmark/ALT oracle behind one
+//!   interface, so million-router fabrics escape the O(n²) memory wall without
+//!   changing a single routing call site.
 //!
 //! ```
 //! use spectralfly_graph::csr::CsrGraph;
@@ -40,12 +44,16 @@ pub mod csr;
 pub mod failures;
 pub mod matching;
 pub mod metrics;
+pub mod oracle;
 pub mod partition;
 pub mod paths;
 pub mod spectral;
 
 pub use csr::{CsrGraph, VertexId};
 pub use metrics::{structural_metrics, StructuralMetrics};
+pub use oracle::{
+    CayleyDiff, CayleyOracle, DenseOracle, LandmarkOracle, OracleError, OracleKind, PathOracle,
+};
 pub use partition::{bisect, bisection_bandwidth, partition_kway, BisectConfig, Bisection};
 pub use paths::{DistanceMatrix, NextHopTable};
 pub use spectral::{is_ramanujan, spectral_summary, SpectralSummary};

@@ -20,6 +20,7 @@
 //!   huge `n`.
 
 use crate::csr::{CsrGraph, VertexId};
+use crate::oracle::OracleError;
 use rayon::prelude::*;
 use std::collections::VecDeque;
 
@@ -37,7 +38,13 @@ pub struct DistanceMatrix {
 /// Single-source BFS writing u16 distances straight into a caller-provided row
 /// (`UNREACHABLE_U16` marks unreachable vertices). The row doubles as the BFS
 /// visited set, so the only working memory is the queue.
-fn bfs_distances_into(
+///
+/// Distances saturate at `UNREACHABLE_U16 - 1`: on graphs with more than `u16::MAX`
+/// vertices a shortest path could in principle exceed the u16 range, and a saturated
+/// entry must not collide with the unreachable sentinel. Every topology this
+/// repository simulates has diameter orders of magnitude below the cap, so the
+/// saturation branch exists for correctness, not for use.
+pub(crate) fn bfs_distances_into(
     g: &CsrGraph,
     source: VertexId,
     row: &mut [u16],
@@ -49,11 +56,10 @@ fn bfs_distances_into(
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
         let du = row[u as usize];
+        let dv = du.saturating_add(1).min(UNREACHABLE_U16 - 1);
         for &v in g.neighbors(u) {
             if row[v as usize] == UNREACHABLE_U16 {
-                // Cannot reach the sentinel: paths have at most n - 1 hops and
-                // `from_graph` asserts n <= u16::MAX.
-                row[v as usize] = du + 1;
+                row[v as usize] = dv;
                 queue.push_back(v);
             }
         }
@@ -66,17 +72,31 @@ impl DistanceMatrix {
     /// Each worker writes its rows directly into the shared flat buffer
     /// (`par_chunks_mut`), so peak memory is the matrix itself plus one BFS queue
     /// per worker — not a second copy of the matrix in per-row vectors.
+    ///
+    /// # Panics
+    /// If the graph has more than `u16::MAX` vertices — the convenience wrapper for
+    /// callers that know their topology is small. Large-topology constructors should
+    /// use [`DistanceMatrix::try_from_graph`] and route to a sparse
+    /// [`crate::oracle::PathOracle`] instead of aborting.
     pub fn from_graph(g: &CsrGraph) -> Self {
+        Self::try_from_graph(g).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`DistanceMatrix::from_graph`] with a typed failure instead of a panic.
+    ///
+    /// The u16 distance encoding (with `u16::MAX` as the unreachable sentinel)
+    /// requires every finite distance < 2¹⁶ − 1; `n − 1` bounds path length, so the
+    /// vertex count is checked up front — and `n > u16::MAX` also means the dense
+    /// `n²` u16 buffer would exceed 8 GiB, which is exactly when callers should fall
+    /// back to a memory-scalable oracle rather than build this matrix.
+    pub fn try_from_graph(g: &CsrGraph) -> Result<Self, OracleError> {
         let n = g.num_vertices();
-        // The u16 distance encoding (with u16::MAX as the unreachable sentinel)
-        // requires every finite distance < 2^16 - 1; n - 1 bounds path length,
-        // so enforce the assumption instead of relying on matrices this large
-        // (> 8 GB) never being built.
-        assert!(
-            n <= u16::MAX as usize,
-            "DistanceMatrix supports at most {} routers, got {n}",
-            u16::MAX
-        );
+        if n > u16::MAX as usize {
+            return Err(OracleError::TooManyVertices {
+                n,
+                max: u16::MAX as usize,
+            });
+        }
         let mut dist = vec![0u16; n * n];
         if n > 0 {
             dist.par_chunks_mut(n).enumerate().for_each(|(s, row)| {
@@ -84,7 +104,7 @@ impl DistanceMatrix {
                 bfs_distances_into(g, s as VertexId, row, &mut queue);
             });
         }
-        DistanceMatrix { n, dist }
+        Ok(DistanceMatrix { n, dist })
     }
 
     /// Number of routers.
@@ -322,17 +342,44 @@ impl NextHopTable {
         dist: &DistanceMatrix,
         budget_bytes: usize,
     ) -> Option<NextHopTable> {
+        Self::try_build(g, dist, budget_bytes).ok()
+    }
+
+    /// [`NextHopTable::build_with_budget`] with a typed reason for refusing.
+    ///
+    /// Refusal is not an abort: every caller keeps a scan fallback, and the error
+    /// distinguishes "radix does not fit the packed u8 port space"
+    /// ([`OracleError::RadixTooLarge`]) from "the quadratic table blows the memory
+    /// budget" ([`OracleError::BudgetExceeded`]) so large-topology constructors can
+    /// report *why* they routed to a sparse oracle.
+    pub fn try_build(
+        g: &CsrGraph,
+        dist: &DistanceMatrix,
+        budget_bytes: usize,
+    ) -> Result<NextHopTable, OracleError> {
         let n = g.num_vertices();
         assert_eq!(n, dist.n(), "graph and distance matrix disagree on n");
         if g.max_degree() > u8::MAX as usize {
-            return None;
+            return Err(OracleError::RadixTooLarge {
+                max_degree: g.max_degree(),
+                max: u8::MAX as usize,
+            });
         }
-        let rows_bytes = n.checked_mul(n)?.checked_mul(ROW_STRIDE)?;
+        let rows_bytes = n
+            .checked_mul(n)
+            .and_then(|nn| nn.checked_mul(ROW_STRIDE))
+            .ok_or(OracleError::BudgetExceeded {
+                required: usize::MAX,
+                budget: budget_bytes,
+            })?;
         if rows_bytes > budget_bytes {
-            return None;
+            return Err(OracleError::BudgetExceeded {
+                required: rows_bytes,
+                budget: budget_bytes,
+            });
         }
         if n == 0 {
-            return Some(NextHopTable {
+            return Ok(NextHopTable {
                 n,
                 rows: Vec::new(),
                 spill: Vec::new(),
@@ -386,7 +433,10 @@ impl NextHopTable {
             for (d, long) in spilled {
                 let off = spill.len();
                 if off > u32::MAX as usize {
-                    return None;
+                    return Err(OracleError::BudgetExceeded {
+                        required: usize::MAX,
+                        budget: budget_bytes,
+                    });
                 }
                 let row_base = (r * n + d) * ROW_STRIDE;
                 rows[row_base + 1..row_base + 5].copy_from_slice(&(off as u32).to_le_bytes());
@@ -395,9 +445,12 @@ impl NextHopTable {
             }
         }
         if rows_bytes + spill.len() > budget_bytes {
-            return None;
+            return Err(OracleError::BudgetExceeded {
+                required: rows_bytes + spill.len(),
+                budget: budget_bytes,
+            });
         }
-        Some(NextHopTable { n, rows, spill })
+        Ok(NextHopTable { n, rows, spill })
     }
 
     /// Number of routers.

@@ -55,6 +55,57 @@ impl std::fmt::Display for RoutingAlgorithm {
     }
 }
 
+/// Which path-oracle representation a network should be built with
+/// ([`crate::SimNetwork::with_policy`]; see `spectralfly_graph::oracle`).
+///
+/// Recorded on [`SimConfig`] so sweep and bench drivers thread the choice
+/// alongside routing and windows (`--oracle` on the bench CLI); the policy is
+/// *applied* at network construction — a config has no graph to build an
+/// oracle over.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum OraclePolicy {
+    /// Dense while the matrix fits its `u16` index space, landmark beyond it.
+    #[default]
+    Auto,
+    /// Force the dense `DistanceMatrix` + `NextHopTable` pair (errors past
+    /// `u16::MAX` routers).
+    Dense,
+    /// Force the landmark/ALT oracle.
+    Landmark,
+    /// The O(n) Cayley-translation oracle. Only satisfiable by topology-layer
+    /// constructors that know the group (`LpsGraph::cayley_oracle()` injected
+    /// via [`crate::SimNetwork::with_oracle`]);
+    /// [`crate::SimNetwork::with_policy`] on a plain graph rejects it.
+    Cayley,
+}
+
+impl std::fmt::Display for OraclePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OraclePolicy::Auto => write!(f, "auto"),
+            OraclePolicy::Dense => write!(f, "dense"),
+            OraclePolicy::Landmark => write!(f, "landmark"),
+            OraclePolicy::Cayley => write!(f, "cayley"),
+        }
+    }
+}
+
+impl std::str::FromStr for OraclePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Ok(OraclePolicy::Auto),
+            "dense" => Ok(OraclePolicy::Dense),
+            "landmark" => Ok(OraclePolicy::Landmark),
+            "cayley" => Ok(OraclePolicy::Cayley),
+            other => Err(format!(
+                "unknown oracle policy {other:?}; expected auto, dense, landmark, or cayley"
+            )),
+        }
+    }
+}
+
 /// Warmup / measurement / drain windows for steady-state runs.
 ///
 /// The paper's saturation curves (Figures 6–8) assume a network in steady
@@ -193,6 +244,11 @@ pub struct SimConfig {
     /// shard-count-invariant by construction, so this is a performance knob,
     /// never a semantics knob.
     pub shards: usize,
+    /// Path-oracle selection policy for the run's network (applied at network
+    /// construction by sweep drivers; see [`OraclePolicy`]). All oracles
+    /// answer identically, so — like `shards` — this is a memory/performance
+    /// knob, never a semantics knob.
+    pub oracle: OraclePolicy,
 }
 
 impl Default for SimConfig {
@@ -211,6 +267,7 @@ impl Default for SimConfig {
             windows: None,
             faults: FaultPlan::none(),
             shards: 1,
+            oracle: OraclePolicy::Auto,
         }
     }
 }
@@ -290,6 +347,12 @@ impl SimConfig {
         self.shards = shards;
         self
     }
+
+    /// Builder-style: set the path-oracle policy for the run's network.
+    pub fn with_oracle_policy(mut self, policy: OraclePolicy) -> Self {
+        self.oracle = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -366,6 +429,23 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_shards_panics() {
         let _ = SimConfig::default().with_shards(0);
+    }
+
+    #[test]
+    fn oracle_policy_parses_and_round_trips() {
+        for p in [
+            OraclePolicy::Auto,
+            OraclePolicy::Dense,
+            OraclePolicy::Landmark,
+            OraclePolicy::Cayley,
+        ] {
+            assert_eq!(p.to_string().parse::<OraclePolicy>(), Ok(p));
+        }
+        assert_eq!(" DENSE ".parse::<OraclePolicy>(), Ok(OraclePolicy::Dense));
+        assert!("quantum".parse::<OraclePolicy>().is_err());
+        assert_eq!(SimConfig::default().oracle, OraclePolicy::Auto);
+        let cfg = SimConfig::default().with_oracle_policy(OraclePolicy::Landmark);
+        assert_eq!(cfg.oracle, OraclePolicy::Landmark);
     }
 
     #[test]

@@ -70,10 +70,12 @@ use std::sync::{Condvar, Mutex};
 const PARTITION_SEED: u64 = 0x9A27_51DE_C0DE_0006;
 
 // Stable event-key classes: at equal timestamps, events pop in class order
-// (samples first, then source arrivals, injections, credits, arrivals,
-// transmits). Any fixed order works — same-time events on different routers
-// commute — it only has to be the *same* order for every shard count.
-const CLASS_SAMPLE: u64 = 0;
+// (source arrivals, then injections, credits, arrivals, transmits). Any fixed
+// order works — same-time events on different routers commute — it only has to
+// be the *same* order for every shard count. (Class 0 was the now-removed
+// replicated sampling tick; steady-state sampling is event-free — see
+// [`ShardCore::flush_sample_ticks`] — and the remaining values are kept so
+// event keys, and therefore golden-seed results, are unchanged.)
 const CLASS_NEXT_MESSAGE: u64 = 1;
 const CLASS_INJECT: u64 = 2;
 const CLASS_CREDIT: u64 = 3;
@@ -147,8 +149,6 @@ struct ParPacket {
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum PKind {
-    /// Record a steady-state time-series tick (replicated on every shard).
-    Sample,
     /// A continuous source generates its next message (steady-state only).
     NextMessage { source: u32 },
     /// Endpoint NIC injects a packet at its (local) source router.
@@ -366,6 +366,17 @@ struct ShardCore<'a> {
     stats: StatsCollector,
     counters: EngineCounters,
     raw_samples: Vec<RawSample>,
+    /// Steady-state sampling cadence in ps; `0` = sampling disarmed (finite
+    /// runs). Ticks are *not* queue events (they used to be, replicated on
+    /// every shard — pure per-shard event-loop overhead): each shard folds its
+    /// local partial at `flush_sample_ticks` before handling any event at or
+    /// past a tick's timestamp, which reproduces the replicated-event ordering
+    /// exactly (see that method's invariant note).
+    tick_ivm: u64,
+    /// Last tick timestamp to record (the drain deadline).
+    tick_deadline: u64,
+    /// Index of the next unrecorded tick (tick `k` fires at `k * tick_ivm`).
+    next_tick: u64,
     delivered_packets_total: u64,
     delivered_bytes_total: u64,
     sampled_packets: u64,
@@ -428,6 +439,9 @@ impl<'a> ShardCore<'a> {
             stats,
             counters: EngineCounters::default(),
             raw_samples: Vec::new(),
+            tick_ivm: 0,
+            tick_deadline: 0,
+            next_tick: 1,
             delivered_packets_total: 0,
             delivered_bytes_total: 0,
             sampled_packets: 0,
@@ -557,8 +571,8 @@ impl<'a> ShardCore<'a> {
         }
     }
 
-    /// Process one core event. `Sample` / `NextMessage` belong to the driving
-    /// loop (steady mode) and never reach this.
+    /// Process one core event. `NextMessage` belongs to the driving loop
+    /// (steady mode) and never reaches this.
     fn handle_core(&mut self, ev: PEvent) {
         let now = ev.time;
         match ev.kind {
@@ -599,7 +613,7 @@ impl<'a> ShardCore<'a> {
                     );
                 }
             }
-            PKind::Sample | PKind::NextMessage { .. } => {
+            PKind::NextMessage { .. } => {
                 unreachable!("mode events are handled by the driving loop")
             }
         }
@@ -771,6 +785,40 @@ impl<'a> ShardCore<'a> {
                     },
                 );
             }
+        }
+    }
+
+    /// Arm steady-state sampling: one local partial every `ivm` ps up to and
+    /// including `deadline` (every shard records the same tick timestamps, so
+    /// the main-thread merge aligns partials by tick index).
+    fn arm_sampler(&mut self, ivm: u64, deadline: u64) {
+        self.tick_ivm = ivm.max(1);
+        self.tick_deadline = deadline;
+        self.next_tick = 1;
+    }
+
+    /// Record every pending sampling tick with timestamp ≤ `min(upto,
+    /// deadline)`. Called before handling each event (with the event's time)
+    /// and once after the loop ends (with the deadline).
+    ///
+    /// Equivalence with the old replicated `Sample` queue events: a shard
+    /// processes its events in nondecreasing time order (the conservative
+    /// epoch bound guarantees cross-shard arrivals never travel backwards in
+    /// time), and a tick event carried class 0 — at its timestamp it popped
+    /// *before* every co-timed event. Flushing all ticks ≤ `ev.time` before
+    /// handling `ev` therefore interleaves ticks with state changes at exactly
+    /// the positions the queue gave them; ticks between two events (or after
+    /// the last one) see unchanged state either way, so the recorded partials
+    /// are identical — without n_shards × n_ticks queue traffic.
+    #[inline]
+    fn flush_sample_ticks(&mut self, upto: u64) {
+        if self.tick_ivm == 0 {
+            return;
+        }
+        let upto = upto.min(self.tick_deadline);
+        while self.next_tick * self.tick_ivm <= upto {
+            self.record_raw_sample(self.next_tick * self.tick_ivm);
+            self.next_tick += 1;
         }
     }
 
@@ -1034,9 +1082,11 @@ fn spawn_message(
 /// [module documentation](self).
 ///
 /// Results are **shard-count-invariant**: for a given network, config, and
-/// workload, every shard count produces the identical [`SimResults`] (engine
-/// counters excepted — samples are replicated per shard, and arena high-water
-/// marks depend on the partition). The flow-control model is an input-queued
+/// workload, every shard count produces the identical [`SimResults`] —
+/// including the steady-state [`IntervalSample`] series, whose per-shard
+/// partials are folded by tick index on the main thread (engine counters
+/// excepted: arena high-water marks depend on the partition). The
+/// flow-control model is an input-queued
 /// variant of the sequential engine's (see the module docs), so uncongested
 /// runs also match [`crate::Simulator`] exactly.
 pub struct ParallelSimulator<'a> {
@@ -1280,7 +1330,7 @@ impl<'a> ParallelSimulator<'a> {
     }
 
     /// Steady-state run: shard-owned continuous Poisson sources, windowed
-    /// measurement, replicated sampling ticks merged by tick index.
+    /// measurement, per-shard sample partials folded by tick index.
     fn run_steady(
         &self,
         workload: &Workload,
@@ -1367,28 +1417,27 @@ impl<'a> ParallelSimulator<'a> {
                                 );
                             }
                         }
-                        // Sampling ticks are replicated on every shard (class 0:
-                        // at a tick's timestamp the tick pops first), so local
-                        // partials align by tick index for the merge.
-                        let mut k = 1u64;
-                        while k * ivm <= deadline {
-                            core.push(k * ivm, key(CLASS_SAMPLE, k), PKind::Sample);
-                            k += 1;
-                        }
-                        run_epochs(&mut core, shared, Some(deadline), |c, ev| match ev.kind {
-                            PKind::Sample => c.record_raw_sample(ev.time),
-                            PKind::NextMessage { source } => spawn_message(
-                                c,
-                                &mut sources,
-                                source as usize,
-                                ev.time,
-                                offered_load,
-                                w,
-                                pattern,
-                                alive,
-                            ),
-                            _ => c.handle_core(ev),
+                        // Sampling is event-free: each shard folds its local
+                        // partial whenever event time crosses a tick boundary
+                        // (and below, after the loop, for the trailing ticks).
+                        core.arm_sampler(ivm, deadline);
+                        run_epochs(&mut core, shared, Some(deadline), |c, ev| {
+                            c.flush_sample_ticks(ev.time);
+                            match ev.kind {
+                                PKind::NextMessage { source } => spawn_message(
+                                    c,
+                                    &mut sources,
+                                    source as usize,
+                                    ev.time,
+                                    offered_load,
+                                    w,
+                                    pattern,
+                                    alive,
+                                ),
+                                _ => c.handle_core(ev),
+                            }
                         });
+                        core.flush_sample_ticks(deadline);
                         core.into_outcome()
                     })
                 })
@@ -1436,9 +1485,9 @@ mod tests {
         CsrGraph::from_edges(n, &e)
     }
 
-    /// Engine-counter-free view of results: samples replicate per shard and
-    /// arena high-water marks depend on the partition, so cross-shard-count
-    /// equality is asserted on the physics, not the bookkeeping.
+    /// Engine-counter-free view of results: arena high-water marks depend on
+    /// the partition, so cross-shard-count equality is asserted on the
+    /// physics (interval samples included), not the bookkeeping.
     fn core_fields(r: &SimResults) -> SimResults {
         let mut r = r.clone();
         r.engine = EngineCounters::default();

@@ -80,7 +80,7 @@ pub mod routing;
 pub mod stats;
 pub mod workload;
 
-pub use config::{MeasurementWindows, RoutingAlgorithm, SimConfig};
+pub use config::{MeasurementWindows, OraclePolicy, RoutingAlgorithm, SimConfig};
 pub use engine::parallel::ParallelSimulator;
 pub use engine::reference::ReferenceSimulator;
 pub use engine::Simulator;

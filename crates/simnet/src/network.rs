@@ -1,18 +1,25 @@
 //! The simulated network: router graph, endpoint concentration, directed-link indexing,
-//! and shortest-path routing state backed by the shared distance oracle
-//! ([`spectralfly_graph::paths::DistanceMatrix`] — the same oracle the analytical
-//! layer uses, so the simulator and the analysis can never disagree about paths).
+//! and shortest-path routing state behind the [`PathOracle`] trait — the same oracle
+//! tier the analytical layer uses, so the simulator and the analysis can never
+//! disagree about paths.
 //!
-//! The routing hot path additionally carries a
-//! [`spectralfly_graph::paths::NextHopTable`]: one fixed-stride 8-byte row read per
-//! `(router, dst)` minimal-port query instead of a radix-wide rescan of the distance
-//! matrix. The table is optional — construction falls back to the scan when the
-//! table would blow its memory budget (or the radix exceeds `u8`), and
-//! [`SimNetwork::minimal_ports_packed`] hides the difference behind a caller-owned
-//! scratch buffer so the fallback is allocation-free too.
+//! At small n the oracle is the classic dense pair ([`DistanceMatrix`] plus the
+//! packed [`NextHopTable`] behind the allocation-free hot path); past the dense
+//! representation's `u16::MAX`-vertex wall, [`SimNetwork::new`] automatically
+//! falls back to the O(k·n) [`spectralfly_graph::LandmarkOracle`], and
+//! vertex-transitive topologies can inject the O(n)
+//! [`spectralfly_graph::CayleyOracle`] through [`SimNetwork::with_oracle`] (e.g.
+//! `LpsGraph::cayley_oracle()`), which is what carries million-router LPS
+//! fabrics. Faults break vertex transitivity, so [`SimNetwork::with_faults`]
+//! never selects a Cayley oracle over a degraded graph — the demotion the
+//! routing correctness argument requires. Whatever the representation,
+//! [`SimNetwork::minimal_ports_packed`] hides it behind a caller-owned scratch
+//! buffer, so the hot path stays allocation-free across the whole tier.
 
 use crate::fault::{AppliedFaults, FaultError, FaultPlan};
+use crate::OraclePolicy;
 use spectralfly_graph::csr::{CsrGraph, VertexId};
+use spectralfly_graph::oracle::{DenseOracle, LandmarkOracle, OracleError, OracleKind, PathOracle};
 use spectralfly_graph::paths::{DistanceMatrix, NextHopTable};
 use std::sync::Arc;
 
@@ -83,6 +90,13 @@ impl NetworkFaults {
     }
 }
 
+/// The outcome of oracle selection: dense keeps its concrete handle so the
+/// analytical-sharing accessors survive the trait boundary.
+enum SelectedOracle {
+    Dense(Arc<DenseOracle>),
+    Other(Arc<dyn PathOracle>),
+}
+
 /// A network instance fed to the simulator: a router graph plus endpoint concentration.
 ///
 /// Directed links are indexed contiguously: link `(u, i)` is the `i`-th entry of `u`'s
@@ -96,13 +110,19 @@ pub struct SimNetwork {
     /// link id → (owning router, port): the inverse of `link_id`, precomputed so
     /// the engines' transmit path is a table read instead of a binary search.
     link_owner: Vec<(VertexId, u32)>,
-    /// Shared all-pairs distance / next-hop oracle (`Arc` so callers that already
-    /// computed it — the analytical layer, sweep drivers — share rather than
-    /// recompute the quadratic matrix).
-    dist: Arc<DistanceMatrix>,
-    /// Packed minimal next-hop ports; `None` means "scan the matrix" (memory-budget
-    /// fallback, or explicitly disabled for differential testing).
-    next_hops: Option<Arc<NextHopTable>>,
+    /// The path oracle every distance / minimal-port query routes through
+    /// (`Arc` so sibling networks and sweep drivers share rather than
+    /// recompute it).
+    oracle: Arc<dyn PathOracle>,
+    /// The same oracle by its concrete dense handle when the network is
+    /// dense-backed — keeps the analytical-sharing APIs
+    /// ([`SimNetwork::distances`], [`SimNetwork::distances_arc`]) alive
+    /// without a downcast. `None` for Cayley / landmark networks.
+    dense: Option<Arc<DenseOracle>>,
+    /// [`PathOracle::max_distance_bound`] cached at construction, so
+    /// [`SimNetwork::diameter`] is a field read instead of (for the dense
+    /// oracle) an O(n²) rescan per call.
+    max_dist: u16,
     /// Fault metadata when the network was built over a degraded graph
     /// ([`SimNetwork::with_faults`]); `None` for pristine networks, so every
     /// fault-aware query short-circuits to the pristine answer.
@@ -112,15 +132,54 @@ pub struct SimNetwork {
 
 impl SimNetwork {
     /// Build a network from a router graph and a per-router endpoint count (≥ 1),
-    /// computing the distance oracle and next-hop table here.
+    /// selecting the path oracle automatically ([`OraclePolicy::Auto`]): dense
+    /// while the matrix fits its index space, landmark beyond it. Equivalent to
+    /// the pre-trait constructor at every previously-supported size, but no
+    /// longer aborts past `u16::MAX` routers.
     pub fn new(graph: CsrGraph, concentration: usize) -> Self {
-        let dist = Arc::new(DistanceMatrix::from_graph(&graph));
-        Self::with_distances(graph, concentration, dist)
+        Self::with_policy(graph, concentration, OraclePolicy::Auto)
+            .expect("auto oracle selection always finds a representation")
+    }
+
+    /// Build a network with an explicit oracle policy.
+    ///
+    /// [`OraclePolicy::Cayley`] is rejected here with a typed error: a plain
+    /// graph carries no group structure, so Cayley oracles come from the
+    /// topology layer (e.g. `LpsGraph::cayley_oracle()`) and are injected via
+    /// [`SimNetwork::with_oracle`].
+    ///
+    /// # Panics
+    /// If `concentration` is 0.
+    pub fn with_policy(
+        graph: CsrGraph,
+        concentration: usize,
+        policy: OraclePolicy,
+    ) -> Result<Self, OracleError> {
+        let (oracle, dense): (Arc<dyn PathOracle>, Option<Arc<DenseOracle>>) =
+            match Self::select_oracle(&graph, policy)? {
+                SelectedOracle::Dense(d) => (d.clone(), Some(d)),
+                SelectedOracle::Other(o) => (o, None),
+            };
+        let mut net = Self::assemble(graph, concentration, oracle);
+        net.dense = dense;
+        Ok(net)
+    }
+
+    /// Build a network around a caller-constructed oracle — the injection
+    /// point for [`spectralfly_graph::CayleyOracle`]s built by the topology
+    /// layer, and for landmark oracles with tuned parameters.
+    ///
+    /// # Panics
+    /// If the oracle was not built over exactly `graph`'s vertex count, or
+    /// `concentration` is 0.
+    pub fn with_oracle(graph: CsrGraph, concentration: usize, oracle: Arc<dyn PathOracle>) -> Self {
+        Self::assemble(graph, concentration, oracle)
     }
 
     /// Build a network around a distance oracle the caller already holds (the
     /// analytical layer and the bench sweep drivers compute one per topology);
-    /// avoids recomputing one BFS per router per construction.
+    /// avoids recomputing one BFS per router per construction. The network is
+    /// dense-backed by construction.
     ///
     /// # Panics
     /// If `dist` was not computed over exactly `graph`'s vertex count, or
@@ -130,13 +189,54 @@ impl SimNetwork {
         concentration: usize,
         dist: Arc<DistanceMatrix>,
     ) -> Self {
+        assert_eq!(
+            dist.n(),
+            graph.num_vertices(),
+            "distance matrix is over {} routers but the graph has {}",
+            dist.n(),
+            graph.num_vertices()
+        );
+        let dense = Arc::new(DenseOracle::from_matrix(&graph, dist));
+        let mut net = Self::assemble(graph, concentration, dense.clone());
+        net.dense = Some(dense);
+        net
+    }
+
+    /// Pick an oracle for a plain (structure-free) graph under `policy`.
+    fn select_oracle(
+        graph: &CsrGraph,
+        policy: OraclePolicy,
+    ) -> Result<SelectedOracle, OracleError> {
+        match policy {
+            OraclePolicy::Dense => Ok(SelectedOracle::Dense(Arc::new(DenseOracle::build(graph)?))),
+            OraclePolicy::Landmark => Ok(SelectedOracle::Other(Arc::new(LandmarkOracle::build(
+                graph,
+            )?))),
+            OraclePolicy::Auto => match DenseOracle::build(graph) {
+                Ok(d) => Ok(SelectedOracle::Dense(Arc::new(d))),
+                Err(OracleError::TooManyVertices { .. }) => Ok(SelectedOracle::Other(Arc::new(
+                    LandmarkOracle::build(graph)?,
+                ))),
+                Err(e) => Err(e),
+            },
+            OraclePolicy::Cayley => Err(OracleError::Inconsistent(
+                "a plain graph has no group structure to exploit; build the oracle in the \
+                 topology layer (e.g. LpsGraph::cayley_oracle()) and inject it with \
+                 SimNetwork::with_oracle"
+                    .to_string(),
+            )),
+        }
+    }
+
+    /// The shared tail of every constructor: link indexing + oracle caching.
+    fn assemble(graph: CsrGraph, concentration: usize, oracle: Arc<dyn PathOracle>) -> Self {
         assert!(concentration >= 1, "concentration must be at least 1");
         let n = graph.num_vertices();
         assert_eq!(
-            dist.n(),
+            oracle.n(),
             n,
-            "distance matrix is over {} routers but the graph has {n}",
-            dist.n()
+            "oracle is over {} routers but the graph has {n}",
+            oracle.n()
         );
         let mut link_offset = Vec::with_capacity(n + 1);
         let mut acc = 0usize;
@@ -151,23 +251,29 @@ impl SimNetwork {
                 link_owner.push((v as VertexId, p as u32));
             }
         }
-        let next_hops = NextHopTable::build(&graph, &dist).map(Arc::new);
+        let max_dist = oracle.max_distance_bound();
         SimNetwork {
             graph,
             concentration,
             link_offset,
             link_owner,
-            dist,
-            next_hops,
+            oracle,
+            dense: None,
+            max_dist,
             faults: None,
             n,
         }
     }
 
     /// Build a network over the topology left by a fault plan: apply `plan` to
-    /// `graph`, rebuild the distance / next-hop oracle over the **surviving**
-    /// graph, and record the damage so the engines can reject infeasible
-    /// workloads with a [`FaultError`] instead of hanging.
+    /// `graph`, rebuild the path oracle over the **surviving** graph, and
+    /// record the damage so the engines can reject infeasible workloads with a
+    /// [`FaultError`] instead of hanging.
+    ///
+    /// The degraded oracle is never Cayley: faults break the vertex
+    /// transitivity the translation trick depends on, so the selection here is
+    /// dense-or-landmark ([`OraclePolicy::Auto`]) regardless of what the
+    /// pristine network used — the automatic Cayley→landmark demotion.
     ///
     /// With [`FaultPlan::none`] (or any plan that happens to remove nothing)
     /// this is exactly [`SimNetwork::new`] — same construction path, no fault
@@ -181,8 +287,19 @@ impl SimNetwork {
         if applied.is_pristine() {
             return Ok(Self::new(graph, concentration));
         }
-        let dist = Arc::new(DistanceMatrix::from_graph(&applied.graph));
-        Ok(Self::degraded(applied, concentration, dist))
+        let AppliedFaults {
+            graph,
+            down_routers,
+            spec,
+            cache_key,
+            removed_links: _,
+            any_down: _,
+        } = applied;
+        let faults = Arc::new(NetworkFaults::new(&graph, down_routers, spec, cache_key));
+        let mut net = Self::with_policy(graph, concentration, OraclePolicy::Auto)
+            .expect("auto oracle selection always finds a representation");
+        net.faults = Some(faults);
+        Ok(net)
     }
 
     /// Build a network from pre-applied faults and a distance oracle already
@@ -215,16 +332,21 @@ impl SimNetwork {
     /// This network with the packed next-hop table dropped, forcing every minimal-
     /// port query through the distance-matrix scan. The differential-testing hook
     /// behind the table/scan golden-seed equivalence battery; production callers
-    /// never need it.
+    /// never need it. A no-op on non-dense networks (they have no table).
     pub fn without_next_hop_table(mut self) -> Self {
-        self.next_hops = None;
+        if let Some(dense) = self.dense.take() {
+            let stripped = Arc::new((*dense).clone().without_table());
+            self.oracle = stripped.clone();
+            self.dense = Some(stripped);
+        }
         self
     }
 
-    /// The packed next-hop table, when one was built (`None` after a memory-budget
-    /// fallback or [`Self::without_next_hop_table`]).
-    pub fn next_hop_table(&self) -> Option<&Arc<NextHopTable>> {
-        self.next_hops.as_ref()
+    /// The packed next-hop table, when the network is dense-backed and one was
+    /// built (`None` after a memory-budget fallback,
+    /// [`Self::without_next_hop_table`], or on sparse-oracle networks).
+    pub fn next_hop_table(&self) -> Option<&NextHopTable> {
+        self.dense.as_ref().and_then(|d| d.table())
     }
 
     /// The router graph.
@@ -232,15 +354,52 @@ impl SimNetwork {
         &self.graph
     }
 
-    /// The shared distance / next-hop oracle over routers.
-    pub fn distances(&self) -> &DistanceMatrix {
-        &self.dist
+    /// The path oracle by shared handle (for constructing sibling networks
+    /// over the same topology without recomputing it).
+    pub fn oracle(&self) -> Arc<dyn PathOracle> {
+        Arc::clone(&self.oracle)
     }
 
-    /// The distance oracle by shared handle (for constructing sibling networks over
-    /// the same topology without recomputing it).
+    /// Which oracle representation backs this network.
+    pub fn oracle_kind(&self) -> OracleKind {
+        self.oracle.kind()
+    }
+
+    /// Resident bytes held by the path oracle — the number the million-node
+    /// bench reports alongside peak RSS.
+    pub fn oracle_memory_bytes(&self) -> usize {
+        self.oracle.memory_bytes()
+    }
+
+    /// The dense distance matrix, on dense-backed networks.
+    ///
+    /// # Panics
+    /// On Cayley / landmark networks, which have no quadratic matrix — callers
+    /// that can see large topologies should query through [`SimNetwork::dist`]
+    /// and [`SimNetwork::minimal_ports_packed`] instead.
+    pub fn distances(&self) -> &DistanceMatrix {
+        self.distances_arc_ref()
+    }
+
+    /// The dense distance oracle by shared handle (for constructing sibling
+    /// networks over the same topology without recomputing it).
+    ///
+    /// # Panics
+    /// On Cayley / landmark networks (see [`SimNetwork::distances`]).
     pub fn distances_arc(&self) -> Arc<DistanceMatrix> {
-        Arc::clone(&self.dist)
+        Arc::clone(self.distances_arc_ref())
+    }
+
+    fn distances_arc_ref(&self) -> &Arc<DistanceMatrix> {
+        self.dense
+            .as_ref()
+            .unwrap_or_else(|| {
+                panic!(
+                    "network is backed by a {} oracle, not a dense distance matrix",
+                    self.oracle.kind()
+                )
+            })
+            .distances()
     }
 
     /// Endpoints per router.
@@ -339,12 +498,16 @@ impl SimNetwork {
     /// Router distance in hops (`u16::MAX` if unreachable).
     #[inline]
     pub fn dist(&self, a: VertexId, b: VertexId) -> u16 {
-        self.dist.dist(a, b)
+        self.oracle.dist(&self.graph, a, b)
     }
 
-    /// Topology diameter over routers (ignoring unreachable pairs).
+    /// Topology diameter over routers, ignoring unreachable pairs (cached at
+    /// construction). Exact on dense- and Cayley-backed networks; on landmark
+    /// networks a tight upper bound (≤ 2× the true diameter), which is safe
+    /// everywhere this is consumed — VC sizing and hop budgets only require
+    /// "at least the longest minimal route".
     pub fn diameter(&self) -> u16 {
-        self.dist.max_reachable_distance()
+        self.max_dist
     }
 
     /// Global id of directed link `(router, port)`.
@@ -369,22 +532,24 @@ impl SimNetwork {
 
     /// Ports of `current` whose neighbour lies on a shortest path to `dst`.
     pub fn minimal_ports(&self, current: VertexId, dst: VertexId) -> Vec<usize> {
-        match &self.next_hops {
-            Some(t) => t.ports(current, dst).iter().map(|&p| p as usize).collect(),
-            None => self.dist.min_next_ports(&self.graph, current, dst),
-        }
+        let mut out = Vec::new();
+        self.oracle
+            .min_ports_into(&self.graph, current, dst, &mut out);
+        out
     }
 
     /// [`Self::minimal_ports`] as a packed `u8` slice without heap traffic: a table
-    /// lookup when the table exists, otherwise a scan into `scratch` (cleared and
-    /// refilled; allocation-free once grown to the radix). The returned ports are
-    /// ascending under both strategies, so callers' tie-breaks are strategy-blind.
+    /// lookup on dense networks with a table, otherwise computed into `scratch`
+    /// (cleared and refilled; allocation-free once grown to the radix — the
+    /// landmark oracle may additionally BFS on a destination-row cache miss).
+    /// The returned ports are ascending under every oracle, so callers'
+    /// tie-breaks are representation-blind.
     ///
     /// # Panics
     /// If `current`'s degree exceeds `u8::MAX` — port ids then don't fit the packed
     /// representation. Callers that must support such radices (the routing hot
     /// path does, via its wide-scratch branch) should use
-    /// [`DistanceMatrix::min_next_ports_into`] instead.
+    /// [`Self::minimal_ports_wide`] instead.
     #[inline]
     pub fn minimal_ports_packed<'s>(
         &'s self,
@@ -392,14 +557,14 @@ impl SimNetwork {
         dst: VertexId,
         scratch: &'s mut Vec<u8>,
     ) -> &'s [u8] {
-        match &self.next_hops {
-            Some(t) => t.ports(current, dst),
-            None => {
-                self.dist
-                    .min_next_ports_u8_into(&self.graph, current, dst, scratch);
-                scratch
-            }
-        }
+        self.oracle.min_ports_u8(&self.graph, current, dst, scratch)
+    }
+
+    /// [`Self::minimal_ports`] into a caller-owned wide buffer — the routing
+    /// hot path's branch for radices beyond the packed `u8` representation.
+    #[inline]
+    pub fn minimal_ports_wide(&self, current: VertexId, dst: VertexId, out: &mut Vec<usize>) {
+        self.oracle.min_ports_into(&self.graph, current, dst, out);
     }
 }
 

@@ -298,12 +298,10 @@ impl<'a> RoutingCtx<'a> {
                 target,
             )
         } else {
-            // Radix above the packed `u8` representation: the next-hop table
-            // refuses such graphs, and the packed scan would truncate port ids,
-            // so scan into the wide scratch instead (still allocation-free once
-            // grown).
-            net.distances()
-                .min_next_ports_into(net.graph(), router, target, &mut scratch.wide);
+            // Radix above the packed `u8` representation: port ids would
+            // truncate in the packed path, so query into the wide scratch
+            // instead (still allocation-free once grown).
+            net.minimal_ports_wide(router, target, &mut scratch.wide);
             pick_least_queued(
                 scratch.wide.iter().copied(),
                 link_qlen,

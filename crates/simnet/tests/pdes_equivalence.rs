@@ -5,11 +5,12 @@
 //!
 //! 1. **Shard-count invariance** (the parallel engine's core claim): for a
 //!    given network, config, and workload, every shard count produces the
-//!    identical `SimResults` — physics fields exactly, engine counters
-//!    excepted (sampling events replicate per shard and arena high-water
-//!    marks depend on the partition). Checked on finite, offered-load,
-//!    steady-state, pattern-driven, and degraded runs, across every
-//!    registered routing algorithm.
+//!    identical `SimResults` — physics fields exactly (the steady-state
+//!    `IntervalSample` series included: shards record per-shard partials that
+//!    the merge folds by tick index), engine counters excepted (arena
+//!    high-water marks depend on the partition). Checked on finite,
+//!    offered-load, steady-state, pattern-driven, and degraded runs, across
+//!    every registered routing algorithm.
 //! 2. **Sequential oracle**: on block-free runs the input-queued credit model
 //!    coincides with the sequential engine's shared-buffer model, so results
 //!    must match the wakeup engine bit-for-bit; under congestion the two
@@ -161,8 +162,9 @@ fn shard_counts_agree_on_offered_load_finite_runs() {
 }
 
 /// Steady-state runs with measurement windows: per-source RNG streams and
-/// replicated sampling ticks keep the time-series, the measurement summary,
-/// and the latency statistics identical across shard counts.
+/// per-shard sample partials (folded by tick index at merge — shards carry no
+/// sampling events) keep the time-series, the measurement summary, and the
+/// latency statistics identical across shard counts.
 #[test]
 fn shard_counts_agree_on_steady_state_runs() {
     let net = SimNetwork::new(ring(8), 2);
@@ -176,6 +178,68 @@ fn shard_counts_agree_on_steady_state_runs() {
     let m = res.measurement.expect("steady run produces a summary");
     assert!(m.delivered_packets > 50, "got {}", m.delivered_packets);
     assert!(!res.samples.is_empty());
+}
+
+/// Regression for the sampler rework: sampling used to be driven by per-shard
+/// replicated tick *events*; it is now event-free per-shard state whose
+/// partials are folded by tick index at merge. The `IntervalSample` series —
+/// every field of every tick — must be identical across shard counts, and the
+/// tick grid itself must match the configured interval/deadline exactly.
+#[test]
+fn interval_sample_series_is_shard_count_invariant() {
+    let net = SimNetwork::new(chordal_ring(10, 5, 7), 2);
+    let wl = Workload::uniform_random(net.num_endpoints(), 1, 4096, 31);
+    let windows = MeasurementWindows::new(2_000_000, 20_000_000);
+    let ivm = windows.sample_interval_ps;
+    let deadline = windows.deadline_ps();
+    let cfg = SimConfig::default()
+        .with_routing("ugal-l", net.diameter() as u32)
+        .with_windows(windows);
+
+    let mut baseline: Option<Vec<spectralfly_simnet::IntervalSample>> = None;
+    for shards in shard_set() {
+        let mut cfg = cfg.clone();
+        cfg.shards = shards;
+        let res = ParallelSimulator::new(&net, &cfg).run_with_offered_load(&wl, 0.6);
+        assert_eq!(
+            res.samples.len(),
+            (deadline / ivm) as usize,
+            "{shards} shards: tick count must cover the full sampling window"
+        );
+        for (i, s) in res.samples.iter().enumerate() {
+            assert_eq!(s.t_ps, (i as u64 + 1) * ivm, "{shards} shards: tick grid");
+        }
+        assert!(
+            res.samples.iter().any(|s| s.delivered_packets > 0),
+            "{shards} shards: series must be non-trivial"
+        );
+        match &baseline {
+            None => baseline = Some(res.samples),
+            Some(base) => {
+                assert_eq!(base.len(), res.samples.len(), "{shards} shards");
+                for (i, (a, b)) in base.iter().zip(res.samples.iter()).enumerate() {
+                    assert_eq!(a.t_ps, b.t_ps, "{shards} shards, tick {i}");
+                    assert_eq!(
+                        a.delivered_bytes, b.delivered_bytes,
+                        "{shards} shards, tick {i}"
+                    );
+                    assert_eq!(
+                        a.delivered_packets, b.delivered_packets,
+                        "{shards} shards, tick {i}"
+                    );
+                    assert_eq!(
+                        a.mean_queue_depth.to_bits(),
+                        b.mean_queue_depth.to_bits(),
+                        "{shards} shards, tick {i}"
+                    );
+                    assert_eq!(
+                        a.blocked_links, b.blocked_links,
+                        "{shards} shards, tick {i}"
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Steady-state runs driven by a synthetic traffic pattern (destinations drawn

@@ -7,7 +7,7 @@
 use crate::spec::TopologyError;
 use crate::Topology;
 use spectralfly_ff::field::FiniteField;
-use spectralfly_graph::{CsrGraph, VertexId};
+use spectralfly_graph::{CayleyOracle, CsrGraph, OracleError, VertexId};
 
 /// A Paley graph instance.
 #[derive(Clone, Debug)]
@@ -52,6 +52,20 @@ impl PaleyGraph {
     /// The prime parameter.
     pub fn p(&self) -> u64 {
         self.p
+    }
+
+    /// Build the O(n) exact path oracle for this graph's Cayley structure
+    /// over the *additive* group of `F_q`: `diff(u, v) = v − u` in field
+    /// arithmetic (element codes are the vertex ids, so prime-power fields
+    /// like the paper's `q = 9` translate correctly — plain integer
+    /// subtraction would not).
+    pub fn cayley_oracle(&self) -> Result<CayleyOracle, OracleError> {
+        let field = FiniteField::new(self.p).expect("parameter validated at construction");
+        let identity = field.zero() as VertexId;
+        // The field's residue/Zech tables are O(q) u64s.
+        let aux_bytes = self.p as usize * 2 * std::mem::size_of::<u64>();
+        let diff = move |u: VertexId, v: VertexId| field.sub(v as u64, u as u64) as VertexId;
+        CayleyOracle::new(&self.graph, identity, Box::new(diff), aux_bytes)
     }
 }
 
