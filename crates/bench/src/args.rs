@@ -7,7 +7,9 @@
 //! each, so a flag behaves identically everywhere it is accepted and a new
 //! binary picks the vocabulary up by import instead of re-implementing it.
 
-use spectralfly_simnet::{pattern, routing, FaultPlan, MeasurementWindows, OraclePolicy};
+use spectralfly_simnet::{
+    pattern, routing, FaultPlan, FaultScript, MeasurementWindows, OraclePolicy,
+};
 
 /// Parse `--name <value>` from the command line, falling back to `default`
 /// (malformed values fall back too).
@@ -252,4 +254,22 @@ pub fn faults_from_args() -> FaultPlan {
         .unwrap_or_else(|| "none".to_string());
     let plan = FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("{e}"));
     plan.with_seed(arg_u64("--fault-seed", FaultPlan::DEFAULT_SEED))
+}
+
+/// The **runtime** fault script selected on the command line:
+/// `--fault-script <spec>` (a [`FaultScript`] spec like
+/// `at(5us, links(0.05)) + at(20us, heal(all))` or `churn(200khz, 8us)`;
+/// default `none`) seeded by `--fault-seed <u64>` (default
+/// [`FaultPlan::DEFAULT_SEED`], shared with `--faults` — the two axes are
+/// independent draws, so reusing the seed flag is unambiguous). Where
+/// `--faults` degrades the topology *before* the run, a fault script injects
+/// failure/recovery events *during* it: packets are dropped and retransmitted,
+/// and routing re-converges live.
+///
+/// # Panics
+/// If the spec does not parse (the message points at the offending sub-spec).
+pub fn fault_script_from_args() -> FaultScript {
+    let spec = arg_str("--fault-script").unwrap_or_else(|| "none".to_string());
+    let script = FaultScript::parse(&spec).unwrap_or_else(|e| panic!("{e}"));
+    script.with_seed(arg_u64("--fault-seed", FaultPlan::DEFAULT_SEED))
 }

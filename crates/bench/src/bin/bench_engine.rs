@@ -5,7 +5,11 @@
 //!
 //! Usage: `cargo run --release -p spectralfly-bench --bin bench_engine
 //! [--routers N] [--conc N] [--msgs N] [--load-pct N] [--seed N]
-//! [--ref-budget-s N] [--out PATH] [--smoke]`
+//! [--ref-budget-s N] [--out PATH] [--only SUBSTRING] [--smoke]`
+//!
+//! `--only <substring>` records just the scenarios whose label contains the
+//! substring (`--only churn`, `--only microbench`), so a single row can be
+//! (re-)recorded without paying for the full battery.
 //!
 //! Recorded per invocation:
 //!
@@ -37,6 +41,11 @@
 //!    traffic must agree across every run (the engines are
 //!    result-equivalent); the row tracks how useful-events/second scales with
 //!    worker threads on this host.
+//! 7. **Runtime-churn scenario**: the wakeup engine draining the same finite
+//!    LPS workload pristine vs under a live Poisson link-churn
+//!    [`spectralfly_simnet::FaultScript`], interleaved rounds, conservation
+//!    (injected == delivered + terminally-failed) asserted on the churn side.
+//!    The ratio is the recorded cost of the runtime fault machinery.
 //!
 //! Engine scenarios run identical workloads (shared packetization, shared
 //! routing path), so when both sides complete, delivered packets match exactly.
@@ -55,8 +64,8 @@
 use spectralfly_bench::{append_entry, arg_u64, fmt};
 use spectralfly_graph::CsrGraph;
 use spectralfly_simnet::{
-    FaultPlan, ParallelSimulator, ReferenceSimulator, RoutingHarness, SimConfig, SimNetwork,
-    SimResults, Simulator, Workload,
+    FaultPlan, FaultScript, ParallelSimulator, ReferenceSimulator, RoutingHarness, SimConfig,
+    SimNetwork, SimResults, Simulator, Workload,
 };
 use spectralfly_topology::{LpsGraph, Topology};
 use std::sync::mpsc;
@@ -358,6 +367,76 @@ fn run_routing_microbench(
     )
 }
 
+/// The runtime-churn scenario: the wakeup engine draining the same finite
+/// workload pristine vs under a Poisson churn script, timed in interleaved
+/// rounds (median wall each). The ratio tracks the cost of the runtime fault
+/// machinery — liveness masks on the hot path, mid-flight drops and
+/// retransmissions, and the O(V+E) component repatch per fault event. The
+/// conservation identity (injected == delivered + terminally-failed) is
+/// asserted on the churn side, so the row cannot silently trade correctness
+/// for throughput.
+fn run_churn_scenario(
+    label: String,
+    net: &SimNetwork,
+    cfg: &SimConfig,
+    script: &str,
+    wl: &Workload,
+    reps: usize,
+) -> String {
+    println!(
+        "scenario {label}: {} endpoints, {} messages, script {script}",
+        net.num_endpoints(),
+        wl.num_messages()
+    );
+    let reps = reps.max(1);
+    let churn_cfg = cfg.clone().with_fault_script(
+        FaultScript::parse(script)
+            .expect("valid churn spec")
+            .with_seed(cfg.seed),
+    );
+    let time_finite = |name: &str, cfg: &SimConfig| {
+        let t0 = Instant::now();
+        let res = Simulator::new(net, cfg).run(wl);
+        let run = finish_run(name, true, t0.elapsed().as_secs_f64(), &res);
+        (res, run)
+    };
+    let (_, mut pristine) = time_finite("wakeup-pristine", cfg);
+    let (churn_res, mut churn) = time_finite("wakeup-churn", &churn_cfg);
+    let f = &churn_res.faults;
+    assert_eq!(
+        f.injected,
+        f.delivered + f.failed,
+        "churn conservation violated"
+    );
+    assert_eq!(f.in_flight(), 0, "packets lost and unaccounted under churn");
+    assert!(f.fault_events > 0, "churn script produced no events");
+    let mut pristine_walls = vec![pristine.wall_s];
+    let mut churn_walls = vec![churn.wall_s];
+    for _ in 1..reps {
+        pristine_walls.push(time_finite("wakeup-pristine", cfg).1.wall_s);
+        churn_walls.push(time_finite("wakeup-churn", &churn_cfg).1.wall_s);
+    }
+    pristine.wall_s = median_wall(&mut pristine_walls);
+    pristine.rounds = reps;
+    churn.wall_s = median_wall(&mut churn_walls);
+    churn.rounds = reps;
+    pristine.print();
+    churn.print();
+    let overhead = churn.wall_s / pristine.wall_s;
+    println!("  churn vs pristine: {}x wall-clock", fmt(overhead));
+    format!(
+        "{{\"scenario\":\"{label}\",\"baseline\":{},\"wakeup\":{},\
+         \"churn_wall_overhead\":{overhead:.3},\"drops\":{},\"retransmits\":{},\
+         \"failed\":{},\"fault_events\":{}}}",
+        pristine.json(),
+        churn.json(),
+        f.dropped_total(),
+        f.retransmits,
+        f.failed,
+        f.fault_events
+    )
+}
+
 /// The shard-scaling scenario: the sequential wakeup engine (one shard)
 /// against the conservative parallel engine at increasing shard counts, all
 /// on the same workload, timed in interleaved rounds (median wall per
@@ -470,6 +549,17 @@ fn main() {
             .cloned()
             .unwrap_or(default)
     };
+    // --only <substring>: record just the scenarios whose label contains the
+    // substring ("microbench" selects the routing microbench), so one row can
+    // be (re-)recorded without paying for the full scenario battery.
+    let only = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--only")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let want = |label: &str| only.as_ref().is_none_or(|f| label.contains(f.as_str()));
     let cfg = SimConfig {
         seed,
         ..Default::default()
@@ -501,14 +591,12 @@ fn main() {
                 seed,
                 ..SimConfig::default().with_routing(algo, lps_net.diameter() as u32)
             };
-            entries.push(run_routing_bound_scenario(
-                format!("{lps_label}-{algo}-load0.9-msgs{lps_msgs}"),
-                lps_net,
-                &rcfg,
-                &lps_wl,
-                0.9,
-                reps,
-            ));
+            let label = format!("{lps_label}-{algo}-load0.9-msgs{lps_msgs}");
+            if want(&label) {
+                entries.push(run_routing_bound_scenario(
+                    label, lps_net, &rcfg, &lps_wl, 0.9, reps,
+                ));
+            }
             if smoke {
                 break; // one algorithm exercises the path
             }
@@ -522,21 +610,24 @@ fn main() {
     // snapshot publication) rather than scaling; the recorded trajectory makes
     // that visible instead of hiding it.
     {
-        let shard_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
-        let wl = Workload::uniform_random(lps_net.num_endpoints(), lps_msgs, 4096, seed);
-        let rcfg = SimConfig {
-            seed,
-            ..SimConfig::default().with_routing("ugal-l", lps_net.diameter() as u32)
-        };
-        entries.push(run_shard_scaling_scenario(
-            format!("{lps_label}-ugal-l-load0.9-msgs{lps_msgs}-shard-scaling"),
-            &lps_net,
-            &rcfg,
-            &wl,
-            0.9,
-            shard_counts,
-            reps,
-        ));
+        let label = format!("{lps_label}-ugal-l-load0.9-msgs{lps_msgs}-shard-scaling");
+        if want(&label) {
+            let shard_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+            let wl = Workload::uniform_random(lps_net.num_endpoints(), lps_msgs, 4096, seed);
+            let rcfg = SimConfig {
+                seed,
+                ..SimConfig::default().with_routing("ugal-l", lps_net.diameter() as u32)
+            };
+            entries.push(run_shard_scaling_scenario(
+                label,
+                &lps_net,
+                &rcfg,
+                &wl,
+                0.9,
+                shard_counts,
+                reps,
+            ));
+        }
     }
 
     // Degraded-LPS scenario: the same routing-bound regime with 10% of links
@@ -545,60 +636,83 @@ fn main() {
     // this row tracks that routing on a damaged expander stays as cheap as on
     // a pristine one.
     {
-        let plan = FaultPlan::random_links(0.1).with_seed(seed);
-        let (label, degraded, msgs) = if smoke {
-            (
-                "lps(11,7)x4-faults-links(0.1)",
-                lps_faulted(11, 7, 4, &plan),
-                1,
-            )
+        let (label, msgs) = if smoke {
+            ("lps(11,7)x4-faults-links(0.1)", 1)
         } else {
-            (
-                "lps(23,13)x8-faults-links(0.1)",
-                lps_faulted(23, 13, 8, &plan),
-                20,
-            )
+            ("lps(23,13)x8-faults-links(0.1)", 20)
         };
-        // Sources and destinations restricted to the surviving machine's
-        // alive endpoints (all of them under pure link failures).
-        let wl = Workload::uniform_random(degraded.num_endpoints(), msgs, 4096, seed);
-        let rcfg = SimConfig {
-            seed,
-            ..SimConfig::default().with_routing("ugal-l", degraded.diameter() as u32)
+        let scenario = format!("{label}-ugal-l-load0.9-msgs{msgs}");
+        if want(&scenario) {
+            let plan = FaultPlan::random_links(0.1).with_seed(seed);
+            let degraded = if smoke {
+                lps_faulted(11, 7, 4, &plan)
+            } else {
+                lps_faulted(23, 13, 8, &plan)
+            };
+            // Sources and destinations restricted to the surviving machine's
+            // alive endpoints (all of them under pure link failures).
+            let wl = Workload::uniform_random(degraded.num_endpoints(), msgs, 4096, seed);
+            let rcfg = SimConfig {
+                seed,
+                ..SimConfig::default().with_routing("ugal-l", degraded.diameter() as u32)
+            }
+            .with_fault_plan(plan);
+            entries.push(run_routing_bound_scenario(
+                scenario, &degraded, &rcfg, &wl, 0.9, reps,
+            ));
         }
-        .with_fault_plan(plan);
-        entries.push(run_routing_bound_scenario(
-            format!("{label}-ugal-l-load0.9-msgs{msgs}"),
-            &degraded,
-            &rcfg,
-            &wl,
-            0.9,
-            reps,
-        ));
+    }
+
+    // Runtime-churn scenario: the wakeup engine with live link churn against
+    // its own pristine run on the same finite workload — the recorded cost of
+    // the runtime fault subsystem (PR 8).
+    {
+        let (churn_label, churn_msgs, script) = if smoke {
+            ("lps(11,7)x4", 1, "churn(2mhz, 10us)")
+        } else {
+            ("lps(23,13)x8", 20, "churn(1mhz, 10us)")
+        };
+        let label = format!("{churn_label}-churn-ugal-l-msgs{churn_msgs}");
+        if want(&label) {
+            let wl = Workload::uniform_random(lps_net.num_endpoints(), churn_msgs, 4096, seed);
+            let mut rcfg = SimConfig {
+                seed,
+                ..SimConfig::default().with_routing("ugal-l", lps_net.diameter() as u32)
+            };
+            // Clip the script horizon near the drain time: with the default 1 ms
+            // horizon most fault events fire into an already-empty network, and
+            // the row would measure timeline-replay tail instead of hot-path cost.
+            rcfg.fault_horizon_ns = 50_000.0;
+            entries.push(run_churn_scenario(
+                label, &lps_net, &rcfg, script, &wl, reps,
+            ));
+        }
     }
 
     // Routing microbench: decisions/second per algorithm × strategy.
     let micro_decisions = if smoke { 50_000 } else { 2_000_000 };
-    let scan_net = lps_net.clone().without_next_hop_table();
-    for algo in ["minimal", "ugal-g"] {
-        entries.push(run_routing_microbench(
-            algo,
-            "table",
-            &lps_net,
-            seed,
-            micro_decisions,
-            reps,
-        ));
-        entries.push(run_routing_microbench(
-            algo,
-            "scan",
-            &scan_net,
-            seed,
-            micro_decisions,
-            reps,
-        ));
-        if smoke {
-            break;
+    if want("microbench") {
+        let scan_net = lps_net.clone().without_next_hop_table();
+        for algo in ["minimal", "ugal-g"] {
+            entries.push(run_routing_microbench(
+                algo,
+                "table",
+                &lps_net,
+                seed,
+                micro_decisions,
+                reps,
+            ));
+            entries.push(run_routing_microbench(
+                algo,
+                "scan",
+                &scan_net,
+                seed,
+                micro_decisions,
+                reps,
+            ));
+            if smoke {
+                break;
+            }
         }
     }
 
@@ -606,34 +720,32 @@ fn main() {
     // measured ratio. It must run before the ring-64 scenario, whose baseline
     // usually blows its budget and leaves a detached worker thread spinning
     // that would otherwise contaminate these timings.
-    let net2 = ring_net(8, 4);
     let ring_msgs = if smoke { 10 } else { 100 };
-    let wl2 = Workload::uniform_random(net2.num_endpoints(), ring_msgs, 4096, seed);
-    entries.push(run_scenario(
-        format!("ring8x4-load0.9-msgs{ring_msgs}"),
-        &net2,
-        &cfg,
-        &wl2,
-        0.9,
-        budget,
-        reps,
-    ));
+    let ring_label = format!("ring8x4-load0.9-msgs{ring_msgs}");
+    if want(&ring_label) {
+        let net2 = ring_net(8, 4);
+        let wl2 = Workload::uniform_random(net2.num_endpoints(), ring_msgs, 4096, seed);
+        entries.push(run_scenario(
+            ring_label, &net2, &cfg, &wl2, 0.9, budget, reps,
+        ));
+    }
 
     // Engine scenario B last: the deep-saturation sweep — ring-64 at load 0.9
     // (skipped under --smoke: its baseline intentionally blows minutes of budget).
     if !smoke {
-        let net = ring_net(routers, conc);
-        let wl = Workload::uniform_random(net.num_endpoints(), msgs, 4096, seed);
-        entries.push(run_scenario(
-            format!("ring{routers}x{conc}-load{load}-msgs{msgs}"),
-            &net,
-            &cfg,
-            &wl,
-            load,
-            budget,
-            1,
-        ));
+        let label = format!("ring{routers}x{conc}-load{load}-msgs{msgs}");
+        if want(&label) {
+            let net = ring_net(routers, conc);
+            let wl = Workload::uniform_random(net.num_endpoints(), msgs, 4096, seed);
+            entries.push(run_scenario(label, &net, &cfg, &wl, load, budget, 1));
+        }
     }
+
+    assert!(
+        !entries.is_empty(),
+        "--only {:?} matched no scenario label",
+        only.as_deref().unwrap_or("")
+    );
 
     // Append the entries to the JSON trajectory (an array; created if absent).
     let unix_time = std::time::SystemTime::now()

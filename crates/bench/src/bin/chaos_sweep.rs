@@ -1,0 +1,232 @@
+//! Goodput vs **runtime churn** — the dynamic-fault companion to
+//! `fault_sweep`.
+//!
+//! `fault_sweep` damages the topology *before* the run (static `FaultPlan`s,
+//! oracle rebuilt over the survivors). This sweep injects failures *during*
+//! the run through a [`spectralfly_simnet::FaultScript`]: links and routers
+//! die and heal on a schedule while packets are in flight, in-flight and
+//! queued packets on dead links are dropped, source NICs retransmit with
+//! capped exponential backoff, and routing re-converges through the
+//! liveness-aware port masks. Three scenario families per topology × routing:
+//!
+//! * **pristine** — no script; anchors the goodput baseline.
+//! * **pulse(f)** — an instantaneous failure of fraction `f` of the links
+//!   (default 5%, `--pulse`) with no heal, so the rest of the run rides the
+//!   degraded fabric. The `Retained` column against the pristine baseline is
+//!   the resilience headline: an expander should keep ≥ 80% of fault-free
+//!   steady goodput at a 5% link pulse.
+//! * **churn(R, M)** — Poisson link churn at each rate `R` from `--rates`
+//!   (kHz), mean-time-to-repair `--mttr` (µs): sustained failure/recovery
+//!   pressure. `MeanRec`/`MaxRec` report the measured time from a packet's
+//!   first drop to its eventual delivery — the time-to-recover axis.
+//!
+//! Each scenario is measured twice:
+//!
+//! 1. a **steady-state run** (Poisson sources at `--load` of injection
+//!    bandwidth, warmup / measurement windows): sustained goodput over the
+//!    measured window, immune to the straggler tail a drain-to-empty
+//!    completion time would charge to one deeply backed-off retransmission.
+//!    The pulse fires mid-warmup so the window measures the re-converged
+//!    fabric.
+//! 2. a **finite drain** of a fixed workload: every packet is chased to a
+//!    terminal state, the conservation identity — injected == delivered +
+//!    terminally-failed, nothing lost and unaccounted — is *asserted*, and
+//!    the drop / retransmit / recovery-time columns are reported from it.
+//!
+//! Usage: `cargo run --release -p spectralfly-bench --bin chaos_sweep
+//! [--full] [--topo substring] [--routing ugal-l,…|all] [--rates 250,1000]
+//! [--mttr US] [--pulse F] [--load PCT] [--msgs N] [--bytes B]
+//! [--warmup NS] [--measure NS] [--pattern SPEC] [--horizon NS]
+//! [--seed N] [--fault-seed N] [--shards N] [--smoke]`
+//!
+//! The acceptance scenario — paper-scale LPS(23,13)×8 under UGAL-L churn —
+//! is `chaos_sweep --full --topo SpectralFly --routing ugal-l`.
+
+use spectralfly_bench::{
+    arg_f64_list, arg_str, arg_u64, fmt, paper_sim_config, pattern_spec_for, print_table,
+    routing_names_from_args, run_workload, seed_from_args, shards_from_args, simulation_topologies,
+    steady_source_workload, topo_filter_from_args, try_sweep_offered_loads, Scale,
+};
+use spectralfly_simnet::{FaultPlan, FaultScript, MeasurementWindows, Workload};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale::Small
+    } else {
+        Scale::from_args()
+    };
+    let seed = seed_from_args(0xC4A05);
+    // This binary is the runtime-fault axis: it builds its own scripts per
+    // scenario, so a --fault-script spec would be silently ignored.
+    assert!(
+        !std::env::args().any(|a| a == "--fault-script" || a == "--faults"),
+        "chaos_sweep builds its own fault scripts; select the axes with \
+         --rates/--mttr/--pulse and the draw with --fault-seed"
+    );
+    let fault_seed = arg_u64("--fault-seed", FaultPlan::DEFAULT_SEED);
+    let rates_khz = arg_f64_list(
+        "--rates",
+        if smoke { &[2_000.0] } else { &[250.0, 1000.0] },
+        |r| r > 0.0,
+        "a positive churn rate in kHz",
+    );
+    let mttr_us = arg_u64("--mttr", 10);
+    let pulse = {
+        let v = arg_f64_list("--pulse", &[0.05], |f| (0.0..1.0).contains(&f), "in [0, 1)");
+        assert_eq!(v.len(), 1, "--pulse takes a single fraction");
+        v[0]
+    };
+    let routings = routing_names_from_args(&["ugal-l"]);
+    let shards = shards_from_args();
+    let load = (arg_u64("--load", 70) as f64 / 100.0).clamp(0.01, 1.0);
+    let msgs = arg_u64("--msgs", if smoke { 2 } else { 6 }) as usize;
+    let bytes = arg_u64("--bytes", 4096);
+    let measure_ns = arg_u64("--measure", if smoke { 3_000 } else { 20_000 });
+    let warmup_ns = arg_u64("--warmup", measure_ns / 4);
+    let pattern = arg_str("--pattern").unwrap_or_else(|| "random".to_string());
+    // Churn-script expansion horizon: cover the steady deadline with slack.
+    let horizon_ns = arg_u64("--horizon", 4 * (warmup_ns + measure_ns));
+    let topo_filter = topo_filter_from_args();
+
+    let topologies: Vec<_> = simulation_topologies(scale)
+        .into_iter()
+        .filter(|t| match &topo_filter {
+            None => true,
+            Some(f) => t.name.to_lowercase().contains(f),
+        })
+        .collect();
+    assert!(!topologies.is_empty(), "--topo matched no topology");
+
+    // Scenario column: (label, steady-run spec, finite-drain spec); `None`
+    // specs are the pristine baseline. The pulse lands mid-warmup in the
+    // steady run (the window then measures the re-converged fabric) and
+    // shortly after injection starts in the finite drain (so it catches
+    // packets in flight).
+    let mut scenarios: Vec<(String, Option<String>, Option<String>)> =
+        vec![("pristine".into(), None, None)];
+    if pulse > 0.0 {
+        scenarios.push((
+            format!("pulse({:.0}%)", pulse * 100.0),
+            Some(format!("at({}ns, links({pulse}))", warmup_ns / 2)),
+            Some(format!("at(2us, links({pulse}))")),
+        ));
+    }
+    for &r in &rates_khz {
+        let spec = format!("churn({r}khz, {mttr_us}us)");
+        scenarios.push((format!("churn({r:.0}khz)"), Some(spec.clone()), Some(spec)));
+    }
+
+    let mut rows = Vec::new();
+    for topo in &topologies {
+        let net = topo.network();
+        let pattern_spec = pattern_spec_for(topo, &pattern);
+        let steady_wl = steady_source_workload(&net, bytes, seed ^ 0x51EADE);
+        let drain_wl = Workload::uniform_random(net.num_endpoints(), msgs, bytes, seed ^ 0xC4A0);
+        for routing in &routings {
+            let mut baseline: Option<f64> = None;
+            for (label, steady_spec, drain_spec) in &scenarios {
+                let script_for = |spec: &Option<String>| {
+                    spec.as_ref().map(|s| {
+                        FaultScript::parse(s)
+                            .unwrap_or_else(|e| panic!("{label}: {e}"))
+                            .with_seed(fault_seed)
+                    })
+                };
+
+                // Steady goodput over the measurement window.
+                let mut cfg = paper_sim_config(&net, routing.clone(), seed).with_shards(shards);
+                cfg.fault_horizon_ns = horizon_ns as f64;
+                cfg.windows = Some(
+                    MeasurementWindows::new(warmup_ns * 1000, measure_ns * 1000)
+                        .with_pattern(pattern_spec.clone()),
+                );
+                if let Some(script) = script_for(steady_spec) {
+                    cfg = cfg.with_fault_script(script);
+                }
+                let (_, steady) = try_sweep_offered_loads(&net, &cfg, &steady_wl, &[load])
+                    .pop()
+                    .expect("one load point");
+                let steady =
+                    steady.unwrap_or_else(|e| panic!("{}/{routing}/{label}: {e}", topo.name));
+                let goodput = steady
+                    .measurement
+                    .as_ref()
+                    .expect("steady-state run has a summary")
+                    .throughput_gbps();
+                if steady_spec.is_none() {
+                    baseline = Some(goodput);
+                }
+                let retained = match baseline {
+                    Some(b) if b > 0.0 => fmt(goodput / b),
+                    _ => "-".to_string(),
+                };
+
+                // Finite drain: conservation asserted, recovery stats reported.
+                let mut cfg = paper_sim_config(&net, routing.clone(), seed).with_shards(shards);
+                cfg.fault_horizon_ns = horizon_ns as f64;
+                if let Some(script) = script_for(drain_spec) {
+                    cfg = cfg.with_fault_script(script);
+                }
+                let drained = run_workload(&net, &cfg, &drain_wl);
+                let f = &drained.faults;
+                if drain_spec.is_some() {
+                    // The headline robustness claim, checked on every row:
+                    // nothing is ever lost and unaccounted.
+                    assert_eq!(
+                        f.injected,
+                        f.delivered + f.failed,
+                        "{}/{routing}/{label}: conservation violated",
+                        topo.name
+                    );
+                    assert_eq!(f.in_flight(), 0, "{}/{routing}/{label}", topo.name);
+                }
+                if std::env::args().any(|a| a == "--verbose") {
+                    eprintln!("{}/{routing}/{label}: {f:?}", topo.name);
+                }
+                rows.push(vec![
+                    topo.name.clone(),
+                    routing.clone(),
+                    label.clone(),
+                    fmt(goodput),
+                    retained,
+                    format!("{}", f.dropped_total()),
+                    format!("{}", f.retransmits),
+                    format!("{}", f.failed),
+                    if f.recovered > 0 {
+                        fmt(f.mean_recovery_ps() / 1e6)
+                    } else {
+                        "-".into()
+                    },
+                    if f.recovered > 0 {
+                        fmt(f.max_recovery_ps as f64 / 1e6)
+                    } else {
+                        "-".into()
+                    },
+                    format!("{}", f.fault_events),
+                ]);
+            }
+        }
+    }
+    print_table(
+        &format!(
+            "Steady goodput vs runtime churn (pattern {pattern}, load {load:.2}, \
+             measure {measure_ns} ns, mttr {mttr_us} us, drain {msgs} x {bytes} B msgs/endpoint, \
+             seed {seed:#x}, fault seed {fault_seed:#x}, shards {shards})"
+        ),
+        &[
+            "Topology",
+            "Routing",
+            "Scenario",
+            "Goodput Gb/s",
+            "Retained",
+            "Drops",
+            "Retx",
+            "Failed",
+            "MeanRec us",
+            "MaxRec us",
+            "Events",
+        ],
+        &rows,
+    );
+}

@@ -18,7 +18,8 @@ use spectralfly_graph::CsrGraph;
 use spectralfly_simnet::fault::AppliedFaults;
 use spectralfly_simnet::workload::{random_placement, Workload};
 use spectralfly_simnet::{
-    pattern, FaultError, FaultPlan, ParallelSimulator, SimConfig, SimNetwork, SimResults, Simulator,
+    pattern, FaultError, FaultPlan, ParallelSimulator, SimConfig, SimError, SimNetwork, SimResults,
+    Simulator,
 };
 use spectralfly_topology::{
     BundleFlyGraph, GeneralizedDragonFly, LpsGraph, SlimFlyGraph, Topology,
@@ -295,13 +296,14 @@ pub fn run_workload(net: &SimNetwork, cfg: &SimConfig, wl: &Workload) -> SimResu
 }
 
 /// [`run_workload`] for an offered-load point, through the fault-checked
-/// entry so degraded sweeps surface infeasibility as a value.
+/// entry so degraded sweeps surface infeasibility (and detected deadlocks)
+/// as a value.
 pub fn try_run_offered_load(
     net: &SimNetwork,
     cfg: &SimConfig,
     wl: &Workload,
     load: f64,
-) -> Result<SimResults, FaultError> {
+) -> Result<SimResults, SimError> {
     if cfg.shards > 1 {
         ParallelSimulator::new(net, cfg).try_run_with_offered_load(wl, load)
     } else {
@@ -318,7 +320,7 @@ pub fn try_sweep_offered_loads(
     cfg: &SimConfig,
     wl: &Workload,
     loads: &[f64],
-) -> Vec<(f64, Result<SimResults, FaultError>)> {
+) -> Vec<(f64, Result<SimResults, SimError>)> {
     loads
         .par_iter()
         .map(|&load| (load, try_run_offered_load(net, cfg, wl, load)))
@@ -574,7 +576,10 @@ mod tests {
             }],
         );
         for (_, res) in try_sweep_offered_loads(&net, &cfg, &wl, &[0.2, 0.5]) {
-            assert!(matches!(res, Err(FaultError::Disconnected { .. })));
+            assert!(matches!(
+                res,
+                Err(SimError::Fault(FaultError::Disconnected { .. }))
+            ));
         }
         // A same-side workload sails through.
         let wl = Workload::single_phase(

@@ -249,6 +249,30 @@ pub struct SimConfig {
     /// answer identically, so — like `shards` — this is a memory/performance
     /// knob, never a semantics knob.
     pub oracle: OraclePolicy,
+    /// Runtime fault script: time-scheduled link/router failures and
+    /// recoveries injected into the event loop while traffic is in flight
+    /// ([`crate::fault::FaultScript::none`] by default — no runtime churn,
+    /// and the engines' hot paths stay byte-for-byte the pristine ones).
+    ///
+    /// Unlike [`SimConfig::faults`] (static damage applied at network
+    /// construction), the script is expanded by the engines at run start into
+    /// a deterministic [`crate::fault::FaultTimeline`] over the network's
+    /// surviving graph; both kinds compose (static damage first, churn on the
+    /// survivors).
+    pub fault_script: crate::fault::FaultScript,
+    /// Per-packet retransmission budget: how many times a dropped packet is
+    /// retransmitted from its source NIC before it is abandoned in the
+    /// `Failed` terminal state.
+    pub retransmit_budget: u32,
+    /// Base retransmission timeout, nanoseconds. The k-th retransmission of a
+    /// packet waits `lookahead + rto_base · 2^min(k−1, 6)` after the drop
+    /// (capped exponential backoff; the link+router-latency lookahead floor
+    /// keeps retransmissions safe under the PDES engine's conservative bound).
+    pub rto_base_ns: f64,
+    /// Horizon for expanding the fault script on *finite* (drain-to-empty)
+    /// runs, nanoseconds; steady-state runs use their windows' deadline
+    /// instead. Events past the horizon never fire.
+    pub fault_horizon_ns: f64,
 }
 
 impl Default for SimConfig {
@@ -268,6 +292,10 @@ impl Default for SimConfig {
             faults: FaultPlan::none(),
             shards: 1,
             oracle: OraclePolicy::Auto,
+            fault_script: crate::fault::FaultScript::none(),
+            retransmit_budget: 8,
+            rto_base_ns: 200.0,
+            fault_horizon_ns: 1_000_000.0,
         }
     }
 }
@@ -352,6 +380,38 @@ impl SimConfig {
     pub fn with_oracle_policy(mut self, policy: OraclePolicy) -> Self {
         self.oracle = policy;
         self
+    }
+
+    /// Builder-style: schedule a runtime fault script (see
+    /// [`SimConfig::fault_script`]).
+    pub fn with_fault_script(mut self, script: crate::fault::FaultScript) -> Self {
+        self.fault_script = script;
+        self
+    }
+
+    /// Builder-style: set the per-packet retransmission budget.
+    pub fn with_retransmit_budget(mut self, budget: u32) -> Self {
+        self.retransmit_budget = budget;
+        self
+    }
+
+    /// Base retransmission timeout in picoseconds.
+    pub fn rto_base_ps(&self) -> u64 {
+        (self.rto_base_ns * 1000.0).round() as u64
+    }
+
+    /// Finite-run fault-script horizon in picoseconds.
+    pub fn fault_horizon_ps(&self) -> u64 {
+        (self.fault_horizon_ns * 1000.0).round() as u64
+    }
+
+    /// The wait before the `attempt`-th retransmission of a packet (1-based),
+    /// measured from the drop: `lookahead + rto_base · 2^min(attempt−1, 6)`.
+    /// The `lookahead` floor (link + router latency) keeps the retransmission
+    /// event safely beyond the PDES engine's conservative lookahead bound.
+    pub fn retransmit_backoff_ps(&self, attempt: u32) -> u64 {
+        let lookahead = self.link_latency_ps() + self.router_latency_ps();
+        lookahead + (self.rto_base_ps() << attempt.saturating_sub(1).min(6))
     }
 }
 
@@ -446,6 +506,30 @@ mod tests {
         assert_eq!(SimConfig::default().oracle, OraclePolicy::Auto);
         let cfg = SimConfig::default().with_oracle_policy(OraclePolicy::Landmark);
         assert_eq!(cfg.oracle, OraclePolicy::Landmark);
+    }
+
+    #[test]
+    fn fault_script_knobs_default_off_and_backoff_caps() {
+        let cfg = SimConfig::default();
+        assert!(cfg.fault_script.is_none());
+        assert_eq!(cfg.retransmit_budget, 8);
+        assert_eq!(cfg.rto_base_ps(), 200_000);
+        assert_eq!(cfg.fault_horizon_ps(), 1_000_000_000);
+        let lookahead = cfg.link_latency_ps() + cfg.router_latency_ps();
+        // Exponential up to the cap at 2^6, then flat.
+        assert_eq!(cfg.retransmit_backoff_ps(1), lookahead + 200_000);
+        assert_eq!(cfg.retransmit_backoff_ps(2), lookahead + 400_000);
+        assert_eq!(cfg.retransmit_backoff_ps(7), lookahead + 200_000 * 64);
+        assert_eq!(
+            cfg.retransmit_backoff_ps(8),
+            cfg.retransmit_backoff_ps(7),
+            "backoff must cap, not overflow"
+        );
+        let cfg = cfg
+            .with_fault_script(crate::fault::FaultScript::parse("churn(1khz, 5us)").unwrap())
+            .with_retransmit_budget(3);
+        assert!(!cfg.fault_script.is_none());
+        assert_eq!(cfg.retransmit_budget, 3);
     }
 
     #[test]

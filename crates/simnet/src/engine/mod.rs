@@ -39,14 +39,74 @@ pub mod parallel;
 pub mod reference;
 
 use crate::config::SimConfig;
+use crate::fault::{FaultEvent, FaultEventKind, FaultTimeline};
 use crate::network::SimNetwork;
 use crate::routing::{self, RouteScratch, Router, RoutingCtx, RoutingState};
-use crate::stats::{EngineCounters, IntervalSample, SimResults, StatsCollector};
+use crate::stats::{EngineCounters, FaultStats, IntervalSample, SimResults, StatsCollector};
 use crate::workload::{Phase, Workload};
 use calendar::{CalendarQueue, Timed};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use spectralfly_graph::csr::VertexId;
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Why a run could not start or could not complete.
+///
+/// Returned by the `try_run*` entry points of every engine; the panicking
+/// `run*` variants unwrap it. `Fault` rejections happen *before* any
+/// simulation work; `Deadlock` is the wakeup engine's quiescence detection
+/// turned into a value — degenerate configurations (tiny per-VC buffers under
+/// saturation) degrade gracefully instead of aborting the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A fault plan or script made the run infeasible (dead endpoints,
+    /// disconnected pairs, fragmented survivors, malformed script).
+    Fault(crate::fault::FaultError),
+    /// The run quiesced with undelivered packets: links parked in a cyclic
+    /// head-of-line wait that no buffer free can ever break.
+    Deadlock {
+        /// Human-readable diagnosis (undelivered/parked/queued counts and the
+        /// buffer-sizing hint).
+        diagnosis: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Fault(e) => e.fmt(f),
+            SimError::Deadlock { diagnosis } => f.write_str(diagnosis),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Fault(e) => Some(e),
+            SimError::Deadlock { .. } => None,
+        }
+    }
+}
+
+impl From<crate::fault::FaultError> for SimError {
+    fn from(e: crate::fault::FaultError) -> Self {
+        SimError::Fault(e)
+    }
+}
+
+/// Why a packet was dropped by the runtime fault machinery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum DropReason {
+    /// The packet occupied or was queued on (or crossing) a link that died.
+    LinkDown,
+    /// The packet was at / injecting from / destined to a down router.
+    RouterDown,
+    /// No alive port made progress toward the packet's target.
+    NoRoute,
+    /// The packet exceeded the detour hop TTL.
+    TtlExceeded,
+}
 
 /// Internal per-packet state.
 #[derive(Clone, Debug)]
@@ -60,6 +120,14 @@ pub(crate) struct Packet {
     routing: RoutingState,
     /// Index of the owning message (for message-completion accounting).
     msg: usize,
+    /// Directed link the packet is currently crossing (`u32::MAX` when not in
+    /// flight on a link) — how the fault machinery detects mid-flight drops.
+    via_link: u32,
+    /// Retransmissions consumed so far (0 until the first drop).
+    attempts: u32,
+    /// Time of the packet's first drop (`u64::MAX` if never dropped), for the
+    /// recovery-time statistics.
+    first_drop_ps: u64,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -75,6 +143,10 @@ pub(crate) enum EventKind {
     NextMessage { source: u32 },
     /// Record a steady-state time-series sample (steady-state mode only).
     Sample,
+    /// Apply fault-timeline entry `idx` (then chain `idx + 1`). Fault events
+    /// are self-chaining so at most one is ever queued — the calendar queue
+    /// forbids out-of-order pushes, and a script's events span the whole run.
+    Fault { idx: u32 },
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -174,6 +246,9 @@ pub(crate) fn packetize_phase(
                 hops: 0,
                 routing: RoutingState::default(),
                 msg: mi,
+                via_link: u32::MAX,
+                attempts: 0,
+                first_drop_ps: u64::MAX,
             });
             sched.msg_first_inject[mi] = sched.msg_first_inject[mi].min(t);
             sched.injections.push(pi);
@@ -192,7 +267,8 @@ fn drain_completed_messages(st: &mut EngineState, stats: &mut StatsCollector) {
     while let Some(mi) = st.completed_msgs.pop() {
         let first = st.msg_first_inject[mi];
         let last = st.msg_last_delivery[mi];
-        if last != u64::MAX && stats.is_measured(first) {
+        let failed = st.msg_failed.get(mi).copied().unwrap_or(false);
+        if last != u64::MAX && !failed && stats.is_measured(first) {
             stats.record_message(last.saturating_sub(first.min(last)));
         }
         st.msg_free.push(mi);
@@ -279,6 +355,177 @@ struct Source {
     nic_free_ps: u64,
 }
 
+/// Shared runtime-liveness state for fault-script runs: which directed links
+/// and routers are currently dead, when each link last died (for mid-flight
+/// drop detection), and a per-router component label over the alive subgraph
+/// (the cheap oracle re-patch — O(V+E) per fault event instead of a full
+/// O(n·d) distance rebuild). Used identically by the sequential and PDES
+/// engines so their liveness views can never diverge.
+pub(crate) struct FaultRuntime {
+    pub timeline: Arc<FaultTimeline>,
+    /// Per-directed-link down *counters*: overlapping failures stack, so two
+    /// downs need two ups (or a heal-all) before the link is alive again.
+    link_down: Vec<u16>,
+    /// Per-router down counters (same stacking semantics).
+    router_down: Vec<u16>,
+    /// Last time each directed link transitioned up→down (`0` = never): a
+    /// packet whose flight window contains this instant was lost on the wire.
+    pub last_down_ps: Vec<u64>,
+    /// Connected-component label per router over the alive subgraph
+    /// (`u32::MAX` for dead routers), refreshed after every fault event.
+    comp: Vec<u32>,
+    /// Detour hop budget: a packet exceeding it is dropped (`TtlExceeded`)
+    /// rather than orbiting a degraded region forever.
+    pub ttl: u32,
+}
+
+impl FaultRuntime {
+    pub fn new(net: &SimNetwork, timeline: Arc<FaultTimeline>) -> Self {
+        let g = net.graph();
+        let mut fr = FaultRuntime {
+            timeline,
+            link_down: vec![0; net.num_directed_links()],
+            router_down: vec![0; g.num_vertices()],
+            last_down_ps: vec![0; net.num_directed_links()],
+            comp: Vec::new(),
+            ttl: 4 * (net.diameter().max(1) as u32) + 8,
+        };
+        fr.repatch(net);
+        fr
+    }
+
+    #[inline]
+    pub fn link_dead(&self, link: usize) -> bool {
+        self.link_down[link] > 0
+    }
+
+    #[inline]
+    pub fn link_alive(&self, link: usize) -> bool {
+        self.link_down[link] == 0
+    }
+
+    #[inline]
+    pub fn router_dead(&self, r: VertexId) -> bool {
+        self.router_down[r as usize] > 0
+    }
+
+    /// Whether `a` and `b` sit in the same alive component (always true for
+    /// `a == b` on an alive router).
+    #[inline]
+    pub fn reachable(&self, a: VertexId, b: VertexId) -> bool {
+        let ca = self.comp[a as usize];
+        ca != u32::MAX && ca == self.comp[b as usize]
+    }
+
+    /// Mark one directed link down, recording the transition time and
+    /// returning whether this was an up→down edge (first down).
+    fn down_link(&mut self, link: usize, now: u64, newly: &mut Vec<usize>) {
+        self.link_down[link] += 1;
+        if self.link_down[link] == 1 {
+            self.last_down_ps[link] = now;
+            newly.push(link);
+        }
+    }
+
+    /// Apply one timeline event to the liveness masks. Returns the directed
+    /// links that just transitioned up→down — the engine must flush their
+    /// queues. Router events take their incident links down/up with them.
+    pub fn apply(&mut self, net: &SimNetwork, ev: &FaultEvent, now: u64) -> Vec<usize> {
+        let g = net.graph();
+        let mut newly = Vec::new();
+        match ev.kind {
+            FaultEventKind::LinkDown { u, v } => {
+                for (a, b) in [(u, v), (v, u)] {
+                    if let Some(l) = net.directed_link_between(a, b) {
+                        self.down_link(l, now, &mut newly);
+                    }
+                }
+            }
+            FaultEventKind::LinkUp { u, v } => {
+                for (a, b) in [(u, v), (v, u)] {
+                    if let Some(l) = net.directed_link_between(a, b) {
+                        self.link_down[l] = self.link_down[l].saturating_sub(1);
+                    }
+                }
+            }
+            FaultEventKind::RouterDown { r } => {
+                self.router_down[r as usize] += 1;
+                for p in 0..g.degree(r) {
+                    let nbr = g.neighbors(r)[p];
+                    self.down_link(net.link_id(r, p), now, &mut newly);
+                    if let Some(back) = net.directed_link_between(nbr, r) {
+                        self.down_link(back, now, &mut newly);
+                    }
+                }
+            }
+            FaultEventKind::RouterUp { r } => {
+                self.router_down[r as usize] = self.router_down[r as usize].saturating_sub(1);
+                for p in 0..g.degree(r) {
+                    let nbr = g.neighbors(r)[p];
+                    let l = net.link_id(r, p);
+                    self.link_down[l] = self.link_down[l].saturating_sub(1);
+                    if let Some(back) = net.directed_link_between(nbr, r) {
+                        self.link_down[back] = self.link_down[back].saturating_sub(1);
+                    }
+                }
+            }
+            FaultEventKind::HealAll => {
+                self.link_down.fill(0);
+                self.router_down.fill(0);
+            }
+        }
+        self.repatch(net);
+        newly
+    }
+
+    /// Apply timeline entries `[0, upto)` as pure mask flips (no queue
+    /// flushing — used to reconstruct the liveness state at a phase boundary,
+    /// where no packets exist yet). Returns the index of the first entry still
+    /// to be scheduled as a live event.
+    pub fn fast_forward(&mut self, net: &SimNetwork, start_ps: u64) -> usize {
+        let timeline = Arc::clone(&self.timeline);
+        let mut idx = 0;
+        while idx < timeline.events.len() && timeline.events[idx].time_ps <= start_ps {
+            self.apply(net, &timeline.events[idx], timeline.events[idx].time_ps);
+            idx += 1;
+        }
+        idx
+    }
+
+    /// Recompute alive-component labels: one BFS sweep over the alive
+    /// subgraph, O(V+E).
+    fn repatch(&mut self, net: &SimNetwork) {
+        let g = net.graph();
+        let n = g.num_vertices();
+        self.comp.clear();
+        self.comp.resize(n, u32::MAX);
+        let mut queue: VecDeque<VertexId> = VecDeque::new();
+        let mut next_label = 0u32;
+        for start in 0..n as VertexId {
+            if self.comp[start as usize] != u32::MAX || self.router_down[start as usize] > 0 {
+                continue;
+            }
+            let label = next_label;
+            next_label += 1;
+            self.comp[start as usize] = label;
+            queue.push_back(start);
+            while let Some(r) = queue.pop_front() {
+                for p in 0..g.degree(r) {
+                    let nbr = g.neighbors(r)[p];
+                    if self.comp[nbr as usize] != u32::MAX
+                        || self.router_down[nbr as usize] > 0
+                        || self.link_down[net.link_id(r, p)] > 0
+                    {
+                        continue;
+                    }
+                    self.comp[nbr as usize] = label;
+                    queue.push_back(nbr);
+                }
+            }
+        }
+    }
+}
+
 /// Mutable state of one event loop, grouped to keep borrows manageable.
 struct EngineState {
     /// Packet arena; freed slots are recycled through `free`.
@@ -327,6 +574,15 @@ struct EngineState {
     sampled_packets: u64,
     sampled_bytes: u64,
     counters: EngineCounters,
+    /// Runtime fault machinery — `None` unless a fault script is configured,
+    /// so pristine runs skip every liveness check (and stay bit-identical to
+    /// builds without this subsystem).
+    fault: Option<Box<FaultRuntime>>,
+    /// Drop / retransmission / recovery accounting for this loop.
+    fstats: FaultStats,
+    /// Whether a message lost a packet terminally (its completion must not be
+    /// recorded as a delivered message).
+    msg_failed: Vec<bool>,
 }
 
 impl EngineState {
@@ -363,6 +619,9 @@ impl EngineState {
             sampled_packets: 0,
             sampled_bytes: 0,
             counters: EngineCounters::default(),
+            fault: None,
+            fstats: FaultStats::default(),
+            msg_failed: Vec::new(),
         }
     }
 
@@ -502,13 +761,15 @@ impl<'a> Simulator<'a> {
     /// infeasible: a referenced endpoint on a down router yields
     /// [`crate::FaultError::RouterDown`], a message pair separated by the
     /// damage yields [`crate::FaultError::Disconnected`] — both *before* any
-    /// simulation work, never as a hang or a mid-run panic. On pristine
-    /// networks this never errs.
-    pub fn try_run(&self, workload: &Workload) -> Result<SimResults, crate::FaultError> {
+    /// simulation work, never as a hang or a mid-run panic. A run that
+    /// quiesces with packets parked in a cyclic head-of-line wait yields
+    /// [`SimError::Deadlock`]. On pristine networks without a fault script
+    /// this never errs.
+    pub fn try_run(&self, workload: &Workload) -> Result<SimResults, SimError> {
         if self.net.has_faults() {
             crate::fault::validate_workload(self.net, workload)?;
         }
-        Ok(self.run_finite(workload, None))
+        self.run_finite(workload, None)
     }
 
     /// Run the workload with Poisson-spaced injections corresponding to an offered load in
@@ -548,7 +809,7 @@ impl<'a> Simulator<'a> {
         &self,
         workload: &Workload,
         offered_load: f64,
-    ) -> Result<SimResults, crate::FaultError> {
+    ) -> Result<SimResults, SimError> {
         assert!(
             offered_load > 0.0 && offered_load <= 1.0,
             "offered load must be in (0, 1]"
@@ -558,7 +819,7 @@ impl<'a> Simulator<'a> {
                 if self.net.has_faults() {
                     crate::fault::validate_workload(self.net, workload)?;
                 }
-                Ok(self.run_finite(workload, Some(offered_load)))
+                self.run_finite(workload, Some(offered_load))
             }
             Some(w) => {
                 if self.net.has_faults() {
@@ -568,13 +829,30 @@ impl<'a> Simulator<'a> {
                         crate::fault::validate_workload(self.net, workload)?;
                     }
                 }
-                Ok(self.run_steady(workload, offered_load, w))
+                self.run_steady(workload, offered_load, w)
             }
         }
     }
 
+    /// Expand the configured fault script against the (possibly statically
+    /// degraded) topology, or `None` when no script is configured. The runtime
+    /// machinery is enabled whenever a script is present — even one whose
+    /// expansion drew no events — so the fault statistics (including the
+    /// conservation identity) are populated for every scripted run.
+    fn fault_timeline(&self, horizon_ps: u64) -> Result<Option<Arc<FaultTimeline>>, SimError> {
+        if self.cfg.fault_script.is_none() {
+            return Ok(None);
+        }
+        let tl = self.cfg.fault_script.expand(self.net.graph(), horizon_ps)?;
+        Ok(Some(Arc::new(tl)))
+    }
+
     /// Finite drain-to-empty run (the legacy semantics) on the wakeup engine.
-    fn run_finite(&self, workload: &Workload, offered_load: Option<f64>) -> SimResults {
+    fn run_finite(
+        &self,
+        workload: &Workload,
+        offered_load: Option<f64>,
+    ) -> Result<SimResults, SimError> {
         if let Some(max_ep) = workload.max_endpoint() {
             assert!(
                 max_ep < self.net.num_endpoints(),
@@ -582,8 +860,10 @@ impl<'a> Simulator<'a> {
                 self.net.num_endpoints()
             );
         }
+        let timeline = self.fault_timeline(self.cfg.fault_horizon_ps())?;
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut stats = StatsCollector::default();
+        let mut faults = FaultStats::default();
         let mut phase_start: u64 = 0;
 
         for phase in &workload.phases {
@@ -603,9 +883,22 @@ impl<'a> Simulator<'a> {
             st.msg_packets_left = sched.msg_packets_left;
             st.msg_first_inject = sched.msg_first_inject;
             st.msg_last_delivery = vec![u64::MAX; phase.messages.len()];
+            st.msg_failed = vec![false; phase.messages.len()];
             for &pi in &sched.injections {
                 let t = st.packets[pi].inject_time_ps;
                 st.push(t, EventKind::Inject { packet: pi as u32 });
+            }
+            if let Some(tl) = &timeline {
+                // Each phase gets a fresh liveness view fast-forwarded to the
+                // phase boundary (mask flips only — no packets exist yet), then
+                // chains live fault events from the first entry still ahead.
+                let mut fr = Box::new(FaultRuntime::new(self.net, Arc::clone(tl)));
+                let idx = fr.fast_forward(self.net, phase_start);
+                if idx < tl.events.len() {
+                    st.push(tl.events[idx].time_ps, EventKind::Fault { idx: idx as u32 });
+                }
+                st.fault = Some(fr);
+                st.fstats.injected = st.packets.len() as u64;
             }
 
             st.counters.arena_slots = st.packets.len() as u64;
@@ -614,24 +907,27 @@ impl<'a> Simulator<'a> {
                 self.handle_event(ev, &mut st, &mut rng, &mut stats);
             }
 
-            // Every packet must have been delivered; anything else is an engine bug —
-            // or a genuine buffer deadlock, which the wakeup engine turns into a
-            // detectable quiescent state (the polling engine it replaced would spin
-            // on retries forever).
+            // Every packet must have been delivered (or, under a fault script,
+            // terminally failed); anything else is an engine bug — or a genuine
+            // buffer deadlock, which the wakeup engine turns into a detectable
+            // quiescent state (the polling engine it replaced would spin on
+            // retries forever).
             let undelivered: u32 = st.msg_packets_left.iter().sum();
             if undelivered > 0 {
                 let in_queues: usize = st.link_queue.iter().map(|q| q.len()).sum();
                 let pending: usize = st.pending_inject.iter().map(|q| q.len()).sum();
                 let occ: u32 = st.occupancy.iter().sum();
                 if st.parked_count > 0 {
-                    panic!(
-                        "simulation deadlocked with {undelivered} undelivered packets and \
-                         {} links parked in a cyclic head-of-line wait (link queues: \
-                         {in_queues}, pending injections: {pending}, occupancy sum: {occ}); \
-                         single-FIFO link queues can deadlock across virtual channels when \
-                         buffer_packets_per_vc is very small — increase it",
-                        st.parked_count
-                    );
+                    return Err(SimError::Deadlock {
+                        diagnosis: format!(
+                            "simulation deadlocked with {undelivered} undelivered packets and \
+                             {} links parked in a cyclic head-of-line wait (link queues: \
+                             {in_queues}, pending injections: {pending}, occupancy sum: {occ}); \
+                             single-FIFO link queues can deadlock across virtual channels when \
+                             buffer_packets_per_vc is very small — increase it",
+                            st.parked_count
+                        ),
+                    });
                 }
                 panic!(
                     "simulation ended with {undelivered} undelivered packets \
@@ -641,14 +937,17 @@ impl<'a> Simulator<'a> {
             }
             debug_assert_eq!(st.parked_count, 0, "drained run left links parked");
             for (mi, &last) in st.msg_last_delivery.iter().enumerate() {
-                if last != u64::MAX {
+                if last != u64::MAX && !st.msg_failed[mi] {
                     stats.record_message(last.saturating_sub(st.msg_first_inject[mi].min(last)));
                 }
             }
             phase_start = st.phase_end.max(phase_start);
             stats.record_engine(&st.counters);
+            faults.merge(&st.fstats);
         }
-        stats.finish()
+        let mut results = stats.finish();
+        results.faults = faults;
+        Ok(results)
     }
 
     /// Steady-state run: continuous per-endpoint Poisson sources, windowed
@@ -658,7 +957,7 @@ impl<'a> Simulator<'a> {
         workload: &Workload,
         offered_load: f64,
         w: &crate::config::MeasurementWindows,
-    ) -> SimResults {
+    ) -> Result<SimResults, SimError> {
         if let Some(max_ep) = workload.max_endpoint() {
             assert!(
                 max_ep < self.net.num_endpoints(),
@@ -711,6 +1010,13 @@ impl<'a> Simulator<'a> {
 
         let mut st = EngineState::new(self.net, self.cfg, 0);
         st.track_completions = true;
+        if let Some(tl) = self.fault_timeline(w.deadline_ps())? {
+            let fr = Box::new(FaultRuntime::new(self.net, Arc::clone(&tl)));
+            if !tl.events.is_empty() {
+                st.push(tl.events[0].time_ps, EventKind::Fault { idx: 0 });
+            }
+            st.fault = Some(fr);
+        }
         // First arrival of each source's Poisson process.
         for (si, source) in sources.iter().enumerate() {
             let first_bytes = source.templates[0].1;
@@ -754,7 +1060,9 @@ impl<'a> Simulator<'a> {
         }
         drain_completed_messages(&mut st, &mut stats);
         stats.record_engine(&st.counters);
-        stats.finish()
+        let mut results = stats.finish();
+        results.faults = st.fstats;
+        Ok(results)
     }
 
     /// Exponential inter-arrival gap for a message of `bytes` at `load` of the
@@ -835,6 +1143,10 @@ impl<'a> Simulator<'a> {
                 st.msg_packets_left.len() - 1
             }
         };
+        if st.msg_failed.len() < st.msg_packets_left.len() {
+            st.msg_failed.resize(st.msg_packets_left.len(), false);
+        }
+        st.msg_failed[mi] = false;
         for (pkt_bytes, nic_ser) in segments {
             let packet = Packet {
                 src_router: self.net.router_of_endpoint(src.endpoint),
@@ -844,8 +1156,14 @@ impl<'a> Simulator<'a> {
                 hops: 0,
                 routing: RoutingState::default(),
                 msg: mi,
+                via_link: u32::MAX,
+                attempts: 0,
+                first_drop_ps: u64::MAX,
             };
             let pi = st.alloc_packet(packet);
+            if st.fault.is_some() {
+                st.fstats.injected += 1;
+            }
             stats.note_injection(t);
             st.push(t, EventKind::Inject { packet: pi as u32 });
             t += nic_ser;
@@ -900,6 +1218,21 @@ impl<'a> Simulator<'a> {
             EventKind::Inject { packet } => {
                 let packet = packet as usize;
                 let router = st.packets[packet].src_router;
+                if let Some(fr) = st.fault.as_deref() {
+                    let dst = st.packets[packet].dst_router;
+                    let reason = if fr.router_dead(router) || fr.router_dead(dst) {
+                        Some(DropReason::RouterDown)
+                    } else if !fr.reachable(router, dst) {
+                        Some(DropReason::NoRoute)
+                    } else {
+                        None
+                    };
+                    if let Some(reason) = reason {
+                        // The packet never entered a buffer — pure NIC-side drop.
+                        self.drop_packet(packet, now, reason, st);
+                        return;
+                    }
+                }
                 let slot = router as usize * self.cfg.num_vcs;
                 if st.occupancy[slot] < cap {
                     st.occ_inc(router, slot);
@@ -912,6 +1245,12 @@ impl<'a> Simulator<'a> {
             }
             EventKind::TryTransmit { link } => {
                 let link = link as usize;
+                if st.fault.as_deref().is_some_and(|fr| fr.link_dead(link)) {
+                    // Defensive: the fault event flushed this queue, but a
+                    // same-timestamp transmit may still have been in flight.
+                    self.flush_dead_link(link, now, DropReason::LinkDown, st);
+                    return;
+                }
                 if st.link_parked[link] {
                     // Already on a waiter list; the slot-free wakeup will retry.
                     return;
@@ -952,6 +1291,7 @@ impl<'a> Simulator<'a> {
                 let arrive =
                     start + ser + self.cfg.link_latency_ps() + self.cfg.router_latency_ps();
                 st.packets[pi].hops += 1;
+                st.packets[pi].via_link = link as u32;
                 st.push(
                     arrive,
                     EventKind::Arrive {
@@ -965,11 +1305,154 @@ impl<'a> Simulator<'a> {
                 }
             }
             EventKind::Arrive { packet, router } => {
-                self.enter_router(packet as usize, router, now, st, rng, stats);
+                let pi = packet as usize;
+                if st.fault.is_some() {
+                    let via = st.packets[pi].via_link;
+                    let ser = self.cfg.serialization_ps(st.packets[pi].bytes);
+                    let flight_start = now.saturating_sub(
+                        ser + self.cfg.link_latency_ps() + self.cfg.router_latency_ps(),
+                    );
+                    let crossed_dead_link = via != u32::MAX
+                        && st.fault.as_deref().unwrap().last_down_ps[via as usize] > flight_start;
+                    if crossed_dead_link {
+                        // The link died under the packet mid-flight: release the
+                        // downstream buffer the transmit reserved, then drop.
+                        let vc = (st.packets[pi].hops as usize).min(self.cfg.num_vcs - 1);
+                        let slot = router as usize * self.cfg.num_vcs + vc;
+                        st.occ_dec(router, slot);
+                        st.wake_waiters(slot, now);
+                        self.drop_packet(pi, now, DropReason::LinkDown, st);
+                        self.admit_pending(router, now, st, cap);
+                        return;
+                    }
+                    // `via_link` is deliberately left set: `enter_router`'s
+                    // liveness fallback reads it as the arrival port (U-turn
+                    // avoidance), and the next transmit overwrites it anyway.
+                }
+                self.enter_router(pi, router, now, st, rng, stats);
                 self.admit_pending(router, now, st, cap);
+            }
+            EventKind::Fault { idx } => {
+                self.apply_fault(idx as usize, now, st);
             }
             EventKind::NextMessage { .. } | EventKind::Sample => {
                 unreachable!("steady-state events are handled by the steady loop")
+            }
+        }
+    }
+
+    /// Apply fault-timeline entry `idx`: flip the liveness masks, flush the
+    /// queues of every link that just died (dropping their packets into the
+    /// retransmission path), evict injections pending at a router that just
+    /// died, and chain the next timeline entry.
+    fn apply_fault(&self, idx: usize, now: u64, st: &mut EngineState) {
+        let mut fr = st.fault.take().expect("fault event without fault runtime");
+        st.fstats.fault_events += 1;
+        let ev = fr.timeline.events[idx];
+        let reason = match ev.kind {
+            FaultEventKind::RouterDown { .. } => DropReason::RouterDown,
+            _ => DropReason::LinkDown,
+        };
+        let newly_dead = fr.apply(self.net, &ev, now);
+        if idx + 1 < fr.timeline.events.len() {
+            let t = fr.timeline.events[idx + 1].time_ps;
+            st.push(
+                t,
+                EventKind::Fault {
+                    idx: idx as u32 + 1,
+                },
+            );
+        }
+        st.fault = Some(fr);
+        for link in newly_dead {
+            self.flush_dead_link(link, now, reason, st);
+        }
+        if let FaultEventKind::RouterDown { r } = ev.kind {
+            while let Some(pi) = st.pending_inject[r as usize].pop_front() {
+                st.pending_len[r as usize] -= 1;
+                self.drop_packet(pi, now, DropReason::RouterDown, st);
+            }
+        }
+    }
+
+    /// Drop every packet occupying or queued on a dead directed link,
+    /// releasing their upstream buffers (waking waiters exactly as a normal
+    /// departure would) and un-parking the link itself if it was waiting on a
+    /// downstream slot.
+    fn flush_dead_link(&self, link: usize, now: u64, reason: DropReason, st: &mut EngineState) {
+        let cap = self.cfg.buffer_packets_per_vc as u32;
+        let (src_router, port) = self.net.link_owner(link);
+        if st.link_parked[link] {
+            // The single-FIFO wakeup protocol pops exactly one waiter per
+            // buffer free; a dead link left on a waiter list would either eat
+            // a wakeup meant for a live link or revive a flushed queue.
+            let &head = st.link_queue[link]
+                .front()
+                .expect("parked link with an empty queue");
+            let next_vc = (st.packets[head].hops as usize + 1).min(self.cfg.num_vcs - 1);
+            let dst_router = self.net.link_target(src_router, port);
+            let down = dst_router as usize * self.cfg.num_vcs + next_vc;
+            let before = st.waiters[down].len();
+            st.waiters[down].retain(|&l| l != link);
+            debug_assert_eq!(
+                st.waiters[down].len() + 1,
+                before,
+                "parked link not on its waiter list"
+            );
+            st.link_parked[link] = false;
+            st.parked_count -= 1;
+        }
+        while let Some(pi) = st.link_pop(link) {
+            let vc = (st.packets[pi].hops as usize).min(self.cfg.num_vcs - 1);
+            let up = src_router as usize * self.cfg.num_vcs + vc;
+            st.occ_dec(src_router, up);
+            if vc == 0 {
+                self.admit_pending(src_router, now, st, cap);
+            }
+            st.wake_waiters(up, now);
+            self.drop_packet(pi, now, reason, st);
+        }
+    }
+
+    /// A packet just lost its current traversal: count the typed drop, then
+    /// either schedule a retransmission from its source NIC (capped
+    /// exponential backoff) or retire it into the `Failed` terminal state.
+    /// The caller has already released whatever buffer the packet occupied.
+    fn drop_packet(&self, pi: usize, now: u64, reason: DropReason, st: &mut EngineState) {
+        match reason {
+            DropReason::LinkDown => st.fstats.dropped_link_down += 1,
+            DropReason::RouterDown => st.fstats.dropped_router_down += 1,
+            DropReason::NoRoute => st.fstats.dropped_no_route += 1,
+            DropReason::TtlExceeded => st.fstats.dropped_ttl += 1,
+        }
+        let (attempts, msg) = {
+            let p = &mut st.packets[pi];
+            if p.first_drop_ps == u64::MAX {
+                p.first_drop_ps = now;
+            }
+            p.via_link = u32::MAX;
+            (p.attempts, p.msg)
+        };
+        if attempts < self.cfg.retransmit_budget {
+            let attempt = attempts + 1;
+            {
+                let p = &mut st.packets[pi];
+                p.attempts = attempt;
+                p.hops = 0;
+                p.routing = RoutingState::default();
+            }
+            st.fstats.retransmits += 1;
+            let t = now + self.cfg.retransmit_backoff_ps(attempt);
+            st.push(t, EventKind::Inject { packet: pi as u32 });
+        } else {
+            st.fstats.failed += 1;
+            st.free.push(pi);
+            if let Some(f) = st.msg_failed.get_mut(msg) {
+                *f = true;
+            }
+            st.msg_packets_left[msg] -= 1;
+            if st.msg_packets_left[msg] == 0 && st.track_completions {
+                st.completed_msgs.push(msg);
             }
         }
     }
@@ -1016,6 +1499,18 @@ impl<'a> Simulator<'a> {
             stats.record_packet(latency, st.packets[pi].hops, st.packets[pi].bytes, now);
             st.delivered_packets_total += 1;
             st.delivered_bytes_total += st.packets[pi].bytes;
+            if st.fault.is_some() {
+                st.fstats.delivered += 1;
+                let fd = st.packets[pi].first_drop_ps;
+                if fd != u64::MAX {
+                    // The packet was dropped at least once and still made it
+                    // home: its recovery time is first-drop → delivery.
+                    let rec = now.saturating_sub(fd);
+                    st.fstats.recovered += 1;
+                    st.fstats.total_recovery_ps += rec;
+                    st.fstats.max_recovery_ps = st.fstats.max_recovery_ps.max(rec);
+                }
+            }
             let m = st.packets[pi].msg;
             st.msg_packets_left[m] -= 1;
             if st.msg_packets_left[m] == 0 {
@@ -1031,6 +1526,24 @@ impl<'a> Simulator<'a> {
             st.wake_waiters(slot, now);
             return;
         }
+        if let Some(fr) = st.fault.as_deref() {
+            let reason = if st.packets[pi].hops >= fr.ttl {
+                Some(DropReason::TtlExceeded)
+            } else if !fr.reachable(router, target) {
+                // No alive path can exist — drop now instead of wandering.
+                Some(DropReason::NoRoute)
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                let vc = (st.packets[pi].hops as usize).min(self.cfg.num_vcs - 1);
+                let slot = router as usize * self.cfg.num_vcs + vc;
+                st.occ_dec(router, slot);
+                st.wake_waiters(slot, now);
+                self.drop_packet(pi, now, reason, st);
+                return;
+            }
+        }
         let port = choose_port(
             self.net,
             self.cfg,
@@ -1045,7 +1558,46 @@ impl<'a> Simulator<'a> {
             rng,
             &mut st.route_scratch,
         );
-        let link = self.net.link_id(router, port);
+        let link = {
+            let pristine = self.net.link_id(router, port);
+            match st.fault.as_deref() {
+                // Liveness-aware port mask: the immutable oracle's choice is
+                // kept whenever its link is up; only a dead choice falls back
+                // to the best alive port (greedy on static distance, RNG-free
+                // so the shared decision stream is not perturbed).
+                Some(fr) if fr.link_dead(pristine) => {
+                    let (via, hops, attempts) = {
+                        let p = &st.packets[pi];
+                        (p.via_link, p.hops, p.attempts)
+                    };
+                    let prev = (via != u32::MAX).then(|| self.net.link_owner(via as usize).0);
+                    let salt = hops.wrapping_add(attempts.wrapping_mul(31));
+                    routing::best_alive_port(self.net, router, target, prev, salt, |l| {
+                        if !fr.link_alive(l) {
+                            return false;
+                        }
+                        // Static distance can point into a component the
+                        // damage has cut off from the target — require the
+                        // next hop to share the target's alive component.
+                        let (r, p) = self.net.link_owner(l);
+                        fr.reachable(self.net.link_target(r, p), target)
+                    })
+                    .map(|p| self.net.link_id(router, p))
+                }
+                _ => Some(pristine),
+            }
+        };
+        let Some(link) = link else {
+            // Every port toward the target is dead right now (the component
+            // check above passed, so this is transient contention with the
+            // fault timeline): recover through the retransmission path.
+            let vc = (st.packets[pi].hops as usize).min(self.cfg.num_vcs - 1);
+            let slot = router as usize * self.cfg.num_vcs + vc;
+            st.occ_dec(router, slot);
+            st.wake_waiters(slot, now);
+            self.drop_packet(pi, now, DropReason::NoRoute, st);
+            return;
+        };
         // Schedule a transmit only when this enqueue makes the queue non-empty: a
         // non-empty queue already has exactly one driver in flight (a scheduled
         // TryTransmit, or a park that a wakeup will revive), and scheduling at
@@ -1350,10 +1902,10 @@ mod tests {
         let err = Simulator::new(&net, &cfg).try_run(&dead).unwrap_err();
         assert_eq!(
             err,
-            FaultError::RouterDown {
+            SimError::Fault(FaultError::RouterDown {
                 endpoint: 4,
                 router: 4
-            }
+            })
         );
     }
 
@@ -1380,7 +1932,10 @@ mod tests {
         let err = Simulator::new(&frag, &cfg)
             .try_run_with_offered_load(&wl, 0.3)
             .unwrap_err();
-        assert_eq!(err, FaultError::Fragmented { components: 2 });
+        assert_eq!(
+            err,
+            SimError::Fault(FaultError::Fragmented { components: 2 })
+        );
     }
 
     /// A config that records a fault plan must be paired with a network built
@@ -1419,7 +1974,10 @@ mod tests {
         let err = Simulator::new(&net, &cfg)
             .try_run_with_offered_load(&wl, 0.3)
             .unwrap_err();
-        assert_eq!(err, FaultError::Fragmented { components: 0 });
+        assert_eq!(
+            err,
+            SimError::Fault(FaultError::Fragmented { components: 0 })
+        );
     }
 
     /// The packet arena recycles delivered slots in steady-state mode instead of
@@ -1442,5 +2000,106 @@ mod tests {
             res.engine.arena_slots,
             m.injected_packets
         );
+    }
+
+    /// A runtime fault script injects failures mid-run, packets are dropped
+    /// with typed reasons and recovered by retransmission, and the
+    /// conservation identity (injected = delivered + failed + in-flight, with
+    /// in-flight = 0 after a finite drain) holds exactly.
+    #[test]
+    fn fault_script_drops_retransmit_and_conserve_packets() {
+        let net = SimNetwork::new(ring(8), 2);
+        let script = crate::fault::FaultScript::parse("at(1us, links(0.25)) + at(60us, heal(all))")
+            .unwrap()
+            .with_seed(11);
+        let cfg = SimConfig::default()
+            .with_routing("minimal", net.diameter() as u32)
+            .with_fault_script(script);
+        let wl = Workload::uniform_random(net.num_endpoints(), 20, 4096, 7);
+        let res = Simulator::new(&net, &cfg).try_run(&wl).unwrap();
+        let f = res.faults;
+        assert_eq!(f.injected, 20 * net.num_endpoints() as u64);
+        assert_eq!(
+            f.injected,
+            f.delivered + f.failed,
+            "finite drain left {} packets unaccounted",
+            f.in_flight()
+        );
+        assert_eq!(f.in_flight(), 0);
+        assert_eq!(f.dropped_total(), f.retransmits + f.failed);
+        assert!(f.fault_events >= 2, "script events: {}", f.fault_events);
+        assert!(
+            f.dropped_total() > 0,
+            "a quarter of a ring's links dying must drop something"
+        );
+        // Delivered totals include retransmitted survivors.
+        assert_eq!(res.delivered_packets, f.delivered);
+        if f.recovered > 0 {
+            assert!(f.mean_recovery_ps() > 0.0);
+            assert!(f.max_recovery_ps as f64 >= f.mean_recovery_ps());
+        }
+    }
+
+    /// The same script with no packets in harm's way (events beyond the
+    /// horizon) leaves the run untouched and the fault stats clean.
+    #[test]
+    fn fault_script_beyond_horizon_is_inert() {
+        let net = SimNetwork::new(ring(6), 1);
+        let script = crate::fault::FaultScript::parse("at(2ms, links(0.5))").unwrap();
+        // Default fault horizon is 1 ms: the event is clipped at expansion.
+        let cfg = SimConfig::default().with_fault_script(script);
+        let wl = Workload::uniform_random(net.num_endpoints(), 5, 1024, 3);
+        let res = Simulator::new(&net, &cfg).try_run(&wl).unwrap();
+        assert_eq!(res.faults.fault_events, 0);
+        assert_eq!(res.faults.dropped_total(), 0);
+        assert_eq!(res.faults.injected, res.faults.delivered);
+        let pristine_cfg = SimConfig::default();
+        let pristine = Simulator::new(&net, &pristine_cfg).run(&wl);
+        assert_eq!(res.delivered_packets, pristine.delivered_packets);
+        assert_eq!(res.mean_packet_latency_ps, pristine.mean_packet_latency_ps);
+    }
+
+    /// Runtime router failure with recovery: packets to/from the down router
+    /// are dropped (typed) while it is dark, and traffic completes after the
+    /// heal — graceful degradation, never a hang.
+    #[test]
+    fn router_churn_recovers_after_heal() {
+        let net = SimNetwork::new(complete(5), 1);
+        let script =
+            crate::fault::FaultScript::parse("at(500ns, router(2)) + at(30us, heal(all))").unwrap();
+        let cfg = SimConfig::default().with_fault_script(script);
+        let wl = Workload::uniform_random(net.num_endpoints(), 10, 2048, 5);
+        let res = Simulator::new(&net, &cfg).try_run(&wl).unwrap();
+        let f = res.faults;
+        assert_eq!(f.injected, f.delivered + f.failed);
+        assert_eq!(f.in_flight(), 0);
+        assert_eq!(f.fault_events, 2);
+    }
+
+    /// The wakeup engine's quiescence detection surfaces as a typed
+    /// [`SimError::Deadlock`] (with the diagnostic text preserved) instead of
+    /// a process abort.
+    #[test]
+    fn hol_deadlock_is_a_typed_error() {
+        // Single VC + single buffer slot on a ring forces the classic cyclic
+        // head-of-line wait under all-to-all pressure.
+        let net = SimNetwork::new(ring(8), 4);
+        let cfg = SimConfig {
+            num_vcs: 1,
+            buffer_packets_per_vc: 1,
+            ..SimConfig::default()
+        };
+        let wl = Workload::uniform_random(net.num_endpoints(), 30, 4096, 13);
+        match Simulator::new(&net, &cfg).try_run(&wl) {
+            Err(SimError::Deadlock { diagnosis }) => {
+                assert!(
+                    diagnosis.contains("cyclic head-of-line wait"),
+                    "{diagnosis}"
+                );
+                assert!(diagnosis.contains("buffer_packets_per_vc"), "{diagnosis}");
+            }
+            Err(other) => panic!("expected a deadlock, got {other}"),
+            Ok(_) => panic!("expected a deadlock, run completed"),
+        }
     }
 }

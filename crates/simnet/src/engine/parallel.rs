@@ -51,18 +51,19 @@
 //! exact cross-shard-count equality (see `tests/pdes_equivalence.rs`).
 
 use super::calendar::{CalendarQueue, Timed};
-use super::{packetize_phase, segment_message, AliveEndpoints};
+use super::{packetize_phase, segment_message, AliveEndpoints, DropReason, FaultRuntime, SimError};
 use crate::config::{MeasurementWindows, SimConfig};
+use crate::fault::{FaultEventKind, FaultTimeline};
 use crate::network::SimNetwork;
 use crate::routing::{self, RouteScratch, Router, RoutingCtx, RoutingState};
-use crate::stats::{EngineCounters, IntervalSample, SimResults, StatsCollector};
+use crate::stats::{EngineCounters, FaultStats, IntervalSample, SimResults, StatsCollector};
 use crate::workload::Workload;
 use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
 use spectralfly_graph::csr::VertexId;
 use spectralfly_graph::{partition_kway, BisectConfig};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Seed for the router partition. Fixed (not `cfg.seed`): the partition is a
 /// performance decision, and results are shard-count-invariant anyway, so
@@ -70,12 +71,15 @@ use std::sync::{Condvar, Mutex};
 const PARTITION_SEED: u64 = 0x9A27_51DE_C0DE_0006;
 
 // Stable event-key classes: at equal timestamps, events pop in class order
-// (source arrivals, then injections, credits, arrivals, transmits). Any fixed
-// order works — same-time events on different routers commute — it only has to
-// be the *same* order for every shard count. (Class 0 was the now-removed
-// replicated sampling tick; steady-state sampling is event-free — see
-// [`ShardCore::flush_sample_ticks`] — and the remaining values are kept so
-// event keys, and therefore golden-seed results, are unchanged.)
+// (fault flips, source arrivals, then injections, credits, arrivals,
+// transmits). Any fixed order works — same-time events on different routers
+// commute — it only has to be the *same* order for every shard count. Class 0
+// (once the replicated sampling tick, freed when sampling went event-free —
+// see [`ShardCore::flush_sample_ticks`]) is now the fault-timeline event, so
+// liveness flips apply before any co-timed packet event, and the packet
+// classes keep their values (golden-seed results on fault-free runs are
+// unchanged).
+const CLASS_FAULT: u64 = 0;
 const CLASS_NEXT_MESSAGE: u64 = 1;
 const CLASS_INJECT: u64 = 2;
 const CLASS_CREDIT: u64 = 3;
@@ -145,6 +149,11 @@ struct ParPacket {
     /// injection — an injected packet consumed no link credit).
     via_link: u32,
     via_vc: u8,
+    /// Times this packet has been dropped and rescheduled (fault runs only).
+    attempts: u32,
+    /// First time this packet was dropped (`u64::MAX` = never): recovery time
+    /// is measured from here to eventual delivery.
+    first_drop_ps: u64,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -159,6 +168,10 @@ enum PKind {
     Arrive { packet: u32, router: VertexId },
     /// Try to transmit the head of a (local) link's output queue.
     TryTransmit { link: u32 },
+    /// Apply fault-timeline entry `idx` to this shard's liveness view. Every
+    /// shard replays the whole timeline (self-chaining, one in queue at a
+    /// time), so the per-shard liveness masks can never diverge.
+    Fault { idx: u32 },
 }
 
 /// An event ordered by `(time, key)`. The key is stable across shard counts;
@@ -178,8 +191,10 @@ impl Timed for PEvent {
     }
 }
 
-/// A timestamped cross-shard handoff, drained at the epoch barrier. Both
-/// variants carry timestamps `≥ m + E` by the lookahead argument.
+/// A timestamped cross-shard handoff, drained at the epoch barrier. Every
+/// variant carries a timestamp `≥ m + E` by the lookahead argument (a
+/// retransmission's backoff is `≥ E` by construction — see
+/// [`crate::SimConfig::retransmit_backoff_ps`]).
 enum ShardMsg {
     Arrive {
         time: u64,
@@ -190,6 +205,12 @@ enum ShardMsg {
         time: u64,
         link: u32,
         vc: u8,
+    },
+    /// A dropped packet returns to its source NIC on the shard owning its
+    /// source router, re-entering as a fresh injection.
+    Retransmit {
+        time: u64,
+        packet: ParPacket,
     },
 }
 
@@ -310,6 +331,7 @@ struct ShardOutcome {
     stats: StatsCollector,
     counters: EngineCounters,
     samples: Vec<RawSample>,
+    fstats: FaultStats,
     delivered_packets: u64,
     phase_end: u64,
     in_queues: usize,
@@ -358,8 +380,17 @@ struct ShardCore<'a> {
     pending_len: Vec<u32>,
     queue: CalendarQueue<PEvent>,
     route_scratch: RouteScratch,
+    /// Runtime liveness view for fault-script runs (`None` = pristine run,
+    /// zero hot-path overhead). Every shard holds its own copy, kept identical
+    /// by replaying the full shared timeline.
+    fault: Option<Box<FaultRuntime>>,
+    /// Fault accounting partials (all-zero on pristine runs).
+    fstats: FaultStats,
     /// Message completion accounting, keyed by stable message id. All packets
     /// of a message deliver at one destination router, hence at one shard.
+    /// A terminally failed packet never decrements its entry, so a damaged
+    /// message is never recorded as completed — the countdown analogue of the
+    /// sequential engine's `msg_failed` poisoning.
     msgs: HashMap<u64, MsgEntry>,
     /// Per-destination-shard outboxes, flushed at barrier 3.
     out: Vec<Vec<ShardMsg>>,
@@ -434,6 +465,8 @@ impl<'a> ShardCore<'a> {
             pending_len: vec![0; net.num_routers()],
             queue: CalendarQueue::new(width, 1024),
             route_scratch: RouteScratch::default(),
+            fault: None,
+            fstats: FaultStats::default(),
             msgs: HashMap::new(),
             out: (0..shards).map(|_| Vec::new()).collect(),
             stats,
@@ -517,6 +550,22 @@ impl<'a> ShardCore<'a> {
         }
     }
 
+    /// Route a dropped packet back to the shard owning its source router for
+    /// re-injection at `time` (`now + backoff ≥ now + E`, so the handoff
+    /// respects the conservative bound), freeing the local arena slot on a
+    /// cross-shard handoff.
+    fn send_retransmit(&mut self, time: u64, pi: usize) {
+        let o = self.owner[self.packets[pi].src_router as usize] as usize;
+        if o == self.sid {
+            let k = key(CLASS_INJECT, self.packets[pi].stable_id);
+            self.push(time, k, PKind::Inject { packet: pi as u32 });
+        } else {
+            let packet = self.packets[pi].clone();
+            self.free.push(pi);
+            self.out[o].push(ShardMsg::Retransmit { time, packet });
+        }
+    }
+
     /// Route a packet arrival to the shard owning the downstream router,
     /// freeing the local arena slot on a cross-shard handoff.
     fn send_arrive(&mut self, time: u64, router: VertexId, pi: usize) {
@@ -568,6 +617,17 @@ impl<'a> ShardCore<'a> {
                     PKind::Credit { link, vc },
                 );
             }
+            ShardMsg::Retransmit { time, packet } => {
+                let k = key(CLASS_INJECT, packet.stable_id);
+                let slot = self.alloc_packet(packet);
+                self.push(
+                    time,
+                    k,
+                    PKind::Inject {
+                        packet: slot as u32,
+                    },
+                );
+            }
         }
     }
 
@@ -579,6 +639,21 @@ impl<'a> ShardCore<'a> {
             PKind::Inject { packet } => {
                 let pi = packet as usize;
                 let router = self.packets[pi].src_router;
+                if let Some(fr) = self.fault.as_deref() {
+                    let dst = self.packets[pi].dst_router;
+                    let reason = if fr.router_dead(router) || fr.router_dead(dst) {
+                        Some(DropReason::RouterDown)
+                    } else if !fr.reachable(router, dst) {
+                        Some(DropReason::NoRoute)
+                    } else {
+                        None
+                    };
+                    if let Some(reason) = reason {
+                        // The packet never entered a buffer — pure NIC-side drop.
+                        self.drop_packet(pi, now, reason);
+                        return;
+                    }
+                }
                 let slot = router as usize * self.nv;
                 if self.occupancy[slot] < self.cap {
                     self.occ_inc(router, slot);
@@ -592,11 +667,26 @@ impl<'a> ShardCore<'a> {
             PKind::TryTransmit { link } => self.try_transmit(link as usize, now),
             PKind::Arrive { packet, router } => {
                 let pi = packet as usize;
+                if let Some(fr) = self.fault.as_deref() {
+                    let via = self.packets[pi].via_link;
+                    let ser = self.cfg.serialization_ps(self.packets[pi].bytes);
+                    let flight_start = now.saturating_sub(ser + self.lookahead);
+                    if via != u32::MAX && fr.last_down_ps[via as usize] > flight_start {
+                        // The link died under the packet mid-flight. The packet
+                        // never claims its downstream buffer slot (`occ_inc`
+                        // happens below), so only its held credit goes back.
+                        let vv = self.packets[pi].via_vc;
+                        self.send_credit(via, vv, now + self.lookahead);
+                        self.drop_packet(pi, now, DropReason::LinkDown);
+                        return;
+                    }
+                }
                 let vc = (self.packets[pi].hops as usize).min(self.nv - 1);
                 self.occ_inc(router, router as usize * self.nv + vc);
                 self.enter_router(pi, router, now);
                 self.admit_pending(router, now);
             }
+            PKind::Fault { idx } => self.apply_fault(idx as usize, now),
             PKind::Credit { link, vc } => {
                 let l = link as usize;
                 self.credits[l * self.nv + vc as usize] += 1;
@@ -620,6 +710,12 @@ impl<'a> ShardCore<'a> {
     }
 
     fn try_transmit(&mut self, link: usize, now: u64) {
+        if self.fault.as_deref().is_some_and(|fr| fr.link_dead(link)) {
+            // Defensive: the fault event flushed this queue, but a
+            // same-timestamp transmit may still have been in flight.
+            self.flush_dead_link(link, now, DropReason::LinkDown);
+            return;
+        }
         if self.link_parked[link] {
             // A credit wakeup will revive this link; nothing to do.
             return;
@@ -698,6 +794,18 @@ impl<'a> ShardCore<'a> {
             self.stats.record_packet(latency, hops, bytes, now);
             self.delivered_packets_total += 1;
             self.delivered_bytes_total += bytes;
+            if self.fault.is_some() {
+                self.fstats.delivered += 1;
+                let fd = self.packets[pi].first_drop_ps;
+                if fd != u64::MAX {
+                    // The packet was dropped at least once and still made it
+                    // home: its recovery time is first-drop → delivery.
+                    let rec = now.saturating_sub(fd);
+                    self.fstats.recovered += 1;
+                    self.fstats.total_recovery_ps += rec;
+                    self.fstats.max_recovery_ps = self.fstats.max_recovery_ps.max(rec);
+                }
+            }
             let (via_link, via_vc) = (self.packets[pi].via_link, self.packets[pi].via_vc);
             if via_link != u32::MAX {
                 self.send_credit(via_link, via_vc, now + self.lookahead);
@@ -721,8 +829,57 @@ impl<'a> ShardCore<'a> {
             self.free.push(pi);
             return;
         }
+        if let Some(fr) = self.fault.as_deref() {
+            let reason = if self.packets[pi].hops >= fr.ttl {
+                Some(DropReason::TtlExceeded)
+            } else if !fr.reachable(router, target) {
+                // No alive path can exist — drop now instead of wandering.
+                Some(DropReason::NoRoute)
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                self.drop_resident(pi, router, now, reason);
+                return;
+            }
+        }
         let port = self.route_forward(pi, router);
-        let link = self.net.link_id(router, port);
+        let link = {
+            let pristine = self.net.link_id(router, port);
+            match self.fault.as_deref() {
+                // Liveness-aware port mask: the immutable oracle's choice is
+                // kept whenever its link is up; only a dead choice falls back
+                // to the best alive port (greedy on static distance, RNG-free
+                // so the per-decision counter streams are not perturbed).
+                Some(fr) if fr.link_dead(pristine) => {
+                    let (via, hops, attempts) = {
+                        let p = &self.packets[pi];
+                        (p.via_link, p.hops, p.attempts)
+                    };
+                    let prev = (via != u32::MAX).then(|| self.net.link_owner(via as usize).0);
+                    let salt = hops.wrapping_add(attempts.wrapping_mul(31));
+                    routing::best_alive_port(self.net, router, target, prev, salt, |l| {
+                        if !fr.link_alive(l) {
+                            return false;
+                        }
+                        // Static distance can point into a component the
+                        // damage has cut off from the target — require the
+                        // next hop to share the target's alive component.
+                        let (r, p) = self.net.link_owner(l);
+                        fr.reachable(self.net.link_target(r, p), target)
+                    })
+                    .map(|p| self.net.link_id(router, p))
+                }
+                _ => Some(pristine),
+            }
+        };
+        let Some(link) = link else {
+            // Every port toward the target is dead right now (the component
+            // check above passed, so this is transient contention with the
+            // fault timeline): recover through the retransmission path.
+            self.drop_resident(pi, router, now, DropReason::NoRoute);
+            return;
+        };
         let was_empty = self.link_qlen[link] == 0;
         self.link_push(link, pi);
         if was_empty {
@@ -732,6 +889,132 @@ impl<'a> ShardCore<'a> {
                 key(CLASS_TRY_TRANSMIT, link as u64),
                 PKind::TryTransmit { link: link as u32 },
             );
+        }
+    }
+
+    /// Drop a packet that is resident in `router`'s input buffer: release the
+    /// buffer slot, return the credit the packet still holds for the link it
+    /// arrived on, then route the drop through the retransmission path. (The
+    /// caller runs `admit_pending` after `enter_router` returns, exactly as on
+    /// the delivery path.)
+    fn drop_resident(&mut self, pi: usize, router: VertexId, now: u64, reason: DropReason) {
+        let vc = (self.packets[pi].hops as usize).min(self.nv - 1);
+        self.occ_dec(router, router as usize * self.nv + vc);
+        let (via_link, via_vc) = (self.packets[pi].via_link, self.packets[pi].via_vc);
+        if via_link != u32::MAX {
+            self.send_credit(via_link, via_vc, now + self.lookahead);
+        }
+        self.drop_packet(pi, now, reason);
+    }
+
+    /// Apply fault-timeline entry `idx`: flip this shard's liveness masks
+    /// (every shard applies every entry, so the masks stay identical
+    /// everywhere), flush the queues of owned links that just died, evict
+    /// injections pending at owned routers that just died, and chain the next
+    /// timeline entry.
+    fn apply_fault(&mut self, idx: usize, now: u64) {
+        let mut fr = self
+            .fault
+            .take()
+            .expect("fault event without fault runtime");
+        self.fstats.fault_events += 1;
+        let ev = fr.timeline.events[idx];
+        let reason = match ev.kind {
+            FaultEventKind::RouterDown { .. } => DropReason::RouterDown,
+            _ => DropReason::LinkDown,
+        };
+        let newly_dead = fr.apply(self.net, &ev, now);
+        if idx + 1 < fr.timeline.events.len() {
+            let t = fr.timeline.events[idx + 1].time_ps;
+            self.push(
+                t,
+                key(CLASS_FAULT, idx as u64 + 1),
+                PKind::Fault {
+                    idx: idx as u32 + 1,
+                },
+            );
+        }
+        self.fault = Some(fr);
+        for link in newly_dead {
+            // Only the owner shard holds queue/park state for a link; other
+            // shards took the same mask flip and have nothing to flush.
+            if self.owner[self.net.link_owner(link).0 as usize] as usize == self.sid {
+                self.flush_dead_link(link, now, reason);
+            }
+        }
+        if let FaultEventKind::RouterDown { r } = ev.kind {
+            if self.owner[r as usize] as usize == self.sid {
+                while let Some(pi) = self.pending_inject[r as usize].pop_front() {
+                    self.pending_len[r as usize] -= 1;
+                    self.drop_packet(pi, now, DropReason::RouterDown);
+                }
+            }
+        }
+    }
+
+    /// Drop every packet queued on a dead directed link, releasing its
+    /// upstream buffer slot and returning the credit it still holds for the
+    /// link it arrived on, and un-park the link itself (a parked dead link
+    /// would eat the next credit wakeup for nothing).
+    fn flush_dead_link(&mut self, link: usize, now: u64, reason: DropReason) {
+        let (src_router, _port) = self.net.link_owner(link);
+        if self.link_parked[link] {
+            self.link_parked[link] = false;
+            self.waiting_vc[link] = u8::MAX;
+            self.parked_count -= 1;
+        }
+        while let Some(pi) = self.link_pop(link) {
+            let vc = (self.packets[pi].hops as usize).min(self.nv - 1);
+            self.occ_dec(src_router, src_router as usize * self.nv + vc);
+            if vc == 0 {
+                self.admit_pending(src_router, now);
+            }
+            let (via_link, via_vc) = (self.packets[pi].via_link, self.packets[pi].via_vc);
+            if via_link != u32::MAX {
+                self.send_credit(via_link, via_vc, now + self.lookahead);
+            }
+            self.drop_packet(pi, now, reason);
+        }
+    }
+
+    /// A packet just lost its current traversal: count the typed drop, then
+    /// either reschedule it from its source NIC (capped exponential backoff,
+    /// possibly on another shard) or retire it into the `Failed` terminal
+    /// state. The caller has already released whatever buffer slot and held
+    /// credit the packet occupied.
+    fn drop_packet(&mut self, pi: usize, now: u64, reason: DropReason) {
+        match reason {
+            DropReason::LinkDown => self.fstats.dropped_link_down += 1,
+            DropReason::RouterDown => self.fstats.dropped_router_down += 1,
+            DropReason::NoRoute => self.fstats.dropped_no_route += 1,
+            DropReason::TtlExceeded => self.fstats.dropped_ttl += 1,
+        }
+        let attempts = {
+            let p = &mut self.packets[pi];
+            if p.first_drop_ps == u64::MAX {
+                p.first_drop_ps = now;
+            }
+            p.via_link = u32::MAX;
+            p.via_vc = 0;
+            p.attempts
+        };
+        if attempts < self.cfg.retransmit_budget {
+            let attempt = attempts + 1;
+            {
+                let p = &mut self.packets[pi];
+                p.attempts = attempt;
+                p.hops = 0;
+                p.routing = RoutingState::default();
+            }
+            self.fstats.retransmits += 1;
+            let t = now + self.cfg.retransmit_backoff_ps(attempt);
+            self.send_retransmit(t, pi);
+        } else {
+            // Terminal failure: the destination shard's `MsgEntry` countdown
+            // simply never reaches zero, so the damaged message is never
+            // recorded as completed.
+            self.fstats.failed += 1;
+            self.free.push(pi);
         }
     }
 
@@ -852,6 +1135,7 @@ impl<'a> ShardCore<'a> {
             stats: self.stats,
             counters: self.counters,
             samples: self.raw_samples,
+            fstats: self.fstats,
         }
     }
 }
@@ -1048,8 +1332,13 @@ fn spawn_message(
             msg_first_inject: first,
             via_link: u32::MAX,
             via_vc: 0,
+            attempts: 0,
+            first_drop_ps: u64::MAX,
         };
         let slot = core.alloc_packet(packet);
+        if core.fault.is_some() {
+            core.fstats.injected += 1;
+        }
         core.stats.note_injection(t);
         core.push(
             t,
@@ -1153,18 +1442,19 @@ impl<'a> ParallelSimulator<'a> {
     ///
     /// # Panics
     /// On a degraded network, if the workload is infeasible on the surviving
-    /// graph — use [`ParallelSimulator::try_run`] instead.
+    /// graph, or on a detected buffer deadlock — use
+    /// [`ParallelSimulator::try_run`] instead.
     pub fn run(&self, workload: &Workload) -> SimResults {
         self.try_run(workload).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// [`ParallelSimulator::run`], rejecting workloads a fault plan has made
-    /// infeasible (see [`crate::Simulator::try_run`]).
-    pub fn try_run(&self, workload: &Workload) -> Result<SimResults, crate::FaultError> {
+    /// [`ParallelSimulator::run`], returning infeasible-workload and deadlock
+    /// conditions as typed errors (see [`crate::Simulator::try_run`]).
+    pub fn try_run(&self, workload: &Workload) -> Result<SimResults, SimError> {
         if self.net.has_faults() {
             crate::fault::validate_workload(self.net, workload)?;
         }
-        Ok(self.run_finite(workload, None))
+        self.run_finite(workload, None)
     }
 
     /// Run with Poisson-spaced injections at an offered load in `(0, 1]`.
@@ -1179,14 +1469,14 @@ impl<'a> ParallelSimulator<'a> {
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// [`ParallelSimulator::run_with_offered_load`], rejecting runs a fault
-    /// plan has made infeasible (see
+    /// [`ParallelSimulator::run_with_offered_load`], returning
+    /// infeasible-run and deadlock conditions as typed errors (see
     /// [`crate::Simulator::try_run_with_offered_load`]).
     pub fn try_run_with_offered_load(
         &self,
         workload: &Workload,
         offered_load: f64,
-    ) -> Result<SimResults, crate::FaultError> {
+    ) -> Result<SimResults, SimError> {
         assert!(
             offered_load > 0.0 && offered_load <= 1.0,
             "offered load must be in (0, 1]"
@@ -1196,7 +1486,7 @@ impl<'a> ParallelSimulator<'a> {
                 if self.net.has_faults() {
                     crate::fault::validate_workload(self.net, workload)?;
                 }
-                Ok(self.run_finite(workload, Some(offered_load)))
+                self.run_finite(workload, Some(offered_load))
             }
             Some(w) => {
                 if self.net.has_faults() {
@@ -1206,16 +1496,32 @@ impl<'a> ParallelSimulator<'a> {
                         crate::fault::validate_workload(self.net, workload)?;
                     }
                 }
-                Ok(self.run_steady(workload, offered_load, w))
+                self.run_steady(workload, offered_load, w)
             }
         }
+    }
+
+    /// Expand the configured fault script against the topology, or `None`
+    /// when no script is configured — the exact twin of
+    /// [`crate::Simulator`]'s expansion, so both engines schedule the same
+    /// timeline.
+    fn fault_timeline(&self, horizon_ps: u64) -> Result<Option<Arc<FaultTimeline>>, SimError> {
+        if self.cfg.fault_script.is_none() {
+            return Ok(None);
+        }
+        let tl = self.cfg.fault_script.expand(self.net.graph(), horizon_ps)?;
+        Ok(Some(Arc::new(tl)))
     }
 
     /// Finite drain-to-empty run: one epoch-synchronized co-simulation per
     /// phase. Packetization happens on the main thread with the same global
     /// RNG stream as the sequential engine, so injection schedules are
     /// byte-identical to [`crate::Simulator`]'s.
-    fn run_finite(&self, workload: &Workload, offered_load: Option<f64>) -> SimResults {
+    fn run_finite(
+        &self,
+        workload: &Workload,
+        offered_load: Option<f64>,
+    ) -> Result<SimResults, SimError> {
         if let Some(max_ep) = workload.max_endpoint() {
             assert!(
                 max_ep < self.net.num_endpoints(),
@@ -1223,8 +1529,10 @@ impl<'a> ParallelSimulator<'a> {
                 self.net.num_endpoints()
             );
         }
+        let timeline = self.fault_timeline(self.cfg.fault_horizon_ps())?;
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut stats = StatsCollector::default();
+        let mut faults = FaultStats::default();
         let mut phase_start: u64 = 0;
 
         for (phase_idx, phase) in workload.phases.iter().enumerate() {
@@ -1255,6 +1563,8 @@ impl<'a> ParallelSimulator<'a> {
                     msg_first_inject: sched.msg_first_inject[p.msg],
                     via_link: u32::MAX,
                     via_vc: 0,
+                    attempts: 0,
+                    first_drop_ps: u64::MAX,
                 });
             }
 
@@ -1265,6 +1575,7 @@ impl<'a> ParallelSimulator<'a> {
                     .enumerate()
                     .map(|(sid, pkts)| {
                         let shared = &shared;
+                        let timeline = &timeline;
                         scope.spawn(move || {
                             let _guard = PoisonGuard(&shared.barrier);
                             let mut core = ShardCore::new(
@@ -1278,10 +1589,31 @@ impl<'a> ParallelSimulator<'a> {
                                 StatsCollector::default(),
                                 phase_start,
                             );
+                            if let Some(tl) = timeline {
+                                // Each phase gets a fresh liveness view
+                                // fast-forwarded to the phase boundary (mask
+                                // flips only — no packets exist yet), then
+                                // chains live fault events from the first
+                                // entry still ahead. Every shard runs the
+                                // identical chain.
+                                let mut fr = Box::new(FaultRuntime::new(self.net, Arc::clone(tl)));
+                                let idx = fr.fast_forward(self.net, phase_start);
+                                if idx < tl.events.len() {
+                                    core.push(
+                                        tl.events[idx].time_ps,
+                                        key(CLASS_FAULT, idx as u64),
+                                        PKind::Fault { idx: idx as u32 },
+                                    );
+                                }
+                                core.fault = Some(fr);
+                            }
                             for p in pkts {
                                 let t = p.inject_time_ps;
                                 let k = key(CLASS_INJECT, p.stable_id);
                                 let slot = core.alloc_packet(p);
+                                if core.fault.is_some() {
+                                    core.fstats.injected += 1;
+                                }
                                 core.push(
                                     t,
                                     k,
@@ -1299,20 +1631,23 @@ impl<'a> ParallelSimulator<'a> {
             });
 
             let delivered: u64 = outs.iter().map(|o| o.delivered_packets).sum();
-            if delivered < total {
-                let undelivered = total - delivered;
+            let failed: u64 = outs.iter().map(|o| o.fstats.failed).sum();
+            if delivered + failed < total {
+                let undelivered = total - delivered - failed;
                 let in_queues: usize = outs.iter().map(|o| o.in_queues).sum();
                 let pending: usize = outs.iter().map(|o| o.pending).sum();
                 let occ: u32 = outs.iter().map(|o| o.occ_sum).sum();
                 let parked: usize = outs.iter().map(|o| o.parked).sum();
                 if parked > 0 {
-                    panic!(
-                        "simulation deadlocked with {undelivered} undelivered packets and \
-                         {parked} links parked in a cyclic head-of-line wait (link queues: \
-                         {in_queues}, pending injections: {pending}, occupancy sum: {occ}); \
-                         single-FIFO link queues can deadlock across virtual channels when \
-                         buffer_packets_per_vc is very small — increase it"
-                    );
+                    return Err(SimError::Deadlock {
+                        diagnosis: format!(
+                            "simulation deadlocked with {undelivered} undelivered packets and \
+                             {parked} links parked in a cyclic head-of-line wait (link queues: \
+                             {in_queues}, pending injections: {pending}, occupancy sum: {occ}); \
+                             single-FIFO link queues can deadlock across virtual channels when \
+                             buffer_packets_per_vc is very small — increase it"
+                        ),
+                    });
                 }
                 panic!(
                     "simulation ended with {undelivered} undelivered packets \
@@ -1323,10 +1658,13 @@ impl<'a> ParallelSimulator<'a> {
             for o in outs {
                 phase_start = phase_start.max(o.phase_end);
                 stats.record_engine(&o.counters);
+                faults.merge(&o.fstats);
                 stats.absorb(o.stats);
             }
         }
-        stats.finish()
+        let mut results = stats.finish();
+        results.faults = faults;
+        Ok(results)
     }
 
     /// Steady-state run: shard-owned continuous Poisson sources, windowed
@@ -1336,7 +1674,7 @@ impl<'a> ParallelSimulator<'a> {
         workload: &Workload,
         offered_load: f64,
         w: &MeasurementWindows,
-    ) -> SimResults {
+    ) -> Result<SimResults, SimError> {
         if let Some(max_ep) = workload.max_endpoint() {
             assert!(
                 max_ep < self.net.num_endpoints(),
@@ -1344,6 +1682,7 @@ impl<'a> ParallelSimulator<'a> {
                 self.net.num_endpoints()
             );
         }
+        let timeline = self.fault_timeline(w.deadline_ps())?;
         let alive_map: Option<AliveEndpoints> =
             (self.net.has_faults() && w.pattern.is_some()).then(|| AliveEndpoints::new(self.net));
         let pattern_endpoints = alive_map
@@ -1374,6 +1713,7 @@ impl<'a> ParallelSimulator<'a> {
                     let templates = &templates;
                     let pattern = pattern.as_deref();
                     let alive = alive_map.as_ref();
+                    let timeline = &timeline;
                     scope.spawn(move || {
                         let _guard = PoisonGuard(&shared.barrier);
                         let mut core = ShardCore::new(
@@ -1387,6 +1727,17 @@ impl<'a> ParallelSimulator<'a> {
                             StatsCollector::with_window(w.measure_start_ps(), w.measure_end_ps()),
                             0,
                         );
+                        if let Some(tl) = timeline {
+                            let fr = Box::new(FaultRuntime::new(self.net, Arc::clone(tl)));
+                            if !tl.events.is_empty() {
+                                core.push(
+                                    tl.events[0].time_ps,
+                                    key(CLASS_FAULT, 0),
+                                    PKind::Fault { idx: 0 },
+                                );
+                            }
+                            core.fault = Some(fr);
+                        }
                         let mut sources: Vec<PSource> = templates
                             .iter()
                             .enumerate()
@@ -1465,11 +1816,15 @@ impl<'a> ParallelSimulator<'a> {
                 blocked_links: parked,
             });
         }
+        let mut faults = FaultStats::default();
         for o in outs {
             stats.record_engine(&o.counters);
+            faults.merge(&o.fstats);
             stats.absorb(o.stats);
         }
-        stats.finish()
+        let mut results = stats.finish();
+        results.faults = faults;
+        Ok(results)
     }
 }
 
@@ -1582,5 +1937,82 @@ mod tests {
         let sim = ParallelSimulator::new(&net, &cfg);
         assert_eq!(sim.shard_assignment().len(), 8);
         assert!(sim.shard_assignment().iter().all(|&s| s < 4));
+    }
+
+    #[test]
+    fn fault_script_conserves_packets_and_is_shard_count_invariant() {
+        let net = SimNetwork::new(ring(8), 2);
+        let wl = Workload::uniform_random(net.num_endpoints(), 20, 1024, 11);
+        let mut results = Vec::new();
+        for shards in [1usize, 2, 4] {
+            let cfg = SimConfig::default()
+                .with_routing("minimal", net.diameter() as u32)
+                .with_shards(shards)
+                .with_fault_script(
+                    crate::fault::FaultScript::parse("at(1us, links(0.25)) + at(60us, heal(all))")
+                        .unwrap()
+                        .with_seed(11),
+                );
+            let res = ParallelSimulator::new(&net, &cfg)
+                .try_run(&wl)
+                .expect("scripted run completes");
+            let f = &res.faults;
+            assert_eq!(f.injected, 20 * net.num_endpoints() as u64);
+            assert_eq!(f.injected, f.delivered + f.failed, "conservation violated");
+            assert_eq!(f.in_flight(), 0, "finite run left packets in flight");
+            assert_eq!(f.dropped_total(), f.retransmits + f.failed);
+            assert!(f.fault_events >= 2, "both script terms must fire");
+            assert_eq!(res.delivered_packets, f.delivered);
+            results.push(core_fields(&res));
+        }
+        for r in &results[1..] {
+            assert_eq!(results[0], *r, "fault runs must be shard-count-invariant");
+        }
+        assert!(
+            results[0].faults.dropped_total() > 0,
+            "a 25% link cut on a ring must drop something"
+        );
+    }
+
+    #[test]
+    fn fault_run_matches_sequential_conservation() {
+        // Engines differ in flow control and RNG streams under churn, so the
+        // comparison is on the conservation identity and event count, not on
+        // bit-identical results.
+        let net = SimNetwork::new(ring(6), 2);
+        let wl = Workload::uniform_random(net.num_endpoints(), 10, 512, 5);
+        let mk = |shards: usize| {
+            SimConfig::default()
+                .with_routing("ugal-l", net.diameter() as u32)
+                .with_shards(shards)
+                .with_fault_script(
+                    crate::fault::FaultScript::parse("at(500ns, router(2)) + at(40us, heal(all))")
+                        .unwrap()
+                        .with_seed(3),
+                )
+        };
+        let seq_cfg = mk(1);
+        let seq = crate::Simulator::new(&net, &seq_cfg)
+            .try_run(&wl)
+            .expect("sequential scripted run completes");
+        let par_cfg = mk(2);
+        let par = ParallelSimulator::new(&net, &par_cfg)
+            .try_run(&wl)
+            .expect("parallel scripted run completes");
+        for f in [&seq.faults, &par.faults] {
+            assert_eq!(f.injected, f.delivered + f.failed);
+            assert_eq!(f.in_flight(), 0);
+            assert_eq!(f.fault_events, 2);
+        }
+        assert_eq!(seq.faults.injected, par.faults.injected);
+    }
+
+    #[test]
+    fn pristine_runs_report_zero_fault_stats() {
+        let net = SimNetwork::new(ring(6), 1);
+        let cfg = SimConfig::default().with_shards(2);
+        let wl = Workload::uniform_random(net.num_endpoints(), 4, 512, 2);
+        let res = ParallelSimulator::new(&net, &cfg).run(&wl);
+        assert_eq!(res.faults, FaultStats::default());
     }
 }

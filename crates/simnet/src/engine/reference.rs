@@ -147,11 +147,24 @@ impl<'a> ReferenceSimulator<'a> {
     /// [`ReferenceSimulator::run`] with the same degraded-network feasibility
     /// checks as [`crate::Simulator::try_run`], so the engine-equivalence
     /// battery covers fault handling too.
-    pub fn try_run(&self, workload: &Workload) -> Result<SimResults, crate::FaultError> {
+    pub fn try_run(&self, workload: &Workload) -> Result<SimResults, super::SimError> {
+        self.reject_fault_script();
         if self.net.has_faults() {
             crate::fault::validate_workload(self.net, workload)?;
         }
         Ok(self.run_internal(workload, None))
+    }
+
+    /// The polling engine predates the runtime fault machinery and does not
+    /// implement drops or retransmission — fail loudly rather than silently
+    /// simulating a pristine network under a script the caller configured.
+    fn reject_fault_script(&self) {
+        assert!(
+            self.cfg.fault_script.is_none(),
+            "the reference engine does not support runtime fault scripts \
+             (configured: {:?}); use Simulator or ParallelSimulator",
+            self.cfg.fault_script.spec()
+        );
     }
 
     /// Run the workload with Poisson-spaced injections at an offered load in
@@ -172,11 +185,12 @@ impl<'a> ReferenceSimulator<'a> {
         &self,
         workload: &Workload,
         offered_load: f64,
-    ) -> Result<SimResults, crate::FaultError> {
+    ) -> Result<SimResults, super::SimError> {
         assert!(
             offered_load > 0.0 && offered_load <= 1.0,
             "offered load must be in (0, 1]"
         );
+        self.reject_fault_script();
         if self.net.has_faults() {
             crate::fault::validate_workload(self.net, workload)?;
         }
@@ -311,8 +325,10 @@ impl<'a> ReferenceSimulator<'a> {
                         );
                         self.admit_pending(router, now, &mut st, cap);
                     }
-                    EventKind::NextMessage { .. } | EventKind::Sample => {
-                        unreachable!("the reference engine never schedules steady-state events")
+                    EventKind::NextMessage { .. } | EventKind::Sample | EventKind::Fault { .. } => {
+                        unreachable!(
+                            "the reference engine never schedules steady-state or fault events"
+                        )
                     }
                 }
             }

@@ -85,8 +85,12 @@ pub enum FaultError {
     },
     /// The plan spec could not be parsed (`name(arg, …) + name(…)` syntax).
     BadSpec {
-        /// The offending spec string.
+        /// The offending sub-spec (the single term that failed, not the whole
+        /// composed spec).
         spec: String,
+        /// Byte offset of the offending sub-spec within the composed spec the
+        /// user supplied (0 when the spec is a single term).
+        offset: usize,
         /// What was wrong with it.
         reason: String,
     },
@@ -132,8 +136,15 @@ impl std::fmt::Display for FaultError {
                 "unknown fault model {name:?}; registered: {}",
                 registered.join(", ")
             ),
-            FaultError::BadSpec { spec, reason } => {
-                write!(f, "malformed fault spec {spec:?}: {reason}")
+            FaultError::BadSpec {
+                spec,
+                offset,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "malformed fault spec {spec:?} (at byte {offset}): {reason}"
+                )
             }
             FaultError::BadArgs { name, reason } => {
                 write!(f, "invalid arguments for fault model {name:?}: {reason}")
@@ -406,14 +417,66 @@ fn normalize(name: &str) -> String {
 
 /// Parse one spec term into its normalized base name and numeric arguments —
 /// the `name(arg, …)` syntax shared with [`crate::pattern::parse_spec`].
+/// `BadSpec` errors report offset 0 (the term's own start); composed-spec
+/// parsers re-base the offset to the term's position via [`rebase_offset`].
 fn parse_term(term: &str) -> Result<(String, Vec<f64>), FaultError> {
     pattern::parse_spec(term).map_err(|e| match e {
-        pattern::PatternError::BadSpec { spec, reason } => FaultError::BadSpec { spec, reason },
+        pattern::PatternError::BadSpec { spec, reason } => FaultError::BadSpec {
+            spec,
+            offset: 0,
+            reason,
+        },
         other => FaultError::BadSpec {
             spec: term.to_string(),
+            offset: 0,
             reason: other.to_string(),
         },
     })
+}
+
+/// Shift a `BadSpec` error's byte offset by the offending term's position in
+/// the composed spec it came from; other errors pass through unchanged.
+fn rebase_offset(e: FaultError, term_offset: usize) -> FaultError {
+    match e {
+        FaultError::BadSpec {
+            spec,
+            offset,
+            reason,
+        } => FaultError::BadSpec {
+            spec,
+            offset: offset + term_offset,
+            reason,
+        },
+        other => other,
+    }
+}
+
+/// Split a composed spec on `+` separators at paren depth 0, yielding each
+/// trimmed term together with its byte offset in the original string (so
+/// parse errors can point at the offending sub-spec). Depth-awareness lets
+/// script terms like `at(5us,links(0.05))` carry nested parentheses.
+fn split_composed(spec: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, b) in spec.bytes().enumerate() {
+        match b {
+            b'(' => depth += 1,
+            b')' => depth = depth.saturating_sub(1),
+            b'+' if depth == 0 => {
+                out.push((start, &spec[start..i]));
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push((start, &spec[start..]));
+    out.into_iter()
+        .map(|(off, raw)| {
+            let lead = raw.len() - raw.trim_start().len();
+            (off + lead, raw.trim())
+        })
+        .collect()
 }
 
 fn global_registry() -> &'static RwLock<FaultRegistry> {
@@ -516,17 +579,17 @@ impl FaultPlan {
             return Ok(FaultPlan::none());
         }
         let mut terms = Vec::new();
-        for raw in trimmed.split('+') {
-            let term = raw.trim();
+        for (term_offset, term) in split_composed(spec) {
             if term.is_empty() {
                 return Err(FaultError::BadSpec {
                     spec: spec.to_string(),
+                    offset: term_offset,
                     reason: "empty term between '+' separators".to_string(),
                 });
             }
             terms.push(FaultTerm {
                 spec: term.to_string(),
-                model: create(term)?,
+                model: create(term).map_err(|e| rebase_offset(e, term_offset))?,
             });
         }
         Ok(FaultPlan {
@@ -657,6 +720,458 @@ impl AppliedFaults {
     /// Whether the plan changed nothing (no removed links, no down routers).
     pub fn is_pristine(&self) -> bool {
         self.removed_links == 0 && !self.any_down
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime fault scripts: time-scheduled failure and recovery.
+// ---------------------------------------------------------------------------
+
+/// One entry of an expanded [`FaultTimeline`]: something breaks or heals at a
+/// scheduled instant.
+///
+/// Link events name the *undirected* link `{u, v}`; engines resolve them to
+/// both directed link ids. Events are idempotent under composition through
+/// per-resource down *counters*: two overlapping failures of the same link
+/// need two recoveries (or one [`FaultEventKind::HealAll`]) before the link
+/// carries traffic again.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// The undirected link `{u, v}` goes down (both directions).
+    LinkDown {
+        /// One end of the link.
+        u: VertexId,
+        /// The other end.
+        v: VertexId,
+    },
+    /// The undirected link `{u, v}` recovers (one failure's worth).
+    LinkUp {
+        /// One end of the link.
+        u: VertexId,
+        /// The other end.
+        v: VertexId,
+    },
+    /// Router `r` goes down: all its links die and its NICs stop injecting.
+    RouterDown {
+        /// The failing router.
+        r: VertexId,
+    },
+    /// Router `r` recovers (one failure's worth).
+    RouterUp {
+        /// The recovering router.
+        r: VertexId,
+    },
+    /// Every runtime failure heals at once (down counters reset to zero).
+    HealAll,
+}
+
+/// A scheduled fault event: what happens, and when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulation time of the event, picoseconds.
+    pub time_ps: u64,
+    /// What breaks or heals.
+    pub kind: FaultEventKind,
+}
+
+/// A [`FaultScript`] expanded against a concrete graph and horizon: the full,
+/// deterministic schedule of runtime fault events, sorted by time (ties keep
+/// script-term order). Both engines consume the same timeline — the PDES
+/// engine replicates it on every shard — so fault state is identical across
+/// engines and shard counts by construction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultTimeline {
+    /// The scheduled events, sorted ascending by `time_ps`.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultTimeline {
+    /// Whether the timeline schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[derive(Clone)]
+enum ScriptAction {
+    /// A registry fault model drawn and applied at the scheduled instant.
+    Model {
+        model: Arc<dyn FaultModel>,
+    },
+    HealAll,
+}
+
+#[derive(Clone)]
+enum ScriptTermKind {
+    At { time_ps: u64, action: ScriptAction },
+    Churn { rate_hz: f64, mttr_ps: u64 },
+}
+
+#[derive(Clone)]
+struct ScriptTerm {
+    spec: String,
+    kind: ScriptTermKind,
+}
+
+/// A time-scheduled runtime fault script: the dynamic counterpart of
+/// [`FaultPlan`].
+///
+/// Where a plan damages the graph once at network construction, a script
+/// schedules failures *and recoveries* while traffic is in flight. Terms are
+/// joined by `+`:
+///
+/// | term | meaning |
+/// |------|---------|
+/// | `at(T, model(…))` | apply a registry fault model at time `T` (e.g. `at(5us, links(0.05))`) |
+/// | `at(T, heal(all))` | heal every runtime failure at time `T` |
+/// | `churn(R, M)` | Poisson link churn: failures at rate `R`, each healing after an exponential repair time with mean `M` |
+///
+/// Times accept `ps`/`ns`/`us`/`ms`/`s` suffixes (bare numbers are ps); rates
+/// accept `hz`/`khz`/`mhz`/`ghz` (bare numbers are Hz). All random draws are
+/// deterministic in the script seed ([`FaultScript::with_seed`]), so a script
+/// expands to the identical [`FaultTimeline`] on every engine and shard
+/// count.
+///
+/// ```
+/// use spectralfly_simnet::fault::FaultScript;
+/// let s = FaultScript::parse("at(5us, links(0.05)) + at(20us, heal(all))").unwrap();
+/// assert!(!s.is_none());
+/// assert_eq!(s.spec(), "at(5us, links(0.05))+at(20us, heal(all))");
+/// ```
+#[derive(Clone, Default)]
+pub struct FaultScript {
+    terms: Vec<ScriptTerm>,
+    seed: u64,
+}
+
+impl std::fmt::Debug for FaultScript {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultScript")
+            .field("spec", &self.spec())
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl FaultScript {
+    /// The empty script: nothing ever breaks at runtime.
+    pub fn none() -> Self {
+        FaultScript::default()
+    }
+
+    /// Parse a script spec (see the type docs for the grammar); `"none"` or an
+    /// empty string is the empty script. Parse errors carry the offending
+    /// sub-spec and its byte offset in the composed spec.
+    pub fn parse(spec: &str) -> Result<Self, FaultError> {
+        let trimmed = spec.trim();
+        if trimmed.is_empty() || normalize(trimmed) == "none" {
+            return Ok(FaultScript::none());
+        }
+        let mut terms = Vec::new();
+        for (term_offset, term) in split_composed(spec) {
+            if term.is_empty() {
+                return Err(FaultError::BadSpec {
+                    spec: spec.to_string(),
+                    offset: term_offset,
+                    reason: "empty term between '+' separators".to_string(),
+                });
+            }
+            terms.push(parse_script_term(term, term_offset)?);
+        }
+        Ok(FaultScript {
+            terms,
+            seed: FaultPlan::DEFAULT_SEED,
+        })
+    }
+
+    /// Builder-style: set the seed of the script's random draws (model draws
+    /// and churn arrival/repair times).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The script's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the script schedules nothing.
+    pub fn is_none(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The script's canonical spec string (`"none"` for the empty script).
+    pub fn spec(&self) -> String {
+        if self.terms.is_empty() {
+            "none".to_string()
+        } else {
+            self.terms
+                .iter()
+                .map(|t| t.spec.as_str())
+                .collect::<Vec<_>>()
+                .join("+")
+        }
+    }
+
+    /// Expand the script against a concrete (surviving) router graph into the
+    /// deterministic event timeline up to `horizon_ps` inclusive. Pure in
+    /// (spec, seed, graph, horizon): every engine and shard expanding the same
+    /// script sees the identical timeline.
+    pub fn expand(&self, g: &CsrGraph, horizon_ps: u64) -> Result<FaultTimeline, FaultError> {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let n = g.num_vertices();
+        let mut events: Vec<FaultEvent> = Vec::new();
+        for (i, term) in self.terms.iter().enumerate() {
+            // Term 0 draws with the script seed itself; later terms
+            // decorrelate by index (same scheme as FaultPlan::apply).
+            let term_seed = self.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            match &term.kind {
+                ScriptTermKind::At { time_ps, action } => {
+                    if *time_ps > horizon_ps {
+                        continue;
+                    }
+                    match action {
+                        ScriptAction::HealAll => events.push(FaultEvent {
+                            time_ps: *time_ps,
+                            kind: FaultEventKind::HealAll,
+                        }),
+                        ScriptAction::Model { model } => {
+                            let set = model.draw(g, term_seed)?;
+                            for &(u, v) in &set.links {
+                                if u as usize >= n || v as usize >= n {
+                                    return Err(FaultError::BadArgs {
+                                        name: model.name().to_string(),
+                                        reason: format!(
+                                            "link ({u}, {v}) out of range for {n} routers"
+                                        ),
+                                    });
+                                }
+                                events.push(FaultEvent {
+                                    time_ps: *time_ps,
+                                    kind: FaultEventKind::LinkDown { u, v },
+                                });
+                            }
+                            for &r in &set.routers {
+                                if r as usize >= n {
+                                    return Err(FaultError::BadArgs {
+                                        name: model.name().to_string(),
+                                        reason: format!("router {r} out of range for {n} routers"),
+                                    });
+                                }
+                                events.push(FaultEvent {
+                                    time_ps: *time_ps,
+                                    kind: FaultEventKind::RouterDown { r },
+                                });
+                            }
+                        }
+                    }
+                }
+                ScriptTermKind::Churn { rate_hz, mttr_ps } => {
+                    let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+                    if edges.is_empty() {
+                        continue;
+                    }
+                    let mut rng = StdRng::seed_from_u64(term_seed);
+                    let mean_gap_ps = 1e12 / rate_hz;
+                    let mut t = 0.0f64;
+                    loop {
+                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        t += -u.ln() * mean_gap_ps;
+                        if !t.is_finite() || t > horizon_ps as f64 {
+                            break;
+                        }
+                        let down_ps = t.round() as u64;
+                        let (a, b) = edges[rng.gen_range(0..edges.len())];
+                        events.push(FaultEvent {
+                            time_ps: down_ps,
+                            kind: FaultEventKind::LinkDown { u: a, v: b },
+                        });
+                        let ur: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        let repair_ps = (-ur.ln() * *mttr_ps as f64).round() as u64;
+                        let up_ps = down_ps.saturating_add(repair_ps);
+                        if up_ps <= horizon_ps {
+                            events.push(FaultEvent {
+                                time_ps: up_ps,
+                                kind: FaultEventKind::LinkUp { u: a, v: b },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Stable: ties keep generation (script-term) order, so the timeline is
+        // a pure function of (spec, seed, graph, horizon).
+        events.sort_by_key(|e| e.time_ps);
+        Ok(FaultTimeline { events })
+    }
+}
+
+/// Parse a time token: a number with an optional `ps`/`ns`/`us`/`ms`/`s`
+/// suffix (bare numbers are picoseconds). Returns picoseconds.
+fn parse_time_ps(tok: &str) -> Result<u64, String> {
+    let t = tok.trim().to_ascii_lowercase();
+    let (num, scale) = if let Some(n) = t.strip_suffix("ps") {
+        (n, 1.0)
+    } else if let Some(n) = t.strip_suffix("ns") {
+        (n, 1e3)
+    } else if let Some(n) = t.strip_suffix("us") {
+        (n, 1e6)
+    } else if let Some(n) = t.strip_suffix("ms") {
+        (n, 1e9)
+    } else if let Some(n) = t.strip_suffix('s') {
+        (n, 1e12)
+    } else {
+        (t.as_str(), 1.0)
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("expected a time like '5us' or '300ns', got {tok:?}"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("time must be finite and non-negative, got {tok:?}"));
+    }
+    Ok((v * scale).round() as u64)
+}
+
+/// Parse a rate token: a number with an optional `hz`/`khz`/`mhz`/`ghz`
+/// suffix (bare numbers are Hz). Returns Hz.
+fn parse_rate_hz(tok: &str) -> Result<f64, String> {
+    let t = tok.trim().to_ascii_lowercase();
+    let (num, scale) = if let Some(n) = t.strip_suffix("ghz") {
+        (n, 1e9)
+    } else if let Some(n) = t.strip_suffix("mhz") {
+        (n, 1e6)
+    } else if let Some(n) = t.strip_suffix("khz") {
+        (n, 1e3)
+    } else if let Some(n) = t.strip_suffix("hz") {
+        (n, 1.0)
+    } else {
+        (t.as_str(), 1.0)
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("expected a rate like '200khz', got {tok:?}"))?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(format!("rate must be finite and positive, got {tok:?}"));
+    }
+    Ok(v * scale)
+}
+
+/// Index of the first `,` at paren depth 0 in `s`, if any.
+fn top_level_comma(s: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, b) in s.bytes().enumerate() {
+        match b {
+            b'(' => depth += 1,
+            b')' => depth = depth.saturating_sub(1),
+            b',' if depth == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_script_term(term: &str, term_offset: usize) -> Result<ScriptTerm, FaultError> {
+    let bad = |offset: usize, reason: String| FaultError::BadSpec {
+        spec: term.to_string(),
+        offset,
+        reason,
+    };
+    let is_head = |h: &str| {
+        term.len() > h.len() + 1
+            && term[..h.len()].eq_ignore_ascii_case(h)
+            && term.as_bytes()[h.len()] == b'('
+    };
+    if is_head("at") {
+        if !term.ends_with(')') {
+            return Err(bad(
+                term_offset + term.len(),
+                "missing closing ')'".to_string(),
+            ));
+        }
+        let inner_start = 3;
+        let inner = &term[inner_start..term.len() - 1];
+        let Some(ci) = top_level_comma(inner) else {
+            return Err(bad(
+                term_offset,
+                "at takes two arguments: at(time, action)".to_string(),
+            ));
+        };
+        let time_raw = &inner[..ci];
+        let action_raw = &inner[ci + 1..];
+        let time_ps =
+            parse_time_ps(time_raw).map_err(|reason| bad(term_offset + inner_start, reason))?;
+        let action_trim = action_raw.trim();
+        let action_off =
+            term_offset + inner_start + ci + 1 + (action_raw.len() - action_raw.trim_start().len());
+        if action_trim.is_empty() {
+            return Err(bad(action_off, "missing action".to_string()));
+        }
+        let squashed: String = action_trim
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        let action = if squashed == "heal(all)" {
+            ScriptAction::HealAll
+        } else if squashed.starts_with("heal") {
+            return Err(bad(
+                action_off,
+                format!("heal takes the single argument 'all', got {action_trim:?}"),
+            ));
+        } else if squashed.starts_with("at(") || squashed.starts_with("churn(") {
+            return Err(bad(
+                action_off,
+                "script terms cannot nest inside at(time, action)".to_string(),
+            ));
+        } else {
+            let model = create(action_trim).map_err(|e| rebase_offset(e, action_off))?;
+            ScriptAction::Model { model }
+        };
+        Ok(ScriptTerm {
+            spec: term.to_string(),
+            kind: ScriptTermKind::At { time_ps, action },
+        })
+    } else if is_head("churn") {
+        if !term.ends_with(')') {
+            return Err(bad(
+                term_offset + term.len(),
+                "missing closing ')'".to_string(),
+            ));
+        }
+        let inner_start = 6;
+        let inner = &term[inner_start..term.len() - 1];
+        let Some(ci) = top_level_comma(inner) else {
+            return Err(bad(
+                term_offset,
+                "churn takes two arguments: churn(rate, mttr)".to_string(),
+            ));
+        };
+        let rate_hz =
+            parse_rate_hz(&inner[..ci]).map_err(|reason| bad(term_offset + inner_start, reason))?;
+        let mttr_ps = parse_time_ps(&inner[ci + 1..])
+            .map_err(|reason| bad(term_offset + inner_start + ci + 1, reason))?;
+        Ok(ScriptTerm {
+            spec: term.to_string(),
+            kind: ScriptTermKind::Churn { rate_hz, mttr_ps },
+        })
+    } else if term.to_ascii_lowercase().starts_with("heal") {
+        Err(bad(
+            term_offset,
+            "heal(all) must be scheduled inside at(time, heal(all))".to_string(),
+        ))
+    } else {
+        Err(bad(
+            term_offset,
+            format!("expected at(time, action) or churn(rate, mttr), got {term:?}"),
+        ))
     }
 }
 
@@ -948,6 +1463,178 @@ mod tests {
         let plan = FaultPlan::parse("Every_Other_Link").unwrap();
         let applied = plan.apply(&ring(10)).unwrap();
         assert_eq!(applied.removed_links, 5);
+    }
+
+    #[test]
+    fn bad_spec_errors_carry_the_offending_term_and_offset() {
+        // Second term malformed: offset must point at it, spec must be the
+        // sub-spec (not the whole composed string).
+        let spec = "links(0.1) + links(0.2";
+        let err = FaultPlan::parse(spec).unwrap_err();
+        match err {
+            FaultError::BadSpec {
+                spec: sub, offset, ..
+            } => {
+                assert_eq!(sub, "links(0.2");
+                assert_eq!(offset, 13);
+                assert_eq!(&spec[offset..], "links(0.2");
+            }
+            other => panic!("expected BadSpec, got {other:?}"),
+        }
+        // Empty term between separators: offset lands on the gap.
+        let err = FaultPlan::parse("links(0.1) +  + routers(2)").unwrap_err();
+        assert!(
+            matches!(err, FaultError::BadSpec { offset: 14, .. }),
+            "{err:?}"
+        );
+        // A single-term error reports offset 0.
+        let err = FaultPlan::parse("links(0.1").unwrap_err();
+        assert!(
+            matches!(err, FaultError::BadSpec { offset: 0, .. }),
+            "{err:?}"
+        );
+        // Display includes the offset.
+        assert!(err.to_string().contains("byte 0"), "{err}");
+    }
+
+    #[test]
+    fn script_parse_accepts_the_documented_grammar() {
+        let s = FaultScript::parse("at(5us,links(0.05))+at(20us,heal(all))").unwrap();
+        assert!(!s.is_none());
+        assert_eq!(s.spec(), "at(5us,links(0.05))+at(20us,heal(all))");
+        assert_eq!(s.seed(), FaultPlan::DEFAULT_SEED);
+        let s = FaultScript::parse(" churn(200khz, 8us) ")
+            .unwrap()
+            .with_seed(7);
+        assert_eq!(s.spec(), "churn(200khz, 8us)");
+        assert_eq!(s.seed(), 7);
+        for spec in ["none", "", "  ", "NONE"] {
+            assert!(FaultScript::parse(spec).unwrap().is_none(), "{spec:?}");
+        }
+        // Times: bare ps, ns, us, ms, s; rates: bare hz, khz, mhz, ghz.
+        for spec in [
+            "at(1500, link(0,1))",
+            "at(300ns, router(2))",
+            "at(1ms, routers(1))",
+            "at(0.001s, links(0.5))",
+            "churn(1000, 500ns)",
+            "churn(2mhz, 1us)",
+            "churn(0.001ghz, 1000000)",
+        ] {
+            assert!(FaultScript::parse(spec).is_ok(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn script_parse_rejects_malformed_terms_with_offsets() {
+        // Unknown head.
+        let err = FaultScript::parse("links(0.1)").unwrap_err();
+        assert!(
+            matches!(err, FaultError::BadSpec { offset: 0, .. }),
+            "bare plan terms are not script terms: {err:?}"
+        );
+        // Missing closing paren on at().
+        let err = FaultScript::parse("at(5us, links(0.05)").unwrap_err();
+        assert!(matches!(err, FaultError::BadSpec { .. }), "{err:?}");
+        // Bad time token.
+        let err = FaultScript::parse("at(xyz, links(0.05))").unwrap_err();
+        match err {
+            FaultError::BadSpec { offset, reason, .. } => {
+                assert_eq!(offset, 3, "offset should point inside at(");
+                assert!(reason.contains("time"), "{reason}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Missing action.
+        assert!(FaultScript::parse("at(5us)").is_err());
+        // Malformed inner links() in the SECOND term: offset points at it.
+        let spec = "at(1us, heal(all)) + at(2us, links(0.1)";
+        let err = FaultScript::parse(spec).unwrap_err();
+        assert!(matches!(err, FaultError::BadSpec { .. }), "{err:?}");
+        let spec = "at(1us, heal(all)) + at(2us, links(0.1()";
+        let err = FaultScript::parse(spec).unwrap_err();
+        match err {
+            FaultError::BadSpec { offset, .. } => {
+                assert!(offset >= 21, "offset {offset} must land in the second term");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Unknown model inside at() resolves through the registry.
+        assert!(matches!(
+            FaultScript::parse("at(1us, meteor-strike(3))"),
+            Err(FaultError::Unknown { .. })
+        ));
+        // Bad model args inside at().
+        assert!(matches!(
+            FaultScript::parse("at(1us, links(1.5))"),
+            Err(FaultError::BadArgs { .. })
+        ));
+        // heal outside at(), heal with a bad argument, nesting, churn arity,
+        // bad rate.
+        assert!(FaultScript::parse("heal(all)").is_err());
+        assert!(FaultScript::parse("at(1us, heal(some))").is_err());
+        assert!(FaultScript::parse("at(1us, at(2us, heal(all)))").is_err());
+        assert!(FaultScript::parse("churn(200khz)").is_err());
+        assert!(FaultScript::parse("churn(-1, 5us)").is_err());
+        assert!(FaultScript::parse("churn(1khz, -5us)").is_err());
+    }
+
+    #[test]
+    fn script_expansion_is_deterministic_and_sorted() {
+        let g = ring(16);
+        let s = FaultScript::parse("churn(10mhz, 2us) + at(5us, routers(1)) + at(90us, heal(all))")
+            .unwrap()
+            .with_seed(42);
+        let horizon = 100_000_000; // 100 us
+        let a = s.expand(&g, horizon).unwrap();
+        let b = s.expand(&g, horizon).unwrap();
+        assert_eq!(
+            a, b,
+            "expansion must be pure in (spec, seed, graph, horizon)"
+        );
+        assert!(!a.is_empty());
+        assert!(a.events.windows(2).all(|w| w[0].time_ps <= w[1].time_ps));
+        assert!(a.events.iter().all(|e| e.time_ps <= horizon));
+        // The at() terms landed.
+        assert!(
+            a.events
+                .iter()
+                .any(|e| matches!(e.kind, FaultEventKind::RouterDown { .. })
+                    && e.time_ps == 5_000_000)
+        );
+        assert!(a
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FaultEventKind::HealAll) && e.time_ps == 90_000_000));
+        // Churn produced both downs and (within-horizon) repairs.
+        let downs = a
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultEventKind::LinkDown { .. }))
+            .count();
+        let ups = a
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultEventKind::LinkUp { .. }))
+            .count();
+        assert!(
+            downs > 100,
+            "10 MHz over 100us should fire ~1000 times, got {downs}"
+        );
+        assert!(ups > 0 && ups <= downs);
+        // A different seed draws a different schedule.
+        let c = s.clone().with_seed(43).expand(&g, horizon).unwrap();
+        assert_ne!(a, c);
+        // Events past the horizon are clipped.
+        let clipped = s.expand(&g, 1_000_000).unwrap();
+        assert!(clipped.events.iter().all(|e| e.time_ps <= 1_000_000));
+        // Out-of-range ids are rejected at expansion (graph-dependent).
+        assert!(matches!(
+            FaultScript::parse("at(1us, router(99))")
+                .unwrap()
+                .expand(&g, horizon),
+            Err(FaultError::BadArgs { .. })
+        ));
     }
 
     #[test]

@@ -83,10 +83,13 @@ pub mod workload;
 pub use config::{MeasurementWindows, OraclePolicy, RoutingAlgorithm, SimConfig};
 pub use engine::parallel::ParallelSimulator;
 pub use engine::reference::ReferenceSimulator;
-pub use engine::Simulator;
-pub use fault::{FaultError, FaultModel, FaultPlan, FaultRegistry};
+pub use engine::{SimError, Simulator};
+pub use fault::{
+    FaultError, FaultEvent, FaultEventKind, FaultModel, FaultPlan, FaultRegistry, FaultScript,
+    FaultTimeline,
+};
 pub use network::SimNetwork;
 pub use pattern::{PatternCtx, PatternError, PatternRegistry, TrafficPattern};
 pub use routing::{Router, RouterRegistry, RoutingCtx, RoutingHarness, RoutingState};
-pub use stats::{EngineCounters, IntervalSample, MeasurementSummary, SimResults};
+pub use stats::{EngineCounters, FaultStats, IntervalSample, MeasurementSummary, SimResults};
 pub use workload::{Message, Phase, Workload};

@@ -522,6 +522,18 @@ impl SimNetwork {
         self.graph.neighbors(router)[port]
     }
 
+    /// The directed link id carrying traffic from `u` to its neighbour `v`,
+    /// or `None` if `{u, v}` is not a link of the surviving graph. A linear
+    /// scan of `u`'s ports — this is fault-timeline resolution (cold path),
+    /// not the per-hop hot path.
+    pub fn directed_link_between(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        self.graph
+            .neighbors(u)
+            .iter()
+            .position(|&w| w == v)
+            .map(|port| self.link_id(u, port))
+    }
+
     /// The `(router, port)` that owns a directed link — the inverse of
     /// [`Self::link_id`], as one table read.
     #[inline]

@@ -419,6 +419,94 @@ fn sample_peers_excluding(
     Some(peers[x])
 }
 
+/// The deterministic liveness fallback behind runtime fault scripts: the best
+/// **alive** port out of `router` toward `target`, scored by pristine-oracle
+/// progress (`1 + dist(neighbour, target)`), lowest port winning ties.
+///
+/// This is the "liveness-aware port mask layered over the immutable oracle":
+/// the engines first let the configured algorithm choose through the
+/// unmodified [`RoutingCtx`] hot path; only when the chosen port's link is
+/// runtime-dead do they re-decide here, filtering dead ports at decision time
+/// instead of rebuilding the oracle per fault event. RNG-free on purpose —
+/// the fallback must not perturb the RNG stream shared with the pristine
+/// decision path, or healed runs would diverge from never-damaged ones.
+///
+/// Static distances can strand a pure greedy walk: kill a router's only
+/// distance-decreasing link and the greedy fallback picks a sideways
+/// neighbour whose own minimal (alive) choice points straight back —
+/// a deterministic ping-pong that burns the TTL, and, being deterministic,
+/// burns it again identically on every retransmission attempt. Two
+/// RNG-free escape valves break such cycles:
+///
+/// * **U-turn avoidance** — the neighbour the packet just arrived from
+///   (`prev`) is only chosen when it is the *sole* alive option;
+/// * **salted rotation** — among equally-best ports, `salt` (the caller
+///   passes hops + attempts, both of which advance every time a walk
+///   revisits a trap) selects round-robin, so a revisit or a retry explores
+///   a different equally-good direction instead of replaying the loop.
+///
+/// Returns `None` when no alive port reaches the target on the *static*
+/// oracle (the caller drops the packet with a `NoRoute` reason and lets the
+/// retransmission protocol retry after recovery).
+pub(crate) fn best_alive_port<F>(
+    net: &SimNetwork,
+    router: VertexId,
+    target: VertexId,
+    prev: Option<VertexId>,
+    salt: u32,
+    link_alive: F,
+) -> Option<usize>
+where
+    F: Fn(usize) -> bool,
+{
+    use spectralfly_graph::paths::UNREACHABLE_U16;
+    let nbrs = net.graph().neighbors(router);
+    let mut best: Option<u32> = None;
+    let mut count = 0u32;
+    let mut uturn: Option<(u32, usize)> = None;
+    for (port, &nbr) in nbrs.iter().enumerate() {
+        if !link_alive(net.link_id(router, port)) {
+            continue;
+        }
+        let d = net.dist(nbr, target);
+        if d == UNREACHABLE_U16 {
+            continue;
+        }
+        let score = 1 + d as u32;
+        if prev == Some(nbr) {
+            if uturn.map(|(s, _)| score < s).unwrap_or(true) {
+                uturn = Some((score, port));
+            }
+            continue;
+        }
+        match best {
+            Some(s) if score > s => {}
+            Some(s) if score == s => count += 1,
+            _ => {
+                best = Some(score);
+                count = 1;
+            }
+        }
+    }
+    let Some(best) = best else {
+        return uturn.map(|(_, p)| p);
+    };
+    let mut pick = salt % count;
+    for (port, &nbr) in nbrs.iter().enumerate() {
+        if prev == Some(nbr) || !link_alive(net.link_id(router, port)) {
+            continue;
+        }
+        let d = net.dist(nbr, target);
+        if d != UNREACHABLE_U16 && 1 + d as u32 == best {
+            if pick == 0 {
+                return Some(port);
+            }
+            pick -= 1;
+        }
+    }
+    unreachable!("salted rotation stays within the counted candidate set")
+}
+
 /// Uniform sample from `0..n` excluding `a` and `b` (which may coincide).
 fn sample_excluding(rng: &mut dyn RngCore, n: usize, a: VertexId, b: VertexId) -> Option<VertexId> {
     let excluded = if a == b { 1 } else { 2 };

@@ -38,6 +38,90 @@ impl EngineCounters {
     }
 }
 
+/// Runtime-fault accounting of one run (all zeros unless a
+/// [`crate::fault::FaultScript`] is configured).
+///
+/// All counters are **engine totals** (not filtered by the measurement
+/// window), because the conservation identity they support —
+/// `injected == delivered + failed + in_flight()` — only holds over the whole
+/// run. A second identity ties the drop and recovery counters together:
+/// `dropped_total() == retransmits + failed` (every drop either triggered a
+/// retransmission or exhausted the packet's budget). Both are asserted by the
+/// chaos test batteries, per engine and per shard count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Distinct packets handed to a source NIC (retransmissions of the same
+    /// packet are *not* recounted here — see `retransmits`).
+    pub injected: u64,
+    /// Packets delivered to their destination (engine total, unwindowed).
+    pub delivered: u64,
+    /// Packets that reached their retransmit budget and were abandoned in the
+    /// `Failed` terminal state.
+    pub failed: u64,
+    /// Retransmissions scheduled (each drop below the budget schedules one).
+    pub retransmits: u64,
+    /// Drops of packets occupying or queued on a link that went down.
+    pub dropped_link_down: u64,
+    /// Drops of packets at (or injecting from / destined to) a down router.
+    pub dropped_router_down: u64,
+    /// Drops because no alive port made progress (including packets whose
+    /// destination is unreachable in the current degraded component).
+    pub dropped_no_route: u64,
+    /// Drops because a packet exceeded the hop TTL while detouring.
+    pub dropped_ttl: u64,
+    /// Fault-timeline events applied (link/router down/up, heals).
+    pub fault_events: u64,
+    /// Sum over recovered packets (delivered after ≥1 drop) of delivery time
+    /// minus first-drop time, picoseconds: total time spent recovering.
+    pub total_recovery_ps: u64,
+    /// Packets delivered after at least one drop.
+    pub recovered: u64,
+    /// Worst single packet recovery time (first drop to delivery), picoseconds.
+    pub max_recovery_ps: u64,
+}
+
+impl FaultStats {
+    /// Total packet drops, over every typed reason.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_link_down + self.dropped_router_down + self.dropped_no_route + self.dropped_ttl
+    }
+
+    /// Packets still in flight (or queued for retransmission) by the
+    /// conservation identity `injected = delivered + failed + in_flight`.
+    /// Zero at the end of a completed finite run; generally positive at a
+    /// steady-state deadline.
+    pub fn in_flight(&self) -> u64 {
+        self.injected
+            .saturating_sub(self.delivered)
+            .saturating_sub(self.failed)
+    }
+
+    /// Mean recovery time (first drop to delivery) over recovered packets,
+    /// picoseconds.
+    pub fn mean_recovery_ps(&self) -> f64 {
+        if self.recovered == 0 {
+            return 0.0;
+        }
+        self.total_recovery_ps as f64 / self.recovered as f64
+    }
+
+    /// Accumulate another shard's (or phase's) fault counters into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.failed += other.failed;
+        self.retransmits += other.retransmits;
+        self.dropped_link_down += other.dropped_link_down;
+        self.dropped_router_down += other.dropped_router_down;
+        self.dropped_no_route += other.dropped_no_route;
+        self.dropped_ttl += other.dropped_ttl;
+        self.fault_events = self.fault_events.max(other.fault_events);
+        self.total_recovery_ps += other.total_recovery_ps;
+        self.recovered += other.recovered;
+        self.max_recovery_ps = self.max_recovery_ps.max(other.max_recovery_ps);
+    }
+}
+
 /// One sampling tick of the steady-state time-series (see
 /// [`crate::config::MeasurementWindows::sample_interval_ps`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -148,6 +232,9 @@ pub struct SimResults {
     pub samples: Vec<IntervalSample>,
     /// Measurement-window bookkeeping (`None` without measurement windows).
     pub measurement: Option<MeasurementSummary>,
+    /// Runtime-fault accounting (all zeros unless a
+    /// [`crate::fault::FaultScript`] is configured).
+    pub faults: FaultStats,
 }
 
 impl SimResults {
@@ -338,6 +425,7 @@ impl StatsCollector {
             engine: self.counters,
             samples: self.samples,
             measurement,
+            faults: FaultStats::default(),
         }
     }
 }

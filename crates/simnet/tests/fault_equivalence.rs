@@ -130,6 +130,79 @@ fn engines_agree_on_degraded_networks_across_all_routers() {
     }
 }
 
+/// Runtime churn (the dynamic counterpart of the static plans above): the
+/// sequential and parallel engines each run the same fault *script* —
+/// time-scheduled link churn with heal — across every registered routing
+/// algorithm, and both must satisfy the conservation identities exactly:
+/// `injected == delivered + failed` after a finite drain (nothing lost and
+/// unaccounted), and `dropped_total == retransmits + failed` (every drop
+/// either rescheduled or terminally failed). The polling reference engine
+/// does not participate: it predates the runtime fault path and asserts
+/// scripts away.
+#[test]
+fn engines_conserve_packets_under_runtime_churn_across_all_routers() {
+    use spectralfly_simnet::{FaultScript, ParallelSimulator};
+    let scenarios: Vec<(&str, &str)> = vec![
+        ("pulse", "at(1us, links(0.2)) + at(50us, heal(all))"),
+        ("router-blip", "at(2us, router(3)) + at(40us, heal(all))"),
+        ("churn", "churn(300khz, 8us)"),
+    ];
+    for (name, spec) in scenarios {
+        let graph = chordal_ring(12, &[(0, 6), (3, 9), (1, 7), (4, 10)]);
+        let net = SimNetwork::new(graph, 2);
+        let wl = Workload::uniform_random(net.num_endpoints(), 6, 1536, 21);
+        for routing in RouterRegistry::with_builtins().names() {
+            let script = FaultScript::parse(spec).unwrap().with_seed(33);
+            let mut cfg = SimConfig::default()
+                .with_routing(routing.clone(), net.diameter() as u32)
+                .with_fault_script(script);
+            cfg.seed = 0xC0FFEE;
+            cfg.fault_horizon_ns = 200_000.0; // clip churn expansion at 200us
+            let seq = Simulator::new(&net, &cfg)
+                .try_run(&wl)
+                .unwrap_or_else(|e| panic!("{name}/{routing}: sequential: {e}"));
+            let cfg_par = cfg.clone().with_shards(2);
+            let par = ParallelSimulator::new(&net, &cfg_par)
+                .try_run(&wl)
+                .unwrap_or_else(|e| panic!("{name}/{routing}: parallel: {e}"));
+            for (engine, res) in [("seq", &seq), ("par", &par)] {
+                let f = &res.faults;
+                assert_eq!(
+                    f.injected,
+                    6 * net.num_endpoints() as u64,
+                    "{name}/{routing}/{engine}"
+                );
+                assert_eq!(
+                    f.injected,
+                    f.delivered + f.failed,
+                    "{name}/{routing}/{engine}: conservation violated"
+                );
+                assert_eq!(f.in_flight(), 0, "{name}/{routing}/{engine}");
+                assert_eq!(
+                    f.dropped_total(),
+                    f.retransmits + f.failed,
+                    "{name}/{routing}/{engine}"
+                );
+                assert!(f.fault_events > 0, "{name}/{routing}/{engine}");
+                assert_eq!(
+                    res.delivered_packets, f.delivered,
+                    "{name}/{routing}/{engine}: stats layers disagree"
+                );
+            }
+            // The engines schedule differently under churn (credit vs shared
+            // buffers, different RNG constructions) but must agree on what was
+            // offered to the network.
+            assert_eq!(seq.faults.injected, par.faults.injected, "{name}/{routing}");
+            // Determinism of the scripted run.
+            assert_eq!(
+                seq,
+                Simulator::new(&net, &cfg).try_run(&wl).unwrap(),
+                "{name}/{routing}: scripted rerun must be identical"
+            );
+        }
+    }
+}
+
 #[test]
 fn engines_agree_on_infeasibility() {
     // Cut an 8-ring in two; a cross-cut message must be rejected identically

@@ -115,7 +115,7 @@ proptest! {
                         "{routing}: rejected a fully connected workload: {e}"
                     );
                     prop_assert!(
-                        matches!(e, FaultError::Disconnected { .. }),
+                        matches!(e, spectralfly_simnet::SimError::Fault(FaultError::Disconnected { .. })),
                         "{routing}: wrong error class: {e}"
                     );
                 }
@@ -145,7 +145,9 @@ proptest! {
             let err = Simulator::new(&net, &cfg).try_run(&wl).unwrap_err();
             prop_assert_eq!(
                 err,
-                FaultError::RouterDown { endpoint: victim as usize, router: victim },
+                spectralfly_simnet::SimError::Fault(
+                    FaultError::RouterDown { endpoint: victim as usize, router: victim }
+                ),
                 "{}", &routing
             );
         }

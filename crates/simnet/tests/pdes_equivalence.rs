@@ -312,6 +312,51 @@ fn shard_counts_agree_on_degraded_networks() {
     assert!(res.measurement.expect("summary").delivered_packets > 0);
 }
 
+/// Runtime churn: every shard count replays the identical fault timeline, so
+/// a scripted run — including drops, retransmissions, and terminal failures —
+/// must be bit-identical across shard counts for every registered routing
+/// algorithm, and the conservation identities must hold on the merged stats.
+#[test]
+fn shard_counts_agree_on_runtime_churn_across_all_routers() {
+    use spectralfly_simnet::FaultScript;
+    let net = SimNetwork::new(chordal_ring(12, 6, 5), 2);
+    let wl = Workload::uniform_random(net.num_endpoints(), 5, 2048, 13);
+    let scripts: Vec<(&str, &str)> = vec![
+        ("pulse", "at(1us, links(0.25)) + at(60us, heal(all))"),
+        ("churn", "churn(250khz, 10us)"),
+    ];
+    for (name, spec) in scripts {
+        for routing in RouterRegistry::with_builtins().names() {
+            let mut cfg = SimConfig::default()
+                .with_routing(routing.clone(), net.diameter() as u32)
+                .with_fault_script(FaultScript::parse(spec).unwrap().with_seed(7));
+            cfg.seed = 0xFA117;
+            cfg.fault_horizon_ns = 150_000.0; // bound the churn chain at 150us
+            let res =
+                assert_shard_invariant(&net, &cfg, &format!("{name}/{routing}"), |s| s.run(&wl));
+            let f = &res.faults;
+            assert_eq!(
+                f.injected,
+                5 * net.num_endpoints() as u64,
+                "{name}/{routing}"
+            );
+            assert_eq!(
+                f.injected,
+                f.delivered + f.failed,
+                "{name}/{routing}: conservation violated"
+            );
+            assert_eq!(f.in_flight(), 0, "{name}/{routing}");
+            assert_eq!(
+                f.dropped_total(),
+                f.retransmits + f.failed,
+                "{name}/{routing}"
+            );
+            assert!(f.fault_events > 0, "{name}/{routing}");
+            assert_eq!(res.delivered_packets, f.delivered, "{name}/{routing}");
+        }
+    }
+}
+
 /// Tier-2 exactness: on block-free runs the credit model and the sequential
 /// shared-buffer model execute the identical cascade, so the parallel engine
 /// must reproduce the wakeup engine's results bit-for-bit. Each golden is

@@ -3,11 +3,16 @@
 # engine vs the polling reference on saturated ring sweeps, the routing-bound
 # LPS scenarios (packed next-hop table vs distance-matrix scan), the
 # shard-scaling scenario (sequential vs the conservative parallel engine at
-# 1/2/4/8 shards), and the routing-decision microbench. Timed scenarios
+# 1/2/4/8 shards), the runtime-churn scenario (pristine vs a live Poisson
+# link-churn script, conservation asserted), and the routing-decision
+# microbench. Timed scenarios
 # report median-of-rounds walls; every JSON row records its round count.
 #
 # Usage: scripts/bench_engine.sh [--routers N] [--conc N] [--msgs N]
-#        [--load-pct N] [--seed N] [--out PATH] [--smoke]
+#        [--load-pct N] [--seed N] [--out PATH] [--only SUBSTRING] [--smoke]
+#
+# --only records just the scenarios whose label contains the substring
+# (e.g. --only churn), so one row can be re-recorded without the full battery.
 #
 # --smoke shrinks every scenario (small LPS, short reference budget, few
 # microbench decisions) so CI can execute all code paths in seconds; smoke
