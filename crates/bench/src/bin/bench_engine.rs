@@ -752,8 +752,14 @@ fn main() {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
+    let config = format!(
+        "bench_engine routers={routers} conc={conc} msgs={msgs} load={load} \
+         ref_budget_s={} reps={reps} smoke={smoke}",
+        budget.as_secs()
+    );
     let entry = format!(
-        "{{\"unix_time\":{unix_time},\"runs\":[{}]}}",
+        "{{\"unix_time\":{unix_time},{},\"runs\":[{}]}}",
+        spectralfly_bench::provenance_field(&config, seed),
         entries.join(",\n")
     );
     append_entry(&out, &entry);

@@ -43,10 +43,12 @@
 //! is `chaos_sweep --full --topo SpectralFly --routing ugal-l`.
 
 use spectralfly_bench::{
-    arg_f64_list, arg_str, arg_u64, fmt, paper_sim_config, pattern_spec_for, print_table,
-    routing_names_from_args, run_workload, seed_from_args, shards_from_args, simulation_topologies,
-    steady_source_workload, topo_filter_from_args, try_sweep_offered_loads, Scale,
+    append_entry, arg_f64_list, arg_str, arg_u64, fmt, paper_sim_config, pattern_spec_for,
+    print_table, provenance_field, routing_names_from_args, run_workload, seed_from_args,
+    shards_from_args, simulation_topologies, steady_source_workload, topo_filter_from_args,
+    try_sweep_offered_loads, Scale,
 };
+use spectralfly_exp::json_str;
 use spectralfly_simnet::{FaultPlan, FaultScript, MeasurementWindows, Workload};
 
 fn main() {
@@ -118,6 +120,7 @@ fn main() {
     }
 
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for topo in &topologies {
         let net = topo.network();
         let pattern_spec = pattern_spec_for(topo, &pattern);
@@ -184,6 +187,22 @@ fn main() {
                 if std::env::args().any(|a| a == "--verbose") {
                     eprintln!("{}/{routing}/{label}: {f:?}", topo.name);
                 }
+                json_rows.push(format!(
+                    "{{\"topology\":{},\"routing\":{},\"scenario\":{},\
+                     \"goodput_gbps\":{goodput:.3},\"retained\":{},\"drops\":{},\
+                     \"retransmits\":{},\"failed\":{},\"fault_events\":{}}}",
+                    json_str(&topo.name),
+                    json_str(routing),
+                    json_str(label),
+                    match baseline {
+                        Some(b) if b > 0.0 => format!("{:.4}", goodput / b),
+                        _ => "null".to_string(),
+                    },
+                    f.dropped_total(),
+                    f.retransmits,
+                    f.failed,
+                    f.fault_events,
+                ));
                 rows.push(vec![
                     topo.name.clone(),
                     routing.clone(),
@@ -229,4 +248,25 @@ fn main() {
         ],
         &rows,
     );
+
+    // `--out FILE` appends the sweep as a provenance-stamped trajectory row
+    // (the same BENCH_*.json array format the other recording binaries use).
+    if let Some(out) = arg_str("--out") {
+        let config = format!(
+            "chaos_sweep scale={scale:?} rates_khz={rates_khz:?} mttr_us={mttr_us} \
+             pulse={pulse} load={load} msgs={msgs} bytes={bytes} warmup_ns={warmup_ns} \
+             measure_ns={measure_ns} pattern={pattern} fault_seed={fault_seed:#x} \
+             shards={shards}"
+        );
+        let unix_time = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let entry = format!(
+            "{{\"unix_time\":{unix_time},{},\"scenario\":\"chaos_sweep\",\"rows\":[{}]}}",
+            provenance_field(&config, seed),
+            json_rows.join(",\n")
+        );
+        append_entry(&out, &entry);
+    }
 }

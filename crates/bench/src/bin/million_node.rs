@@ -202,8 +202,11 @@ fn main() {
         peak as f64 / (1u64 << 30) as f64,
         net.oracle_memory_bytes()
     );
+    let config = format!(
+        "million_node p={p} q={q} oracle={policy} load={load} shards={shards} smoke={smoke}"
+    );
     let entry = format!(
-        "{{\"unix_time\":{},\"scenario\":\"million-node-lps({p},{q})x1-load{load}\",\
+        "{{\"unix_time\":{},{},\"scenario\":\"million-node-lps({p},{q})x1-load{load}\",\
          \"routers\":{},\"endpoints\":{},\"oracle\":\"{}\",\
          \"oracle_bytes\":{},\"peak_rss_bytes\":{peak},\"shards\":{shards},\
          \"build_graph_s\":{build_graph_s:.3},\"build_oracle_s\":{build_oracle_s:.3},\
@@ -212,6 +215,7 @@ fn main() {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0),
+        spectralfly_bench::provenance_field(&config, seed),
         net.num_routers(),
         net.num_endpoints(),
         net.oracle_kind(),

@@ -1,0 +1,229 @@
+//! `repro` — the one-command paper reproduction and its CI regression gate.
+//!
+//! ```text
+//! repro run   <manifest.toml> [--out DIR] [--record-baselines] [--skip-external] [--filter S]
+//! repro check <manifest.toml> [--baselines PATH] [--out DIR] [--filter S]
+//! ```
+//!
+//! `run` executes every experiment, perf scenario, and external figure the
+//! manifest declares, prints a summary table, and writes a provenance-stamped
+//! JSON artifact to `--out` (default `artifacts/`). With `--record-baselines`
+//! it also (re)writes the manifest's golden baseline file — the explicit,
+//! reviewed act of accepting current behaviour as correct.
+//!
+//! `check` re-runs the manifest's native experiments and perf scenarios
+//! (externals are always skipped: they are reproduction output, not gated
+//! state) and diffs against the checked-in baselines. Any drift — a changed
+//! results digest, a lost or new point, a perf ratio below the manifest's
+//! tolerance band, or baselines recorded for a different manifest — prints a
+//! typed diagnosis and exits nonzero. CI runs this on the smoke manifest.
+//!
+//! The default baseline path is `<manifest dir>/baselines/<manifest name>.toml`.
+
+use spectralfly_bench::arg_str;
+use spectralfly_exp::{baseline, runner, Baselines, Manifest, RunOptions};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  repro run   <manifest.toml> [--out DIR] [--record-baselines] [--skip-external] [--filter S]\n  repro check <manifest.toml> [--baselines PATH] [--out DIR] [--filter S]"
+    );
+    ExitCode::from(2)
+}
+
+fn default_baseline_path(manifest_path: &Path, name: &str) -> PathBuf {
+    manifest_path
+        .parent()
+        .unwrap_or_else(|| Path::new("."))
+        .join("baselines")
+        .join(format!("{name}.toml"))
+}
+
+fn load_manifest(path: &str) -> Result<Manifest, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Manifest::parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write_artifact(report: &runner::RunReport, out_dir: &str) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = Path::new(out_dir).join(format!("{}.json", report.manifest));
+    std::fs::write(&path, report.to_json())?;
+    Ok(path)
+}
+
+fn print_report(report: &runner::RunReport) {
+    println!(
+        "manifest {} (config {}) @ {}{}",
+        report.manifest,
+        report.config_hash,
+        report.provenance.git_rev,
+        if report.provenance.git_dirty {
+            " (dirty)"
+        } else {
+            ""
+        }
+    );
+    for p in &report.points {
+        println!(
+            "  {:<60} {}  {:>6} ms  {}",
+            p.id, p.digest, p.wall_ms, p.summary
+        );
+    }
+    for p in &report.perf {
+        println!(
+            "  perf {:<24} ratio {:.3} (scenario {:.0} ev/s, calibration {:.0} ev/s, band {:.0}%)",
+            p.name,
+            p.ratio,
+            p.scenario_eps,
+            p.calibration_eps,
+            p.tolerance * 100.0
+        );
+    }
+    for x in &report.external {
+        println!(
+            "  external {:<20} {} ({})",
+            x.name,
+            if x.ok { "ok" } else { "FAILED" },
+            x.bin
+        );
+    }
+}
+
+fn cmd_run(manifest_path: &str) -> ExitCode {
+    let m = match load_manifest(manifest_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = RunOptions {
+        skip_external: std::env::args().any(|a| a == "--skip-external"),
+        filter: arg_str("--filter"),
+        skip_perf: false,
+    };
+    let report = match runner::run_manifest(&m, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_report(&report);
+    let out_dir = arg_str("--out").unwrap_or_else(|| "artifacts".to_string());
+    match write_artifact(&report, &out_dir) {
+        Ok(path) => println!("artifact: {}", path.display()),
+        Err(e) => {
+            eprintln!("repro: writing artifact: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if report.external.iter().any(|x| !x.ok) {
+        eprintln!("repro: an external figure binary failed");
+        return ExitCode::FAILURE;
+    }
+    if std::env::args().any(|a| a == "--record-baselines") {
+        if opts.filter.is_some() {
+            eprintln!("repro: refusing to record baselines from a --filter'ed run (it would drop every filtered-out point)");
+            return ExitCode::FAILURE;
+        }
+        let base = Baselines::from_report(&report);
+        let path = arg_str("--baselines")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| default_baseline_path(Path::new(manifest_path), &m.name));
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("repro: creating {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(&path, base.to_toml()) {
+            eprintln!("repro: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("baselines recorded: {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_check(manifest_path: &str) -> ExitCode {
+    let m = match load_manifest(manifest_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_path = arg_str("--baselines")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| default_baseline_path(Path::new(manifest_path), &m.name));
+    let baselines = match std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("reading {}: {e}", baseline_path.display()))
+        .and_then(|src| {
+            Baselines::parse(&src).map_err(|e| format!("{}: {e}", baseline_path.display()))
+        }) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("repro: {e} (record with `repro run {manifest_path} --record-baselines`)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = RunOptions {
+        skip_external: true, // externals are output, not gated state
+        filter: arg_str("--filter"),
+        skip_perf: false,
+    };
+    if opts.filter.is_some() {
+        eprintln!("repro: refusing to check a --filter'ed run against full baselines (every skipped point would read as missing)");
+        return ExitCode::FAILURE;
+    }
+    let report = match runner::run_manifest(&m, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(out_dir) = arg_str("--out") {
+        match write_artifact(&report, &out_dir) {
+            Ok(path) => println!("artifact: {}", path.display()),
+            Err(e) => eprintln!("repro: writing artifact: {e}"),
+        }
+    }
+    let cmp = baseline::compare(&m, &report, &baselines);
+    for note in &cmp.notes {
+        println!("note: {note}");
+    }
+    if cmp.passed() {
+        println!(
+            "check passed: {} points, {} perf scenarios match {}",
+            report.points.len(),
+            report.perf.len(),
+            baseline_path.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for d in &cmp.findings {
+            eprintln!("FAIL: {d}");
+        }
+        eprintln!(
+            "repro check failed: {} finding(s) against {}",
+            cmp.findings.len(),
+            baseline_path.display()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(cmd), Some(manifest_path)) = (args.get(1), args.get(2)) else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "run" => cmd_run(manifest_path),
+        "check" => cmd_check(manifest_path),
+        _ => usage(),
+    }
+}

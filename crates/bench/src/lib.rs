@@ -391,6 +391,21 @@ pub fn table2_pairs() -> Vec<((u64, u64), u64)> {
     vec![((11, 7), 9), ((19, 7), 13), ((23, 11), 17), ((29, 13), 23)]
 }
 
+/// The shared provenance stamp every recording binary embeds in its JSON
+/// trajectory rows: git rev + dirty flag, an FNV-64 hash of the binary's
+/// effective configuration, and the run seed. Rendered as a
+/// `"provenance":{...}` field ready to splice into a hand-rolled JSON object.
+///
+/// BENCH_engine.json rows without this stamp cannot be distinguished from
+/// host noise after the fact — see `spectralfly_exp::provenance`.
+pub fn provenance_field(config: &str, seed: u64) -> String {
+    let hash = format!("{:016x}", spectralfly_exp::fnv64_str(config));
+    format!(
+        "\"provenance\":{}",
+        spectralfly_exp::Provenance::collect(&hash, seed).to_json()
+    )
+}
+
 /// Append `entry` to the JSON trajectory array at `out` (created if absent) —
 /// the `BENCH_*.json` perf-trajectory format shared by the recording binaries.
 ///

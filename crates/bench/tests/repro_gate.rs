@@ -1,0 +1,183 @@
+//! End-to-end self-test of the `repro` binary: record baselines for a tiny
+//! manifest in a scratch directory, then corrupt the baseline copies the way
+//! real regressions would and assert `repro check` exits nonzero with the
+//! right diagnosis on stderr. This is the CI gate testing itself.
+
+use spectralfly_exp::Baselines;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const MINI: &str = r#"
+[manifest]
+name = "gate-e2e"
+description = "scratch manifest for the repro binary self-test"
+
+[experiment.eq]
+topologies = ["ring(5)x2"]
+routings = ["minimal"]
+shards = [1, 2]
+seeds = [7]
+mode = "finite"
+messages = 2
+bytes = 512
+
+[perf.tiny]
+topology = "ring(5)x2"
+routing = "minimal"
+load = 0.5
+messages = 2
+bytes = 512
+rounds = 1
+tolerance = 0.5
+seed = 7
+"#;
+
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("repro_gate_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch { dir }
+    }
+
+    fn manifest(&self) -> PathBuf {
+        self.dir.join("gate-e2e.toml")
+    }
+
+    fn baselines(&self) -> PathBuf {
+        self.dir.join("baselines").join("gate-e2e.toml")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn repro(args: &[&str], scratch: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .args(["--out", scratch.join("artifacts").to_str().unwrap()])
+        .output()
+        .expect("repro binary spawns")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn record(scratch: &Scratch) {
+    std::fs::write(scratch.manifest(), MINI).unwrap();
+    let out = repro(
+        &[
+            "run",
+            scratch.manifest().to_str().unwrap(),
+            "--record-baselines",
+            "--skip-external",
+        ],
+        &scratch.dir,
+    );
+    assert!(
+        out.status.success(),
+        "recording run failed: {}",
+        stderr_of(&out)
+    );
+    assert!(scratch.baselines().is_file(), "baseline file was written");
+}
+
+fn check(scratch: &Scratch) -> Output {
+    repro(
+        &["check", scratch.manifest().to_str().unwrap()],
+        &scratch.dir,
+    )
+}
+
+fn load_baselines(scratch: &Scratch) -> Baselines {
+    Baselines::parse(&std::fs::read_to_string(scratch.baselines()).unwrap()).unwrap()
+}
+
+fn store_baselines(scratch: &Scratch, b: &Baselines) {
+    std::fs::write(scratch.baselines(), b.to_toml()).unwrap();
+}
+
+#[test]
+fn check_passes_against_freshly_recorded_baselines() {
+    let scratch = Scratch::new("clean");
+    record(&scratch);
+    let out = check(&scratch);
+    assert!(
+        out.status.success(),
+        "clean check failed: {}",
+        stderr_of(&out)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("check passed"), "{stdout}");
+    // The run artifact is provenance-stamped.
+    let artifact = scratch.dir.join("artifacts").join("gate-e2e.json");
+    let json = std::fs::read_to_string(artifact).unwrap();
+    assert!(
+        json.contains("\"provenance\""),
+        "artifact carries provenance"
+    );
+    assert!(json.contains("\"config_hash\""));
+}
+
+#[test]
+fn check_fails_on_a_perturbed_results_digest_with_a_drift_diagnosis() {
+    let scratch = Scratch::new("drift");
+    record(&scratch);
+    let mut b = load_baselines(&scratch);
+    let victim = b.results[0].0.clone();
+    b.results[0].1 = "0000000000000000".to_string();
+    store_baselines(&scratch, &b);
+    let out = check(&scratch);
+    assert!(!out.status.success(), "perturbed digest must fail the gate");
+    let err = stderr_of(&out);
+    assert!(err.contains("results drift"), "wrong diagnosis: {err}");
+    assert!(
+        err.contains(&victim),
+        "diagnosis must name the point: {err}"
+    );
+}
+
+#[test]
+fn check_fails_on_a_synthetically_slowed_perf_row_with_a_regression_diagnosis() {
+    let scratch = Scratch::new("perf");
+    record(&scratch);
+    let mut b = load_baselines(&scratch);
+    // Recording a ratio 100x above reality makes the fresh (honest) ratio
+    // read as a >99% slowdown — far outside the 50% band.
+    b.perf[0].1 *= 100.0;
+    store_baselines(&scratch, &b);
+    let out = check(&scratch);
+    assert!(!out.status.success(), "slowed perf row must fail the gate");
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("perf regression in tiny"),
+        "wrong diagnosis: {err}"
+    );
+}
+
+#[test]
+fn check_fails_when_baselines_were_recorded_for_a_different_manifest() {
+    let scratch = Scratch::new("stale");
+    record(&scratch);
+    // Editing the manifest after recording changes its config hash; the gate
+    // must refuse to compare rather than diff against stale goldens.
+    std::fs::write(
+        scratch.manifest(),
+        MINI.replace("bytes = 512", "bytes = 1024"),
+    )
+    .unwrap();
+    let out = check(&scratch);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("recorded for config"),
+        "wrong diagnosis: {err}"
+    );
+}

@@ -1,0 +1,42 @@
+//! # spectralfly-exp
+//!
+//! The reproduction harness: manifest-driven experiment sweeps with
+//! provenance stamps, golden baselines, and regression gates.
+//!
+//! The rest of the suite reproduces the paper figure by figure through
+//! individual binaries; this crate makes the whole reproduction *one
+//! declarative object*. A TOML manifest ([`Manifest`]) declares sweeps as the
+//! cross product of the suite's five string-keyed axes — topology specs
+//! ([`topo::TopoSpec`]), routing registry names, traffic-pattern specs,
+//! fault plans / fault scripts, and oracle policies — plus shards, seeds,
+//! loads, and measurement windows. The runner ([`runner::run_manifest`])
+//! executes every point, digests the deterministic results bit-for-bit
+//! ([`digest::digest_results`]), measures the declared perf scenarios as
+//! interleaved-median calibration ratios, and stamps the artifact with
+//! provenance ([`Provenance`]): git revision + dirty flag, config hash, seed,
+//! rustc and host. Checked-in baselines ([`baseline::Baselines`]) then turn
+//! any behaviour or performance drift into a CI failure with a typed
+//! diagnosis ([`baseline::Diagnosis`]) instead of a silently wrong number in
+//! a trajectory file.
+//!
+//! The `repro` binary in `spectralfly-bench` is the CLI over this crate:
+//! `repro run manifests/paper.toml` reproduces the paper, `repro check
+//! manifests/smoke.toml` is the CI gate.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod digest;
+pub mod manifest;
+pub mod provenance;
+pub mod runner;
+pub mod toml;
+pub mod topo;
+
+pub use baseline::{compare, Baselines, Comparison, Diagnosis};
+pub use digest::{digest_outcome, digest_results, fnv64_str, Fnv64};
+pub use manifest::{Experiment, ExternalFigure, Manifest, ManifestError, Mode, PerfScenario};
+pub use provenance::{json_str, Provenance};
+pub use runner::{expand, run_manifest, RunError, RunOptions, RunReport};
+pub use topo::TopoSpec;

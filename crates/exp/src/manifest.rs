@@ -1,0 +1,969 @@
+//! The experiment manifest: a declarative description of a reproduction sweep.
+//!
+//! A manifest is a TOML document (see [`crate::toml`] for the accepted subset)
+//! with one `[manifest]` header table and three kinds of sections:
+//!
+//! * `[experiment.NAME]` — a **sweep**: the cross product of the declared axes
+//!   (topology × routing × pattern × faults / fault-script × oracle × shards ×
+//!   seeds × loads), each point simulated and digested. Every axis value is
+//!   validated *at parse time* against the subsystem that owns it — routing
+//!   names against [`spectralfly_simnet::routing`], pattern specs against
+//!   [`spectralfly_simnet::pattern`], fault plans/scripts against
+//!   [`spectralfly_simnet::fault`], oracle policies against
+//!   [`spectralfly_simnet::OraclePolicy`], topology specs against
+//!   [`crate::topo`] — so a typo fails with the offending field named, before
+//!   any simulation starts.
+//! * `[perf.NAME]` — a **performance scenario**: a single timed simulation
+//!   measured in interleaved rounds against a pinned calibration workload
+//!   (see [`crate::runner`]), gated by a tolerance band declared here.
+//! * `[external.NAME]` — an **external figure binary** (the structural /
+//!   layout figures that are not simulation sweeps): the runner executes it
+//!   and captures its output into the stamped artifact.
+//!
+//! [`Manifest::to_toml`] renders the canonical form; parsing it back yields an
+//! equal manifest (property-tested), and [`Manifest::config_hash`] — the FNV-64
+//! of the canonical form — is the configuration fingerprint stamped into every
+//! artifact and baseline.
+
+use crate::digest::fnv64_str;
+use crate::toml::{self, render_str, Document, Table, TomlError, Value};
+use crate::topo::TopoSpec;
+use spectralfly_simnet::fault::{FaultPlan, FaultScript};
+use spectralfly_simnet::{pattern, routing, OraclePolicy};
+
+/// Errors from parsing or validating a manifest.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ManifestError {
+    /// The document is not parseable TOML (subset); carries line + offset.
+    Toml(TomlError),
+    /// A field failed validation. `section`/`field` name the offending key.
+    Field {
+        /// Dotted table path, e.g. `experiment.fig6`.
+        section: String,
+        /// Key within the table, e.g. `routings`.
+        field: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManifestError::Toml(e) => write!(f, "{e}"),
+            ManifestError::Field {
+                section,
+                field,
+                reason,
+            } => write!(f, "manifest [{section}] {field}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl From<TomlError> for ManifestError {
+    fn from(e: TomlError) -> Self {
+        ManifestError::Toml(e)
+    }
+}
+
+/// How an experiment's points are executed and measured.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Mode {
+    /// Workload-paced finite run ([`spectralfly_simnet::Simulator::run`]):
+    /// every endpoint sends `messages` messages of `bytes` bytes, the run
+    /// drains to empty. Loads do not apply.
+    Finite {
+        /// Messages per endpoint.
+        messages: usize,
+        /// Bytes per message.
+        bytes: u64,
+    },
+    /// Offered-load finite run: the same workload paced to each `loads` entry.
+    Offered {
+        /// Messages per endpoint.
+        messages: usize,
+        /// Bytes per message.
+        bytes: u64,
+    },
+    /// Steady-state run with measurement windows: continuous Poisson sources
+    /// at each `loads` entry, destinations drawn live from the pattern axis.
+    Steady {
+        /// Warmup span, nanoseconds.
+        warmup_ns: u64,
+        /// Measurement span, nanoseconds.
+        measure_ns: u64,
+        /// Bytes per message.
+        bytes: u64,
+    },
+}
+
+impl Mode {
+    /// The mode's name in manifest source.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Finite { .. } => "finite",
+            Mode::Offered { .. } => "offered",
+            Mode::Steady { .. } => "steady",
+        }
+    }
+}
+
+/// One `[experiment.NAME]` sweep: the cross product of its axes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Experiment {
+    /// Section name.
+    pub name: String,
+    /// Topology axis (canonical [`TopoSpec`] spellings).
+    pub topologies: Vec<String>,
+    /// Routing axis (registry names).
+    pub routings: Vec<String>,
+    /// Pattern axis (registry specs). Empty = workload-template destinations.
+    pub patterns: Vec<String>,
+    /// Static-fault axis ([`FaultPlan`] specs; `"none"` = pristine).
+    pub faults: Vec<String>,
+    /// Runtime-fault axis ([`FaultScript`] specs; `"none"` = no churn).
+    pub fault_scripts: Vec<String>,
+    /// Oracle-policy axis.
+    pub oracles: Vec<String>,
+    /// Engine shard counts. Every value of this axis must produce the
+    /// identical results digest (the runner asserts it) — `1` dispatches the
+    /// sequential wakeup engine, `>1` the conservative parallel engine, so
+    /// listing `[1, 2, 4]` locks the cross-engine equivalence guarantee and
+    /// is only valid in the regime where it holds (tie-free workloads).
+    pub shards: Vec<usize>,
+    /// RNG seeds.
+    pub seeds: Vec<u64>,
+    /// Offered loads (fractions of injection bandwidth; ignored by `finite`).
+    pub loads: Vec<f64>,
+    /// Execution mode.
+    pub mode: Mode,
+    /// Seed for the static-fault and fault-script draws.
+    pub fault_seed: u64,
+}
+
+/// One `[perf.NAME]` performance scenario.
+///
+/// The gated quantity is the **calibration ratio**: the scenario's
+/// useful-events/second divided by a pinned calibration workload's, both
+/// measured as medians of `rounds` interleaved rounds in the same process
+/// (see [`crate::runner::run_perf_scenario`]). Raw events/second depends on
+/// the host; the ratio cancels host speed and — because the rounds interleave
+/// — most host noise, which is what makes a checked-in baseline comparable to
+/// a fresh CI run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfScenario {
+    /// Section name.
+    pub name: String,
+    /// Topology spec.
+    pub topology: String,
+    /// Routing registry name.
+    pub routing: String,
+    /// Offered load.
+    pub load: f64,
+    /// Messages per endpoint.
+    pub messages: usize,
+    /// Bytes per message.
+    pub bytes: u64,
+    /// Interleaved measurement rounds (median reported).
+    pub rounds: usize,
+    /// Relative tolerance band on the calibration ratio: `repro check` fails
+    /// when a fresh ratio falls below `baseline * (1 - tolerance)`.
+    pub tolerance: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// One `[external.NAME]` figure binary invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExternalFigure {
+    /// Section name.
+    pub name: String,
+    /// Binary name within `spectralfly-bench` (e.g. `table1`).
+    pub bin: String,
+    /// Arguments passed to it.
+    pub args: Vec<String>,
+}
+
+/// A parsed, validated manifest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Manifest {
+    /// Manifest name (baselines and artifacts are filed under it).
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// Experiments in source order.
+    pub experiments: Vec<Experiment>,
+    /// Performance scenarios in source order.
+    pub perf: Vec<PerfScenario>,
+    /// External figure binaries in source order.
+    pub external: Vec<ExternalFigure>,
+}
+
+fn field_err(section: &str, field: &str, reason: impl Into<String>) -> ManifestError {
+    ManifestError::Field {
+        section: section.to_string(),
+        field: field.to_string(),
+        reason: reason.into(),
+    }
+}
+
+// ---- typed getters over a toml table ----------------------------------------
+
+fn get_str(t: &Table, field: &str) -> Result<Option<String>, ManifestError> {
+    match t.get(field) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(v) => Err(field_err(
+            &t.path_str(),
+            field,
+            format!("expected a string, got {}", v.type_name()),
+        )),
+    }
+}
+
+fn req_str(t: &Table, field: &str) -> Result<String, ManifestError> {
+    get_str(t, field)?.ok_or_else(|| field_err(&t.path_str(), field, "missing required field"))
+}
+
+fn get_u64(t: &Table, field: &str, default: u64) -> Result<u64, ManifestError> {
+    match t.get(field) {
+        None => Ok(default),
+        Some(Value::Int(i)) if *i >= 0 => Ok(*i as u64),
+        Some(v) => Err(field_err(
+            &t.path_str(),
+            field,
+            format!("expected a non-negative integer, got {}", v.render()),
+        )),
+    }
+}
+
+fn get_f64(t: &Table, field: &str, default: f64) -> Result<f64, ManifestError> {
+    match t.get(field) {
+        None => Ok(default),
+        Some(Value::Float(f)) => Ok(*f),
+        Some(Value::Int(i)) => Ok(*i as f64),
+        Some(v) => Err(field_err(
+            &t.path_str(),
+            field,
+            format!("expected a number, got {}", v.type_name()),
+        )),
+    }
+}
+
+fn get_str_list(t: &Table, field: &str) -> Result<Option<Vec<String>>, ManifestError> {
+    match t.get(field) {
+        None => Ok(None),
+        Some(Value::Array(items)) => {
+            let mut out = Vec::with_capacity(items.len());
+            for v in items {
+                match v {
+                    Value::Str(s) => out.push(s.clone()),
+                    other => {
+                        return Err(field_err(
+                            &t.path_str(),
+                            field,
+                            format!("expected an array of strings, got a {}", other.type_name()),
+                        ))
+                    }
+                }
+            }
+            Ok(Some(out))
+        }
+        Some(v) => Err(field_err(
+            &t.path_str(),
+            field,
+            format!("expected an array of strings, got {}", v.type_name()),
+        )),
+    }
+}
+
+fn get_u64_list(t: &Table, field: &str) -> Result<Option<Vec<u64>>, ManifestError> {
+    match t.get(field) {
+        None => Ok(None),
+        Some(Value::Array(items)) => {
+            let mut out = Vec::with_capacity(items.len());
+            for v in items {
+                match v {
+                    Value::Int(i) if *i >= 0 => out.push(*i as u64),
+                    other => {
+                        return Err(field_err(
+                            &t.path_str(),
+                            field,
+                            format!(
+                                "expected an array of non-negative integers, got {}",
+                                other.render()
+                            ),
+                        ))
+                    }
+                }
+            }
+            Ok(Some(out))
+        }
+        Some(v) => Err(field_err(
+            &t.path_str(),
+            field,
+            format!("expected an array of integers, got {}", v.type_name()),
+        )),
+    }
+}
+
+fn get_f64_list(t: &Table, field: &str) -> Result<Option<Vec<f64>>, ManifestError> {
+    match t.get(field) {
+        None => Ok(None),
+        Some(Value::Array(items)) => {
+            let mut out = Vec::with_capacity(items.len());
+            for v in items {
+                match v {
+                    Value::Float(f) => out.push(*f),
+                    Value::Int(i) => out.push(*i as f64),
+                    other => {
+                        return Err(field_err(
+                            &t.path_str(),
+                            field,
+                            format!("expected an array of numbers, got a {}", other.type_name()),
+                        ))
+                    }
+                }
+            }
+            Ok(Some(out))
+        }
+        Some(v) => Err(field_err(
+            &t.path_str(),
+            field,
+            format!("expected an array of numbers, got {}", v.type_name()),
+        )),
+    }
+}
+
+// ---- parsing ----------------------------------------------------------------
+
+impl Manifest {
+    /// Parse and validate a manifest from TOML source.
+    pub fn parse(src: &str) -> Result<Manifest, ManifestError> {
+        let doc = toml::parse(src)?;
+        Self::from_document(&doc)
+    }
+
+    fn from_document(doc: &Document) -> Result<Manifest, ManifestError> {
+        let header = doc
+            .table("manifest")
+            .ok_or_else(|| field_err("manifest", "name", "missing [manifest] table"))?;
+        let name = req_str(header, "name")?;
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(field_err(
+                "manifest",
+                "name",
+                format!("manifest names are [A-Za-z0-9_-]+, got {name:?}"),
+            ));
+        }
+        let description = get_str(header, "description")?.unwrap_or_default();
+
+        let mut experiments = Vec::new();
+        for t in doc.tables_under("experiment") {
+            experiments.push(Experiment::from_table(t)?);
+        }
+        let mut perf = Vec::new();
+        for t in doc.tables_under("perf") {
+            perf.push(PerfScenario::from_table(t)?);
+        }
+        let mut external = Vec::new();
+        for t in doc.tables_under("external") {
+            external.push(ExternalFigure::from_table(t)?);
+        }
+        for t in &doc.tables {
+            let known = t.path.is_empty() && t.entries.is_empty()
+                || t.path_str() == "manifest"
+                || matches!(
+                    t.path.first().map(String::as_str),
+                    Some("experiment" | "perf" | "external")
+                ) && t.path.len() == 2;
+            if !known {
+                return Err(field_err(
+                    &t.path_str(),
+                    "",
+                    "unknown section; expected [manifest], [experiment.*], [perf.*], or [external.*]",
+                ));
+            }
+        }
+        if experiments.is_empty() && perf.is_empty() && external.is_empty() {
+            return Err(field_err(
+                "manifest",
+                "name",
+                "manifest declares no experiments, perf scenarios, or external figures",
+            ));
+        }
+        Ok(Manifest {
+            name,
+            description,
+            experiments,
+            perf,
+            external,
+        })
+    }
+
+    /// The canonical TOML rendering: parsing it back yields an equal manifest.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str("[manifest]\n");
+        out.push_str(&format!("name = {}\n", render_str(&self.name)));
+        out.push_str(&format!(
+            "description = {}\n",
+            render_str(&self.description)
+        ));
+        for e in &self.experiments {
+            out.push('\n');
+            out.push_str(&e.to_toml());
+        }
+        for p in &self.perf {
+            out.push('\n');
+            out.push_str(&p.to_toml());
+        }
+        for x in &self.external {
+            out.push('\n');
+            out.push_str(&x.to_toml());
+        }
+        out
+    }
+
+    /// The manifest's configuration fingerprint: FNV-64 of the canonical TOML,
+    /// rendered as hex. Stamped into artifacts and baselines so `repro check`
+    /// can refuse to compare a run against baselines recorded for a different
+    /// configuration.
+    pub fn config_hash(&self) -> String {
+        format!("{:016x}", fnv64_str(&self.to_toml()))
+    }
+}
+
+fn section_name(t: &Table) -> String {
+    t.path.get(1).cloned().unwrap_or_default()
+}
+
+fn render_str_list(key: &str, items: &[String]) -> String {
+    let inner: Vec<String> = items.iter().map(|s| render_str(s)).collect();
+    format!("{key} = [{}]\n", inner.join(", "))
+}
+
+impl Experiment {
+    fn from_table(t: &Table) -> Result<Experiment, ManifestError> {
+        let section = t.path_str();
+        let name = section_name(t);
+        let allowed = [
+            "topologies",
+            "routings",
+            "patterns",
+            "faults",
+            "fault_scripts",
+            "oracles",
+            "shards",
+            "seeds",
+            "loads",
+            "mode",
+            "messages",
+            "bytes",
+            "warmup_ns",
+            "measure_ns",
+            "fault_seed",
+        ];
+        for e in &t.entries {
+            if !allowed.contains(&e.key.as_str()) {
+                return Err(field_err(
+                    &section,
+                    &e.key,
+                    format!("unknown field; known fields: {}", allowed.join(", ")),
+                ));
+            }
+        }
+
+        let topologies = get_str_list(t, "topologies")?
+            .ok_or_else(|| field_err(&section, "topologies", "missing required axis"))?;
+        if topologies.is_empty() {
+            return Err(field_err(&section, "topologies", "axis must be non-empty"));
+        }
+        let mut canon_topos = Vec::with_capacity(topologies.len());
+        for spec in &topologies {
+            let parsed = TopoSpec::parse(spec)
+                .map_err(|reason| field_err(&section, "topologies", reason))?;
+            canon_topos.push(parsed.canonical());
+        }
+
+        let routings = get_str_list(t, "routings")?
+            .ok_or_else(|| field_err(&section, "routings", "missing required axis"))?;
+        if routings.is_empty() {
+            return Err(field_err(&section, "routings", "axis must be non-empty"));
+        }
+        for r in &routings {
+            if !routing::is_registered(r) {
+                return Err(field_err(
+                    &section,
+                    "routings",
+                    format!(
+                        "unknown routing algorithm {r:?}; registered: {}",
+                        routing::registered_names().join(", ")
+                    ),
+                ));
+            }
+        }
+
+        let patterns = get_str_list(t, "patterns")?.unwrap_or_default();
+        for p in &patterns {
+            if !pattern::is_registered(p) {
+                return Err(field_err(
+                    &section,
+                    "patterns",
+                    format!(
+                        "unknown traffic pattern {p:?}; registered: {}",
+                        pattern::registered_names().join(", ")
+                    ),
+                ));
+            }
+        }
+
+        let faults = get_str_list(t, "faults")?.unwrap_or_else(|| vec!["none".to_string()]);
+        for f in &faults {
+            FaultPlan::parse(f).map_err(|e| field_err(&section, "faults", e.to_string()))?;
+        }
+        let fault_scripts =
+            get_str_list(t, "fault_scripts")?.unwrap_or_else(|| vec!["none".to_string()]);
+        for s in &fault_scripts {
+            FaultScript::parse(s)
+                .map_err(|e| field_err(&section, "fault_scripts", e.to_string()))?;
+        }
+
+        let oracles = get_str_list(t, "oracles")?.unwrap_or_else(|| vec!["auto".to_string()]);
+        for o in &oracles {
+            o.parse::<OraclePolicy>()
+                .map_err(|e| field_err(&section, "oracles", e))?;
+        }
+
+        let shards = get_u64_list(t, "shards")?
+            .unwrap_or_else(|| vec![1])
+            .into_iter()
+            .map(|s| s as usize)
+            .collect::<Vec<_>>();
+        if shards.is_empty() || shards.contains(&0) {
+            return Err(field_err(&section, "shards", "shard counts must be >= 1"));
+        }
+
+        let seeds = get_u64_list(t, "seeds")?.unwrap_or_else(|| vec![0x5EED]);
+        if seeds.is_empty() {
+            return Err(field_err(&section, "seeds", "axis must be non-empty"));
+        }
+
+        let loads = get_f64_list(t, "loads")?.unwrap_or_else(|| vec![0.7]);
+        for &l in &loads {
+            if !(l > 0.0 && l <= 1.0) {
+                return Err(field_err(
+                    &section,
+                    "loads",
+                    format!("loads are fractions in (0, 1], got {l}"),
+                ));
+            }
+        }
+
+        let bytes = get_u64(t, "bytes", 4096)?;
+        if bytes == 0 {
+            return Err(field_err(&section, "bytes", "messages must be non-empty"));
+        }
+        let messages = get_u64(t, "messages", 2)? as usize;
+        let mode_name = get_str(t, "mode")?.unwrap_or_else(|| "finite".to_string());
+        let mode = match mode_name.as_str() {
+            "finite" => Mode::Finite { messages, bytes },
+            "offered" => Mode::Offered { messages, bytes },
+            "steady" => {
+                let measure_ns = get_u64(t, "measure_ns", 20_000)?;
+                if measure_ns == 0 {
+                    return Err(field_err(
+                        &section,
+                        "measure_ns",
+                        "steady mode needs a non-empty measurement window",
+                    ));
+                }
+                Mode::Steady {
+                    warmup_ns: get_u64(t, "warmup_ns", measure_ns / 4)?,
+                    measure_ns,
+                    bytes,
+                }
+            }
+            other => {
+                return Err(field_err(
+                    &section,
+                    "mode",
+                    format!("unknown mode {other:?}; expected finite, offered, or steady"),
+                ))
+            }
+        };
+        if matches!(mode, Mode::Finite { .. } | Mode::Offered { .. }) && messages == 0 {
+            return Err(field_err(&section, "messages", "must be at least 1"));
+        }
+        if !patterns.is_empty() && !matches!(mode, Mode::Steady { .. }) {
+            return Err(field_err(
+                &section,
+                "patterns",
+                "the pattern axis drives steady-state sources; set mode = \"steady\"",
+            ));
+        }
+
+        Ok(Experiment {
+            name,
+            topologies: canon_topos,
+            routings,
+            patterns,
+            faults,
+            fault_scripts,
+            oracles,
+            shards,
+            seeds,
+            loads,
+            mode,
+            fault_seed: get_u64(t, "fault_seed", FaultPlan::DEFAULT_SEED)?,
+        })
+    }
+
+    fn to_toml(&self) -> String {
+        let mut out = format!("[experiment.{}]\n", quote_section(&self.name));
+        out.push_str(&render_str_list("topologies", &self.topologies));
+        out.push_str(&render_str_list("routings", &self.routings));
+        if !self.patterns.is_empty() {
+            out.push_str(&render_str_list("patterns", &self.patterns));
+        }
+        out.push_str(&render_str_list("faults", &self.faults));
+        out.push_str(&render_str_list("fault_scripts", &self.fault_scripts));
+        out.push_str(&render_str_list("oracles", &self.oracles));
+        let shards: Vec<String> = self.shards.iter().map(usize::to_string).collect();
+        out.push_str(&format!("shards = [{}]\n", shards.join(", ")));
+        let seeds: Vec<String> = self.seeds.iter().map(u64::to_string).collect();
+        out.push_str(&format!("seeds = [{}]\n", seeds.join(", ")));
+        let loads: Vec<String> = self.loads.iter().map(|l| toml::render_float(*l)).collect();
+        out.push_str(&format!("loads = [{}]\n", loads.join(", ")));
+        out.push_str(&format!("mode = {}\n", render_str(self.mode.name())));
+        match &self.mode {
+            Mode::Finite { messages, bytes } | Mode::Offered { messages, bytes } => {
+                out.push_str(&format!("messages = {messages}\n"));
+                out.push_str(&format!("bytes = {bytes}\n"));
+            }
+            Mode::Steady {
+                warmup_ns,
+                measure_ns,
+                bytes,
+            } => {
+                out.push_str(&format!("warmup_ns = {warmup_ns}\n"));
+                out.push_str(&format!("measure_ns = {measure_ns}\n"));
+                out.push_str(&format!("bytes = {bytes}\n"));
+            }
+        }
+        out.push_str(&format!("fault_seed = {}\n", self.fault_seed));
+        out
+    }
+}
+
+impl PerfScenario {
+    fn from_table(t: &Table) -> Result<PerfScenario, ManifestError> {
+        let section = t.path_str();
+        let allowed = [
+            "topology",
+            "routing",
+            "load",
+            "messages",
+            "bytes",
+            "rounds",
+            "tolerance",
+            "seed",
+        ];
+        for e in &t.entries {
+            if !allowed.contains(&e.key.as_str()) {
+                return Err(field_err(
+                    &section,
+                    &e.key,
+                    format!("unknown field; known fields: {}", allowed.join(", ")),
+                ));
+            }
+        }
+        let topology = TopoSpec::parse(&req_str(t, "topology")?)
+            .map_err(|reason| field_err(&section, "topology", reason))?
+            .canonical();
+        let routing_name = req_str(t, "routing")?;
+        if !routing::is_registered(&routing_name) {
+            return Err(field_err(
+                &section,
+                "routing",
+                format!(
+                    "unknown routing algorithm {routing_name:?}; registered: {}",
+                    routing::registered_names().join(", ")
+                ),
+            ));
+        }
+        let load = get_f64(t, "load", 0.9)?;
+        if !(load > 0.0 && load <= 1.0) {
+            return Err(field_err(
+                &section,
+                "load",
+                format!("load is a fraction in (0, 1], got {load}"),
+            ));
+        }
+        let tolerance = get_f64(t, "tolerance", 0.5)?;
+        if !(tolerance > 0.0 && tolerance < 1.0) {
+            return Err(field_err(
+                &section,
+                "tolerance",
+                format!("tolerance is a relative band in (0, 1), got {tolerance}"),
+            ));
+        }
+        let rounds = get_u64(t, "rounds", 3)? as usize;
+        if rounds == 0 {
+            return Err(field_err(&section, "rounds", "must be at least 1"));
+        }
+        let messages = get_u64(t, "messages", 4)? as usize;
+        if messages == 0 {
+            return Err(field_err(&section, "messages", "must be at least 1"));
+        }
+        Ok(PerfScenario {
+            name: section_name(t),
+            topology,
+            routing: routing_name,
+            load,
+            messages,
+            bytes: get_u64(t, "bytes", 4096)?,
+            rounds,
+            tolerance,
+            seed: get_u64(t, "seed", 0x5EED)?,
+        })
+    }
+
+    fn to_toml(&self) -> String {
+        let mut out = format!("[perf.{}]\n", quote_section(&self.name));
+        out.push_str(&format!("topology = {}\n", render_str(&self.topology)));
+        out.push_str(&format!("routing = {}\n", render_str(&self.routing)));
+        out.push_str(&format!("load = {}\n", toml::render_float(self.load)));
+        out.push_str(&format!("messages = {}\n", self.messages));
+        out.push_str(&format!("bytes = {}\n", self.bytes));
+        out.push_str(&format!("rounds = {}\n", self.rounds));
+        out.push_str(&format!(
+            "tolerance = {}\n",
+            toml::render_float(self.tolerance)
+        ));
+        out.push_str(&format!("seed = {}\n", self.seed));
+        out
+    }
+}
+
+impl ExternalFigure {
+    fn from_table(t: &Table) -> Result<ExternalFigure, ManifestError> {
+        let section = t.path_str();
+        for e in &t.entries {
+            if !["bin", "args"].contains(&e.key.as_str()) {
+                return Err(field_err(
+                    &section,
+                    &e.key,
+                    "unknown field; known fields: bin, args",
+                ));
+            }
+        }
+        let bin = req_str(t, "bin")?;
+        if bin.is_empty()
+            || !bin
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(field_err(
+                &section,
+                "bin",
+                format!("binary names are [A-Za-z0-9_-]+, got {bin:?}"),
+            ));
+        }
+        Ok(ExternalFigure {
+            name: section_name(t),
+            bin,
+            args: get_str_list(t, "args")?.unwrap_or_default(),
+        })
+    }
+
+    fn to_toml(&self) -> String {
+        let mut out = format!("[external.{}]\n", quote_section(&self.name));
+        out.push_str(&format!("bin = {}\n", render_str(&self.bin)));
+        out.push_str(&render_str_list("args", &self.args));
+        out
+    }
+}
+
+fn quote_section(name: &str) -> String {
+    if !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        name.to_string()
+    } else {
+        render_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE: &str = r#"
+[manifest]
+name = "mini"
+description = "a test manifest"
+
+[experiment.eq]
+topologies = ["ring(9)x2"]
+routings = ["minimal"]
+shards = [1, 2]
+seeds = [7]
+mode = "finite"
+messages = 2
+bytes = 1024
+
+[experiment.steady]
+topologies = ["lps(11,7)x4"]
+routings = ["ugal-l"]
+patterns = ["adversarial(4)"]
+faults = ["links(0.05)"]
+mode = "steady"
+warmup_ns = 2000
+measure_ns = 8000
+loads = [0.7]
+
+[perf.bound]
+topology = "lps(11,7)x4"
+routing = "ugal-l"
+load = 0.9
+messages = 2
+rounds = 2
+tolerance = 0.5
+
+[external.t1]
+bin = "table1"
+args = ["--seed", "1"]
+"#;
+
+    #[test]
+    fn parses_and_round_trips_canonically() {
+        let m = Manifest::parse(SMOKE).unwrap();
+        assert_eq!(m.name, "mini");
+        assert_eq!(m.experiments.len(), 2);
+        assert_eq!(m.perf.len(), 1);
+        assert_eq!(m.external.len(), 1);
+        assert_eq!(m.experiments[0].shards, vec![1, 2]);
+        assert_eq!(
+            m.experiments[1].mode,
+            Mode::Steady {
+                warmup_ns: 2000,
+                measure_ns: 8000,
+                bytes: 4096
+            }
+        );
+        let canonical = m.to_toml();
+        let back = Manifest::parse(&canonical).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(back.to_toml(), canonical, "canonical form is a fixpoint");
+        assert_eq!(m.config_hash(), back.config_hash());
+        assert_eq!(m.config_hash().len(), 16);
+    }
+
+    #[test]
+    fn typed_errors_name_the_offending_field() {
+        let cases: Vec<(&str, &str, &str, &str)> = vec![
+            (
+                "[manifest]\nname = \"x\"\n[experiment.e]\ntopologies = [\"ring(9)\"]\nroutings = [\"warp-speed\"]\n",
+                "experiment.e",
+                "routings",
+                "unknown routing algorithm",
+            ),
+            (
+                "[manifest]\nname = \"x\"\n[experiment.e]\ntopologies = [\"torus(4)\"]\nroutings = [\"minimal\"]\n",
+                "experiment.e",
+                "topologies",
+                "unknown topology family",
+            ),
+            (
+                "[manifest]\nname = \"x\"\n[experiment.e]\ntopologies = [\"ring(9)\"]\nroutings = [\"minimal\"]\nmode = \"steady\"\npatterns = [\"mystery\"]\n",
+                "experiment.e",
+                "patterns",
+                "unknown traffic pattern",
+            ),
+            (
+                "[manifest]\nname = \"x\"\n[experiment.e]\ntopologies = [\"ring(9)\"]\nroutings = [\"minimal\"]\nfaults = [\"meteor(3)\"]\n",
+                "experiment.e",
+                "faults",
+                "",
+            ),
+            (
+                "[manifest]\nname = \"x\"\n[experiment.e]\ntopologies = [\"ring(9)\"]\nroutings = [\"minimal\"]\noracles = [\"psychic\"]\n",
+                "experiment.e",
+                "oracles",
+                "unknown oracle policy",
+            ),
+            (
+                "[manifest]\nname = \"x\"\n[experiment.e]\ntopologies = [\"ring(9)\"]\nroutings = [\"minimal\"]\nloads = [1.5]\n",
+                "experiment.e",
+                "loads",
+                "fractions in (0, 1]",
+            ),
+            (
+                "[manifest]\nname = \"x\"\n[experiment.e]\ntopologies = [\"ring(9)\"]\nroutings = [\"minimal\"]\nshards = [0]\n",
+                "experiment.e",
+                "shards",
+                ">= 1",
+            ),
+            (
+                "[manifest]\nname = \"x\"\n[experiment.e]\ntopologies = [\"ring(9)\"]\nroutings = [\"minimal\"]\nwingspan = 3\n",
+                "experiment.e",
+                "wingspan",
+                "unknown field",
+            ),
+            (
+                "[manifest]\nname = \"x\"\n[perf.p]\ntopology = \"ring(9)\"\nrouting = \"minimal\"\ntolerance = 2.0\n",
+                "perf.p",
+                "tolerance",
+                "relative band",
+            ),
+        ];
+        for (src, section, field, reason_frag) in cases {
+            match Manifest::parse(src) {
+                Err(ManifestError::Field {
+                    section: s,
+                    field: f,
+                    reason,
+                }) => {
+                    assert_eq!(s, section, "{src}");
+                    assert_eq!(f, field, "{src}");
+                    assert!(
+                        reason.contains(reason_frag),
+                        "reason {reason:?} missing {reason_frag:?}"
+                    );
+                }
+                other => panic!("expected a Field error for {src:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn toml_errors_pass_through_with_location() {
+        match Manifest::parse("[manifest\nname = \"x\"\n") {
+            Err(ManifestError::Toml(e)) => assert_eq!(e.line, 1),
+            other => panic!("expected a Toml error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pattern_axis_requires_steady_mode() {
+        let src = "[manifest]\nname = \"x\"\n[experiment.e]\ntopologies = [\"ring(9)\"]\nroutings = [\"minimal\"]\npatterns = [\"random\"]\n";
+        match Manifest::parse(src) {
+            Err(ManifestError::Field { field, .. }) => assert_eq!(field, "patterns"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_manifest_is_rejected() {
+        assert!(Manifest::parse("[manifest]\nname = \"x\"\n").is_err());
+    }
+}

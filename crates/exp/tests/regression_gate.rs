@@ -1,0 +1,151 @@
+//! Regression-gate self-test: inject synthetic drift into baseline copies and
+//! assert the gate fails each injection with the right diagnosis. A gate that
+//! cannot catch a planted regression is worse than no gate — it certifies.
+
+use spectralfly_exp::{compare, Baselines, Diagnosis, Manifest, RunOptions};
+use spectralfly_exp::{runner, RunReport};
+
+const MINI: &str = r#"
+[manifest]
+name = "gate-selftest"
+description = "tiny manifest for gate injection tests"
+
+[experiment.eq]
+topologies = ["ring(5)x2"]
+routings = ["minimal"]
+shards = [1, 2]
+seeds = [7, 9]
+mode = "finite"
+messages = 2
+bytes = 512
+
+[perf.tiny]
+topology = "ring(5)x2"
+routing = "minimal"
+load = 0.5
+messages = 2
+bytes = 512
+rounds = 1
+tolerance = 0.5
+seed = 7
+"#;
+
+fn fresh_run(m: &Manifest) -> RunReport {
+    let opts = RunOptions {
+        skip_external: true,
+        skip_perf: false,
+        filter: None,
+    };
+    runner::run_manifest(m, &opts).expect("mini manifest runs clean")
+}
+
+#[test]
+fn gate_passes_clean_and_fails_each_injected_regression_with_the_right_diagnosis() {
+    let m = Manifest::parse(MINI).unwrap();
+    let report = fresh_run(&m);
+    let golden = Baselines::from_report(&report);
+
+    // Baselines survive their own serialisation — what `repro check` reads
+    // back from disk is what `--record-baselines` wrote.
+    let reloaded = Baselines::parse(&golden.to_toml()).expect("recorded baselines re-parse");
+    assert_eq!(reloaded, golden);
+
+    // Clean: a fresh run against its own baselines passes with no findings.
+    let cmp = compare(&m, &report, &golden);
+    assert!(cmp.passed(), "clean compare failed: {:?}", cmp.findings);
+
+    // Injection 1: perturb one results digest — the gate must name the exact
+    // point and both digests.
+    let mut drifted = golden.clone();
+    let (victim_id, original) = drifted.results[0].clone();
+    drifted.results[0].1 = "0000000000000000".to_string();
+    let cmp = compare(&m, &report, &drifted);
+    assert!(!cmp.passed());
+    assert_eq!(
+        cmp.findings,
+        vec![Diagnosis::ResultsDrift {
+            id: victim_id.clone(),
+            expected: "0000000000000000".to_string(),
+            got: original,
+        }]
+    );
+
+    // Injection 2: synthetic slowdown — a recorded perf ratio far above what
+    // the fresh run achieves puts the fresh ratio below the tolerance band.
+    let mut slowed = golden.clone();
+    let scenario = slowed.perf[0].0.clone();
+    slowed.perf[0].1 *= 100.0;
+    let cmp = compare(&m, &report, &slowed);
+    assert!(!cmp.passed());
+    match &cmp.findings[..] {
+        [Diagnosis::PerfRegression {
+            name, tolerance, ..
+        }] => {
+            assert_eq!(name, &scenario);
+            assert_eq!(*tolerance, 0.5, "band must come from the manifest");
+        }
+        other => panic!("expected a single PerfRegression, got {other:?}"),
+    }
+
+    // Injection 3: a baselined point the fresh run no longer produces — a
+    // sweep silently losing coverage must fail, not shrink.
+    let mut phantom = golden.clone();
+    phantom.results.push((
+        "eq/ring(99)x2/minimal/s=7".to_string(),
+        "feedfacecafebeef".to_string(),
+    ));
+    let cmp = compare(&m, &report, &phantom);
+    assert_eq!(
+        cmp.findings,
+        vec![Diagnosis::MissingPoint {
+            id: "eq/ring(99)x2/minimal/s=7".to_string()
+        }]
+    );
+
+    // Injection 4: the fresh run grew a point the baseline never recorded —
+    // new coverage must be adopted consciously via --record-baselines.
+    let mut amnesiac = golden.clone();
+    let dropped = amnesiac.results.pop().unwrap();
+    let cmp = compare(&m, &report, &amnesiac);
+    assert_eq!(
+        cmp.findings,
+        vec![Diagnosis::UnbaselinedPoint { id: dropped.0 }]
+    );
+
+    // Injection 5: baselines recorded for a different manifest config hash
+    // short-circuit to a single mismatch finding — no noise from the (now
+    // meaningless) per-point diffs.
+    let mut stale = golden.clone();
+    stale.config_hash = "ffffffffffffffff".to_string();
+    let cmp = compare(&m, &report, &stale);
+    assert_eq!(
+        cmp.findings,
+        vec![Diagnosis::ManifestMismatch {
+            expected: "ffffffffffffffff".to_string(),
+            got: m.config_hash(),
+        }]
+    );
+}
+
+/// An improved perf ratio (above baseline + band) is a note, never a failure:
+/// the gate is one-sided by design so faster hardware or a real optimisation
+/// cannot break CI — it just prompts a re-record.
+#[test]
+fn perf_improvements_are_notes_not_failures() {
+    let m = Manifest::parse(MINI).unwrap();
+    let report = fresh_run(&m);
+    let mut humble = Baselines::from_report(&report);
+    humble.perf[0].1 /= 100.0;
+    let cmp = compare(&m, &report, &humble);
+    assert!(
+        cmp.passed(),
+        "improvement must not fail: {:?}",
+        cmp.findings
+    );
+    assert_eq!(cmp.notes.len(), 1);
+    assert!(
+        cmp.notes[0].contains("improve"),
+        "note should invite a re-record: {}",
+        cmp.notes[0]
+    );
+}
