@@ -1,0 +1,198 @@
+//! Multi-tenant interference sweep — the jobs-subsystem companion to the
+//! paper's saturation figures.
+//!
+//! The paper's sweeps measure one workload owning the whole machine. Real
+//! deployments co-schedule tenants, and an expander's resilience claim extends
+//! to *interference*: a victim tenant's tail latency should degrade gracefully
+//! when an adversarial neighbor moves in next door. This sweep quantifies that
+//! with the [`spectralfly_simnet::job`] subsystem: each topology × routing
+//! combination runs the same tenant mix twice —
+//!
+//! * **solo**: an `allreduce-ring` collective plus a victim tenant running
+//!   uniform-random open-loop traffic, placed contiguously;
+//! * **mixed**: the identical placement plus a co-resident `adversarial(g)`
+//!   neighbor (group size aligned to the topology's group structure)
+//!   hammering the remaining endpoints.
+//!
+//! Contiguous placement keeps the collective and the victim on bit-identical
+//! endpoint allocations in both runs, so every delta in the table is the
+//! neighbor's doing: victim p99 with/without, victim goodput with/without, and
+//! collective completion time with/without.
+//!
+//! Usage: `cargo run --release -p spectralfly-bench --bin tenant_sweep
+//! [--full] [--topo substring] [--routing minimal,ugal-l,…|all]
+//! [--victim-rate PCT] [--adv-rate PCT] [--bytes N] [--coll-ranks N]
+//! [--seed N] [--warmup NS] [--measure NS] [--shards N] [--smoke]`
+//!
+//! The acceptance scenario — paper-scale LPS(23,13)×8 victim p99 with and
+//! without the adversarial neighbor under both minimal and UGAL-L — is
+//! `tenant_sweep --full --topo SpectralFly`; the checked-in
+//! `manifests/smoke.toml` multi-tenant experiment pins the small-scale digest
+//! in CI, and `--smoke` runs this whole binary at CI scale in seconds.
+
+use spectralfly_bench::{
+    arg_str, arg_u64, fmt, paper_sim_config, print_table, routing_names_from_args, seed_from_args,
+    shards_from_args, steady_source_workload, topo_filter_from_args, try_run_offered_load, Scale,
+};
+use spectralfly_bench::{simulation_topologies, SimTopology};
+use spectralfly_simnet::{MeasurementWindows, SimResults, TenantStats};
+
+/// The tenant mix for one run: collective + victim, with or without the
+/// adversarial neighbor. Explicit rank counts + contiguous placement (the
+/// default) pin the collective and victim to the same endpoints either way.
+fn mix_spec(
+    topo: &SimTopology,
+    coll_ranks: usize,
+    victim_ranks: usize,
+    adv_ranks: usize,
+    victim_rate: f64,
+    adv_rate: f64,
+    bytes: u64,
+) -> String {
+    let mut spec = format!(
+        "allreduce-ring({bytes}) x {coll_ranks} + traffic({victim_rate}, random, {bytes}) x {victim_ranks}"
+    );
+    if adv_ranks > 0 {
+        // Group size aligned to the topology's group structure, clamped to the
+        // neighbor's own rank space (the pattern draws tenant-local ranks).
+        let group = topo
+            .group_endpoints
+            .unwrap_or_else(|| (adv_ranks as f64).sqrt().ceil() as usize)
+            .clamp(1, adv_ranks.max(2) - 1);
+        spec.push_str(&format!(
+            " + traffic({adv_rate}, adversarial({group}), {bytes}) x {adv_ranks}"
+        ));
+    }
+    spec
+}
+
+/// Victim + collective columns of one run's per-tenant results.
+struct RunView {
+    victim_p99_ns: u64,
+    victim_goodput: f64,
+    cct_ns: Option<u64>,
+}
+
+fn view(res: &SimResults) -> RunView {
+    let coll: &TenantStats = &res.tenants[0];
+    let victim = &res.tenants[1];
+    let cct = coll
+        .collective
+        .as_ref()
+        .and_then(|c| c.completed.then_some(c.completion_time_ps / 1000));
+    RunView {
+        victim_p99_ns: victim.p99_latency_ps / 1000,
+        victim_goodput: victim.goodput_gbps,
+        cct_ns: cct,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale::Small
+    } else {
+        Scale::from_args()
+    };
+    let seed = seed_from_args(0x7E27);
+    let routings = routing_names_from_args(&["minimal", "ugal-l"]);
+    let shards = shards_from_args();
+    let victim_rate = (arg_u64("--victim-rate", 30) as f64 / 100.0).clamp(0.01, 1.0);
+    let adv_rate = (arg_u64("--adv-rate", 90) as f64 / 100.0).clamp(0.01, 1.0);
+    let bytes = arg_u64("--bytes", 4096).max(1);
+    let measure_ns = arg_u64("--measure", if smoke { 3_000 } else { 20_000 });
+    let warmup_ns = arg_u64("--warmup", measure_ns / 4);
+    let topo_filter = topo_filter_from_args();
+    let _ = arg_str("--pattern"); // victim is always uniform; flag reserved
+
+    let topologies: Vec<_> = simulation_topologies(scale)
+        .into_iter()
+        .filter(|t| match &topo_filter {
+            None => true,
+            Some(f) => t.name.to_lowercase().contains(f),
+        })
+        .collect();
+    assert!(!topologies.is_empty(), "--topo matched no topology");
+
+    let mut rows = Vec::new();
+    for topo in &topologies {
+        let net = topo.network();
+        let n = net.num_endpoints();
+        let coll_ranks = arg_u64("--coll-ranks", if smoke { 8 } else { 64 }) as usize;
+        let victim_ranks = (n / 4).max(2);
+        let adv_ranks = (n / 2).min(n.saturating_sub(coll_ranks + victim_ranks));
+        assert!(
+            coll_ranks + victim_ranks <= n,
+            "{}: {} endpoints cannot host {} collective + {} victim ranks",
+            topo.name,
+            n,
+            coll_ranks,
+            victim_ranks
+        );
+        let wl = steady_source_workload(&net, bytes, seed ^ 0x7E4A47);
+        for routing in &routings {
+            let run = |adv: usize| -> RunView {
+                let spec = mix_spec(
+                    topo,
+                    coll_ranks,
+                    victim_ranks,
+                    adv,
+                    victim_rate,
+                    adv_rate,
+                    bytes,
+                );
+                let mut cfg = paper_sim_config(&net, routing.clone(), seed)
+                    .with_shards(shards)
+                    .with_jobs(&spec);
+                cfg.windows = Some(MeasurementWindows::new(warmup_ns * 1000, measure_ns * 1000));
+                let res = try_run_offered_load(&net, &cfg, &wl, 1.0)
+                    .unwrap_or_else(|e| panic!("{}: {e}", topo.name));
+                view(&res)
+            };
+            let solo = run(0);
+            let mixed = run(adv_ranks);
+            let interference = if solo.victim_p99_ns > 0 {
+                fmt(mixed.victim_p99_ns as f64 / solo.victim_p99_ns as f64)
+            } else {
+                "-".to_string()
+            };
+            let cct = |v: &RunView| {
+                v.cct_ns
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "stalled".to_string())
+            };
+            rows.push(vec![
+                topo.name.clone(),
+                routing.clone(),
+                format!("{coll_ranks}/{victim_ranks}/{adv_ranks}"),
+                format!("{}", solo.victim_p99_ns),
+                format!("{}", mixed.victim_p99_ns),
+                interference,
+                fmt(solo.victim_goodput),
+                fmt(mixed.victim_goodput),
+                cct(&solo),
+                cct(&mixed),
+            ]);
+        }
+    }
+    print_table(
+        &format!(
+            "Victim tail latency with and without an adversarial neighbor \
+             (victim rate {victim_rate:.2}, adversary rate {adv_rate:.2}, {bytes} B, \
+             measure {measure_ns} ns, seed {seed:#x})"
+        ),
+        &[
+            "Topology",
+            "Routing",
+            "C/V/A ranks",
+            "p99 solo ns",
+            "p99 mixed ns",
+            "Interference",
+            "Goodput solo",
+            "Goodput mixed",
+            "CCT solo ns",
+            "CCT mixed ns",
+        ],
+        &rows,
+    );
+}

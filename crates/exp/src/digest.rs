@@ -126,6 +126,38 @@ pub fn digest_results(r: &SimResults) -> String {
     ] {
         h.write_u64(v);
     }
+    // Per-tenant results are folded only when present: legacy (jobs-less)
+    // runs keep their recorded digests bit-identical.
+    if !r.tenants.is_empty() {
+        h.write_u64(r.tenants.len() as u64);
+        for t in &r.tenants {
+            h.write(t.name.as_bytes());
+            h.write(t.job.as_bytes());
+            h.write_u64(t.ranks as u64);
+            h.write_u64(t.injected_messages);
+            h.write_u64(t.injected_bytes);
+            h.write_u64(t.delivered_messages);
+            h.write_u64(t.delivered_packets);
+            h.write_u64(t.delivered_bytes);
+            h.write_f64(t.mean_latency_ps);
+            h.write_u64(t.p50_latency_ps);
+            h.write_u64(t.p95_latency_ps);
+            h.write_u64(t.p99_latency_ps);
+            h.write_u64(t.max_latency_ps);
+            h.write_f64(t.goodput_gbps);
+            match &t.collective {
+                None => h.write_u64(0),
+                Some(c) => {
+                    h.write_u64(1);
+                    h.write_u64(c.total_messages);
+                    h.write_u64(c.delivered_messages);
+                    h.write_u64(c.ranks_completed as u64);
+                    h.write_u64(c.completed as u64);
+                    h.write_u64(c.completion_time_ps);
+                }
+            }
+        }
+    }
     format!("{:016x}", h.finish())
 }
 

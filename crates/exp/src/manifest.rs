@@ -121,6 +121,11 @@ pub struct Experiment {
     pub routings: Vec<String>,
     /// Pattern axis (registry specs). Empty = workload-template destinations.
     pub patterns: Vec<String>,
+    /// Multi-tenant jobs axis ([`spectralfly_simnet::job`] mix specs, e.g.
+    /// `"allreduce-ring(8192) x 8 + traffic(0.3, random) x 24"`). Empty = no
+    /// jobs (legacy sources). A non-empty axis requires `mode = "steady"`;
+    /// each mix supersedes the workload templates and the pattern axis.
+    pub jobs: Vec<String>,
     /// Static-fault axis ([`FaultPlan`] specs; `"none"` = pristine).
     pub faults: Vec<String>,
     /// Runtime-fault axis ([`FaultScript`] specs; `"none"` = no churn).
@@ -457,6 +462,7 @@ impl Experiment {
             "topologies",
             "routings",
             "patterns",
+            "jobs",
             "faults",
             "fault_scripts",
             "oracles",
@@ -522,6 +528,12 @@ impl Experiment {
                     ),
                 ));
             }
+        }
+
+        let jobs = get_str_list(t, "jobs")?.unwrap_or_default();
+        for j in &jobs {
+            spectralfly_simnet::job::validate_mix_spec(j)
+                .map_err(|e| field_err(&section, "jobs", e.to_string()))?;
         }
 
         let faults = get_str_list(t, "faults")?.unwrap_or_else(|| vec!["none".to_string()]);
@@ -608,12 +620,20 @@ impl Experiment {
                 "the pattern axis drives steady-state sources; set mode = \"steady\"",
             ));
         }
+        if !jobs.is_empty() && !matches!(mode, Mode::Steady { .. }) {
+            return Err(field_err(
+                &section,
+                "jobs",
+                "the jobs axis drives steady-state tenant mixes; set mode = \"steady\"",
+            ));
+        }
 
         Ok(Experiment {
             name,
             topologies: canon_topos,
             routings,
             patterns,
+            jobs,
             faults,
             fault_scripts,
             oracles,
@@ -631,6 +651,9 @@ impl Experiment {
         out.push_str(&render_str_list("routings", &self.routings));
         if !self.patterns.is_empty() {
             out.push_str(&render_str_list("patterns", &self.patterns));
+        }
+        if !self.jobs.is_empty() {
+            out.push_str(&render_str_list("jobs", &self.jobs));
         }
         out.push_str(&render_str_list("faults", &self.faults));
         out.push_str(&render_str_list("fault_scripts", &self.fault_scripts));

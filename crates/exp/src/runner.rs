@@ -87,6 +87,9 @@ pub struct Point {
     pub routing: String,
     /// Steady-state pattern spec (empty = workload-template destinations).
     pub pattern: String,
+    /// Multi-tenant jobs mix spec (empty = no jobs). Supersedes the workload
+    /// templates and the pattern when set.
+    pub jobs: String,
     /// Static-fault plan spec.
     pub fault: String,
     /// Runtime fault-script spec.
@@ -176,47 +179,58 @@ pub fn expand(e: &Experiment) -> Vec<Point> {
     } else {
         e.patterns.clone()
     };
+    let jobs_axis: Vec<String> = if e.jobs.is_empty() {
+        vec![String::new()]
+    } else {
+        e.jobs.clone()
+    };
     let mut points = Vec::new();
     for topo in &e.topologies {
         for routing in &e.routings {
             for pattern in &patterns {
-                for fault in &e.faults {
-                    for script in &e.fault_scripts {
-                        for oracle in &e.oracles {
-                            for &seed in &e.seeds {
-                                for &load in &loads {
-                                    let mut id = format!("{}/{}/{}", e.name, topo, routing);
-                                    if !pattern.is_empty() {
-                                        id.push_str(&format!("/p={pattern}"));
+                for jobs in &jobs_axis {
+                    for fault in &e.faults {
+                        for script in &e.fault_scripts {
+                            for oracle in &e.oracles {
+                                for &seed in &e.seeds {
+                                    for &load in &loads {
+                                        let mut id = format!("{}/{}/{}", e.name, topo, routing);
+                                        if !pattern.is_empty() {
+                                            id.push_str(&format!("/p={pattern}"));
+                                        }
+                                        if !jobs.is_empty() {
+                                            id.push_str(&format!("/j={jobs}"));
+                                        }
+                                        if fault != "none" {
+                                            id.push_str(&format!("/f={fault}"));
+                                        }
+                                        if script != "none" {
+                                            id.push_str(&format!("/c={script}"));
+                                        }
+                                        if oracle != "auto" {
+                                            id.push_str(&format!("/o={oracle}"));
+                                        }
+                                        id.push_str(&format!("/s={seed}"));
+                                        if let Some(l) = load {
+                                            id.push_str(&format!("/l={}", render_float(l)));
+                                        }
+                                        points.push(Point {
+                                            id,
+                                            experiment: e.name.clone(),
+                                            topology: topo.clone(),
+                                            routing: routing.clone(),
+                                            pattern: pattern.clone(),
+                                            jobs: jobs.clone(),
+                                            fault: fault.clone(),
+                                            fault_script: script.clone(),
+                                            oracle: oracle.clone(),
+                                            seed,
+                                            load,
+                                            shards: e.shards.clone(),
+                                            mode: e.mode.clone(),
+                                            fault_seed: e.fault_seed,
+                                        });
                                     }
-                                    if fault != "none" {
-                                        id.push_str(&format!("/f={fault}"));
-                                    }
-                                    if script != "none" {
-                                        id.push_str(&format!("/c={script}"));
-                                    }
-                                    if oracle != "auto" {
-                                        id.push_str(&format!("/o={oracle}"));
-                                    }
-                                    id.push_str(&format!("/s={seed}"));
-                                    if let Some(l) = load {
-                                        id.push_str(&format!("/l={}", render_float(l)));
-                                    }
-                                    points.push(Point {
-                                        id,
-                                        experiment: e.name.clone(),
-                                        topology: topo.clone(),
-                                        routing: routing.clone(),
-                                        pattern: pattern.clone(),
-                                        fault: fault.clone(),
-                                        fault_script: script.clone(),
-                                        oracle: oracle.clone(),
-                                        seed,
-                                        load,
-                                        shards: e.shards.clone(),
-                                        mode: e.mode.clone(),
-                                        fault_seed: e.fault_seed,
-                                    });
                                 }
                             }
                         }
@@ -327,6 +341,9 @@ fn point_config(p: &Point, net: &SimNetwork, shards: usize) -> SimConfig {
             w = w.with_pattern(p.pattern.clone());
         }
         cfg = cfg.with_windows(w);
+        if !p.jobs.is_empty() {
+            cfg = cfg.with_jobs(&p.jobs);
+        }
     }
     cfg
 }

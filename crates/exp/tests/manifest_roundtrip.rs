@@ -23,6 +23,11 @@ const PATTERNS: &[&str] = &[
     "nearest-group(32)",
 ];
 const FAULTS: &[&str] = &["none", "links(0.05)", "router(0)", "link(0,1)"];
+const JOBS: &[&str] = &[
+    "allreduce-ring(4096) x 8",
+    "traffic(0.5, random, 1024) x 8 + mmpp(0.1, 0.8) x 4",
+    "allgather x 8 @ random + onoff(0.9, 1.4) x 4",
+];
 const SCRIPTS: &[&str] = &["none", "churn(1mhz, 5us)", "churn(10khz, 2us)"];
 const ORACLES: &[&str] = &["auto", "dense", "landmark"];
 
@@ -52,6 +57,7 @@ proptest! {
         script_mask in 1usize..8,
         oracle_mask in 1usize..8,
         shard_mask in 1usize..8,
+        jobs_mask in 0usize..8,
         n_seeds in 1usize..4,
         seed0 in 0u64..1_000_000,
         load_centi in 5u64..100,
@@ -75,6 +81,12 @@ proptest! {
         } else {
             Vec::new()
         };
+        // The jobs axis, like patterns, only exists in steady mode.
+        let jobs = if matches!(mode, Mode::Steady { .. }) && jobs_mask > 0 {
+            subset(JOBS, jobs_mask)
+        } else {
+            Vec::new()
+        };
         let shards: Vec<usize> = [1usize, 2, 4]
             .iter()
             .enumerate()
@@ -89,6 +101,7 @@ proptest! {
                 .collect(),
             routings: subset(ROUTINGS, routing_mask),
             patterns,
+            jobs,
             faults: subset(FAULTS, fault_mask),
             fault_scripts: subset(SCRIPTS, script_mask),
             oracles: subset(ORACLES, oracle_mask),
@@ -132,7 +145,7 @@ proptest! {
     /// Corrupting any one of the five axes fails with a `Field` error naming
     /// exactly that axis (never a panic, never a misattributed field).
     #[test]
-    fn axis_errors_name_the_offending_field(axis in 0usize..6, seed in 0u64..1_000) {
+    fn axis_errors_name_the_offending_field(axis in 0usize..7, seed in 0u64..1_000) {
         let bogus = format!("no-such-thing-{seed}");
         let (field, line): (&str, String) = match axis {
             0 => ("topologies", format!("topologies = [\"{bogus}(3)\"]\nroutings = [\"minimal\"]\n")),
@@ -145,6 +158,9 @@ proptest! {
             )),
             4 => ("fault_scripts", format!(
                 "topologies = [\"ring(9)\"]\nroutings = [\"minimal\"]\nfault_scripts = [\"{bogus}(1)\"]\n"
+            )),
+            5 => ("jobs", format!(
+                "topologies = [\"ring(9)\"]\nroutings = [\"minimal\"]\nmode = \"steady\"\njobs = [\"{bogus} x 4\"]\n"
             )),
             _ => ("oracles", format!(
                 "topologies = [\"ring(9)\"]\nroutings = [\"minimal\"]\noracles = [\"{bogus}\"]\n"

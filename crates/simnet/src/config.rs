@@ -273,6 +273,14 @@ pub struct SimConfig {
     /// runs, nanoseconds; steady-state runs use their windows' deadline
     /// instead. Events past the horizon never fire.
     pub fault_horizon_ns: f64,
+    /// Multi-tenant job mix spec (see [`crate::job`]), e.g.
+    /// `"traffic(1.0, random) x 64 + allreduce-ring(65536) x 16"`. `None`
+    /// (the default) runs the classic single-workload modes untouched. When
+    /// set, steady-state runs ([`SimConfig::windows`] present) resolve the
+    /// mix onto the fabric and drive per-tenant sources and collective
+    /// schedules instead of the workload's templates, reporting
+    /// [`crate::stats::TenantStats`] per tenant.
+    pub jobs: Option<String>,
 }
 
 impl Default for SimConfig {
@@ -296,6 +304,7 @@ impl Default for SimConfig {
             retransmit_budget: 8,
             rto_base_ns: 200.0,
             fault_horizon_ns: 1_000_000.0,
+            jobs: None,
         }
     }
 }
@@ -386,6 +395,12 @@ impl SimConfig {
     /// [`SimConfig::fault_script`]).
     pub fn with_fault_script(mut self, script: crate::fault::FaultScript) -> Self {
         self.fault_script = script;
+        self
+    }
+
+    /// Builder-style: run a multi-tenant job mix (see [`SimConfig::jobs`]).
+    pub fn with_jobs(mut self, mix: &str) -> Self {
+        self.jobs = Some(mix.to_string());
         self
     }
 

@@ -40,6 +40,7 @@ pub mod reference;
 
 use crate::config::SimConfig;
 use crate::fault::{FaultEvent, FaultEventKind, FaultTimeline};
+use crate::job::{CollectiveState, JobBehavior, MixPlan, MsgTag, RateProcess, RateRuntime};
 use crate::network::SimNetwork;
 use crate::routing::{self, RouteScratch, Router, RoutingCtx, RoutingState};
 use crate::stats::{EngineCounters, FaultStats, IntervalSample, SimResults, StatsCollector};
@@ -355,6 +356,23 @@ struct Source {
     nic_free_ps: u64,
 }
 
+/// A jobs-mode open-loop source: one per rank of every open-loop tenant,
+/// driving that tenant's [`RateProcess`] from a dedicated per-endpoint RNG
+/// (see [`crate::job`]'s `source_rng`) so the sharded engine reproduces the
+/// identical arrival and destination streams shard-locally.
+struct JSource {
+    endpoint: usize,
+    tenant: u32,
+    rank: u32,
+    bytes: u64,
+    /// NIC serialization of one message at full injection bandwidth — the
+    /// rate process's time base.
+    ser_ps: u64,
+    rate: RateProcess,
+    rt: RateRuntime,
+    rng: StdRng,
+}
+
 /// Shared runtime-liveness state for fault-script runs: which directed links
 /// and routers are currently dead, when each link last died (for mid-flight
 /// drop detection), and a per-router component label over the alive subgraph
@@ -583,6 +601,9 @@ struct EngineState {
     /// Whether a message lost a packet terminally (its completion must not be
     /// recorded as a delivered message).
     msg_failed: Vec<bool>,
+    /// Jobs-mode tenant tag per message slot (empty unless [`SimConfig::jobs`]
+    /// is set, so every other mode skips the tenant accounting entirely).
+    msg_tag: Vec<MsgTag>,
 }
 
 impl EngineState {
@@ -622,6 +643,7 @@ impl EngineState {
             fault: None,
             fstats: FaultStats::default(),
             msg_failed: Vec::new(),
+            msg_tag: Vec::new(),
         }
     }
 
@@ -766,6 +788,11 @@ impl<'a> Simulator<'a> {
     /// [`SimError::Deadlock`]. On pristine networks without a fault script
     /// this never errs.
     pub fn try_run(&self, workload: &Workload) -> Result<SimResults, SimError> {
+        assert!(
+            self.cfg.jobs.is_none(),
+            "SimConfig::jobs requires steady-state measurement windows \
+             (SimConfig::with_windows)"
+        );
         if self.net.has_faults() {
             crate::fault::validate_workload(self.net, workload)?;
         }
@@ -816,12 +843,27 @@ impl<'a> Simulator<'a> {
         );
         match &self.cfg.windows {
             None => {
+                assert!(
+                    self.cfg.jobs.is_none(),
+                    "SimConfig::jobs requires steady-state measurement windows \
+                     (SimConfig::with_windows)"
+                );
                 if self.net.has_faults() {
                     crate::fault::validate_workload(self.net, workload)?;
                 }
                 self.run_finite(workload, Some(offered_load))
             }
             Some(w) => {
+                if self.cfg.jobs.is_some() {
+                    // Jobs mode supersedes both the workload templates and the
+                    // live destination pattern: tenants draw their own traffic.
+                    // Placement needs every surviving router reachable, exactly
+                    // like a live pattern.
+                    if self.net.has_faults() {
+                        crate::fault::validate_steady_pattern(self.net)?;
+                    }
+                    return self.run_steady_jobs(offered_load, w);
+                }
                 if self.net.has_faults() {
                     if w.pattern.is_some() {
                         crate::fault::validate_steady_pattern(self.net)?;
@@ -1063,6 +1105,349 @@ impl<'a> Simulator<'a> {
         let mut results = stats.finish();
         results.faults = st.fstats;
         Ok(results)
+    }
+
+    /// Steady-state multi-tenant jobs run ([`SimConfig::jobs`]): the mix is
+    /// resolved once over the alive endpoints (deterministic in the seed, so
+    /// every engine and shard count executes the identical plan), collective
+    /// tenants execute their dependency-ordered schedules starting at `t = 0`,
+    /// open-loop tenants drive per-rank rate-process sources, and per-tenant
+    /// accounting lands in [`SimResults::tenants`]. The run-level
+    /// `offered_load` scales every open-loop tenant's configured rates.
+    ///
+    /// # Panics
+    /// On a malformed mix spec or one that does not fit the surviving
+    /// endpoints, mirroring unknown routing/pattern names.
+    fn run_steady_jobs(
+        &self,
+        offered_load: f64,
+        w: &crate::config::MeasurementWindows,
+    ) -> Result<SimResults, SimError> {
+        let mix = self.cfg.jobs.as_deref().expect("jobs run without a mix");
+        let alive = self.net.alive_endpoints();
+        let plan = crate::job::resolve_mix(mix, &crate::job::JobCtx::new(), &alive, self.cfg.seed)
+            .unwrap_or_else(|e| panic!("{e}"));
+
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut stats = StatsCollector::with_window(w.measure_start_ps(), w.measure_end_ps());
+        stats.init_tenants(plan.tenant_descs());
+
+        let mut st = EngineState::new(self.net, self.cfg, 0);
+        st.track_completions = true;
+        if let Some(tl) = self.fault_timeline(w.deadline_ps())? {
+            let fr = Box::new(FaultRuntime::new(self.net, Arc::clone(&tl)));
+            if !tl.events.is_empty() {
+                st.push(tl.events[0].time_ps, EventKind::Fault { idx: 0 });
+            }
+            st.fault = Some(fr);
+        }
+
+        // NIC-busy horizon per endpoint, shared by collective and open-loop
+        // injections (an endpoint belongs to exactly one tenant).
+        let mut nic_free: Vec<u64> = vec![0; self.net.num_endpoints()];
+
+        // Collective trackers and open-loop sources, in declaration order.
+        let mut collectives: Vec<(u32, CollectiveState)> = Vec::new();
+        let mut jsources: Vec<JSource> = Vec::new();
+        for (ti, t) in plan.tenants.iter().enumerate() {
+            match &t.behavior {
+                JobBehavior::Collective(sched) => {
+                    collectives.push((ti as u32, CollectiveState::new(Arc::new(sched.clone()))));
+                }
+                JobBehavior::OpenLoop(spec) => {
+                    for (rank, &ep) in t.endpoints.iter().enumerate() {
+                        jsources.push(JSource {
+                            endpoint: ep,
+                            tenant: ti as u32,
+                            rank: rank as u32,
+                            bytes: spec.bytes,
+                            ser_ps: self.cfg.injection_serialization_ps(spec.bytes),
+                            rate: spec.rate.clone(),
+                            rt: RateRuntime::default(),
+                            rng: crate::job::source_rng(self.cfg.seed, ep),
+                        });
+                    }
+                }
+            }
+        }
+        let mut coll_of_tenant: Vec<Option<usize>> = vec![None; plan.tenants.len()];
+        for (ci, (ti, _)) in collectives.iter().enumerate() {
+            coll_of_tenant[*ti as usize] = Some(ci);
+        }
+
+        // First arrival of every open-loop source.
+        for (si, s) in jsources.iter_mut().enumerate() {
+            let t = s
+                .rate
+                .next_arrival_ps(&mut s.rt, 0, s.ser_ps, offered_load, &mut s.rng);
+            if t < w.measure_end_ps() {
+                st.push(t, EventKind::NextMessage { source: si as u32 });
+            }
+        }
+        // Fire every collective's round-0 groups at t = 0 (the sequential
+        // engine owns every rank), cascading through any groups the firing
+        // itself unblocks (empty rounds).
+        for (ti, cs) in collectives.iter_mut() {
+            for g in cs.ready_at_start(|_| true) {
+                self.fire_collective_from(*ti, cs, g, 0, &plan, &mut nic_free, &mut st, &mut stats);
+            }
+        }
+        let first_sample = w.sample_interval_ps.max(1);
+        if first_sample <= w.deadline_ps() {
+            st.push(first_sample, EventKind::Sample);
+        }
+
+        while let Some(ev) = st.queue.pop() {
+            if ev.time > w.deadline_ps() {
+                break;
+            }
+            st.counters.events += 1;
+            st.counters.arena_slots = st.counters.arena_slots.max(st.packets.len() as u64);
+            if let EventKind::NextMessage { source } = ev.kind {
+                self.spawn_job_message(
+                    source as usize,
+                    ev.time,
+                    offered_load,
+                    w,
+                    &plan,
+                    &mut jsources,
+                    &mut nic_free,
+                    &mut st,
+                    &mut stats,
+                );
+            } else if ev.kind == EventKind::Sample {
+                self.record_sample(ev.time, w, &mut st, &mut stats);
+            } else {
+                self.handle_event(ev, &mut st, &mut rng, &mut stats);
+            }
+            self.drain_completed_jobs(
+                &plan,
+                &mut collectives,
+                &coll_of_tenant,
+                &mut nic_free,
+                &mut st,
+                &mut stats,
+            );
+        }
+        self.drain_completed_jobs(
+            &plan,
+            &mut collectives,
+            &coll_of_tenant,
+            &mut nic_free,
+            &mut st,
+            &mut stats,
+        );
+        for (ti, cs) in &collectives {
+            stats.add_tenant_ranks_completed(*ti, cs.ranks_completed());
+        }
+        stats.record_engine(&st.counters);
+        let mut results = stats.finish();
+        results.faults = st.fstats;
+        Ok(results)
+    }
+
+    /// One open-loop jobs-mode arrival: draw the destination rank from the
+    /// tenant's pattern, inject the message, and schedule the source's next
+    /// arrival from its rate process (sources fall silent at the end of the
+    /// measurement window, like the legacy Poisson sources).
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_job_message(
+        &self,
+        si: usize,
+        now: u64,
+        load_scale: f64,
+        w: &crate::config::MeasurementWindows,
+        plan: &MixPlan,
+        jsources: &mut [JSource],
+        nic_free: &mut [u64],
+        st: &mut EngineState,
+        stats: &mut StatsCollector,
+    ) {
+        let s = &mut jsources[si];
+        let tenant = &plan.tenants[s.tenant as usize];
+        let JobBehavior::OpenLoop(spec) = &tenant.behavior else {
+            unreachable!("open-loop source on a collective tenant")
+        };
+        let drawn = spec.pattern.dst(s.rank as usize, &mut s.rng);
+        // Hard assert, mirroring `spawn_message`: TrafficPattern is a
+        // third-party extension point.
+        assert!(
+            drawn < tenant.endpoints.len(),
+            "pattern {} returned out-of-range destination {drawn} (tenant has {} ranks)",
+            spec.pattern.name(),
+            tenant.endpoints.len()
+        );
+        let dst_ep = tenant.endpoints[drawn];
+        self.inject_job_message(
+            now,
+            s.endpoint,
+            dst_ep,
+            s.bytes,
+            MsgTag::open_loop(s.tenant, drawn as u32),
+            nic_free,
+            st,
+            stats,
+        );
+        let next = s
+            .rate
+            .next_arrival_ps(&mut s.rt, now, s.ser_ps, load_scale, &mut s.rng);
+        if next < w.measure_end_ps() {
+            st.push(next, EventKind::NextMessage { source: si as u32 });
+        }
+    }
+
+    /// Inject one tagged jobs-mode message from `src_ep` to `dst_ep`,
+    /// serializing its packets through the endpoint's NIC exactly like
+    /// `spawn_message` does for workload sources.
+    #[allow(clippy::too_many_arguments)]
+    fn inject_job_message(
+        &self,
+        now: u64,
+        src_ep: usize,
+        dst_ep: usize,
+        bytes: u64,
+        tag: MsgTag,
+        nic_free: &mut [u64],
+        st: &mut EngineState,
+        stats: &mut StatsCollector,
+    ) {
+        let segments = segment_message(self.cfg, bytes);
+        let mut t = now.max(nic_free[src_ep]);
+        let mi = match st.msg_free.pop() {
+            Some(i) => {
+                st.msg_packets_left[i] = segments.len() as u32;
+                st.msg_last_delivery[i] = u64::MAX;
+                st.msg_first_inject[i] = t;
+                i
+            }
+            None => {
+                st.msg_packets_left.push(segments.len() as u32);
+                st.msg_last_delivery.push(u64::MAX);
+                st.msg_first_inject.push(t);
+                st.msg_packets_left.len() - 1
+            }
+        };
+        if st.msg_failed.len() < st.msg_packets_left.len() {
+            st.msg_failed.resize(st.msg_packets_left.len(), false);
+        }
+        st.msg_failed[mi] = false;
+        if st.msg_tag.len() < st.msg_packets_left.len() {
+            st.msg_tag
+                .resize(st.msg_packets_left.len(), MsgTag::open_loop(u32::MAX, 0));
+        }
+        st.msg_tag[mi] = tag;
+        stats.note_tenant_injection(tag.tenant, bytes, t);
+        for (pkt_bytes, nic_ser) in segments {
+            let packet = Packet {
+                src_router: self.net.router_of_endpoint(src_ep),
+                dst_router: self.net.router_of_endpoint(dst_ep),
+                bytes: pkt_bytes,
+                inject_time_ps: t,
+                hops: 0,
+                routing: RoutingState::default(),
+                msg: mi,
+                via_link: u32::MAX,
+                attempts: 0,
+                first_drop_ps: u64::MAX,
+            };
+            let pi = st.alloc_packet(packet);
+            if st.fault.is_some() {
+                st.fstats.injected += 1;
+            }
+            stats.note_injection(t);
+            st.push(t, EventKind::Inject { packet: pi as u32 });
+            t += nic_ser;
+        }
+        nic_free[src_ep] = t;
+    }
+
+    /// Fire collective group `g` of tenant `ti` at time `now`: inject its
+    /// sends and cascade through any same-rank follow-up groups the firing
+    /// itself unblocks (rounds with no inbound dependencies).
+    #[allow(clippy::too_many_arguments)]
+    fn fire_collective_from(
+        &self,
+        ti: u32,
+        cs: &mut CollectiveState,
+        g: usize,
+        now: u64,
+        plan: &MixPlan,
+        nic_free: &mut [u64],
+        st: &mut EngineState,
+        stats: &mut StatsCollector,
+    ) {
+        let tenant = &plan.tenants[ti as usize];
+        let rounds = cs.schedule().rounds;
+        let mut ready = vec![g];
+        while let Some(g) = ready.pop() {
+            let (sends, next) = cs.fire(g);
+            let round = (g % rounds) as u32;
+            let src_ep = tenant.endpoints[g / rounds];
+            for (dst_rank, bytes) in sends {
+                let dst_ep = tenant.endpoints[dst_rank as usize];
+                self.inject_job_message(
+                    now,
+                    src_ep,
+                    dst_ep,
+                    bytes,
+                    MsgTag {
+                        tenant: ti,
+                        dst_rank,
+                        round,
+                    },
+                    nic_free,
+                    st,
+                    stats,
+                );
+            }
+            if let Some(n) = next {
+                ready.push(n);
+            }
+        }
+    }
+
+    /// Jobs-mode variant of [`drain_completed_messages`]: record global and
+    /// per-tenant message completions, and for collective messages release the
+    /// destination rank's dependency — firing (and injecting) whatever rounds
+    /// the delivery unblocks, at the delivery's own timestamp. A terminally
+    /// failed collective message stalls its destination rank's chain by
+    /// design: collective completion semantics are delivery, not transmission.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_completed_jobs(
+        &self,
+        plan: &MixPlan,
+        collectives: &mut [(u32, CollectiveState)],
+        coll_of_tenant: &[Option<usize>],
+        nic_free: &mut [u64],
+        st: &mut EngineState,
+        stats: &mut StatsCollector,
+    ) {
+        while let Some(mi) = st.completed_msgs.pop() {
+            let first = st.msg_first_inject[mi];
+            let last = st.msg_last_delivery[mi];
+            let failed = st.msg_failed.get(mi).copied().unwrap_or(false);
+            let delivered = last != u64::MAX && !failed;
+            if delivered && stats.is_measured(first) {
+                stats.record_message(last.saturating_sub(first.min(last)));
+            }
+            let tag = st.msg_tag[mi];
+            st.msg_free.push(mi);
+            if !delivered {
+                continue;
+            }
+            if stats.is_measured(first) {
+                stats.record_tenant_message(tag.tenant);
+            }
+            if tag.is_collective() {
+                stats.record_tenant_collective_delivery(tag.tenant, last);
+                let ci = coll_of_tenant[tag.tenant as usize]
+                    .expect("collective tag on a non-collective tenant");
+                let (ti, cs) = &mut collectives[ci];
+                if let Some(g) = cs.on_delivered(tag.dst_rank, tag.round) {
+                    self.fire_collective_from(*ti, cs, g, last, plan, nic_free, st, stats);
+                }
+            }
+        }
     }
 
     /// Exponential inter-arrival gap for a message of `bytes` at `load` of the
@@ -1497,6 +1882,13 @@ impl<'a> Simulator<'a> {
             st.occ_dec(router, slot);
             let latency = now - st.packets[pi].inject_time_ps;
             stats.record_packet(latency, st.packets[pi].hops, st.packets[pi].bytes, now);
+            if let Some(tag) = st.msg_tag.get(st.packets[pi].msg) {
+                // Jobs mode only (`msg_tag` is empty otherwise): attribute the
+                // delivery to its tenant alongside the global accounting.
+                if tag.tenant != u32::MAX {
+                    stats.record_tenant_packet(tag.tenant, latency, st.packets[pi].bytes, now);
+                }
+            }
             st.delivered_packets_total += 1;
             st.delivered_bytes_total += st.packets[pi].bytes;
             if st.fault.is_some() {

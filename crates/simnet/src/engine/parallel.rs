@@ -54,6 +54,7 @@ use super::calendar::{CalendarQueue, Timed};
 use super::{packetize_phase, segment_message, AliveEndpoints, DropReason, FaultRuntime, SimError};
 use crate::config::{MeasurementWindows, SimConfig};
 use crate::fault::{FaultEventKind, FaultTimeline};
+use crate::job::{self, CollectiveState, JobBehavior, JobCtx, MixPlan, MsgTag, RateRuntime};
 use crate::network::SimNetwork;
 use crate::routing::{self, RouteScratch, Router, RoutingCtx, RoutingState};
 use crate::stats::{EngineCounters, FaultStats, IntervalSample, SimResults, StatsCollector};
@@ -154,6 +155,10 @@ struct ParPacket {
     /// First time this packet was dropped (`u64::MAX` = never): recovery time
     /// is measured from here to eventual delivery.
     first_drop_ps: u64,
+    /// Tenant / collective tag (tenant `u32::MAX` = untagged legacy traffic).
+    /// Carried by value so the destination shard can account per-tenant stats
+    /// and collective releases without a global map.
+    tag: MsgTag,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -392,6 +397,10 @@ struct ShardCore<'a> {
     /// message is never recorded as completed — the countdown analogue of the
     /// sequential engine's `msg_failed` poisoning.
     msgs: HashMap<u64, MsgEntry>,
+    /// Collective messages fully delivered since the last drain, handed to the
+    /// jobs driving closure which owns the dependency trackers (empty unless
+    /// [`crate::SimConfig::jobs`] is set).
+    jobs_completed: Vec<(MsgTag, u64)>,
     /// Per-destination-shard outboxes, flushed at barrier 3.
     out: Vec<Vec<ShardMsg>>,
     stats: StatsCollector,
@@ -468,6 +477,7 @@ impl<'a> ShardCore<'a> {
             fault: None,
             fstats: FaultStats::default(),
             msgs: HashMap::new(),
+            jobs_completed: Vec::new(),
             out: (0..shards).map(|_| Vec::new()).collect(),
             stats,
             counters: EngineCounters::default(),
@@ -792,6 +802,11 @@ impl<'a> ShardCore<'a> {
             let bytes = self.packets[pi].bytes;
             let latency = now - self.packets[pi].inject_time_ps;
             self.stats.record_packet(latency, hops, bytes, now);
+            let tag = self.packets[pi].tag;
+            if tag.tenant != u32::MAX {
+                self.stats
+                    .record_tenant_packet(tag.tenant, latency, bytes, now);
+            }
             self.delivered_packets_total += 1;
             self.delivered_bytes_total += bytes;
             if self.fault.is_some() {
@@ -823,6 +838,20 @@ impl<'a> ShardCore<'a> {
                 if self.stats.is_measured(first) {
                     self.stats
                         .record_message(now.saturating_sub(first.min(now)));
+                }
+                if tag.tenant != u32::MAX {
+                    if self.stats.is_measured(first) {
+                        self.stats.record_tenant_message(tag.tenant);
+                    }
+                    if tag.is_collective() {
+                        // Release handled by the driving closure (it owns the
+                        // collective trackers): queue the completed tag. The
+                        // destination rank's endpoint lives on this shard, so
+                        // the release — and the sends it fires — stay local.
+                        self.stats
+                            .record_tenant_collective_delivery(tag.tenant, now);
+                        self.jobs_completed.push((tag, now));
+                    }
                 }
             }
             self.phase_end = self.phase_end.max(now);
@@ -1334,6 +1363,7 @@ fn spawn_message(
             via_vc: 0,
             attempts: 0,
             first_drop_ps: u64::MAX,
+            tag: MsgTag::open_loop(u32::MAX, 0),
         };
         let slot = core.alloc_packet(packet);
         if core.fault.is_some() {
@@ -1351,6 +1381,191 @@ fn spawn_message(
     }
     sources[si].nic_free_ps = t;
     let next = now + exp_gap(cfg, bytes, load, &mut sources[si].rng);
+    if next < w.measure_end_ps() {
+        core.push(
+            next,
+            key(CLASS_NEXT_MESSAGE, endpoint as u64),
+            PKind::NextMessage { source: si as u32 },
+        );
+    }
+}
+
+/// One owned open-loop job rank (jobs mode): the rank's pattern / rate RNG
+/// stream is keyed by `(seed, endpoint)` via [`job::source_rng`] — the same
+/// stream the sequential engine's jobs sources draw from, so open-loop
+/// injection schedules are engine- and shard-count-invariant.
+struct JPSource {
+    endpoint: usize,
+    tenant: u32,
+    rank: u32,
+    bytes: u64,
+    ser_ps: u64,
+    rate: job::RateProcess,
+    rt: RateRuntime,
+    rng: StdRng,
+}
+
+/// Per-endpoint id counters and NIC cursors for jobs-mode injections. Ids are
+/// `(endpoint << 40) | counter` — the same endpoint-unique scheme as
+/// [`PSource`], and an endpoint's injections happen in a deterministic local
+/// order (open-loop arrivals and collective releases are both driven by the
+/// owning shard's `(time, key)` event order), so ids are shard-count-invariant.
+struct JobNics {
+    nic_free: Vec<u64>,
+    msg_counter: Vec<u64>,
+    pkt_counter: Vec<u64>,
+}
+
+impl JobNics {
+    fn new(num_endpoints: usize) -> Self {
+        JobNics {
+            nic_free: vec![0; num_endpoints],
+            msg_counter: vec![0; num_endpoints],
+            pkt_counter: vec![0; num_endpoints],
+        }
+    }
+}
+
+/// Inject one tagged jobs-mode message from `src_ep` to `dst_ep` on the shard
+/// owning `src_ep`'s router, serializing its packets through the endpoint's
+/// NIC exactly like [`spawn_message`] does for workload sources.
+fn inject_job_message_par(
+    core: &mut ShardCore<'_>,
+    nics: &mut JobNics,
+    now: u64,
+    src_ep: usize,
+    dst_ep: usize,
+    bytes: u64,
+    tag: MsgTag,
+) {
+    let net = core.net;
+    let segments = segment_message(core.cfg, bytes);
+    let mut t = now.max(nics.nic_free[src_ep]);
+    let first = t;
+    let msg_id = ((src_ep as u64) << 40) | nics.msg_counter[src_ep];
+    nics.msg_counter[src_ep] += 1;
+    let src_router = net.router_of_endpoint(src_ep);
+    let dst_router = net.router_of_endpoint(dst_ep);
+    let total = segments.len() as u32;
+    core.stats.note_tenant_injection(tag.tenant, bytes, t);
+    for (pkt_bytes, nic_ser) in segments {
+        let stable_id = ((src_ep as u64) << 40) | nics.pkt_counter[src_ep];
+        nics.pkt_counter[src_ep] += 1;
+        let packet = ParPacket {
+            src_router,
+            dst_router,
+            bytes: pkt_bytes,
+            inject_time_ps: t,
+            hops: 0,
+            routing: RoutingState::default(),
+            stable_id,
+            msg_id,
+            msg_total: total,
+            msg_first_inject: first,
+            via_link: u32::MAX,
+            via_vc: 0,
+            attempts: 0,
+            first_drop_ps: u64::MAX,
+            tag,
+        };
+        let slot = core.alloc_packet(packet);
+        if core.fault.is_some() {
+            core.fstats.injected += 1;
+        }
+        core.stats.note_injection(t);
+        core.push(
+            t,
+            key(CLASS_INJECT, stable_id),
+            PKind::Inject {
+                packet: slot as u32,
+            },
+        );
+        t += nic_ser;
+    }
+    nics.nic_free[src_ep] = t;
+}
+
+/// Fire collective group `g` of the tracker at `collectives[ci]` at time
+/// `now`: inject its sends and cascade through any same-rank follow-up groups
+/// the firing itself unblocks. Mirrors the sequential engine's
+/// `fire_collective_from` — every group fired here belongs to a rank this
+/// shard owns, so every send originates from an owned endpoint.
+fn fire_collective_par(
+    core: &mut ShardCore<'_>,
+    plan: &MixPlan,
+    collectives: &mut [(u32, CollectiveState)],
+    nics: &mut JobNics,
+    ci: usize,
+    g: usize,
+    now: u64,
+) {
+    let (ti, cs) = &mut collectives[ci];
+    let tenant = &plan.tenants[*ti as usize];
+    let rounds = cs.schedule().rounds;
+    let mut ready = vec![g];
+    while let Some(g) = ready.pop() {
+        let (sends, next) = cs.fire(g);
+        let round = (g % rounds) as u32;
+        let src_ep = tenant.endpoints[g / rounds];
+        for (dst_rank, bytes) in sends {
+            let dst_ep = tenant.endpoints[dst_rank as usize];
+            inject_job_message_par(
+                core,
+                nics,
+                now,
+                src_ep,
+                dst_ep,
+                bytes,
+                MsgTag {
+                    tenant: *ti,
+                    dst_rank,
+                    round,
+                },
+            );
+        }
+        if let Some(n) = next {
+            ready.push(n);
+        }
+    }
+}
+
+/// One open-loop jobs-mode arrival on the owning shard: draw the destination
+/// rank from the tenant's pattern, inject the message, and schedule the
+/// source's next arrival from its rate process. The twin of the sequential
+/// engine's `spawn_job_message` — identical draw order on the identical
+/// per-endpoint stream.
+#[allow(clippy::too_many_arguments)]
+fn spawn_job_message_par(
+    core: &mut ShardCore<'_>,
+    plan: &MixPlan,
+    jsources: &mut [JPSource],
+    nics: &mut JobNics,
+    si: usize,
+    now: u64,
+    load_scale: f64,
+    w: &MeasurementWindows,
+) {
+    let s = &mut jsources[si];
+    let tenant = &plan.tenants[s.tenant as usize];
+    let JobBehavior::OpenLoop(spec) = &tenant.behavior else {
+        unreachable!("open-loop source on a collective tenant")
+    };
+    let drawn = spec.pattern.dst(s.rank as usize, &mut s.rng);
+    assert!(
+        drawn < tenant.endpoints.len(),
+        "pattern {} returned out-of-range destination {drawn} (tenant has {} ranks)",
+        spec.pattern.name(),
+        tenant.endpoints.len()
+    );
+    let dst_ep = tenant.endpoints[drawn];
+    let endpoint = s.endpoint;
+    let tag = MsgTag::open_loop(s.tenant, drawn as u32);
+    let bytes = s.bytes;
+    inject_job_message_par(core, nics, now, endpoint, dst_ep, bytes, tag);
+    let s = &mut jsources[si];
+    let next = s
+        .rate
+        .next_arrival_ps(&mut s.rt, now, s.ser_ps, load_scale, &mut s.rng);
     if next < w.measure_end_ps() {
         core.push(
             next,
@@ -1451,6 +1666,10 @@ impl<'a> ParallelSimulator<'a> {
     /// [`ParallelSimulator::run`], returning infeasible-workload and deadlock
     /// conditions as typed errors (see [`crate::Simulator::try_run`]).
     pub fn try_run(&self, workload: &Workload) -> Result<SimResults, SimError> {
+        assert!(
+            self.cfg.jobs.is_none(),
+            "SimConfig::jobs requires steady-state measurement windows (SimConfig::with_windows)"
+        );
         if self.net.has_faults() {
             crate::fault::validate_workload(self.net, workload)?;
         }
@@ -1483,12 +1702,23 @@ impl<'a> ParallelSimulator<'a> {
         );
         match &self.cfg.windows {
             None => {
+                assert!(
+                    self.cfg.jobs.is_none(),
+                    "SimConfig::jobs requires steady-state measurement windows \
+                     (SimConfig::with_windows)"
+                );
                 if self.net.has_faults() {
                     crate::fault::validate_workload(self.net, workload)?;
                 }
                 self.run_finite(workload, Some(offered_load))
             }
             Some(w) => {
+                if self.cfg.jobs.is_some() {
+                    if self.net.has_faults() {
+                        crate::fault::validate_steady_pattern(self.net)?;
+                    }
+                    return self.run_steady_jobs(offered_load, w);
+                }
                 if self.net.has_faults() {
                     if w.pattern.is_some() {
                         crate::fault::validate_steady_pattern(self.net)?;
@@ -1565,6 +1795,7 @@ impl<'a> ParallelSimulator<'a> {
                     via_vc: 0,
                     attempts: 0,
                     first_drop_ps: u64::MAX,
+                    tag: MsgTag::open_loop(u32::MAX, 0),
                 });
             }
 
@@ -1789,6 +2020,227 @@ impl<'a> ParallelSimulator<'a> {
                             }
                         });
                         core.flush_sample_ticks(deadline);
+                        core.into_outcome()
+                    })
+                })
+                .collect();
+            join_shards(handles)
+        });
+
+        let nticks = outs[0].samples.len();
+        debug_assert!(
+            outs.iter().all(|o| o.samples.len() == nticks),
+            "shards disagree on the sampling tick count"
+        );
+        let links = self.net.num_directed_links().max(1);
+        for k in 0..nticks {
+            let t_ps = outs[0].samples[k].t_ps;
+            let bytes: u64 = outs.iter().map(|o| o.samples[k].bytes).sum();
+            let packets: u64 = outs.iter().map(|o| o.samples[k].packets).sum();
+            let queued: u64 = outs.iter().map(|o| o.samples[k].queued).sum();
+            let parked: usize = outs.iter().map(|o| o.samples[k].parked).sum();
+            stats.record_sample(IntervalSample {
+                t_ps,
+                delivered_bytes: bytes,
+                delivered_packets: packets,
+                mean_queue_depth: queued as f64 / links as f64,
+                blocked_links: parked,
+            });
+        }
+        let mut faults = FaultStats::default();
+        for o in outs {
+            stats.record_engine(&o.counters);
+            faults.merge(&o.fstats);
+            stats.absorb(o.stats);
+        }
+        let mut results = stats.finish();
+        results.faults = faults;
+        Ok(results)
+    }
+
+    /// Steady-state multi-tenant jobs run ([`SimConfig::jobs`]): the parallel
+    /// twin of the sequential engine's jobs mode. The mix is resolved once on
+    /// the main thread (deterministic in the seed, so every engine and shard
+    /// count executes the identical plan); every shard arms the same tenant
+    /// table and holds a full copy of each collective's dependency tracker but
+    /// drives — and at the end reports — only the ranks whose endpoints it
+    /// owns.
+    ///
+    /// Collective releases are **shard-local by construction**: all packets of
+    /// a message deliver at the destination rank's router (the shard owning
+    /// that rank), and the groups the delivery releases belong to that same
+    /// rank, so the sends they fire originate from an owned endpoint. No
+    /// cross-shard job state is ever needed.
+    ///
+    /// # Panics
+    /// On a malformed mix spec or one that does not fit the surviving
+    /// endpoints, mirroring unknown routing/pattern names.
+    fn run_steady_jobs(
+        &self,
+        offered_load: f64,
+        w: &MeasurementWindows,
+    ) -> Result<SimResults, SimError> {
+        let mix = self.cfg.jobs.as_deref().expect("jobs run without a mix");
+        let alive = self.net.alive_endpoints();
+        let plan = job::resolve_mix(mix, &JobCtx::new(), &alive, self.cfg.seed)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let plan = &plan;
+        let timeline = self.fault_timeline(w.deadline_ps())?;
+        let mut stats = StatsCollector::with_window(w.measure_start_ps(), w.measure_end_ps());
+        stats.init_tenants(plan.tenant_descs());
+
+        let ivm = w.sample_interval_ps.max(1);
+        let deadline = w.deadline_ps();
+        let shared = EpochShared::new(self.shards, self.net, self.cfg);
+        let outs: Vec<ShardOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.shards)
+                .map(|sid| {
+                    let shared = &shared;
+                    let timeline = &timeline;
+                    scope.spawn(move || {
+                        let _guard = PoisonGuard(&shared.barrier);
+                        let mut shard_stats =
+                            StatsCollector::with_window(w.measure_start_ps(), w.measure_end_ps());
+                        shard_stats.init_tenants(plan.tenant_descs());
+                        let mut core = ShardCore::new(
+                            sid,
+                            self.shards,
+                            self.net,
+                            self.cfg,
+                            self.router.as_ref(),
+                            &self.owner,
+                            self.lookahead,
+                            shard_stats,
+                            0,
+                        );
+                        if let Some(tl) = timeline {
+                            let fr = Box::new(FaultRuntime::new(self.net, Arc::clone(tl)));
+                            if !tl.events.is_empty() {
+                                core.push(
+                                    tl.events[0].time_ps,
+                                    key(CLASS_FAULT, 0),
+                                    PKind::Fault { idx: 0 },
+                                );
+                            }
+                            core.fault = Some(fr);
+                        }
+                        let owns_ep = |ep: usize| {
+                            self.owner[self.net.router_of_endpoint(ep) as usize] as usize == sid
+                        };
+                        // Full tracker copies; sources only for owned ranks.
+                        let mut collectives: Vec<(u32, CollectiveState)> = Vec::new();
+                        let mut coll_of_tenant: Vec<Option<usize>> = vec![None; plan.tenants.len()];
+                        let mut jsources: Vec<JPSource> = Vec::new();
+                        for (ti, t) in plan.tenants.iter().enumerate() {
+                            match &t.behavior {
+                                JobBehavior::Collective(sched) => {
+                                    coll_of_tenant[ti] = Some(collectives.len());
+                                    collectives.push((
+                                        ti as u32,
+                                        CollectiveState::new(Arc::new(sched.clone())),
+                                    ));
+                                }
+                                JobBehavior::OpenLoop(spec) => {
+                                    for (rank, &ep) in t.endpoints.iter().enumerate() {
+                                        if !owns_ep(ep) {
+                                            continue;
+                                        }
+                                        jsources.push(JPSource {
+                                            endpoint: ep,
+                                            tenant: ti as u32,
+                                            rank: rank as u32,
+                                            bytes: spec.bytes,
+                                            ser_ps: self.cfg.injection_serialization_ps(spec.bytes),
+                                            rate: spec.rate.clone(),
+                                            rt: RateRuntime::default(),
+                                            rng: job::source_rng(self.cfg.seed, ep),
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                        let mut nics = JobNics::new(self.net.num_endpoints());
+                        // First arrival of every owned open-loop source.
+                        for (si, s) in jsources.iter_mut().enumerate() {
+                            let t = s.rate.next_arrival_ps(
+                                &mut s.rt,
+                                0,
+                                s.ser_ps,
+                                offered_load,
+                                &mut s.rng,
+                            );
+                            if t < w.measure_end_ps() {
+                                core.push(
+                                    t,
+                                    key(CLASS_NEXT_MESSAGE, s.endpoint as u64),
+                                    PKind::NextMessage { source: si as u32 },
+                                );
+                            }
+                        }
+                        // Fire owned ranks' round-0 groups at t = 0.
+                        for ci in 0..collectives.len() {
+                            let ti = collectives[ci].0 as usize;
+                            let eps = &plan.tenants[ti].endpoints;
+                            let ready = collectives[ci].1.ready_at_start(|rank| owns_ep(eps[rank]));
+                            for g in ready {
+                                fire_collective_par(
+                                    &mut core,
+                                    plan,
+                                    &mut collectives,
+                                    &mut nics,
+                                    ci,
+                                    g,
+                                    0,
+                                );
+                            }
+                        }
+                        core.arm_sampler(ivm, deadline);
+                        run_epochs(&mut core, shared, Some(deadline), |c, ev| {
+                            c.flush_sample_ticks(ev.time);
+                            match ev.kind {
+                                PKind::NextMessage { source } => spawn_job_message_par(
+                                    c,
+                                    plan,
+                                    &mut jsources,
+                                    &mut nics,
+                                    source as usize,
+                                    ev.time,
+                                    offered_load,
+                                    w,
+                                ),
+                                _ => c.handle_core(ev),
+                            }
+                            // Release whatever the event completed. At most
+                            // one message completes per event, and both the
+                            // completed message's rank and the groups it
+                            // unblocks are owned here.
+                            while let Some((tag, t)) = c.jobs_completed.pop() {
+                                let ci = coll_of_tenant[tag.tenant as usize]
+                                    .expect("collective tag on a non-collective tenant");
+                                if let Some(g) =
+                                    collectives[ci].1.on_delivered(tag.dst_rank, tag.round)
+                                {
+                                    fire_collective_par(
+                                        c,
+                                        plan,
+                                        &mut collectives,
+                                        &mut nics,
+                                        ci,
+                                        g,
+                                        t,
+                                    );
+                                }
+                            }
+                        });
+                        core.flush_sample_ticks(deadline);
+                        // Owned ranks only: every shard holds a full tracker
+                        // copy (trivially complete ranks are complete in every
+                        // copy), so the merged total counts each rank once.
+                        for (ti, cs) in &collectives {
+                            let eps = &plan.tenants[*ti as usize].endpoints;
+                            let n = cs.ranks_completed_among(|rank| owns_ep(eps[rank]));
+                            core.stats.add_tenant_ranks_completed(*ti, n);
+                        }
                         core.into_outcome()
                     })
                 })

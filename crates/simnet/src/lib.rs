@@ -23,8 +23,8 @@
 //!   `"adversarial(128)"`, …) — materialized into finite workloads, or sampled
 //!   live by the steady-state sources via
 //!   [`config::MeasurementWindows::pattern`];
-//! * a **pluggable fault-injection subsystem** ([`fault`]) completing the
-//!   registry triple: a seeded [`fault::FaultPlan`] (spec strings like
+//! * a **pluggable fault-injection subsystem** ([`fault`]) mirroring the same
+//!   registry shape: a seeded [`fault::FaultPlan`] (spec strings like
 //!   `"links(0.1)"` or `"routers(4)+link(0,1)"`) degrades the topology at
 //!   [`SimNetwork::with_faults`] construction, the distance / next-hop oracle
 //!   is rebuilt over the surviving graph so every algorithm routes around the
@@ -44,7 +44,17 @@
 //! * **steady-state measurement** ([`config::MeasurementWindows`]): continuous
 //!   per-endpoint Poisson sources with warmup/measurement/drain windows and an interval
 //!   time-series ([`stats::IntervalSample`]), so offered-load sweeps measure true
-//!   saturation behaviour instead of drain-to-empty completion times.
+//!   saturation behaviour instead of drain-to-empty completion times;
+//! * a **pluggable job/tenant subsystem** ([`job`]) completing the registry
+//!   quartet: a mix spec like
+//!   `"allreduce-ring(4096) x 64 + traffic(0.9, adversarial(8), 4096) x 128"`
+//!   ([`SimConfig::with_jobs`]) places co-resident tenants — dependency-ordered
+//!   collectives (`allreduce-ring`, `allreduce-tree`, `alltoall`, `allgather`)
+//!   and bursty open-loop sources (`traffic`, `mmpp`, `onoff`) — onto disjoint
+//!   endpoint ranges (contiguous / random / `group(k)` placement), and both the
+//!   sequential and the parallel engine report per-tenant
+//!   [`stats::TenantStats`]: latency percentiles, goodput, and collective
+//!   completion.
 //!
 //! Path state (distances, minimal next hops) comes from the shared oracle in
 //! [`spectralfly_graph::paths`], the same one the analytical layer uses.
@@ -74,6 +84,7 @@
 pub mod config;
 pub mod engine;
 pub mod fault;
+pub mod job;
 pub mod network;
 pub mod pattern;
 pub mod routing;
@@ -88,8 +99,12 @@ pub use fault::{
     FaultError, FaultEvent, FaultEventKind, FaultModel, FaultPlan, FaultRegistry, FaultScript,
     FaultTimeline,
 };
+pub use job::{Job, JobBehavior, JobCtx, JobError, JobRegistry, MixPlan, Schedule};
 pub use network::SimNetwork;
 pub use pattern::{PatternCtx, PatternError, PatternRegistry, TrafficPattern};
 pub use routing::{Router, RouterRegistry, RoutingCtx, RoutingHarness, RoutingState};
-pub use stats::{EngineCounters, FaultStats, IntervalSample, MeasurementSummary, SimResults};
+pub use stats::{
+    CollectiveOutcome, EngineCounters, FaultStats, IntervalSample, MeasurementSummary, SimResults,
+    TenantDesc, TenantStats,
+};
 pub use workload::{Message, Phase, Workload};

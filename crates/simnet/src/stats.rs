@@ -192,6 +192,157 @@ impl MeasurementSummary {
     }
 }
 
+/// Outcome of one tenant's collective schedule (see [`crate::job::Schedule`]).
+///
+/// The message counters are **engine totals** (unwindowed), because
+/// completion is a property of the whole run: a collective that finishes
+/// during warmup still completed. Terminal packet loss under a fault script
+/// stalls the dependency chain, which surfaces here as `completed == false`
+/// with the delivered count short of the total.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CollectiveOutcome {
+    /// Messages the schedule injects when it runs to completion.
+    pub total_messages: u64,
+    /// Collective messages fully delivered.
+    pub delivered_messages: u64,
+    /// Ranks that fired every round and received every inbound message.
+    pub ranks_completed: usize,
+    /// Whether every schedule message was delivered.
+    pub completed: bool,
+    /// Time the last collective message was delivered — the collective
+    /// completion time when `completed`, else the stall point (0 if nothing
+    /// was delivered).
+    pub completion_time_ps: u64,
+}
+
+/// Per-tenant results of a multi-tenant jobs run (one entry per tenant of the
+/// [`crate::job::MixPlan`], in declaration order). Latency and goodput fields
+/// follow the run's measurement-window filtering exactly like the run-level
+/// aggregates; the collective outcome (when present) is unwindowed.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantStats {
+    /// Tenant label (`t{index}:{job-name}`).
+    pub name: String,
+    /// The tenant's job spec as written in the mix.
+    pub job: String,
+    /// Number of ranks (endpoints) allocated to the tenant.
+    pub ranks: usize,
+    /// Messages injected inside the measurement window.
+    pub injected_messages: u64,
+    /// Payload bytes injected inside the measurement window.
+    pub injected_bytes: u64,
+    /// Measured messages fully delivered.
+    pub delivered_messages: u64,
+    /// Measured packets delivered.
+    pub delivered_packets: u64,
+    /// Payload bytes of the measured delivered packets.
+    pub delivered_bytes: u64,
+    /// Mean measured packet latency, picoseconds.
+    pub mean_latency_ps: f64,
+    /// Median measured packet latency (nearest-rank), picoseconds.
+    pub p50_latency_ps: u64,
+    /// 95th-percentile measured packet latency, picoseconds.
+    pub p95_latency_ps: u64,
+    /// 99th-percentile measured packet latency, picoseconds — the
+    /// interference report's headline number.
+    pub p99_latency_ps: u64,
+    /// Maximum measured packet latency, picoseconds.
+    pub max_latency_ps: u64,
+    /// Delivered tenant throughput over the measurement window, Gb/s.
+    pub goodput_gbps: f64,
+    /// Collective-schedule outcome; `None` for open-loop tenants.
+    pub collective: Option<CollectiveOutcome>,
+}
+
+/// Static description of one tenant, identical on every shard (the engines
+/// derive it from the resolved [`crate::job::MixPlan`] before starting).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantDesc {
+    /// Tenant label (`t{index}:{job-name}`).
+    pub name: String,
+    /// The tenant's job spec as written in the mix.
+    pub job: String,
+    /// Number of ranks allocated to the tenant.
+    pub ranks: usize,
+    /// Total messages of the tenant's collective schedule; `None` for
+    /// open-loop tenants.
+    pub collective_total: Option<u64>,
+}
+
+/// Per-tenant accumulator inside [`StatsCollector`]; merged across shards by
+/// [`StatsCollector::absorb`] with the same order-free operations as the
+/// run-level aggregates.
+#[derive(Clone, Debug, Default)]
+struct TenantAcc {
+    desc: TenantDesc,
+    latencies_ps: Vec<u64>,
+    delivered_bytes: u64,
+    delivered_messages: u64,
+    injected_messages: u64,
+    injected_bytes: u64,
+    collective_delivered: u64,
+    collective_last_ps: u64,
+    ranks_completed: usize,
+}
+
+impl TenantAcc {
+    fn absorb(&mut self, other: TenantAcc) {
+        debug_assert_eq!(self.desc, other.desc, "tenant descriptors diverged");
+        self.latencies_ps.extend(other.latencies_ps);
+        self.delivered_bytes += other.delivered_bytes;
+        self.delivered_messages += other.delivered_messages;
+        self.injected_messages += other.injected_messages;
+        self.injected_bytes += other.injected_bytes;
+        self.collective_delivered += other.collective_delivered;
+        self.collective_last_ps = self.collective_last_ps.max(other.collective_last_ps);
+        self.ranks_completed += other.ranks_completed;
+    }
+
+    fn finish(mut self, window: Option<(u64, u64)>) -> TenantStats {
+        self.latencies_ps.sort_unstable();
+        let n = self.latencies_ps.len();
+        let (mean, p50, p95, p99, max) = if n == 0 {
+            (0.0, 0, 0, 0, 0)
+        } else {
+            let sum: u128 = self.latencies_ps.iter().map(|&x| x as u128).sum();
+            (
+                sum as f64 / n as f64,
+                percentile_nearest_rank(&self.latencies_ps, 50.0),
+                percentile_nearest_rank(&self.latencies_ps, 95.0),
+                percentile_nearest_rank(&self.latencies_ps, 99.0),
+                *self.latencies_ps.last().unwrap(),
+            )
+        };
+        let goodput_gbps = match window {
+            Some((s, e)) if e > s => (self.delivered_bytes as f64 * 8.0) / (e - s) as f64 * 1000.0,
+            _ => 0.0,
+        };
+        TenantStats {
+            name: self.desc.name,
+            job: self.desc.job,
+            ranks: self.desc.ranks,
+            injected_messages: self.injected_messages,
+            injected_bytes: self.injected_bytes,
+            delivered_messages: self.delivered_messages,
+            delivered_packets: n as u64,
+            delivered_bytes: self.delivered_bytes,
+            mean_latency_ps: mean,
+            p50_latency_ps: p50,
+            p95_latency_ps: p95,
+            p99_latency_ps: p99,
+            max_latency_ps: max,
+            goodput_gbps,
+            collective: self.desc.collective_total.map(|total| CollectiveOutcome {
+                total_messages: total,
+                delivered_messages: self.collective_delivered,
+                ranks_completed: self.ranks_completed,
+                completed: self.collective_delivered == total,
+                completion_time_ps: self.collective_last_ps,
+            }),
+        }
+    }
+}
+
 /// Aggregated results of one simulation run.
 ///
 /// Without measurement windows every delivered packet contributes; with
@@ -235,6 +386,9 @@ pub struct SimResults {
     /// Runtime-fault accounting (all zeros unless a
     /// [`crate::fault::FaultScript`] is configured).
     pub faults: FaultStats,
+    /// Per-tenant results of a multi-tenant jobs run (empty unless
+    /// [`crate::config::SimConfig::jobs`] is set).
+    pub tenants: Vec<TenantStats>,
 }
 
 impl SimResults {
@@ -300,6 +454,10 @@ pub struct StatsCollector {
     max_inject_ps: u64,
     samples: Vec<IntervalSample>,
     counters: EngineCounters,
+    /// Per-tenant accumulators of a jobs run (empty otherwise). Kept inside
+    /// the collector so shard merging reuses the one [`StatsCollector::absorb`]
+    /// path.
+    tenants: Vec<TenantAcc>,
 }
 
 impl StatsCollector {
@@ -357,6 +515,65 @@ impl StatsCollector {
         self.samples.push(sample);
     }
 
+    /// Arm per-tenant accounting for a jobs run. Every collector that will be
+    /// absorbed into this one must be armed with the identical descriptors
+    /// (each shard derives them from the same resolved mix).
+    pub fn init_tenants(&mut self, descs: Vec<TenantDesc>) {
+        self.tenants = descs
+            .into_iter()
+            .map(|desc| TenantAcc {
+                desc,
+                ..Default::default()
+            })
+            .collect();
+    }
+
+    /// Note a jobs-mode message injection for `tenant` (window-filtered like
+    /// [`StatsCollector::note_injection`]).
+    pub fn note_tenant_injection(&mut self, tenant: u32, bytes: u64, inject_ps: u64) {
+        if self.is_measured(inject_ps) {
+            let t = &mut self.tenants[tenant as usize];
+            t.injected_messages += 1;
+            t.injected_bytes += bytes;
+        }
+    }
+
+    /// Record a delivered packet for `tenant` (same filtering as
+    /// [`StatsCollector::record_packet`], which the engine calls alongside).
+    pub fn record_tenant_packet(
+        &mut self,
+        tenant: u32,
+        latency_ps: u64,
+        bytes: u64,
+        delivered_at: u64,
+    ) {
+        if !self.is_measured(delivered_at - latency_ps) {
+            return;
+        }
+        let t = &mut self.tenants[tenant as usize];
+        t.latencies_ps.push(latency_ps);
+        t.delivered_bytes += bytes;
+    }
+
+    /// Record a fully delivered measured message for `tenant`.
+    pub fn record_tenant_message(&mut self, tenant: u32) {
+        self.tenants[tenant as usize].delivered_messages += 1;
+    }
+
+    /// Record the delivery of one collective-schedule message for `tenant`
+    /// (unwindowed — completion is a whole-run property).
+    pub fn record_tenant_collective_delivery(&mut self, tenant: u32, now_ps: u64) {
+        let t = &mut self.tenants[tenant as usize];
+        t.collective_delivered += 1;
+        t.collective_last_ps = t.collective_last_ps.max(now_ps);
+    }
+
+    /// Add ranks that completed their collective (each engine/shard reports
+    /// the ranks it owns exactly once, at the end of the run).
+    pub fn add_tenant_ranks_completed(&mut self, tenant: u32, ranks: usize) {
+        self.tenants[tenant as usize].ranks_completed += ranks;
+    }
+
     /// Accumulate a phase's event-loop counters.
     pub fn record_engine(&mut self, counters: &EngineCounters) {
         self.counters.merge(counters);
@@ -384,6 +601,14 @@ impl StatsCollector {
         self.max_inject_ps = self.max_inject_ps.max(other.max_inject_ps);
         self.samples.extend(other.samples);
         self.counters.merge(&other.counters);
+        if self.tenants.is_empty() {
+            self.tenants = other.tenants;
+        } else if !other.tenants.is_empty() {
+            debug_assert_eq!(self.tenants.len(), other.tenants.len());
+            for (mine, theirs) in self.tenants.iter_mut().zip(other.tenants) {
+                mine.absorb(theirs);
+            }
+        }
     }
 
     /// Finalize into a [`SimResults`].
@@ -397,12 +622,16 @@ impl StatsCollector {
             min_inject_ps: self.min_inject_ps,
             max_inject_ps: self.max_inject_ps,
         });
+        let window = self.window;
+        let tenants: Vec<TenantStats> =
+            self.tenants.into_iter().map(|t| t.finish(window)).collect();
         let n = self.latencies_ps.len();
         if n == 0 {
             return SimResults {
                 engine: self.counters,
                 samples: self.samples,
                 measurement,
+                tenants,
                 ..Default::default()
             };
         }
@@ -426,6 +655,7 @@ impl StatsCollector {
             samples: self.samples,
             measurement,
             faults: FaultStats::default(),
+            tenants,
         }
     }
 }

@@ -511,3 +511,70 @@ proptest! {
         }
     }
 }
+
+/// Tenant-mix steady runs through the jobs subsystem: the full `SimResults` —
+/// per-tenant stats and collective outcomes included — is bit-identical
+/// across shard counts on a congested, irregular mix, and bit-identical to
+/// the sequential engine on a tie-free, block-free golden (odd ring, minimal
+/// routing, light load — the regime where the credit and shared-buffer models
+/// execute the identical cascade; the job source streams are engine-invariant
+/// by construction, so only scheduling could diverge).
+#[test]
+fn tenant_mix_steady_runs_are_shard_invariant_and_match_sequential_tie_free() {
+    // Shard invariance under congestion: collectives + adversarial open-loop
+    // + both bursty sources, spanning shard boundaries of a chordal graph.
+    const MIX: &str = "allreduce-ring(4096) x 6 \
+                       + traffic(0.4, adversarial(4), 1024) x 12 \
+                       + mmpp(0.6, 0.1, 4, 4, 1024) x 6 \
+                       + onoff(0.7, 1.5, 3, 5, 1024) x 6";
+    let net = SimNetwork::new(chordal_ring(12, 6, 42), 3);
+    let wl = Workload::uniform_random(net.num_endpoints(), 1, 256, 9);
+    for routing in ["minimal", "ugal-l"] {
+        let mut cfg = SimConfig::default()
+            .with_routing(routing, net.diameter() as u32)
+            .with_windows(MeasurementWindows::new(500_000, 5_000_000))
+            .with_jobs(MIX);
+        cfg.seed = 23;
+        let par = assert_shard_invariant(&net, &cfg, &format!("mix/{routing}"), |s| {
+            s.run_with_offered_load(&wl, 0.9)
+        });
+        assert_eq!(par.tenants.len(), 4, "{routing}");
+        assert!(
+            par.tenants.iter().all(|t| t.injected_messages > 0),
+            "{routing}: every tenant must offer measured traffic"
+        );
+    }
+
+    // Sequential oracle on a tie-free golden: light load, unique shortest
+    // paths, checked block-free on both sides so the claim is not vacuous.
+    const LIGHT: &str = "allreduce-ring(1024) x 4 \
+                         + traffic(0.05, random, 512) x 8 \
+                         + mmpp(0.1, 0.0, 5, 5, 512) x 4";
+    let net = SimNetwork::new(ring(9), 2);
+    let wl = Workload::uniform_random(net.num_endpoints(), 1, 256, 5);
+    let mut cfg = SimConfig::default()
+        .with_routing("minimal", net.diameter() as u32)
+        .with_windows(MeasurementWindows::new(500_000, 5_000_000))
+        .with_jobs(LIGHT);
+    cfg.seed = 31;
+    let seq = Simulator::new(&net, &cfg).run_with_offered_load(&wl, 1.0);
+    assert_eq!(
+        seq.engine.blocked_parks, 0,
+        "golden must be block-free on the sequential side"
+    );
+    let coll = seq.tenants[0].collective.as_ref().expect("outcome");
+    assert!(coll.completed, "golden collective must complete: {coll:?}");
+    for shards in shard_set() {
+        let cfg_s = cfg.clone().with_shards(shards);
+        let par = ParallelSimulator::new(&net, &cfg_s).run_with_offered_load(&wl, 1.0);
+        assert_eq!(
+            par.engine.blocked_parks, 0,
+            "golden must be block-free at {shards} shards"
+        );
+        assert_eq!(
+            core_fields(seq.clone()),
+            core_fields(par),
+            "tenant-mix golden must match the sequential engine at {shards} shards"
+        );
+    }
+}
